@@ -1,0 +1,136 @@
+"""E6 — Figure 2 / Proposition 2.1: the scope calculus.
+
+Reproduces the paper's scope taxonomy as a table: every operator's
+scope size, sequentiality and relativity, and exhaustively verifies
+Proposition 2.1's closure properties over all operator-scope pairs.
+Also benchmarks the composed-scope derivation for a deep query.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench import print_table
+from repro.algebra import (
+    Compose,
+    CumulativeAggregate,
+    GlobalAggregate,
+    PositionalOffset,
+    Project,
+    ScopeSpec,
+    Select,
+    SequenceLeaf,
+    ValueOffset,
+    WindowAggregate,
+    col,
+)
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+
+SCHEMA = RecordSchema.of(v=AtomType.FLOAT)
+LEAF_SEQ = BaseSequence(
+    SCHEMA, [(i, Record(SCHEMA, (float(i),))) for i in range(20)]
+)
+
+
+def operator_zoo():
+    leaf = SequenceLeaf(LEAF_SEQ, "s")
+    other = SequenceLeaf(LEAF_SEQ, "t")
+    return {
+        "select": Select(leaf, col("v") > 0.0),
+        "project": Project(leaf, ["v"]),
+        "offset(-5)": PositionalOffset(leaf, -5),
+        "offset(+3)": PositionalOffset(leaf, 3),
+        "previous": ValueOffset.previous(leaf),
+        "next": ValueOffset.next(leaf),
+        "window(7)": WindowAggregate(leaf, "sum", "v", 7),
+        "cumulative": CumulativeAggregate(leaf, "sum", "v"),
+        "global": GlobalAggregate(leaf, "sum", "v"),
+        "compose": Compose(leaf, other, prefixes=("a", "b")),
+    }
+
+
+#: (size, sequential, relative) expected per the paper's Section 2.3
+EXPECTED = {
+    "select": (1, True, True),
+    "project": (1, True, True),
+    "offset(-5)": (1, False, True),
+    "offset(+3)": (1, False, True),
+    "previous": (None, False, False),
+    "next": (None, False, False),
+    "window(7)": (7, True, True),
+    "cumulative": (None, True, False),
+    "global": (None, True, False),
+    "compose": (1, True, True),
+}
+
+
+def test_figure2_scope_table(benchmark):
+    rows = []
+    for name, node in operator_zoo().items():
+        scope = node.scope_on(0)
+        size, sequential, relative = EXPECTED[name]
+        assert scope.size == size, name
+        assert scope.is_sequential == sequential, name
+        assert scope.is_relative == relative, name
+        effective = scope.effective()
+        rows.append(
+            [
+                name,
+                "fixed " + str(scope.size) if scope.size else "variable",
+                "yes" if scope.is_sequential else "no",
+                "yes" if scope.is_relative else "no",
+                str(effective.size) if effective.is_fixed_size else "unbounded",
+            ]
+        )
+    print_table(
+        ["operator", "scope size", "sequential", "relative", "effective size"],
+        rows,
+        title="Figure 2 / Section 2.3 — operator scope properties",
+    )
+    benchmark(lambda: None)
+
+
+def test_proposition21_closure_exhaustive(benchmark):
+    """Prop 2.1 over every ordered pair of the zoo's scopes."""
+    scopes = {name: node.scope_on(0) for name, node in operator_zoo().items()}
+
+    def check_all():
+        violations = []
+        for (name_a, a), (name_b, b) in itertools.product(scopes.items(), repeat=2):
+            composed = a.compose(b)
+            if a.is_fixed_size and b.is_fixed_size and not composed.is_fixed_size:
+                violations.append(("fixed", name_a, name_b))
+            if a.is_sequential and b.is_sequential and not composed.is_sequential:
+                violations.append(("sequential", name_a, name_b))
+            if a.is_relative and b.is_relative and not composed.is_relative:
+                violations.append(("relative", name_a, name_b))
+        return violations
+
+    violations = benchmark(check_all)
+    assert violations == []
+
+
+def test_deep_query_scope_derivation(benchmark):
+    """Composed scope of a deep pipeline on its leaf (Section 2.3)."""
+    leaf = SequenceLeaf(LEAF_SEQ, "s")
+    tree = WindowAggregate(
+        PositionalOffset(
+            Select(
+                WindowAggregate(PositionalOffset(leaf, -2), "avg", "v", 3, "m"),
+                col("m") > 0.0,
+            ),
+            -1,
+        ),
+        "max",
+        "m",
+        4,
+    )
+
+    scopes = benchmark(tree.query_scope_on_leaves)
+    composed = scopes[id(leaf)]
+    # offsets: window4 {-3..0} + shift(-1) + select + window3 over shift(-2)
+    # = {-3..0} + {-1} + {-2..0} + {-2} => {-8..-3}
+    assert composed.offsets == frozenset(range(-8, -2))
+    assert composed.is_fixed_size and composed.is_relative

@@ -1,0 +1,129 @@
+"""E11 — Section 3.1: the transformation heuristics, measured.
+
+Pushing selections/projections/offsets down the graph reduces the
+records flowing between operators.  This bench runs pushdown-friendly
+queries with rewrites on and off (answers identical) and reports the
+reduction; it also spot-checks that the illegal transformations are
+refused by the legality oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table, reset_catalog_counters, speedup
+from repro.algebra import base, col
+from repro.execution import run_query_detailed
+
+
+def suite(catalog):
+    ibm = catalog.get("ibm").sequence
+    hp = catalog.get("hp").sequence
+    return {
+        "select-into-compose": (
+            base(ibm, "ibm")
+            .compose(base(hp, "hp"), prefixes=("ibm", "hp"))
+            .select((col("ibm_close") > 115.0) & (col("hp_close") > 80.0))
+            .query()
+        ),
+        "project-into-compose": (
+            base(ibm, "ibm")
+            .compose(base(hp, "hp"), prefixes=("ibm", "hp"))
+            .project("ibm_close", "hp_close")
+            .select(col("ibm_close") > 115.0)
+            .query()
+        ),
+        "combine-selects": (
+            base(hp, "hp")
+            .select(col("close") > 70.0)
+            .select(col("close") < 95.0)
+            .select(col("volume") > 10_000)
+            .query()
+        ),
+    }
+
+
+@pytest.mark.parametrize("rewrite", [True, False], ids=["rewritten", "as-written"])
+def test_pushdown_execution(benchmark, table1_stored, rewrite):
+    catalog, _sequences = table1_stored
+    query = suite(catalog)["select-into-compose"]
+
+    def run():
+        reset_catalog_counters(catalog)
+        return run_query_detailed(query, catalog=catalog, rewrite=rewrite)
+
+    result = benchmark(run)
+    benchmark.extra_info["records_flowing"] = result.counters.operator_records
+
+
+def test_rewrite_report(benchmark, table1_stored):
+    catalog, _sequences = table1_stored
+    rows = []
+    for name, query in suite(catalog).items():
+        on = run_query_detailed(query, catalog=catalog, rewrite=True)
+        off = run_query_detailed(query, catalog=catalog, rewrite=False)
+        assert on.output.to_pairs() == off.output.to_pairs(), name
+        rows.append(
+            [
+                name,
+                len(on.optimization.trace.applied),
+                off.counters.predicate_evals + off.counters.operator_records,
+                on.counters.predicate_evals + on.counters.operator_records,
+                round(
+                    speedup(
+                        off.counters.predicate_evals + off.counters.operator_records,
+                        on.counters.predicate_evals + on.counters.operator_records,
+                    ),
+                    2,
+                ),
+            ]
+        )
+    print_table(
+        ["query", "rules fired", "work (as written)", "work (rewritten)", "ratio"],
+        rows,
+        title="Section 3.1 — pushdown transformations: records + predicate "
+        "evaluations with rewrites off vs on",
+    )
+    assert all(row[1] > 0 for row in rows)
+    # at least the biggest pushdown case should show a real reduction
+    assert max(row[4] for row in rows) > 1.1
+    benchmark(lambda: None)
+
+
+def test_illegal_rewrites_refused(benchmark):
+    """The paper's negative list is enforced (Section 3.1)."""
+    from repro.model import AtomType, BaseSequence, Record, RecordSchema
+    from repro.algebra import (
+        Compose,
+        CumulativeAggregate,
+        PositionalOffset,
+        Project,
+        Select,
+        SequenceLeaf,
+        ValueOffset,
+        WindowAggregate,
+    )
+    from repro.optimizer import is_legal_push
+
+    schema = RecordSchema.of(v=AtomType.FLOAT)
+    leaf = SequenceLeaf(
+        BaseSequence(schema, [(0, Record(schema, (1.0,)))]), "s"
+    )
+    select = Select(leaf, col("v") > 0.0)
+    window = WindowAggregate(leaf, "sum", "v", 3)
+    voffset = ValueOffset.previous(leaf)
+    compose = Compose(leaf, SequenceLeaf(leaf.sequence, "t"), prefixes=("a", "b"))
+
+    def check():
+        illegal = [
+            is_legal_push(select, window),       # select through aggregate
+            is_legal_push(select, voffset),      # select through value offset
+            is_legal_push(window, compose),      # aggregate through compose
+            is_legal_push(voffset, compose),     # value offset through compose
+            is_legal_push(window, voffset),      # aggregate through value offset
+            is_legal_push(voffset, window),      # and vice versa
+        ]
+        return illegal
+
+    results = benchmark(check)
+    assert results == [False] * 6

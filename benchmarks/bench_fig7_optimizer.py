@@ -1,0 +1,147 @@
+"""E7 — Figures 6-7 / Section 4: the end-to-end optimizer.
+
+For a suite of multi-block queries over the Table 1 workload:
+
+* the chosen plan's measured cost (pages + weighted CPU counters) is
+  never materially worse than the naive reference evaluation, and
+  usually far better;
+* the optimizer's cost *estimates* rank plans in the same order as the
+  measured costs (Spearman rank correlation across the suite).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.bench import print_table, reset_catalog_counters
+from repro.algebra import base, col
+from repro.execution import run_query_detailed
+from repro.model import Span
+
+
+def query_suite(catalog):
+    ibm = catalog.get("ibm").sequence
+    dec = catalog.get("dec").sequence
+    hp = catalog.get("hp").sequence
+
+    ibm_hp = (
+        base(ibm, "ibm")
+        .compose(base(hp, "hp"), prefixes=("ibm", "hp"))
+        .select(col("ibm_close") > col("hp_close"))
+    )
+    suite = {
+        "select-project": base(hp, "hp").select(col("close") > 80.0).project("close").query(),
+        "moving-avg": base(ibm, "ibm").window("avg", "close", 10).query(),
+        "golden-cross": (
+            base(hp, "hp").window("avg", "close", 5, "fast")
+            .compose(base(hp, "hp").window("avg", "close", 20, "slow"))
+            .select(col("fast") > col("slow"))
+            .project("fast")
+            .query()
+        ),
+        "figure3": (
+            base(dec, "dec").compose(ibm_hp, prefixes=("dec", None))
+            .project("dec_close").query()
+        ),
+        "prev-after-filter": (
+            base(ibm, "ibm").select(col("close") > 110.0).previous()
+            .project("close").query()
+        ),
+        "cumulative-max": base(dec, "dec").cumulative("max", "close").query(),
+        "agg-of-join": (
+            base(ibm, "ibm").compose(base(hp, "hp"), prefixes=("ibm", "hp"))
+            .select(col("ibm_close") > col("hp_close"))
+            .window("count", "ibm_close", 20)
+            .query()
+        ),
+    }
+    return suite
+
+
+def measured_cost(catalog, counters):
+    """Measured cost in the cost model's units (pages + weighted CPU)."""
+    pages = sum(
+        getattr(entry.sequence, "counters", None).page_reads
+        if hasattr(entry.sequence, "counters")
+        else 0
+        for entry in catalog.entries()
+    )
+    return (
+        pages
+        + 0.01 * counters.predicate_evals
+        + 0.002 * counters.cache_ops
+        + 0.001 * counters.operator_records
+    )
+
+
+def test_figure7_report(benchmark, table1_stored):
+    catalog, _sequences = table1_stored
+    suite = query_suite(catalog)
+
+    rows = []
+    estimates, actuals = [], []
+    for name, query in suite.items():
+        reset_catalog_counters(catalog)
+        start = time.perf_counter()
+        result = run_query_detailed(query, catalog=catalog)
+        optimized_seconds = time.perf_counter() - start
+        actual = measured_cost(catalog, result.counters)
+
+        start = time.perf_counter()
+        naive = query.run_naive(result.optimization.plan.output_span)
+        naive_seconds = time.perf_counter() - start
+        assert naive.to_pairs() == result.output.to_pairs(), name
+
+        estimates.append(result.optimization.plan.estimated_cost)
+        actuals.append(actual)
+        rows.append(
+            [
+                name,
+                result.optimization.plan.block_count,
+                round(result.optimization.plan.estimated_cost, 1),
+                round(actual, 1),
+                round(optimized_seconds * 1000, 1),
+                round(naive_seconds * 1000, 1),
+            ]
+        )
+
+    correlation = scipy_stats.spearmanr(estimates, actuals).statistic
+    print_table(
+        ["query", "blocks", "est. cost", "measured cost", "engine ms", "naive ms"],
+        rows,
+        title=f"Figures 6-7 — optimizer suite (estimate vs measured rank "
+        f"correlation = {correlation:.2f})",
+    )
+    # estimates must rank plans like reality does
+    assert correlation > 0.7
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["figure3", "golden-cross", "agg-of-join"],
+)
+def test_optimized_execution(benchmark, table1_stored, name):
+    catalog, _sequences = table1_stored
+    query = query_suite(catalog)[name]
+
+    def run():
+        reset_catalog_counters(catalog)
+        return run_query_detailed(query, catalog=catalog)
+
+    result = benchmark(run)
+    assert len(result.output) >= 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["figure3", "golden-cross", "agg-of-join"],
+)
+def test_naive_execution(benchmark, table1_stored, name):
+    catalog, _sequences = table1_stored
+    query = query_suite(catalog)[name]
+
+    benchmark(lambda: query.run_naive())

@@ -1,0 +1,83 @@
+"""E2 — Table 1: sequence meta-data in the catalog.
+
+Reproduces the paper's Table 1 (IBM [200,500] d=0.95, DEC [1,350]
+d=0.7, HP [1,750] d=1.0): statistics collection must recover the
+generating parameters, and the catalog must expose access profiles and
+pairwise correlations for the optimizer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table
+from repro.catalog import Catalog, collect_stats
+from repro.model import Span
+from repro.workloads import TABLE1_SPECS, generate_stock
+
+EXPECTED = {
+    "ibm": (Span(200, 500), 0.95),
+    "dec": (Span(1, 350), 0.70),
+    "hp": (Span(1, 750), 1.00),
+}
+
+
+def test_statistics_collection(benchmark):
+    """Benchmark a full statistics scan of the largest sequence (HP)."""
+    hp = generate_stock(TABLE1_SPECS[2])
+    stats = benchmark(lambda: collect_stats(hp))
+    assert stats.density == 1.0
+    assert stats.column("close").histogram is not None
+
+
+def test_catalog_registration(benchmark):
+    """Benchmark building the whole Table 1 catalog with statistics."""
+
+    def build():
+        catalog = Catalog()
+        for spec in TABLE1_SPECS:
+            catalog.register(spec.name, generate_stock(spec))
+        return catalog
+
+    catalog = benchmark(build)
+    assert set(catalog.names()) == set(EXPECTED)
+
+
+def test_table1_report(benchmark, table1_memory):
+    """The reproduced Table 1, plus what the paper's table omits."""
+    catalog, _sequences = table1_memory
+    rows = []
+    for name, (span, density) in EXPECTED.items():
+        info = catalog.get(name).info
+        profile = catalog.get(name).profile
+        assert info.span == span
+        assert info.density == pytest.approx(density, abs=0.05)
+        rows.append(
+            [
+                name.upper(),
+                f"{span.start} {span.end}",
+                round(info.density, 3),
+                catalog.get(name).stats.count,
+                round(profile.stream_total, 1),
+                round(profile.probe_unit, 1),
+            ]
+        )
+    print_table(
+        ["Sequence", "Span", "Density", "Records", "A (stream)", "a (probe)"],
+        rows,
+        title="Table 1 — sequence meta-data (paper values: IBM 200..500/0.95, "
+        "DEC 1..350/0.7, HP 1..750/1.0)",
+    )
+    correlations = [
+        ("ibm-dec", catalog.correlation("ibm", "dec")),
+        ("ibm-hp", catalog.correlation("ibm", "hp")),
+        ("dec-hp", catalog.correlation("dec", "hp")),
+    ]
+    print_table(
+        ["pair", "null-position correlation"],
+        [[pair, round(value, 3)] for pair, value in correlations],
+        title="pairwise correlations (independent placement => 1.0)",
+    )
+    for _pair, value in correlations:
+        assert value == pytest.approx(1.0, abs=0.15)
+    benchmark(lambda: None)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md's per-experiment index) and prints the reproduced rows; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.workloads import WeatherSpec, generate_weather, table1_catalog
+
+
+@pytest.fixture(scope="session")
+def table1_memory():
+    """Table 1 catalog over in-memory sequences."""
+    return table1_catalog()
+
+
+@pytest.fixture(scope="session")
+def table1_stored():
+    """Table 1 catalog over the clustered storage substrate."""
+    return table1_catalog(organization="clustered")
+
+
+def weather_catalog(horizon: int, seed: int = 17, eruption_rate: float = 0.01):
+    volcanos, quakes = generate_weather(
+        WeatherSpec(horizon=horizon, seed=seed, eruption_rate=eruption_rate)
+    )
+    catalog = Catalog()
+    catalog.register("volcanos", volcanos)
+    catalog.register("earthquakes", quakes)
+    return catalog, volcanos, quakes

@@ -1,0 +1,63 @@
+"""A tour of the textual query language.
+
+Every operator of the paper's model, written as query text, compiled
+to the operator algebra, optimized and executed.
+
+Run with::
+
+    python examples/query_language_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.lang import compile_query
+from repro.model import Span
+from repro.workloads import table1_catalog
+
+TOUR = [
+    ("selection", "select(ibm, close > 115.0)"),
+    ("projection", "project(ibm, close, volume)"),
+    ("positional offset", "shift(ibm, -5)"),
+    ("previous (value offset -1)", "previous(ibm)"),
+    ("next (value offset +1)", "next(ibm)"),
+    ("moving average", "window(ibm, avg, close, 6, ma6)"),
+    ("running max", "cumulative(ibm, max, close)"),
+    ("whole-sequence min", "global_agg(ibm, min, close)"),
+    ("positional join", "compose(ibm as i, hp as h)"),
+    (
+        "join + predicate + projection",
+        "project(select(compose(ibm as i, hp as h), i_close > h_close), i_close, h_close)",
+    ),
+    (
+        "the Figure 3 query",
+        "project(compose(dec as d, select(compose(ibm as i, hp as h), "
+        "i_close > h_close)), d_close)",
+    ),
+    (
+        "momentum: close above its own 10-day average",
+        "select(compose(project(ibm, close) as now, window(ibm, avg, close, 10) as trend), "
+        "now_close > trend_avg_close)",
+    ),
+]
+
+
+def main() -> None:
+    catalog, _sequences = table1_catalog()
+    window = Span(200, 350)
+    for title, source in TOUR:
+        query = compile_query(source, catalog)
+        output = query.run(span=window, catalog=catalog)
+        reference = query.run_naive(window)
+        assert output.to_pairs() == reference.to_pairs()
+        first = output.first_position()
+        print(f"{title}:")
+        print(f"    {source}")
+        print(
+            f"    -> schema {query.schema!r}, {len(output)} records in {window}, "
+            f"first at {first}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

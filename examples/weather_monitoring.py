@@ -1,0 +1,94 @@
+"""Example 1.1 from the paper: the weather monitoring system.
+
+"For which volcano eruptions was the strength of the most recent
+earthquake greater than 7.0 on the Richter scale?"
+
+This script runs the query three ways — the relational nested-subquery
+plan the paper criticizes, the declarative sequence query of Figure 1,
+and the push-based trigger engine — and shows they agree while doing
+wildly different amounts of work.
+
+Run with::
+
+    python examples/weather_monitoring.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Catalog
+from repro.extensions import TriggerEngine
+from repro.relational import (
+    relational_plan,
+    sequence_answers,
+    sequence_query,
+    tables_from_sequences,
+)
+from repro.execution import run_query_detailed
+from repro.workloads import WeatherSpec, generate_weather
+
+
+def main() -> None:
+    spec = WeatherSpec(horizon=30_000, seed=7, eruption_rate=0.01)
+    volcanos, quakes = generate_weather(spec)
+    print(
+        f"workload: {volcanos.count_nonnull()} eruptions, "
+        f"{quakes.count_nonnull()} earthquakes over {spec.horizon} time units"
+    )
+
+    # --- the relational way (what the paper says SQL engines did) -----
+    volcano_table, quake_table = tables_from_sequences(volcanos, quakes)
+    start = time.perf_counter()
+    relational_answers, counters = relational_plan(volcano_table, quake_table)
+    relational_seconds = time.perf_counter() - start
+    print(
+        f"\nrelational nested-subquery plan: {len(relational_answers)} answers, "
+        f"{counters.tuples_read:,} tuple reads, {relational_seconds * 1e3:.1f} ms"
+    )
+
+    # --- the sequence way (Figure 1) -----------------------------------
+    catalog = Catalog()
+    catalog.register("v", volcanos)
+    catalog.register("e", quakes)
+    query = sequence_query(volcanos, quakes, threshold=7.0)
+    print("\nsequence query:")
+    print(query.pretty())
+
+    start = time.perf_counter()
+    result = run_query_detailed(query, catalog=catalog)
+    sequence_seconds = time.perf_counter() - start
+    answers = sequence_answers(result.output)
+    print(
+        f"sequence engine: {len(answers)} answers, "
+        f"{result.counters.operator_records:,} records flowed, "
+        f"max cache occupancy {result.counters.max_cache_occupancy} "
+        f"(the paper's one-record buffer), {sequence_seconds * 1e3:.1f} ms"
+    )
+    print("\nplan:")
+    print(result.optimization.explain())
+    assert answers == relational_answers
+
+    # --- the trigger way (Section 5.3): process arrivals one by one ----
+    engine = TriggerEngine(query)
+    events = sorted(
+        [("v", p, r) for p, r in volcanos.iter_nonnull()]
+        + [("e", p, r) for p, r in quakes.iter_nonnull()],
+        key=lambda t: t[1],
+    )
+    fired = []
+    for source, position, record in events:
+        for out_position, out_record in engine.push(source, position, record):
+            fired.append((out_position, out_record.get("v_name")))
+    print(
+        f"\ntrigger engine: {len(fired)} alerts over {engine.arrivals} arrivals, "
+        f"{engine.ops_per_arrival():.2f} ops/arrival"
+    )
+    assert [name for _p, name in fired] == relational_answers
+
+    print("\nfirst alerts:", fired[:5])
+    print("\nall three evaluations agree.")
+
+
+if __name__ == "__main__":
+    main()

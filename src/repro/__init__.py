@@ -1,0 +1,104 @@
+"""repro — a reproduction of "Sequence Query Processing" (SIGMOD 1994).
+
+A positional sequence database: a declarative operator algebra over
+sequences (selection, projection, positional/value offsets, windowed
+aggregates, positional joins), a cost-based query optimizer built
+around operator scope, span/density propagation, query rewriting and
+Selinger-style per-block plan generation, and a stream-access execution
+engine with the paper's caching and join strategies.
+
+Quickstart::
+
+    from repro import base, col, Span, Catalog
+
+    query = (
+        base(prices, "ibm")
+        .window("avg", "close", 6)
+        .query()
+    )
+    answer = query.run(span=Span(1, 1000))
+"""
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ExpressionError,
+    OptimizerError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SpanError,
+    StorageError,
+)
+from repro.model import (
+    NULL,
+    AtomType,
+    Attribute,
+    BaseSequence,
+    ConstantSequence,
+    Record,
+    RecordSchema,
+    Sequence,
+    SequenceInfo,
+    Span,
+)
+from repro.algebra import (
+    Query,
+    ScopeSpec,
+    Seq,
+    base,
+    col,
+    constant,
+    lit,
+)
+from repro.catalog import Catalog
+from repro.execution import (
+    ExecutionCounters,
+    evaluate_naive,
+    run_query,
+    run_query_detailed,
+)
+from repro.optimizer import CostParams, optimize
+from repro.storage import StoredSequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomType",
+    "Attribute",
+    "BaseSequence",
+    "Catalog",
+    "CatalogError",
+    "ConstantSequence",
+    "CostParams",
+    "ExecutionCounters",
+    "ExecutionError",
+    "ExpressionError",
+    "NULL",
+    "OptimizerError",
+    "ParseError",
+    "Query",
+    "QueryError",
+    "Record",
+    "RecordSchema",
+    "ReproError",
+    "SchemaError",
+    "ScopeSpec",
+    "Seq",
+    "Sequence",
+    "SequenceInfo",
+    "Span",
+    "SpanError",
+    "StorageError",
+    "StoredSequence",
+    "base",
+    "col",
+    "constant",
+    "evaluate_naive",
+    "lit",
+    "optimize",
+    "run_query",
+    "run_query_detailed",
+    "__version__",
+]

@@ -1,0 +1,289 @@
+"""Aggregate operators (paper Section 2.1).
+
+An aggregate operator is defined by an ``agg_pos`` function selecting a
+set of input positions for each output position and an ``agg_func``
+over the records at those positions.  Three ``agg_pos`` shapes are
+supported, covering the paper's cases:
+
+* :class:`WindowAggregate` — the trailing window ``{i-w+1 .. i}`` (the
+  paper's moving 3-position average; sequential fixed-size scope, the
+  Cache-Strategy-A case),
+* :class:`CumulativeAggregate` — all positions ``<= i`` within the
+  input span (sequential, variable size),
+* :class:`GlobalAggregate` — the paper's special case where ``agg_pos``
+  selects *all* positions; the same value at every valid position.
+
+Null records in the scope are ignored; if every record in the scope is
+Null the output is Null (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence as PySequence
+
+from repro.errors import QueryError
+from repro.model.info import SequenceInfo
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import Attribute, RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.expressions import StatsLookup
+from repro.algebra.node import Operator
+from repro.algebra.scope import ScopeSpec
+
+AGGREGATE_FUNCS = ("sum", "avg", "min", "max", "count")
+
+_APPLY: dict[str, Callable[[list], object]] = {
+    "sum": sum,
+    "avg": lambda vs: sum(vs) / len(vs),
+    "min": min,
+    "max": max,
+    "count": len,
+}
+
+
+def output_type(func: str, input_type: AtomType) -> AtomType:
+    """The output atomic type of aggregate ``func`` over ``input_type``.
+
+    Raises:
+        QueryError: if the function cannot aggregate that type.
+    """
+    if func not in AGGREGATE_FUNCS:
+        raise QueryError(f"unknown aggregate function {func!r}")
+    if func == "count":
+        return AtomType.INT
+    if func == "avg":
+        if not input_type.is_numeric:
+            raise QueryError(f"avg needs a numeric attribute, got {input_type.name}")
+        return AtomType.FLOAT
+    if func == "sum":
+        if not input_type.is_numeric:
+            raise QueryError(f"sum needs a numeric attribute, got {input_type.name}")
+        return input_type
+    # min / max preserve the input type; BOOL has no useful ordering here.
+    if input_type is AtomType.BOOL:
+        raise QueryError(f"{func} is not defined over BOOL attributes")
+    return input_type
+
+
+def apply_aggregate(func: str, values: list) -> object:
+    """Apply aggregate ``func`` to non-null attribute ``values``."""
+    result = _APPLY[func](values)
+    if func == "sum" and values and isinstance(values[0], float):
+        return float(result)
+    return result
+
+
+class _AggregateBase(Operator):
+    """Shared structure of the three aggregate shapes."""
+
+    def __init__(
+        self,
+        input_node: Operator,
+        func: str,
+        attr: str,
+        output_name: Optional[str] = None,
+    ):
+        super().__init__((input_node,))
+        if func not in AGGREGATE_FUNCS:
+            raise QueryError(
+                f"unknown aggregate {func!r}; expected one of {AGGREGATE_FUNCS}"
+            )
+        self.func = func
+        self.attr = attr
+        self.output_name = output_name or f"{func}_{attr}"
+
+    def _infer_schema(self, input_schemas: list[RecordSchema]) -> RecordSchema:
+        (schema,) = input_schemas
+        if self.attr not in schema:
+            raise QueryError(
+                f"aggregate attribute {self.attr!r} not in schema {schema!r}"
+            )
+        out_type = output_type(self.func, schema.type_of(self.attr))
+        return RecordSchema((Attribute(self.output_name, out_type),))
+
+    def _aggregate(self, records: list[Record]) -> RecordOrNull:
+        """Aggregate the attribute over non-null scope records."""
+        if not records:
+            return NULL
+        values = [record.get(self.attr) for record in records]
+        result = apply_aggregate(self.func, values)
+        if self.schema.attributes[0].atype is AtomType.FLOAT:
+            result = float(result)
+        return Record(self.schema, (result,))
+
+    def participating_columns(self) -> frozenset[str]:
+        """The aggregated attribute."""
+        return frozenset((self.attr,))
+
+
+class WindowAggregate(_AggregateBase):
+    """Aggregate over the trailing window of ``width`` positions."""
+
+    name = "wagg"
+
+    def __init__(
+        self,
+        input_node: Operator,
+        func: str,
+        attr: str,
+        width: int,
+        output_name: Optional[str] = None,
+    ):
+        super().__init__(input_node, func, attr, output_name)
+        if not isinstance(width, int) or isinstance(width, bool) or width < 1:
+            raise QueryError(f"window width must be a positive int, got {width!r}")
+        self.width = width
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "WindowAggregate":
+        (child,) = inputs
+        return WindowAggregate(child, self.func, self.attr, self.width, self.output_name)
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        return ScopeSpec.window(self.width)
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        source = inputs[0]
+        records = []
+        for probe in range(position - self.width + 1, position + 1):
+            record = source.get(probe)
+            if record is not NULL:
+                records.append(record)
+        return self._aggregate(records)
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        (span,) = input_spans
+        if span.is_empty:
+            return Span.EMPTY
+        # The window at i overlaps the input span when
+        # i >= start and i - width + 1 <= end.
+        end = None if span.end is None else span.end + self.width - 1
+        return Span(span.start, end)
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        (span,) = input_spans
+        if output_span.is_empty:
+            return (Span.EMPTY,)
+        start = None if output_span.start is None else output_span.start - self.width + 1
+        return (span.intersect(Span(start, output_span.end)),)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        d = input_infos[0].density
+        # Non-null output wherever the window holds >= 1 non-null input.
+        return 1.0 - (1.0 - d) ** self.width
+
+    def describe(self) -> str:
+        return f"wagg[{self.func}({self.attr}) over {self.width}]"
+
+
+class CumulativeAggregate(_AggregateBase):
+    """Aggregate over every input position up to (and including) i.
+
+    Defined within the input span: positions outside it map to Null.
+    """
+
+    name = "cagg"
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "CumulativeAggregate":
+        (child,) = inputs
+        return CumulativeAggregate(child, self.func, self.attr, self.output_name)
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        return ScopeSpec.all_past()
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        source = inputs[0]
+        span = source.span
+        if not span.contains(position):
+            return NULL
+        if span.start is None:
+            raise QueryError(
+                "cumulative aggregate needs a bounded-below input span"
+            )
+        records = [
+            record
+            for _pos, record in source.iter_nonnull(Span(span.start, position))
+        ]
+        return self._aggregate(records)
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        return input_spans[0]
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        (span,) = input_spans
+        if output_span.is_empty:
+            return (Span.EMPTY,)
+        # Everything up to the last requested position may contribute.
+        return (span.intersect(Span(None, output_span.end)),)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        info = input_infos[0]
+        d = info.density
+        if d <= 0.0:
+            return 0.0
+        length = info.span.length()
+        if length is None or length <= 0:
+            return 1.0
+        # Null only before the first non-null record: expected head gap
+        # is ~1/d positions out of `length`.
+        return max(0.0, min(1.0, 1.0 - (1.0 / d) / length))
+
+    def describe(self) -> str:
+        return f"cagg[{self.func}({self.attr})]"
+
+
+class GlobalAggregate(_AggregateBase):
+    """Aggregate over all input positions (paper's agg_pos ≡ true case).
+
+    Every valid position maps to the same aggregate record; positions
+    outside the input span map to Null.
+    """
+
+    name = "gagg"
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "GlobalAggregate":
+        (child,) = inputs
+        return GlobalAggregate(child, self.func, self.attr, self.output_name)
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        return ScopeSpec.everything()
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        source = inputs[0]
+        if not source.span.contains(position):
+            return NULL
+        records = [record for _pos, record in source.iter_nonnull()]
+        return self._aggregate(records)
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        return input_spans[0]
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        # Every input position contributes regardless of the requested
+        # output range — the one operator span restriction cannot pass.
+        return (input_spans[0],)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        return 1.0 if input_infos[0].density > 0 else 0.0
+
+    def describe(self) -> str:
+        return f"gagg[{self.func}({self.attr})]"

@@ -1,0 +1,119 @@
+"""A fluent builder API for sequence queries.
+
+The paper presents queries as declarative operator graphs (Figure 1);
+this module lets users write them as method chains::
+
+    from repro.algebra import base, col
+
+    query = (
+        base(volcanos, "v")
+        .compose(base(earthquakes, "e").previous(), prefixes=("v", "e"))
+        .select(col("e_strength") > 7.0)
+        .project("v_name")
+        .query()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import QueryError
+from repro.model.sequence import Sequence
+from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
+from repro.algebra.compose import Compose
+from repro.algebra.expressions import Expr
+from repro.algebra.graph import Query
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.algebra.node import Operator
+from repro.algebra.offsets import PositionalOffset, ValueOffset
+from repro.algebra.project import Project
+from repro.algebra.select import Select
+
+
+class Seq:
+    """A fluent wrapper around an operator-graph node."""
+
+    def __init__(self, node: Operator):
+        self.node = node
+
+    # -- unary operators ---------------------------------------------------
+
+    def select(self, predicate: Expr) -> "Seq":
+        """Keep positions whose record satisfies ``predicate``."""
+        return Seq(Select(self.node, predicate))
+
+    def project(self, *names: str) -> "Seq":
+        """Keep only the named attributes."""
+        return Seq(Project(self.node, names))
+
+    def shift(self, offset: int) -> "Seq":
+        """Positional offset: ``out(i) = in(i + offset)``."""
+        return Seq(PositionalOffset(self.node, offset))
+
+    def previous(self) -> "Seq":
+        """The most recent non-null record strictly before each position."""
+        return Seq(ValueOffset.previous(self.node))
+
+    def next(self) -> "Seq":
+        """The earliest non-null record strictly after each position."""
+        return Seq(ValueOffset.next(self.node))
+
+    def value_offset(self, offset: int) -> "Seq":
+        """The k-th non-null record before (−k) or after (+k) each position."""
+        return Seq(ValueOffset(self.node, offset))
+
+    def window(
+        self, func: str, attr: str, width: int, name: Optional[str] = None
+    ) -> "Seq":
+        """Moving aggregate over the trailing ``width`` positions."""
+        return Seq(WindowAggregate(self.node, func, attr, width, name))
+
+    def cumulative(self, func: str, attr: str, name: Optional[str] = None) -> "Seq":
+        """Running aggregate over all positions up to each position."""
+        return Seq(CumulativeAggregate(self.node, func, attr, name))
+
+    def global_agg(self, func: str, attr: str, name: Optional[str] = None) -> "Seq":
+        """Whole-sequence aggregate, repeated at every valid position."""
+        return Seq(GlobalAggregate(self.node, func, attr, name))
+
+    # -- binary -------------------------------------------------------------
+
+    def compose(
+        self,
+        other: Union["Seq", Operator, Sequence],
+        predicate: Optional[Expr] = None,
+        prefixes: tuple[Optional[str], Optional[str]] = (None, None),
+    ) -> "Seq":
+        """Positional join with ``other`` (optional predicate, prefixes)."""
+        return Seq(Compose(self.node, _as_node(other), predicate, prefixes))
+
+    # -- terminal ------------------------------------------------------------
+
+    def query(self) -> Query:
+        """Finalize into a validated :class:`Query`."""
+        return Query(self.node)
+
+    def __repr__(self) -> str:
+        return f"Seq({self.node.describe()})"
+
+
+def _as_node(source: Union[Seq, Operator, Sequence]) -> Operator:
+    """Coerce builder arguments to operator nodes."""
+    if isinstance(source, Seq):
+        return source.node
+    if isinstance(source, Operator):
+        return source
+    if isinstance(source, Sequence):
+        return SequenceLeaf(source)
+    raise QueryError(f"cannot use {source!r} as a query input")
+
+
+def base(sequence: Sequence, alias: Optional[str] = None) -> Seq:
+    """Start a query from a base sequence."""
+    return Seq(SequenceLeaf(sequence, alias))
+
+
+def constant(name: str, value: object) -> Seq:
+    """Start a query from a scalar constant sequence."""
+    return Seq(ConstantLeaf.scalar(name, value))

@@ -1,0 +1,207 @@
+"""Query equivalence checking (Definition 3.1).
+
+"Two sequence queries Q1 and Q2 are equivalent if they both have the
+same input sequences, the same scopes on the input sequences, and the
+same operator function.  Note that this definition of query equivalence
+is independent of the actual data in the input sequences."
+
+The checker tests all three conditions:
+
+1. the same input sequences — a bijection between the leaves matching
+   both the underlying data and the schemas;
+2. the same scopes — the composed query scope on each matched leaf
+   (Section 2.3's complex-operator scope) must agree, up to effective
+   broadening (a broadened scope computes the same function);
+3. the same operator function — data-independence is approximated by
+   evaluating both queries on several *randomized* datasets substituted
+   into the leaves (plus the actual data), over a widened span.
+
+A positive verdict is therefore evidence, not proof (condition 3 is
+sampled); a negative verdict is definite, and carries the reason.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.graph import Query
+from repro.algebra.leaves import SequenceLeaf
+from repro.algebra.node import Operator
+
+
+@dataclass
+class EquivalenceReport:
+    """The verdict of an equivalence check.
+
+    Attributes:
+        equivalent: the overall verdict.
+        reason: why the check failed (empty when equivalent).
+        trials: randomized datasets evaluated.
+        scope_checked: whether leaf scopes were compared (False when a
+            scope comparison was skipped due to variable scopes, which
+            the sampled semantics still covers).
+    """
+
+    equivalent: bool
+    reason: str = ""
+    trials: int = 0
+    scope_checked: bool = True
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _leaf_key(leaf: SequenceLeaf) -> tuple:
+    """A data-identity key for matching leaves across queries."""
+    sequence = leaf.sequence
+    return (
+        sequence.schema,
+        sequence.span,
+        tuple(sequence.iter_nonnull()) if sequence.span.is_bounded else id(sequence),
+    )
+
+
+def _match_leaves(
+    first: list[SequenceLeaf], second: list[SequenceLeaf]
+) -> Optional[list[tuple[SequenceLeaf, SequenceLeaf]]]:
+    """A bijection between leaf lists with equal data, or None."""
+    if len(first) != len(second):
+        return None
+    remaining = list(second)
+    pairs = []
+    for leaf in first:
+        key = _leaf_key(leaf)
+        for candidate in remaining:
+            if _leaf_key(candidate) == key:
+                pairs.append((leaf, candidate))
+                remaining.remove(candidate)
+                break
+        else:
+            return None
+    return pairs
+
+
+def _random_dataset(
+    schema: RecordSchema, span: Span, rng: random.Random
+) -> BaseSequence:
+    """A random sequence with the given schema over the given span."""
+    if not span.is_bounded:
+        span = Span(0, 20)
+    items = []
+    for position in span.positions():
+        if rng.random() < 0.6:
+            values = []
+            for attr in schema:
+                if attr.atype is AtomType.INT:
+                    values.append(rng.randint(-50, 50))
+                elif attr.atype is AtomType.FLOAT:
+                    values.append(round(rng.uniform(-50, 50), 3))
+                elif attr.atype is AtomType.BOOL:
+                    values.append(rng.random() < 0.5)
+                else:
+                    values.append(rng.choice("abcde"))
+            items.append((position, Record(schema, tuple(values))))
+    return BaseSequence(schema, items, span=span)
+
+
+def _substitute(node: Operator, mapping: dict[int, BaseSequence]) -> Operator:
+    """Rebuild a tree with leaves replaced per ``mapping`` (by id)."""
+    if isinstance(node, SequenceLeaf):
+        replacement = mapping.get(id(node))
+        if replacement is not None:
+            return SequenceLeaf(replacement, node.alias)
+        return node
+    if node.is_leaf:
+        return node
+    return node.with_inputs(
+        tuple(_substitute(child, mapping) for child in node.inputs)
+    )
+
+
+def _evaluation_window(query: Query) -> Span:
+    span = query.default_span()
+    assert span.start is not None and span.end is not None
+    return Span(span.start - 4, span.end + 4)
+
+
+def queries_equivalent(
+    first: Query,
+    second: Query,
+    trials: int = 4,
+    seed: int = 0,
+) -> EquivalenceReport:
+    """Check Definition 3.1 equivalence of two queries.
+
+    Args:
+        first, second: the queries to compare.
+        trials: randomized datasets to evaluate (condition 3 sampling).
+        seed: RNG seed for reproducible verdicts.
+    """
+    if first.schema != second.schema:
+        return EquivalenceReport(False, reason="output schemas differ")
+
+    first_leaves = first.base_leaves()
+    second_leaves = second.base_leaves()
+    pairs = _match_leaves(first_leaves, second_leaves)
+    if pairs is None:
+        return EquivalenceReport(False, reason="input sequences differ")
+
+    # condition 2: composed scopes on matched leaves
+    scopes_first = first.root.query_scope_on_leaves()
+    scopes_second = second.root.query_scope_on_leaves()
+    scope_checked = True
+    for leaf_a, leaf_b in pairs:
+        scope_a = scopes_first[id(leaf_a)]
+        scope_b = scopes_second[id(leaf_b)]
+        if scope_a.kind == "relative" and scope_b.kind == "relative":
+            if scope_a.effective() != scope_b.effective():
+                return EquivalenceReport(
+                    False,
+                    reason=(
+                        f"scopes on leaf {leaf_a.alias!r} differ: "
+                        f"{scope_a} vs {scope_b}"
+                    ),
+                )
+        else:
+            scope_checked = False  # variable scopes: rely on sampling
+
+    # condition 3: same operator function, sampled over random data
+    rng = random.Random(seed)
+    ran = 0
+    for trial in range(trials + 1):
+        if trial == 0:
+            query_a, query_b = first, second
+        else:
+            mapping_a: dict[int, BaseSequence] = {}
+            mapping_b: dict[int, BaseSequence] = {}
+            for leaf_a, leaf_b in pairs:
+                dataset = _random_dataset(
+                    leaf_a.sequence.schema, leaf_a.sequence.span, rng
+                )
+                mapping_a[id(leaf_a)] = dataset
+                mapping_b[id(leaf_b)] = dataset
+            query_a = Query(_substitute(first.root, mapping_a))
+            query_b = Query(_substitute(second.root, mapping_b))
+        try:
+            window = _evaluation_window(query_a)
+        except QueryError:
+            window = Span(-10, 40)
+        out_a = query_a.run_naive(window)
+        out_b = query_b.run_naive(window)
+        if out_a.to_pairs() != out_b.to_pairs():
+            return EquivalenceReport(
+                False,
+                reason=f"outputs differ on trial {trial}",
+                trials=ran,
+                scope_checked=scope_checked,
+            )
+        ran += 1
+    return EquivalenceReport(True, trials=ran, scope_checked=scope_checked)

@@ -1,0 +1,422 @@
+"""Scalar and predicate expressions over sequence records.
+
+Expressions appear in selection predicates and compose ("join")
+predicates.  They support evaluation against a record, static type
+checking against a schema, column-usage analysis (which drives the
+pushdown legality tests of Section 3.1 — an attribute *participates* in
+an operator if the operator's expressions reference it), renaming (for
+pushing through projections/prefixed composes), and selectivity
+estimation (Selinger-style defaults refined by catalog histograms).
+
+Expressions compose with Python operators::
+
+    (col("close") > 7.0) & (col("volume") >= lit(100))
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ExpressionError
+from repro.model.record import Record
+from repro.model.schema import RecordSchema
+from repro.model.types import AtomType, common_type
+
+# A hook resolving a column name to its catalog statistics (or None).
+StatsLookup = Callable[[str], Optional[object]]
+
+# Selinger-style default selectivities when no statistics are available.
+DEFAULT_SELECTIVITY = {
+    "==": 0.10,
+    "!=": 0.90,
+    "<": 1.0 / 3.0,
+    "<=": 1.0 / 3.0,
+    ">": 1.0 / 3.0,
+    ">=": 1.0 / 3.0,
+}
+
+
+class Expr(abc.ABC):
+    """Base class of all expressions."""
+
+    @abc.abstractmethod
+    def eval(self, record: Record) -> object:
+        """The expression value against a (non-Null) record."""
+
+    @abc.abstractmethod
+    def columns(self) -> frozenset[str]:
+        """Names of all columns referenced anywhere in the expression."""
+
+    @abc.abstractmethod
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        """Static type of the expression under ``schema``.
+
+        Raises:
+            ExpressionError: on unknown columns or type mismatches.
+        """
+
+    @abc.abstractmethod
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """A copy with columns renamed per ``mapping`` (missing = keep)."""
+
+    def selectivity(self, stats: Optional[StatsLookup] = None) -> float:
+        """Estimated fraction of records satisfying this predicate."""
+        return 1.0
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: object) -> "Expr":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "Expr":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "Expr":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other: object) -> "Expr":
+        return Arith("/", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "Expr":
+        return Cmp(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "Expr":
+        return Cmp(">=", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "Expr":
+        return Cmp("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "Expr":
+        return Cmp("<=", self, _wrap(other))
+
+    def eq(self, other: object) -> "Expr":
+        """Equality predicate (``==`` is reserved for Python identity)."""
+        return Cmp("==", self, _wrap(other))
+
+    def ne(self, other: object) -> "Expr":
+        """Inequality predicate."""
+        return Cmp("!=", self, _wrap(other))
+
+    def __and__(self, other: object) -> "Expr":
+        return And(self, _wrap(other))
+
+    def __or__(self, other: object) -> "Expr":
+        return Or(self, _wrap(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+def _wrap(value: object) -> Expr:
+    """Lift a Python literal into an expression; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    return Lit(value)
+
+
+class Col(Expr):
+    """A reference to a named attribute of the input record."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ExpressionError(f"column name must be a non-empty string: {name!r}")
+        self.name = name
+
+    def eval(self, record: Record) -> object:
+        return record.get(self.name)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        if self.name not in schema:
+            raise ExpressionError(
+                f"unknown column {self.name!r}; schema has {list(schema.names)}"
+            )
+        return schema.type_of(self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Col(mapping.get(self.name, self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Lit(Expr):
+    """A constant value."""
+
+    __slots__ = ("value", "_atype")
+
+    def __init__(self, value: object):
+        if isinstance(value, bool):
+            atype = AtomType.BOOL
+        elif isinstance(value, int):
+            atype = AtomType.INT
+        elif isinstance(value, float):
+            atype = AtomType.FLOAT
+        elif isinstance(value, str):
+            atype = AtomType.STR
+        else:
+            raise ExpressionError(f"unsupported literal {value!r}")
+        self.value = value
+        self._atype = atype
+
+    def eval(self, record: Record) -> object:
+        return self.value
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        return self._atype
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return self
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH_FUNCS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Arith(Expr):
+    """A binary arithmetic expression over numeric operands."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITH_FUNCS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, record: Record) -> object:
+        left = self.left.eval(record)
+        right = self.right.eval(record)
+        if self.op == "/" and right == 0:
+            raise ExpressionError(f"division by zero in {self!r}")
+        return _ARITH_FUNCS[self.op](left, right)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        left = self.left.infer_type(schema)
+        right = self.right.infer_type(schema)
+        if not (left.is_numeric and right.is_numeric):
+            raise ExpressionError(
+                f"arithmetic {self.op!r} needs numeric operands, "
+                f"got {left.name} and {right.name}"
+            )
+        if self.op == "/":
+            return AtomType.FLOAT
+        return common_type(left, right)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Arith(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_CMP_FUNCS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Cmp(Expr):
+    """A comparison predicate."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP_FUNCS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, record: Record) -> object:
+        return _CMP_FUNCS[self.op](self.left.eval(record), self.right.eval(record))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        left = self.left.infer_type(schema)
+        right = self.right.infer_type(schema)
+        if left is not right and not (left.is_numeric and right.is_numeric):
+            raise ExpressionError(
+                f"cannot compare {left.name} with {right.name} in {self!r}"
+            )
+        if self.op not in ("==", "!=") and left is AtomType.BOOL:
+            raise ExpressionError(f"ordering comparison on BOOL in {self!r}")
+        return AtomType.BOOL
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Cmp(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def selectivity(self, stats: Optional[StatsLookup] = None) -> float:
+        estimate = self._histogram_selectivity(stats)
+        if estimate is not None:
+            return estimate
+        return DEFAULT_SELECTIVITY[self.op]
+
+    def _histogram_selectivity(self, stats: Optional[StatsLookup]) -> Optional[float]:
+        """Histogram-based estimate for ``col <op> literal`` shapes."""
+        if stats is None:
+            return None
+        col, lit, op = None, None, self.op
+        if isinstance(self.left, Col) and isinstance(self.right, Lit):
+            col, lit = self.left, self.right
+        elif isinstance(self.right, Col) and isinstance(self.left, Lit):
+            col, lit = self.right, self.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if col is None:
+            return None
+        histogram = stats(col.name)
+        if histogram is None:
+            return None
+        return histogram.selectivity(op, lit.value)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expr):
+    """Logical conjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def eval(self, record: Record) -> object:
+        return bool(self.left.eval(record)) and bool(self.right.eval(record))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        for side in (self.left, self.right):
+            if side.infer_type(schema) is not AtomType.BOOL:
+                raise ExpressionError(f"AND needs boolean operands in {self!r}")
+        return AtomType.BOOL
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return And(self.left.rename(mapping), self.right.rename(mapping))
+
+    def selectivity(self, stats: Optional[StatsLookup] = None) -> float:
+        return self.left.selectivity(stats) * self.right.selectivity(stats)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class Or(Expr):
+    """Logical disjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def eval(self, record: Record) -> object:
+        return bool(self.left.eval(record)) or bool(self.right.eval(record))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        for side in (self.left, self.right):
+            if side.infer_type(schema) is not AtomType.BOOL:
+                raise ExpressionError(f"OR needs boolean operands in {self!r}")
+        return AtomType.BOOL
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Or(self.left.rename(mapping), self.right.rename(mapping))
+
+    def selectivity(self, stats: Optional[StatsLookup] = None) -> float:
+        s1 = self.left.selectivity(stats)
+        s2 = self.right.selectivity(stats)
+        return s1 + s2 - s1 * s2
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def eval(self, record: Record) -> object:
+        return not bool(self.operand.eval(record))
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def infer_type(self, schema: RecordSchema) -> AtomType:
+        if self.operand.infer_type(schema) is not AtomType.BOOL:
+            raise ExpressionError(f"NOT needs a boolean operand in {self!r}")
+        return AtomType.BOOL
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Not(self.operand.rename(mapping))
+
+    def selectivity(self, stats: Optional[StatsLookup] = None) -> float:
+        return 1.0 - self.operand.selectivity(stats)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor for a column reference."""
+    return Col(name)
+
+
+def lit(value: object) -> Lit:
+    """Shorthand constructor for a literal."""
+    return Lit(value)
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: list[Expr]) -> Expr:
+    """Combine conjuncts back into a single predicate.
+
+    Raises:
+        ExpressionError: if ``parts`` is empty.
+    """
+    if not parts:
+        raise ExpressionError("cannot conjoin zero predicates")
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = And(combined, part)
+    return combined

@@ -1,0 +1,159 @@
+"""The operator graph node abstraction.
+
+Every query is an acyclic graph (here: a tree, per Section 2.2) of
+:class:`Operator` nodes whose leaves are base or constant sequences.
+An operator is fully described by its *scope* on each input and its
+*operator function* (Section 2.3); accordingly every node exposes:
+
+* ``schema`` — inferred output schema (type checking),
+* ``scope_on(k)`` — the :class:`~repro.algebra.scope.ScopeSpec` on input k,
+* ``value_at(inputs, i)`` — the denotational operator function,
+* ``infer_span`` / ``required_input_spans`` — bottom-up and top-down
+  span propagation (Steps 2.a / 2.b),
+* ``infer_density`` — density propagation (Step 2.a).
+
+Nodes are immutable; rewrites build new nodes via ``with_inputs``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional, Sequence as PySequence
+
+from repro.errors import QueryError
+from repro.model.info import SequenceInfo
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.algebra.expressions import StatsLookup
+from repro.algebra.scope import ScopeSpec
+
+
+class Operator(abc.ABC):
+    """A node of the sequence query graph."""
+
+    #: Display name of the operator kind; overridden per subclass.
+    name: str = "operator"
+
+    def __init__(self, inputs: PySequence["Operator"]):
+        for node in inputs:
+            if not isinstance(node, Operator):
+                raise QueryError(f"operator input must be an Operator, got {node!r}")
+        self._inputs: tuple[Operator, ...] = tuple(inputs)
+        self._schema_cache: Optional[RecordSchema] = None
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def inputs(self) -> tuple["Operator", ...]:
+        """Child nodes in input order."""
+        return self._inputs
+
+    @property
+    def arity(self) -> int:
+        """Number of input sequences."""
+        return len(self._inputs)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a base/constant sequence."""
+        return not self._inputs
+
+    @abc.abstractmethod
+    def with_inputs(self, inputs: PySequence["Operator"]) -> "Operator":
+        """A copy of this node with different children (same parameters)."""
+
+    def walk(self) -> Iterator["Operator"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self._inputs:
+            yield from child.walk()
+
+    # -- typing ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _infer_schema(self, input_schemas: list[RecordSchema]) -> RecordSchema:
+        """Output schema given input schemas; raises on type errors."""
+
+    @property
+    def schema(self) -> RecordSchema:
+        """The output schema (computed once, recursively)."""
+        if self._schema_cache is None:
+            self._schema_cache = self._infer_schema(
+                [child.schema for child in self._inputs]
+            )
+        return self._schema_cache
+
+    def type_check(self) -> RecordSchema:
+        """Force full type checking of the subtree; returns the schema."""
+        for child in self._inputs:
+            child.type_check()
+        return self.schema
+
+    # -- scope (Section 2.3) ------------------------------------------------------
+
+    @abc.abstractmethod
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        """The scope on input ``input_index``."""
+
+    def has_unit_scope(self) -> bool:
+        """Whether the scope on every input is the unit scope."""
+        return all(self.scope_on(k).is_unit for k in range(self.arity))
+
+    def query_scope_on_leaves(self) -> dict[int, ScopeSpec]:
+        """The composed scope of this subtree on each leaf, keyed by leaf id.
+
+        Implements the complex-operator scope composition of Section 2.3;
+        leaf keys are ``id()`` of the leaf nodes in this tree.
+        """
+        if self.is_leaf:
+            return {id(self): ScopeSpec.unit()}
+        composed: dict[int, ScopeSpec] = {}
+        for k, child in enumerate(self._inputs):
+            outer = self.scope_on(k)
+            for leaf_id, inner in child.query_scope_on_leaves().items():
+                composed[leaf_id] = outer.compose(inner)
+        return composed
+
+    # -- semantics ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        """The output record at ``position`` given the input sequences."""
+
+    # -- metadata propagation -------------------------------------------------------
+
+    @abc.abstractmethod
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        """The output span given input spans (bottom-up, Step 2.a)."""
+
+    @abc.abstractmethod
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        """Input spans sufficient to produce ``output_span`` (top-down, Step 2.b)."""
+
+    @abc.abstractmethod
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        """Estimated output density given input metadata (Step 2.a)."""
+
+    # -- display ----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A one-line description including parameters."""
+        return self.name
+
+    def pretty(self, indent: int = 0) -> str:
+        """A multi-line tree rendering of the subtree."""
+        lines = ["  " * indent + self.describe()]
+        for child in self._inputs:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.describe()

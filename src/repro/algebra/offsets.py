@@ -1,0 +1,209 @@
+"""Positional and value offset operators (paper Section 2.1).
+
+A *positional offset* shifts the sequence: ``out(i) = in(i + l)``.  Its
+scope is the single position ``{i + l}`` — fixed-size and relative but
+*not* sequential, the paper's canonical example of an operator that
+needs effective-scope broadening for stream evaluation.
+
+A *value offset* reaches for the k-th non-empty position: ``Previous``
+(offset −1) yields the most recent non-null record at a strictly
+earlier position, ``Next`` (offset +1) the earliest one strictly later.
+Its scope is variable-size (data-dependent) — the motivating case for
+Cache-Strategy-B (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as PySequence
+
+from repro.errors import ExecutionError, QueryError
+from repro.model.info import SequenceInfo
+from repro.model.record import NULL, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.algebra.expressions import StatsLookup
+from repro.algebra.node import Operator
+from repro.algebra.scope import ScopeSpec
+
+
+class PositionalOffset(Operator):
+    """Shift the sequence: ``out(i) = in(i + offset)``."""
+
+    name = "offset"
+
+    def __init__(self, input_node: Operator, offset: int):
+        super().__init__((input_node,))
+        if not isinstance(offset, int) or isinstance(offset, bool):
+            raise QueryError(f"positional offset must be an int, got {offset!r}")
+        self.offset = offset
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "PositionalOffset":
+        (child,) = inputs
+        return PositionalOffset(child, self.offset)
+
+    def _infer_schema(self, input_schemas: list[RecordSchema]) -> RecordSchema:
+        (schema,) = input_schemas
+        return schema
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        return ScopeSpec.shifted(self.offset)
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        return inputs[0].get(position + self.offset)
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        # out(i) = in(i + offset) is non-null only when i + offset lies in
+        # the input span, i.e. i lies in the input span shifted by -offset.
+        return input_spans[0].shift(-self.offset)
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        return (output_span.shift(self.offset),)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        return input_infos[0].density
+
+    def describe(self) -> str:
+        return f"offset[{self.offset:+d}]"
+
+
+class ValueOffset(Operator):
+    """Reach for the k-th non-empty record before/after each position.
+
+    ``offset = -k`` (k >= 1) yields the k-th most recent non-null record
+    at a strictly earlier position; ``offset = +k`` the k-th upcoming
+    non-null record at a strictly later position.  ``previous(S)`` and
+    ``next(S)`` are offsets −1 and +1 (paper Section 2.1).
+    """
+
+    name = "voffset"
+
+    def __init__(self, input_node: Operator, offset: int):
+        super().__init__((input_node,))
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset == 0:
+            raise QueryError(f"value offset must be a non-zero int, got {offset!r}")
+        self.offset = offset
+
+    @classmethod
+    def previous(cls, input_node: Operator) -> "ValueOffset":
+        """The Previous operator (value offset −1)."""
+        return cls(input_node, -1)
+
+    @classmethod
+    def next(cls, input_node: Operator) -> "ValueOffset":
+        """The Next operator (value offset +1)."""
+        return cls(input_node, +1)
+
+    @property
+    def reach(self) -> int:
+        """How many non-null records the offset reaches over."""
+        return abs(self.offset)
+
+    @property
+    def looks_back(self) -> bool:
+        """Whether the offset reaches into the past."""
+        return self.offset < 0
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "ValueOffset":
+        (child,) = inputs
+        return ValueOffset(child, self.offset)
+
+    def _infer_schema(self, input_schemas: list[RecordSchema]) -> RecordSchema:
+        (schema,) = input_schemas
+        return schema
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        if self.looks_back:
+            return ScopeSpec.variable_past(reach=self.reach)
+        return ScopeSpec.variable_future(reach=self.reach)
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        source = inputs[0]
+        span = source.span
+        if span.is_empty:
+            return NULL
+        remaining = self.reach
+        if self.looks_back:
+            if span.start is None:
+                raise ExecutionError(
+                    "value offset into the past needs a bounded-below input span"
+                )
+            probe = min(position - 1, span.end) if span.end is not None else position - 1
+            while probe >= span.start:
+                record = source.get(probe)
+                if record is not NULL:
+                    remaining -= 1
+                    if remaining == 0:
+                        return record
+                probe -= 1
+            return NULL
+        if span.end is None:
+            raise ExecutionError(
+                "value offset into the future needs a bounded-above input span"
+            )
+        probe = max(position + 1, span.start) if span.start is not None else position + 1
+        while probe <= span.end:
+            record = source.get(probe)
+            if record is not NULL:
+                remaining -= 1
+                if remaining == 0:
+                    return record
+            probe += 1
+        return NULL
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        (span,) = input_spans
+        if span.is_empty:
+            return Span.EMPTY
+        if self.looks_back:
+            # A position can have k predecessors only after the input's
+            # first k positions; the reach persists arbitrarily far past
+            # the input's end, so the output is unbounded above.
+            start = None if span.start is None else span.start + self.reach
+            return Span(start, None)
+        end = None if span.end is None else span.end - self.reach
+        return Span(None, end)
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        (span,) = input_spans
+        if output_span.is_empty:
+            return (Span.EMPTY,)
+        if self.looks_back:
+            # Anything at or before the last requested position may be
+            # reached; nothing after it can be.
+            end = None if output_span.end is None else output_span.end - 1
+            return (span.intersect(Span(None, end)),)
+        start = None if output_span.start is None else output_span.start + 1
+        return (span.intersect(Span(start, None)),)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        info = input_infos[0]
+        expected = info.expected_records()
+        if expected is None or expected <= 0:
+            return 1.0 if info.density > 0 else 0.0
+        # Only the first ~k/density positions of the span lack a k-th
+        # predecessor; the rest of the (output) span is dense.
+        length = info.span.length() or 1
+        missing = min(1.0, self.reach / max(expected, 1e-9)) * (
+            self.reach / max(info.density, 1e-9) / max(length, 1)
+        )
+        return max(0.0, min(1.0, 1.0 - missing))
+
+    def describe(self) -> str:
+        if self.offset == -1:
+            return "previous"
+        if self.offset == 1:
+            return "next"
+        return f"voffset[{self.offset:+d}]"

@@ -1,0 +1,223 @@
+"""Operator scope: the positions an operator reads to produce one output.
+
+This module implements Section 2.3 of the paper.  A scope description
+for one input of an operator carries the three properties the paper
+identifies — *size* (fixed vs variable), *sequentiality* (whether
+successive scopes overlap so a stream suffices) and *relativity*
+(whether scope positions are constant offsets from the output
+position) — and the composition rule with Proposition 2.1's closure
+properties.  Effective scopes (Definition 3.3) broaden a scope to a
+sequential window so a stream-access evaluation becomes possible
+(Lemma 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ScopeSpec:
+    """The scope of an operator on one input sequence.
+
+    Attributes:
+        kind: one of ``relative`` (a fixed set of offsets from the
+            output position), ``variable_past`` (a data-dependent number
+            of earlier positions, e.g. the value offset / Previous),
+            ``variable_future`` (data-dependent later positions, e.g.
+            Next), ``all_past`` (every position up to the output
+            position — cumulative aggregates) and ``all`` (every
+            position — whole-sequence aggregates).
+        offsets: for ``relative`` scopes, the constant offsets
+            ``{K_1, ..., K_n}`` such that ``Scope(i) = {i + K_j}``.
+        reach: for variable kinds, the number of non-null records the
+            operator reaches for (``k`` of a value offset); informational.
+    """
+
+    kind: str
+    offsets: frozenset[int] = frozenset()
+    reach: int = 0
+
+    VALID_KINDS = ("relative", "variable_past", "variable_future", "all_past", "all")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(f"unknown scope kind {self.kind!r}")
+        if self.kind == "relative" and not self.offsets:
+            raise ValueError("relative scope needs at least one offset")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def unit() -> "ScopeSpec":
+        """The unit scope {i} of selections, projections and compose."""
+        return ScopeSpec("relative", frozenset((0,)))
+
+    @staticmethod
+    def shifted(offset: int) -> "ScopeSpec":
+        """The scope {i + offset} of a positional offset."""
+        return ScopeSpec("relative", frozenset((offset,)))
+
+    @staticmethod
+    def window(width: int) -> "ScopeSpec":
+        """The trailing window {i-width+1 .. i} of a moving aggregate."""
+        if width < 1:
+            raise ValueError(f"window width must be >= 1, got {width}")
+        return ScopeSpec("relative", frozenset(range(-width + 1, 1)))
+
+    @staticmethod
+    def relative(offsets: frozenset[int] | set[int]) -> "ScopeSpec":
+        """An arbitrary relative scope with the given offsets."""
+        return ScopeSpec("relative", frozenset(offsets))
+
+    @staticmethod
+    def variable_past(reach: int = 1) -> "ScopeSpec":
+        """The variable scope of a value offset looking ``reach`` back."""
+        return ScopeSpec("variable_past", reach=reach)
+
+    @staticmethod
+    def variable_future(reach: int = 1) -> "ScopeSpec":
+        """The variable scope of a value offset looking ``reach`` ahead."""
+        return ScopeSpec("variable_future", reach=reach)
+
+    @staticmethod
+    def all_past() -> "ScopeSpec":
+        """Every position up to the output position (cumulative)."""
+        return ScopeSpec("all_past")
+
+    @staticmethod
+    def everything() -> "ScopeSpec":
+        """Every position (whole-sequence aggregate)."""
+        return ScopeSpec("all")
+
+    # -- the paper's three properties ------------------------------------------
+
+    @property
+    def size(self) -> Optional[int]:
+        """Scope size; None when the size varies with position or data."""
+        if self.kind == "relative":
+            return len(self.offsets)
+        return None
+
+    @property
+    def is_fixed_size(self) -> bool:
+        """Whether the scope size is a constant (Section 2.3)."""
+        return self.kind == "relative"
+
+    @property
+    def is_unit(self) -> bool:
+        """Whether the scope is exactly {i}."""
+        return self.kind == "relative" and self.offsets == frozenset((0,))
+
+    @property
+    def is_sequential(self) -> bool:
+        """Whether ``Scope(i) ⊆ Scope(i-1) ∪ {i}`` for all i.
+
+        For a relative scope with offsets K this holds iff every offset
+        k satisfies ``k + 1 ∈ K`` or ``k == 0`` (the window shifts by at
+        most one and only ever adds the current position).  ``all_past``
+        and ``all`` scopes satisfy the containment trivially; variable
+        scopes do not in general (the paper's positional-offset example).
+        """
+        if self.kind == "relative":
+            return all(k == 0 or (k + 1) in self.offsets for k in self.offsets)
+        return self.kind in ("all_past", "all")
+
+    @property
+    def is_relative(self) -> bool:
+        """Whether scope positions are constant offsets from the output position."""
+        return self.kind == "relative"
+
+    # -- effective scope (Definition 3.3) -----------------------------------------
+
+    def effective(self) -> "ScopeSpec":
+        """The minimal contiguous effective scope containing this scope.
+
+        For a relative scope with most-negative offset ``lo`` and
+        most-positive ``hi``, the broadened window is
+        ``{min(lo,0)..max(hi,0)}`` — fixed-size, and sequential
+        (Lemma 3.2) whenever the scope only reaches into the past
+        (``hi <= 0``); when ``hi > 0`` the executor additionally needs
+        ``hi`` positions of lookahead, which the stream operators
+        provide with a bounded buffer.
+        Variable scopes have no fixed-size effective scope and are
+        returned unchanged (Cache-Strategy-B handles them instead).
+        """
+        if self.kind != "relative":
+            return self
+        lo = min(self.offsets)
+        hi = max(self.offsets)
+        return ScopeSpec("relative", frozenset(range(min(lo, 0), max(hi, 0) + 1)))
+
+    def lookback(self) -> Optional[int]:
+        """Positions before i the effective scope needs; None if unbounded."""
+        if self.kind == "relative":
+            return max(0, -min(self.offsets))
+        if self.kind == "variable_future":
+            return 0
+        return None
+
+    def lookahead(self) -> Optional[int]:
+        """Positions after i the effective scope needs; None if unbounded."""
+        if self.kind == "relative":
+            return max(0, max(self.offsets))
+        if self.kind in ("variable_past", "all_past"):
+            return 0
+        return None
+
+    # -- composition (Proposition 2.1) ------------------------------------------
+
+    def compose(self, inner: "ScopeSpec") -> "ScopeSpec":
+        """The scope of the complex operator ``outer ∘ inner``.
+
+        ``self`` is the outer operator's scope on the intermediate
+        sequence; ``inner`` is the inner operator's scope on its own
+        input.  The result is the complex operator's scope on that
+        input: ``{j | k ∈ outer.Scope(i), j ∈ inner.Scope(k)}``.
+
+        The closure properties of Proposition 2.1 fall out directly:
+        relative∘relative is the Minkowski sum of offset sets (fixed
+        size, and sequential when both are); any variable or unbounded
+        participant yields a variable scope of the matching direction.
+        """
+        if self.kind == "relative" and inner.kind == "relative":
+            summed = frozenset(a + b for a in self.offsets for b in inner.offsets)
+            return ScopeSpec("relative", summed)
+        if "all" in (self.kind, inner.kind):
+            return ScopeSpec("all")
+        kinds = {self.kind, inner.kind}
+        if "all_past" in kinds:
+            if "variable_future" in kinds:
+                return ScopeSpec("all")
+            # all_past composed with past/relative reaches arbitrarily
+            # far back; a positive relative offset adds bounded future,
+            # which "all" conservatively covers.
+            if self.kind == "relative" and max(self.offsets) > 0:
+                return ScopeSpec("all")
+            if inner.kind == "relative" and max(inner.offsets) > 0:
+                return ScopeSpec("all")
+            return ScopeSpec("all_past")
+        if "variable_past" in kinds and "variable_future" in kinds:
+            return ScopeSpec("all")
+        reach = max(self.reach, inner.reach, 1)
+        if "variable_past" in kinds:
+            if self.kind == "relative" and max(self.offsets) > 0:
+                return ScopeSpec("all")
+            if inner.kind == "relative" and max(inner.offsets) > 0:
+                return ScopeSpec("all")
+            return ScopeSpec("variable_past", reach=reach)
+        # variable_future combined with relative
+        if self.kind == "relative" and min(self.offsets) < 0:
+            return ScopeSpec("all")
+        if inner.kind == "relative" and min(inner.offsets) < 0:
+            return ScopeSpec("all")
+        return ScopeSpec("variable_future", reach=reach)
+
+    def __repr__(self) -> str:
+        if self.kind == "relative":
+            offs = sorted(self.offsets)
+            return f"Scope(relative {offs})"
+        if self.reach:
+            return f"Scope({self.kind} reach={self.reach})"
+        return f"Scope({self.kind})"

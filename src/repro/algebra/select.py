@@ -1,0 +1,75 @@
+"""The selection operator (paper Section 2.1).
+
+Selection applies a predicate to the record at each position; positions
+whose record fails the predicate (or is Null) map to Null.  Selection
+has a unit scope — the prototypical stream-friendly operator — and its
+pushdown rules drive much of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as PySequence
+
+from repro.errors import QueryError
+from repro.model.info import SequenceInfo
+from repro.model.record import NULL, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.expressions import Expr, StatsLookup
+from repro.algebra.node import Operator
+from repro.algebra.scope import ScopeSpec
+
+
+class Select(Operator):
+    """Keep only positions whose record satisfies ``predicate``."""
+
+    name = "select"
+
+    def __init__(self, input_node: Operator, predicate: Expr):
+        super().__init__((input_node,))
+        if not isinstance(predicate, Expr):
+            raise QueryError(f"selection predicate must be an Expr, got {predicate!r}")
+        self.predicate = predicate
+
+    def with_inputs(self, inputs: PySequence[Operator]) -> "Select":
+        (child,) = inputs
+        return Select(child, self.predicate)
+
+    def _infer_schema(self, input_schemas: list[RecordSchema]) -> RecordSchema:
+        (schema,) = input_schemas
+        if self.predicate.infer_type(schema) is not AtomType.BOOL:
+            raise QueryError(f"selection predicate {self.predicate!r} is not boolean")
+        return schema
+
+    def scope_on(self, input_index: int) -> ScopeSpec:
+        return ScopeSpec.unit()
+
+    def value_at(self, inputs: list[Sequence], position: int) -> RecordOrNull:
+        record = inputs[0].get(position)
+        if record is NULL:
+            return NULL
+        return record if self.predicate.eval(record) else NULL
+
+    def infer_span(self, input_spans: list[Span]) -> Span:
+        return input_spans[0]
+
+    def required_input_spans(
+        self, output_span: Span, input_spans: list[Span]
+    ) -> tuple[Span, ...]:
+        return (output_span,)
+
+    def infer_density(
+        self,
+        input_infos: list[SequenceInfo],
+        stats: Optional[StatsLookup] = None,
+    ) -> float:
+        return input_infos[0].density * self.predicate.selectivity(stats)
+
+    def participating_columns(self) -> frozenset[str]:
+        """Attributes the predicate reads (pushdown legality)."""
+        return self.predicate.columns()
+
+    def describe(self) -> str:
+        return f"select[{self.predicate!r}]"

@@ -1,0 +1,19 @@
+"""Benchmark harness utilities."""
+
+from repro.bench.harness import (
+    Measurement,
+    format_table,
+    measure,
+    print_table,
+    reset_catalog_counters,
+    speedup,
+)
+
+__all__ = [
+    "Measurement",
+    "format_table",
+    "measure",
+    "print_table",
+    "reset_catalog_counters",
+    "speedup",
+]

@@ -1,0 +1,108 @@
+"""Shared benchmark harness utilities.
+
+Benchmarks print paper-style tables (who wins, by what factor) in
+addition to pytest-benchmark's timing output; this module holds the
+table formatting and the plumbing for measuring page/record counters
+around a run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence as PySequence
+
+from repro.catalog.catalog import Catalog
+from repro.storage.stored import StoredSequence
+
+
+def format_table(
+    headers: PySequence[str],
+    rows: PySequence[PySequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def print_table(
+    headers: PySequence[str],
+    rows: PySequence[PySequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    """Print an aligned text table (with a leading blank line)."""
+    print("\n" + format_table(headers, rows, title=title))
+
+
+@dataclass
+class Measurement:
+    """One measured run: wall time plus storage counter deltas."""
+
+    seconds: float
+    page_reads: int = 0
+    probes: int = 0
+    records_streamed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def reset_catalog_counters(catalog: Catalog) -> None:
+    """Zero the storage counters of every stored sequence and cool buffers."""
+    for entry in catalog.entries():
+        sequence = entry.sequence
+        if isinstance(sequence, StoredSequence):
+            sequence.reset_counters()
+            sequence.flush_buffer()
+
+
+def measure(fn: Callable[[], object], catalog: Optional[Catalog] = None) -> Measurement:
+    """Run ``fn`` once, measuring wall time and catalog storage counters."""
+    if catalog is not None:
+        reset_catalog_counters(catalog)
+    start = time.perf_counter()
+    fn()
+    seconds = time.perf_counter() - start
+    page_reads = probes = streamed = 0
+    if catalog is not None:
+        for entry in catalog.entries():
+            sequence = entry.sequence
+            if isinstance(sequence, StoredSequence):
+                counters = sequence.counters
+                page_reads += counters.page_reads
+                probes += counters.probes
+                streamed += counters.records_streamed
+    return Measurement(
+        seconds=seconds,
+        page_reads=page_reads,
+        probes=probes,
+        records_streamed=streamed,
+    )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` guarded against zero."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved

@@ -1,0 +1,21 @@
+"""Catalog and statistics (the paper's sequence meta-information)."""
+
+from repro.catalog.catalog import Catalog, CatalogEntry, DEFAULT_PAGE_CAPACITY
+from repro.catalog.histogram import EquiWidthHistogram
+from repro.catalog.stats import (
+    ColumnStats,
+    SequenceStats,
+    collect_stats,
+    null_correlation,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "ColumnStats",
+    "DEFAULT_PAGE_CAPACITY",
+    "EquiWidthHistogram",
+    "SequenceStats",
+    "collect_stats",
+    "null_correlation",
+]

@@ -1,0 +1,161 @@
+"""The sequence catalog: named base sequences plus their meta-information.
+
+The catalog plays the role of Table 1 in the paper: for every base
+sequence it records the span, the density, per-column statistics, the
+available access paths with their costs (via the storage layer's
+:class:`~repro.storage.organizations.AccessProfile`), and pairwise
+null-position correlations.  The optimizer draws all data-dependent
+estimates from here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import CatalogError
+from repro.model.info import SequenceInfo
+from repro.model.sequence import Sequence
+from repro.storage.organizations import AccessProfile
+from repro.storage.stored import StoredSequence
+from repro.catalog.stats import SequenceStats, collect_stats, null_correlation
+
+#: Default records-per-page assumed for in-memory sequences that have no
+#: physical organization (they behave like a clustered store).
+DEFAULT_PAGE_CAPACITY = 32
+
+
+class CatalogEntry:
+    """One registered base sequence and its meta-information."""
+
+    def __init__(
+        self,
+        name: str,
+        sequence: Sequence,
+        stats: Optional[SequenceStats],
+    ):
+        self.name = name
+        self.sequence = sequence
+        self.stats = stats
+
+    @property
+    def info(self) -> SequenceInfo:
+        """The optimizer-facing metadata (span, density, stats)."""
+        if self.stats is not None:
+            return SequenceInfo(
+                span=self.stats.span, density=self.stats.density, stats=self.stats
+            )
+        span = self.sequence.span
+        length = span.length()
+        density = self.sequence.density() if length else 1.0
+        return SequenceInfo(span=span, density=density, stats=None)
+
+    @property
+    def profile(self) -> AccessProfile:
+        """Estimated stream/probe access costs (the paper's A and a)."""
+        if isinstance(self.sequence, StoredSequence):
+            return self.sequence.access_profile()
+        count = self.sequence.count_nonnull() if self.sequence.span.is_bounded else 0
+        pages = max(1, -(-count // DEFAULT_PAGE_CAPACITY))
+        return AccessProfile(stream_total=float(pages), probe_unit=1.0)
+
+
+class Catalog:
+    """A registry of base sequences with statistics and correlations."""
+
+    def __init__(self):
+        self._entries: dict[str, CatalogEntry] = {}
+        self._correlations: dict[tuple[str, str], float] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        sequence: Sequence,
+        *,
+        collect: bool = True,
+        buckets: int = 16,
+    ) -> CatalogEntry:
+        """Register a base sequence under ``name``.
+
+        Args:
+            name: unique catalog name.
+            sequence: the base sequence (in-memory or stored).
+            collect: whether to scan the sequence and collect statistics.
+            buckets: histogram buckets when collecting.
+
+        Raises:
+            CatalogError: on duplicate names.
+        """
+        if name in self._entries:
+            raise CatalogError(f"sequence {name!r} already registered")
+        stats = collect_stats(sequence, buckets=buckets) if collect else None
+        entry = CatalogEntry(name, sequence, stats)
+        self._entries[name] = entry
+        return entry
+
+    def analyze_correlation(self, first: str, second: str) -> float:
+        """Compute, cache and return the null-position correlation of a pair."""
+        value = null_correlation(self.get(first).sequence, self.get(second).sequence)
+        self._correlations[self._pair_key(first, second)] = value
+        return value
+
+    def set_correlation(self, first: str, second: str, value: float) -> None:
+        """Record a known correlation without scanning."""
+        self._correlations[self._pair_key(first, second)] = value
+
+    @staticmethod
+    def _pair_key(first: str, second: str) -> tuple[str, str]:
+        return (first, second) if first <= second else (second, first)
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, name: str) -> CatalogEntry:
+        """The entry named ``name``.
+
+        Raises:
+            CatalogError: if unknown.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown sequence {name!r}; registered: {sorted(self._entries)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def entries(self) -> Iterable[CatalogEntry]:
+        """All entries."""
+        return self._entries.values()
+
+    def correlation(self, first: str, second: str) -> float:
+        """The recorded null-position correlation of a pair (default 1.0)."""
+        return self._correlations.get(self._pair_key(first, second), 1.0)
+
+    def entry_for_sequence(self, sequence: Sequence) -> Optional[CatalogEntry]:
+        """The entry holding exactly this sequence object, if registered."""
+        for entry in self._entries.values():
+            if entry.sequence is sequence:
+                return entry
+        return None
+
+    def describe(self) -> str:
+        """A Table 1-style rendering of the catalog."""
+        lines = [f"{'Sequence':<12}{'Span':<16}{'Density':<10}{'Org':<12}{'A':>8}{'a':>8}"]
+        for name in self.names():
+            entry = self.get(name)
+            info = entry.info
+            profile = entry.profile
+            org = getattr(entry.sequence, "organization_kind", "memory")
+            span = f"{info.span.start}..{info.span.end}"
+            lines.append(
+                f"{name:<12}{span:<16}{info.density:<10.3f}{org:<12}"
+                f"{profile.stream_total:>8.1f}{profile.probe_unit:>8.1f}"
+            )
+        return "\n".join(lines)

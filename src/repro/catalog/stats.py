@@ -1,0 +1,124 @@
+"""Column and sequence statistics (paper Section 3's meta-information)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CatalogError
+from repro.model.record import NULL
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.catalog.histogram import EquiWidthHistogram
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one attribute of a base sequence.
+
+    Attributes:
+        atype: the attribute's atomic type.
+        count: number of observed (non-null-record) values.
+        distinct: number of distinct values.
+        histogram: equi-width histogram for numeric attributes, else None.
+    """
+
+    atype: AtomType
+    count: int
+    distinct: int
+    histogram: Optional[EquiWidthHistogram]
+
+    def selectivity(self, op: str, value: object) -> float:
+        """Estimated selectivity of ``column <op> value``."""
+        if self.histogram is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return self.histogram.selectivity(op, value)
+        if self.distinct <= 0:
+            return 0.0
+        equality = 1.0 / self.distinct
+        if op == "==":
+            return equality
+        if op == "!=":
+            return 1.0 - equality
+        # No ordering information without a histogram: Selinger default.
+        return 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """Statistics of a whole base sequence.
+
+    Attributes:
+        span: the declared span.
+        count: number of non-Null positions.
+        density: count / span length.
+        columns: per-attribute statistics.
+    """
+
+    span: Span
+    count: int
+    density: float
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """Statistics of attribute ``name``, if collected."""
+        return self.columns.get(name)
+
+
+def collect_stats(sequence: Sequence, buckets: int = 16) -> SequenceStats:
+    """Scan a sequence once and collect full statistics.
+
+    Raises:
+        CatalogError: if the sequence's span is unbounded.
+    """
+    span = sequence.span
+    length = span.length()
+    if length is None:
+        raise CatalogError("cannot collect statistics over an unbounded span")
+
+    per_column: dict[str, list] = {name: [] for name in sequence.schema.names}
+    count = 0
+    for _position, record in sequence.iter_nonnull():
+        count += 1
+        for name in per_column:
+            per_column[name].append(record.get(name))
+
+    columns: dict[str, ColumnStats] = {}
+    for attr in sequence.schema:
+        values = per_column[attr.name]
+        histogram = None
+        if attr.atype.is_numeric and values:
+            histogram = EquiWidthHistogram.build(values, buckets=buckets)
+        columns[attr.name] = ColumnStats(
+            atype=attr.atype,
+            count=len(values),
+            distinct=len(set(values)),
+            histogram=histogram,
+        )
+    density = count / length if length else 0.0
+    return SequenceStats(span=span, count=count, density=density, columns=columns)
+
+
+def null_correlation(first: Sequence, second: Sequence) -> float:
+    """Correlation of non-Null positions between two sequences.
+
+    Returns ``P(both non-null) / (d1 * d2)`` over the intersection of
+    the two spans: 1.0 for independent placement, > 1 when the
+    sequences tend to be non-null at the same positions, < 1 when they
+    avoid each other.  Returns 1.0 when the intersection is empty or a
+    density is zero (no evidence either way).
+    """
+    window = first.span.intersect(second.span)
+    length = window.length()
+    if length is None:
+        raise CatalogError("cannot correlate over an unbounded span")
+    if length == 0:
+        return 1.0
+    first_positions = {pos for pos, _ in first.iter_nonnull(window)}
+    second_positions = {pos for pos, _ in second.iter_nonnull(window)}
+    d1 = len(first_positions) / length
+    d2 = len(second_positions) / length
+    if d1 == 0.0 or d2 == 0.0:
+        return 1.0
+    both = len(first_positions & second_positions) / length
+    return both / (d1 * d2)

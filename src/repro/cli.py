@@ -1,0 +1,142 @@
+"""Command-line interface: run sequence queries over CSV files.
+
+Examples::
+
+    python -m repro --load prices=prices.csv \\
+        "window(select(prices, volume > 4000), avg, close, 3)"
+
+    python -m repro --load v=volcanos.csv --load e=quakes.csv --explain \\
+        "project(select(compose(v as v, previous(e) as e), e_strength > 7.0), v_name)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence as PySequence
+
+from repro.errors import ReproError
+from repro.catalog import Catalog
+from repro.execution import run_query_detailed
+from repro.io import read_csv
+from repro.lang import compile_query
+from repro.model import Span
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run a sequence query (SIGMOD '94 style) over CSV data.",
+    )
+    parser.add_argument(
+        "query",
+        help="query text, e.g. \"window(prices, avg, close, 6)\"",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable); "
+        "POSCOL defaults to 'position'",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span, e.g. 200:350 (default: the query's own)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimizer's plan before the answer",
+    )
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="also run the naive reference evaluator and verify agreement",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="print at most this many answer rows (default 20; 0 = all)",
+    )
+    return parser
+
+
+def _parse_load(spec: str) -> tuple[str, str, str]:
+    if "=" not in spec:
+        raise ReproError(f"--load needs NAME=FILE, got {spec!r}")
+    name, _, rest = spec.partition("=")
+    path, _, poscol = rest.partition(":")
+    if not name or not path:
+        raise ReproError(f"--load needs NAME=FILE, got {spec!r}")
+    return name, path, poscol or "position"
+
+
+def _parse_span(spec: Optional[str]) -> Optional[Span]:
+    if spec is None:
+        return None
+    start_text, _, end_text = spec.partition(":")
+    try:
+        return Span(int(start_text), int(end_text))
+    except ValueError:
+        raise ReproError(f"--span needs START:END integers, got {spec!r}") from None
+
+
+def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        catalog = Catalog()
+        for spec in args.load:
+            name, path, poscol = _parse_load(spec)
+            sequence = read_csv(path, position_column=poscol)
+            catalog.register(name, sequence)
+            info = catalog.get(name).info
+            print(
+                f"loaded {name}: span {info.span}, density {info.density:.3f}",
+                file=out,
+            )
+
+        query = compile_query(args.query, catalog)
+        span = _parse_span(args.span)
+        result = run_query_detailed(query, span=span, catalog=catalog)
+
+        if args.explain:
+            print("\n" + result.optimization.explain(), file=out)
+
+        if args.naive:
+            reference = query.run_naive(result.optimization.plan.output_span)
+            if reference.to_pairs() != result.output.to_pairs():
+                print("MISMATCH against the naive reference!", file=out)
+                return 2
+            print("naive reference evaluation agrees.", file=out)
+
+        names = query.schema.names
+        print(f"\n{'position':>10}  " + "  ".join(names), file=out)
+        shown = 0
+        for position, record in result.output.iter_nonnull():
+            if args.limit and shown >= args.limit:
+                remaining = len(result.output) - shown
+                print(f"... ({remaining} more rows)", file=out)
+                break
+            print(
+                f"{position:>10}  "
+                + "  ".join(str(value) for value in record.values),
+                file=out,
+            )
+            shown += 1
+        print(f"\n{len(result.output)} records over {result.output.span}", file=out)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the sequence query processing library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated Python
+errors.  Subclasses partition failures by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A record schema is malformed, or a record does not match its schema."""
+
+
+class SpanError(ReproError):
+    """An invalid span operation, e.g. iterating an unbounded span."""
+
+
+class QueryError(ReproError):
+    """A query graph is malformed (type errors, arity errors, cycles)."""
+
+
+class ExpressionError(QueryError):
+    """An expression is ill-typed or references an unknown column.
+
+    A subclass of :class:`QueryError`: an ill-typed expression inside a
+    query is a query error.
+    """
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a well-formed query."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed during evaluation."""
+
+
+class StorageError(ReproError):
+    """A failure in the paged storage substrate."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed."""
+
+
+class ParseError(ReproError):
+    """The query language text could not be parsed.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column

@@ -1,0 +1,41 @@
+"""Plan execution: streams, probers, caches, and the naive oracle."""
+
+from repro.execution.cache import FifoCache
+from repro.execution.counters import ExecutionCounters
+from repro.execution.engine import (
+    RunResult,
+    execute_plan,
+    run_query,
+    run_query_detailed,
+)
+from repro.execution.naive import OperatorView, build_views, evaluate_naive
+from repro.execution.probers import Prober, ProberSequence, build_prober
+from repro.execution.sliding import (
+    CumulativeAggregator,
+    MonotonicAggregator,
+    RunningSumAggregator,
+    SlidingAggregator,
+    make_sliding,
+)
+from repro.execution.streams import build_stream
+
+__all__ = [
+    "CumulativeAggregator",
+    "ExecutionCounters",
+    "FifoCache",
+    "MonotonicAggregator",
+    "OperatorView",
+    "Prober",
+    "ProberSequence",
+    "RunningSumAggregator",
+    "RunResult",
+    "SlidingAggregator",
+    "build_prober",
+    "build_stream",
+    "build_views",
+    "evaluate_naive",
+    "execute_plan",
+    "make_sliding",
+    "run_query",
+    "run_query_detailed",
+]

@@ -1,0 +1,85 @@
+"""Operator caches (paper Section 3.4).
+
+The paper's evaluation model associates a FIFO cache — a randomly
+accessible buffer addressable by position — with each operator.  A
+query evaluation is *cache-finite* when every cache's size is a
+constant independent of the data (Definition 3.2); the engine's caches
+report their occupancy so the benchmarks can verify exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.model.record import Record
+from repro.execution.counters import ExecutionCounters
+
+
+class FifoCache:
+    """A FIFO buffer of ``(position, record)`` pairs with positional lookup.
+
+    Args:
+        capacity: maximum entries; None means unbounded (used only by
+            non-cache-finite strategies such as materialization).
+        counters: execution counters charged for each operation.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        counters: Optional[ExecutionCounters] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ExecutionError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: deque[tuple[int, Record]] = deque()
+        self._by_position: dict[int, Record] = {}
+        self._counters = counters
+
+    def _charge(self) -> None:
+        if self._counters is not None:
+            self._counters.cache_ops += 1
+            self._counters.note_occupancy(len(self._entries))
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The declared capacity."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, position: int, record: Record) -> None:
+        """Append an entry, evicting FIFO if at capacity."""
+        self._entries.append((position, record))
+        self._by_position[position] = record
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            old_pos, _old = self._entries.popleft()
+            self._by_position.pop(old_pos, None)
+        self._charge()
+
+    def evict_below(self, position: int) -> None:
+        """Drop all entries at positions strictly below ``position``."""
+        while self._entries and self._entries[0][0] < position:
+            old_pos, _old = self._entries.popleft()
+            self._by_position.pop(old_pos, None)
+            self._charge()
+
+    def get(self, position: int) -> Optional[Record]:
+        """The cached record at ``position``, if resident."""
+        self._charge()
+        return self._by_position.get(position)
+
+    def oldest(self) -> Optional[tuple[int, Record]]:
+        """The FIFO head (oldest entry)."""
+        return self._entries[0] if self._entries else None
+
+    def newest(self) -> Optional[tuple[int, Record]]:
+        """The most recently pushed entry."""
+        return self._entries[-1] if self._entries else None
+
+    def entries(self) -> list[tuple[int, Record]]:
+        """All entries, oldest first."""
+        return list(self._entries)

@@ -1,0 +1,51 @@
+"""Execution-level work counters.
+
+These complement the storage counters: they measure the engine-side
+quantities the paper's analysis is phrased in — cache operations and
+occupancy (Theorem 3.1's cache-finiteness), predicate applications (the
+cost model's K), and how many scans were opened on base sequences (the
+stream-access property's "single scan").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class ExecutionCounters:
+    """Mutable counters of engine work during one plan execution.
+
+    Attributes:
+        scans_opened: stream scans opened on base sequences.
+        probes_issued: point probes issued to base sequences or
+            materialized/derived probers.
+        cache_ops: insertions + evictions + lookups in operator caches.
+        max_cache_occupancy: peak records resident in any single
+            operator cache (constant for stream-access evaluations).
+        predicate_evals: predicate applications (select + join).
+        records_emitted: records produced by the root.
+        operator_records: records flowing between operators (total).
+    """
+
+    scans_opened: int = 0
+    probes_issued: int = 0
+    cache_ops: int = 0
+    max_cache_occupancy: int = 0
+    predicate_evals: int = 0
+    records_emitted: int = 0
+    operator_records: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def note_occupancy(self, occupancy: int) -> None:
+        """Record a cache occupancy observation."""
+        if occupancy > self.max_cache_occupancy:
+            self.max_cache_occupancy = occupancy
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,110 @@
+"""The query execution engine.
+
+``execute_plan`` plays the role of the Start operator (Figure 6): it
+induces a stream access on the root of a physical plan and materializes
+the answer.  ``run_query`` is the one-call entry point: optimize, then
+execute, optionally returning the optimizer output and the execution
+counters alongside the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.model.base import BaseSequence
+from repro.model.span import Span
+from repro.algebra.graph import Query
+from repro.catalog.catalog import Catalog
+from repro.optimizer.costmodel import CostParams
+from repro.optimizer.optimizer import OptimizationResult, optimize
+from repro.optimizer.plans import PhysicalPlan
+from repro.execution.counters import ExecutionCounters
+from repro.execution.streams import build_stream
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    span: Optional[Span] = None,
+    counters: Optional[ExecutionCounters] = None,
+) -> BaseSequence:
+    """Run a stream-mode plan and materialize its output.
+
+    Args:
+        plan: the root physical plan (stream mode).
+        span: output window; defaults to the plan's own span.
+        counters: counters to charge (a fresh set if omitted).
+    """
+    window = plan.span if span is None else span.intersect(plan.span)
+    if not window.is_bounded:
+        raise ExecutionError(f"cannot execute over unbounded span {window}")
+    counters = counters if counters is not None else ExecutionCounters()
+    pairs = []
+    for position, record in build_stream(plan, window, counters):
+        counters.records_emitted += 1
+        pairs.append((position, record))
+    return BaseSequence(plan.schema, pairs, span=window)
+
+
+@dataclass
+class RunResult:
+    """A query answer together with how it was obtained.
+
+    Attributes:
+        output: the materialized answer sequence.
+        optimization: the full optimizer output (plan, annotations,
+            Property 4.1 counters, rewrite trace).
+        counters: execution-side work counters.
+    """
+
+    output: BaseSequence
+    optimization: OptimizationResult
+    counters: ExecutionCounters
+
+
+def run_query_detailed(
+    query: Query,
+    span: Optional[Span] = None,
+    catalog: Optional[Catalog] = None,
+    params: Optional[CostParams] = None,
+    rewrite: bool = True,
+    consider_materialize: bool = True,
+    restrict_spans: bool = True,
+) -> RunResult:
+    """Optimize and execute ``query``, returning answer + diagnostics."""
+    optimization = optimize(
+        query,
+        catalog=catalog,
+        span=span,
+        params=params,
+        rewrite=rewrite,
+        consider_materialize=consider_materialize,
+        restrict_spans=restrict_spans,
+    )
+    counters = ExecutionCounters()
+    output = execute_plan(
+        optimization.plan.plan, optimization.plan.output_span, counters
+    )
+    return RunResult(output=output, optimization=optimization, counters=counters)
+
+
+def run_query(
+    query: Query,
+    span: Optional[Span] = None,
+    catalog: Optional[Catalog] = None,
+    params: Optional[CostParams] = None,
+    rewrite: bool = True,
+    consider_materialize: bool = True,
+    restrict_spans: bool = True,
+) -> BaseSequence:
+    """Optimize and execute ``query``, returning just the answer."""
+    return run_query_detailed(
+        query,
+        span=span,
+        catalog=catalog,
+        params=params,
+        rewrite=rewrite,
+        consider_materialize=consider_materialize,
+        restrict_spans=restrict_spans,
+    ).output

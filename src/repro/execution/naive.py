@@ -1,0 +1,101 @@
+"""The naive reference evaluator.
+
+This evaluator computes a query's denotational semantics directly: for
+each requested output position it recursively asks each operator for
+its value, probing input positions as the operator's definition
+dictates (with per-position memoization, but no caching strategies, no
+access-mode choices, and no span restriction beyond what the caller
+requests).  It serves two roles:
+
+* the **correctness oracle** — property tests check that optimized
+  stream plans produce exactly the sequence this evaluator defines;
+* the **unoptimized baseline** — the "repeated retrievals and
+  recomputation" evaluation the paper's caching strategies are measured
+  against (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import QueryError
+from repro.model.base import BaseSequence
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.algebra.graph import Query
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.algebra.node import Operator
+
+
+class OperatorView(Sequence):
+    """A derived sequence computed on demand from an operator node."""
+
+    def __init__(self, node: Operator, inputs: list[Sequence]):
+        self._node = node
+        self._inputs = inputs
+        self._span = node.infer_span([view.span for view in inputs])
+        self._memo: dict[int, RecordOrNull] = {}
+        self.evaluations = 0  # operator-function applications (for benches)
+
+    @property
+    def node(self) -> Operator:
+        """The operator this view evaluates."""
+        return self._node
+
+    @property
+    def schema(self) -> RecordSchema:
+        return self._node.schema
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def at(self, position: int) -> RecordOrNull:
+        """The record at ``position``, computed (and memoized) on demand.
+
+        Deliberately does *not* consult the inferred span, so span
+        soundness is an observable property rather than an assumption.
+        """
+        cached = self._memo.get(position)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        value = self._node.value_at(self._inputs, position)
+        self._memo[position] = value
+        return value
+
+    def iter_nonnull(self, within: Optional[Span] = None) -> Iterator[tuple[int, Record]]:
+        window = self.effective_window(within)
+        for position in window.positions():
+            record = self.at(position)
+            if record is not NULL:
+                yield position, record
+
+
+def build_views(node: Operator) -> Sequence:
+    """Recursively wrap an operator tree in evaluable views."""
+    if isinstance(node, SequenceLeaf):
+        return node.sequence
+    if isinstance(node, ConstantLeaf):
+        return node.constant
+    return OperatorView(node, [build_views(child) for child in node.inputs])
+
+
+def evaluate_naive(query: Query, span: Optional[Span] = None) -> BaseSequence:
+    """Evaluate ``query`` naively over ``span`` (default: the query's own).
+
+    Returns the output materialized as a :class:`BaseSequence` whose
+    span is the evaluation window.
+    """
+    window = query.default_span() if span is None else span
+    if not window.is_bounded:
+        raise QueryError(f"evaluation span must be bounded, got {window}")
+    view = build_views(query.root)
+    pairs = []
+    for position in window.positions():
+        record = view.at(position) if isinstance(view, OperatorView) else view.get(position)
+        if record is not NULL:
+            pairs.append((position, record))
+    return BaseSequence(query.schema, pairs, span=window)

@@ -1,0 +1,256 @@
+"""Probed-mode plan execution.
+
+A *prober* answers "the record at position p" for a plan output — the
+paper's probed access mode.  Probers for non-unit-scope operators
+implement the naive algorithms of Section 4.1.2 by reusing the logical
+operators' denotational ``value_at`` over a prober-backed sequence
+view, so probed semantics are identical to the reference semantics by
+construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.errors import ExecutionError
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.execution.counters import ExecutionCounters
+from repro.optimizer.plans import PROBE, ChainStep, PhysicalPlan
+
+
+class Prober(abc.ABC):
+    """Point access to a plan's output."""
+
+    def __init__(self, schema: RecordSchema, span: Span):
+        self.schema = schema
+        self.span = span
+
+    @abc.abstractmethod
+    def get(self, position: int) -> RecordOrNull:
+        """The output record at ``position``."""
+
+
+class ProberSequence(Sequence):
+    """A :class:`~repro.model.sequence.Sequence` view over a prober.
+
+    Lets logical operators' ``value_at`` run against physical probers —
+    the executor's implementation of the naive algorithms.
+    """
+
+    def __init__(self, prober: Prober):
+        self._prober = prober
+
+    @property
+    def schema(self) -> RecordSchema:
+        return self._prober.schema
+
+    @property
+    def span(self) -> Span:
+        return self._prober.span
+
+    def at(self, position: int) -> RecordOrNull:
+        return self._prober.get(position)
+
+    def iter_nonnull(self, within: Optional[Span] = None) -> Iterator[tuple[int, Record]]:
+        window = self.effective_window(within)
+        for position in window.positions():
+            record = self._prober.get(position)
+            if record is not NULL:
+                yield position, record
+
+
+class SourceProber(Prober):
+    """Probe a base or constant sequence directly."""
+
+    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+        super().__init__(plan.schema, plan.span)
+        leaf = plan.node
+        if isinstance(leaf, SequenceLeaf):
+            self._sequence = leaf.sequence
+        elif isinstance(leaf, ConstantLeaf):
+            self._sequence = leaf.constant
+        else:
+            raise ExecutionError(f"probe-source plan without a leaf node: {plan.kind}")
+        self._counters = counters
+
+    def get(self, position: int) -> RecordOrNull:
+        self._counters.probes_issued += 1
+        return self._sequence.get(position)
+
+
+class ChainProber(Prober):
+    """Apply unit-scope steps on top of a child prober."""
+
+    def __init__(self, plan: PhysicalPlan, child: Prober, counters: ExecutionCounters):
+        super().__init__(plan.schema, plan.span)
+        self._child = child
+        self._steps = plan.steps
+        self._shift = sum(step.offset for step in plan.steps if step.kind == "shift")
+        self._counters = counters
+
+    def get(self, position: int) -> RecordOrNull:
+        record = self._child.get(position + self._shift)
+        if record is NULL:
+            return NULL
+        for step in self._steps:
+            if step.kind == "select":
+                self._counters.predicate_evals += 1
+                if not step.predicate.eval(record):
+                    return NULL
+            elif step.kind == "project":
+                record = record.project(step.names)
+            elif step.kind == "rename":
+                record = Record(step.schema, record.values)
+            # shifts were folded into the probe position
+        return record
+
+
+class JoinProber(Prober):
+    """Probed-mode positional join (Section 4.1.3's probed formula)."""
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        left: Prober,
+        right: Prober,
+        counters: ExecutionCounters,
+    ):
+        super().__init__(plan.schema, plan.span)
+        self._left = left
+        self._right = right
+        self._predicate = plan.predicate
+        self._right_first = plan.strategy == "probe-right-first"
+        self._counters = counters
+
+    def get(self, position: int) -> RecordOrNull:
+        if self._right_first:
+            right = self._right.get(position)
+            if right is NULL:
+                return NULL
+            left = self._left.get(position)
+            if left is NULL:
+                return NULL
+        else:
+            left = self._left.get(position)
+            if left is NULL:
+                return NULL
+            right = self._right.get(position)
+            if right is NULL:
+                return NULL
+        combined = Record(self.schema, left.values + right.values)
+        if self._predicate is not None:
+            self._counters.predicate_evals += 1
+            if not self._predicate.eval(combined):
+                return NULL
+        return combined
+
+
+class NaiveUnaryProber(Prober):
+    """Naive probed evaluation of a non-unit-scope operator.
+
+    Delegates to the logical operator's ``value_at`` over the child
+    prober — exactly the "repeated retrievals" algorithm the caching
+    strategies improve on.
+    """
+
+    def __init__(self, plan: PhysicalPlan, child: Prober, counters: ExecutionCounters):
+        super().__init__(plan.schema, plan.span)
+        if plan.node is None:
+            raise ExecutionError(f"{plan.kind} plan missing its logical node")
+        self._node = plan.node
+        self._source = ProberSequence(child)
+        self._counters = counters
+
+    def get(self, position: int) -> RecordOrNull:
+        return self._node.value_at([self._source], position)
+
+
+class GlobalAggProber(Prober):
+    """Whole-sequence aggregate: computed once on first probe."""
+
+    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+        super().__init__(plan.schema, plan.span)
+        self._plan = plan
+        self._counters = counters
+        self._computed = False
+        self._value: RecordOrNull = NULL
+
+    def _compute(self) -> None:
+        from repro.execution.streams import build_stream
+
+        node = self._plan.node
+        if node is None:
+            raise ExecutionError("global-agg plan missing its logical node")
+        child_plan = self._plan.children[0]
+        records = [
+            record
+            for _pos, record in build_stream(child_plan, child_plan.span, self._counters)
+        ]
+        self._value = node._aggregate(records)  # noqa: SLF001 - engine-internal
+        self._computed = True
+
+    def get(self, position: int) -> RecordOrNull:
+        if not self._computed:
+            self._compute()
+        if position not in self.span:
+            return NULL
+        return self._value
+
+
+class MaterializeProber(Prober):
+    """Materialize a stream on first probe, then answer from memory.
+
+    The Section 5.3 extension: pays one child stream, then each probe
+    is a dictionary lookup (charged as a cache operation).
+    """
+
+    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+        super().__init__(plan.schema, plan.span)
+        self._plan = plan
+        self._counters = counters
+        self._table: Optional[dict[int, Record]] = None
+
+    def _build(self) -> None:
+        from repro.execution.streams import build_stream
+
+        child_plan = self._plan.children[0]
+        self._table = {}
+        for position, record in build_stream(child_plan, child_plan.span, self._counters):
+            self._table[position] = record
+            self._counters.cache_ops += 1
+
+    def get(self, position: int) -> RecordOrNull:
+        if self._table is None:
+            self._build()
+        self._counters.cache_ops += 1
+        assert self._table is not None
+        return self._table.get(position, NULL)
+
+
+def build_prober(plan: PhysicalPlan, counters: ExecutionCounters) -> Prober:
+    """Construct the prober for a probe-mode plan node."""
+    if plan.kind == "probe-source":
+        return SourceProber(plan, counters)
+    if plan.kind == "chain":
+        return ChainProber(plan, build_prober(plan.children[0], counters), counters)
+    if plan.kind == "probe-join":
+        return JoinProber(
+            plan,
+            build_prober(plan.children[0], counters),
+            build_prober(plan.children[1], counters),
+            counters,
+        )
+    if plan.kind in ("window-agg", "value-offset", "cumulative-agg"):
+        return NaiveUnaryProber(
+            plan, build_prober(plan.children[0], counters), counters
+        )
+    if plan.kind == "global-agg":
+        return GlobalAggProber(plan, counters)
+    if plan.kind == "materialize":
+        return MaterializeProber(plan, counters)
+    raise ExecutionError(f"plan kind {plan.kind!r} cannot run in probe mode")

@@ -1,0 +1,313 @@
+"""Stream-mode plan execution.
+
+Each builder returns a generator of ``(position, record)`` pairs in
+increasing position order — the paper's stream access.  The join
+strategies of Section 3.3 and the caching strategies of Section 3.5
+live here: lock-step merging (Join-Strategy-B), stream×probe joins
+(Join-Strategy-A), scope-sized window caches (Cache-Strategy-A) and
+incremental value-offset caches (Cache-Strategy-B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.model.record import NULL, Record
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.algebra.offsets import ValueOffset
+from repro.execution.counters import ExecutionCounters
+from repro.execution.probers import build_prober
+from repro.execution.sliding import CumulativeAggregator, make_sliding
+from repro.optimizer.plans import PhysicalPlan
+
+StreamItem = tuple[int, Record]
+
+
+def build_stream(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters
+) -> Iterator[StreamItem]:
+    """Construct the stream iterator for a stream-mode plan node.
+
+    Args:
+        plan: the plan node (must be executable as a stream).
+        window: the output window this node must emit within;
+            intersected with the plan's own span.
+        counters: execution counters charged as work happens.
+
+    Child streams are opened over the *children's plan spans* — the
+    optimizer's top-down span restriction (Step 2.b) is the only
+    mechanism that narrows what lower operators read, exactly as in the
+    paper's architecture.  The window bounds emission at each node, so
+    executing a plan over a narrower window than it was optimized for
+    stays correct (the extra records are dropped here).
+    """
+    window = window.intersect(plan.span)
+    builder = _BUILDERS.get(plan.kind)
+    if builder is None:
+        raise ExecutionError(f"plan kind {plan.kind!r} cannot run in stream mode")
+    return builder(plan, window, counters)
+
+
+def _scan(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    leaf = plan.node
+    if isinstance(leaf, SequenceLeaf):
+        source = leaf.sequence
+    elif isinstance(leaf, ConstantLeaf):
+        source = leaf.constant
+    else:
+        raise ExecutionError(f"scan plan without a leaf node: {plan.kind}")
+    counters.scans_opened += 1
+    for position, record in source.iter_nonnull(window):
+        counters.operator_records += 1
+        yield position, record
+
+
+def _chain(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    shift = sum(step.offset for step in plan.steps if step.kind == "shift")
+    child_plan = plan.children[0]
+    child_window = window.shift(shift).intersect(child_plan.span)
+    for position, record in build_stream(child_plan, child_window, counters):
+        out_position = position - shift
+        if out_position not in window:
+            continue
+        keep = True
+        for step in plan.steps:
+            if step.kind == "select":
+                counters.predicate_evals += 1
+                if not step.predicate.eval(record):
+                    keep = False
+                    break
+            elif step.kind == "project":
+                record = record.project(step.names)
+            elif step.kind == "rename":
+                record = Record(step.schema, record.values)
+        if keep:
+            counters.operator_records += 1
+            yield out_position, record
+
+
+def _combine(
+    plan: PhysicalPlan,
+    position: int,
+    left: Record,
+    right: Record,
+    counters: ExecutionCounters,
+) -> Iterator[StreamItem]:
+    combined = Record(plan.schema, left.values + right.values)
+    if plan.predicate is not None:
+        counters.predicate_evals += 1
+        if not plan.predicate.eval(combined):
+            return
+    counters.operator_records += 1
+    yield position, combined
+
+
+def _lockstep(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    """Join-Strategy-B: merge both input streams in lock step."""
+    left_iter = build_stream(plan.children[0], plan.children[0].span, counters)
+    right_iter = build_stream(plan.children[1], plan.children[1].span, counters)
+    left = next(left_iter, None)
+    right = next(right_iter, None)
+    while left is not None and right is not None:
+        if left[0] < right[0]:
+            left = next(left_iter, None)
+        elif right[0] < left[0]:
+            right = next(right_iter, None)
+        else:
+            if left[0] in window:
+                yield from _combine(plan, left[0], left[1], right[1], counters)
+            left = next(left_iter, None)
+            right = next(right_iter, None)
+
+
+def _stream_probe(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    """Join-Strategy-A: stream the left input, probe the right."""
+    prober = build_prober(plan.children[1], counters)
+    driver = plan.children[0]
+    for position, left in build_stream(driver, driver.span, counters):
+        if position not in window:
+            continue
+        right = prober.get(position)
+        if right is NULL:
+            continue
+        yield from _combine(plan, position, left, right, counters)
+
+
+def _probe_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    """Join-Strategy-A, converse: stream the right input, probe the left."""
+    prober = build_prober(plan.children[0], counters)
+    driver = plan.children[1]
+    for position, right in build_stream(driver, driver.span, counters):
+        if position not in window:
+            continue
+        left = prober.get(position)
+        if left is NULL:
+            continue
+        yield from _combine(plan, position, left, right, counters)
+
+
+def _cast(plan: PhysicalPlan, value: object) -> object:
+    if plan.schema.attributes[0].atype is AtomType.FLOAT:
+        return float(value)  # type: ignore[arg-type]
+    return value
+
+
+def _window_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    op = plan.node
+    if not isinstance(op, WindowAggregate):
+        raise ExecutionError("window-agg plan without a WindowAggregate node")
+    if plan.strategy == "naive":
+        # Probe the child w times per output position (no cache).
+        prober = build_prober(plan.children[0], counters)
+        from repro.execution.probers import ProberSequence
+
+        source = ProberSequence(prober)
+        for position in window.positions():
+            record = op.value_at([source], position)
+            if record is not NULL:
+                counters.operator_records += 1
+                yield position, record
+        return
+
+    # Cache-Strategy-A: one pass over the input with a scope-sized cache.
+    child_plan = plan.children[0]
+    child_iter = build_stream(child_plan, child_plan.span, counters)
+    pending = next(child_iter, None)
+    aggregator = make_sliding(op.func, counters)
+    for position in window.positions():
+        # Evict before filling so the cache never holds more than the
+        # scope size (Theorem 3.1's scope-sized cache).
+        aggregator.evict_below(position - op.width + 1)
+        while pending is not None and pending[0] <= position:
+            aggregator.add(pending[0], pending[1].get(op.attr))
+            pending = next(child_iter, None)
+        if aggregator.count > 0:
+            counters.operator_records += 1
+            yield position, Record(plan.schema, (_cast(plan, aggregator.result()),))
+
+
+def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    op = plan.node
+    if not isinstance(op, ValueOffset):
+        raise ExecutionError("value-offset plan without a ValueOffset node")
+    if plan.strategy == "naive":
+        prober = build_prober(plan.children[0], counters)
+        from repro.execution.probers import ProberSequence
+
+        source = ProberSequence(prober)
+        for position in window.positions():
+            record = op.value_at([source], position)
+            if record is not NULL:
+                counters.operator_records += 1
+                yield position, record
+        return
+
+    # Cache-Strategy-B: incremental caches of reach-many records.
+    child_plan = plan.children[0]
+    reach = op.reach
+    if op.looks_back:
+        child_iter = build_stream(child_plan, child_plan.span, counters)
+        pending = next(child_iter, None)
+        buffer: deque[StreamItem] = deque()
+        for position in window.positions():
+            while pending is not None and pending[0] < position:
+                buffer.append(pending)
+                if len(buffer) > reach:
+                    buffer.popleft()
+                counters.cache_ops += 1
+                counters.note_occupancy(len(buffer))
+                pending = next(child_iter, None)
+            if len(buffer) == reach:
+                counters.operator_records += 1
+                yield position, buffer[0][1]
+        return
+
+    # Looking forward (Next and +k offsets): a reach-sized lookahead.
+    child_iter = build_stream(child_plan, child_plan.span, counters)
+    buffer = deque()
+    exhausted = False
+    for position in window.positions():
+        while buffer and buffer[0][0] <= position:
+            buffer.popleft()
+            counters.cache_ops += 1
+        while not exhausted and len(buffer) < reach:
+            item = next(child_iter, None)
+            if item is None:
+                exhausted = True
+                break
+            if item[0] > position:
+                buffer.append(item)
+                counters.cache_ops += 1
+                counters.note_occupancy(len(buffer))
+        if len(buffer) >= reach:
+            counters.operator_records += 1
+            yield position, buffer[reach - 1][1]
+
+
+def _cumulative(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    op = plan.node
+    if not isinstance(op, CumulativeAggregate):
+        raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
+    if plan.strategy == "naive":
+        prober = build_prober(plan.children[0], counters)
+        from repro.execution.probers import ProberSequence
+
+        source = ProberSequence(prober)
+        for position in window.positions():
+            record = op.value_at([source], position)
+            if record is not NULL:
+                counters.operator_records += 1
+                yield position, record
+        return
+    child_plan = plan.children[0]
+    child_iter = build_stream(child_plan, child_plan.span, counters)
+    pending = next(child_iter, None)
+    running = CumulativeAggregator(op.func)
+    for position in window.positions():
+        while pending is not None and pending[0] <= position:
+            running.add(pending[1].get(op.attr))
+            counters.cache_ops += 1
+            pending = next(child_iter, None)
+        if running.count > 0:
+            counters.operator_records += 1
+            yield position, Record(plan.schema, (_cast(plan, running.result()),))
+
+
+def _global_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    op = plan.node
+    if not isinstance(op, GlobalAggregate):
+        raise ExecutionError("global-agg plan without a GlobalAggregate node")
+    child_plan = plan.children[0]
+    records = [
+        record for _pos, record in build_stream(child_plan, child_plan.span, counters)
+    ]
+    value = op._aggregate(records)  # noqa: SLF001 - engine-internal
+    if value is NULL:
+        return
+    for position in window.positions():
+        counters.operator_records += 1
+        yield position, value
+
+
+def _materialize_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+    # A materialize node in a stream context simply forwards its child.
+    yield from build_stream(plan.children[0], window, counters)
+
+
+_BUILDERS = {
+    "scan": _scan,
+    "chain": _chain,
+    "lockstep": _lockstep,
+    "stream-probe": _stream_probe,
+    "probe-stream": _probe_stream,
+    "window-agg": _window_agg,
+    "value-offset": _value_offset,
+    "cumulative-agg": _cumulative,
+    "global-agg": _global_agg,
+    "materialize": _materialize_stream,
+}

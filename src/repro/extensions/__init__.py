@@ -1,0 +1,52 @@
+"""The paper's Section 5 extensions, implemented."""
+
+from repro.extensions.correlated import (
+    correlated_previous_join,
+    correlated_previous_join_naive,
+    partition_by,
+)
+from repro.extensions.dag import DagEvaluation, evaluate_dag, shared_nodes
+from repro.extensions.domains import (
+    DAY,
+    MONTH,
+    QUARTER,
+    WEEK,
+    OrderingDomain,
+    collapse,
+    expand,
+)
+from repro.extensions.groupings import GroupResult, SequenceGroup
+from repro.extensions.materialize import materialize_query, register_materialized
+from repro.extensions.orderings import MultiOrderedRecords
+from repro.extensions.reorganize import (
+    Recommendation,
+    apply_reorganization,
+    recommend_reorganization,
+)
+from repro.extensions.trigger import PushProcessor, TriggerEngine
+
+__all__ = [
+    "DAY",
+    "MultiOrderedRecords",
+    "Recommendation",
+    "apply_reorganization",
+    "recommend_reorganization",
+    "correlated_previous_join",
+    "correlated_previous_join_naive",
+    "partition_by",
+    "DagEvaluation",
+    "GroupResult",
+    "MONTH",
+    "OrderingDomain",
+    "PushProcessor",
+    "QUARTER",
+    "SequenceGroup",
+    "TriggerEngine",
+    "WEEK",
+    "collapse",
+    "evaluate_dag",
+    "expand",
+    "materialize_query",
+    "register_materialized",
+    "shared_nodes",
+]

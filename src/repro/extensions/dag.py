@@ -1,0 +1,130 @@
+"""DAG query graphs with shared-subexpression caching (Section 5.2).
+
+The base model restricts query graphs to trees; this extension allows
+an operator's output to feed several consumers.  Shared nodes are
+detected structurally and materialized exactly once ("caches pushed
+down the operator graph to a shared operator, thus avoiding the
+duplication of cached values"), then the rewritten tree query runs on
+the normal optimizer + engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.model.base import BaseSequence
+from repro.model.span import Span
+from repro.algebra.graph import Query
+from repro.algebra.leaves import SequenceLeaf
+from repro.algebra.node import Operator
+from repro.catalog.catalog import Catalog
+
+
+def shared_nodes(root: Operator) -> list[Operator]:
+    """Non-leaf nodes consumed through more than one edge, outermost first.
+
+    Each *distinct* node is visited once, so a descendant of a shared
+    node is not itself shared merely because its (single) parent is.
+    """
+    edges: dict[int, int] = {}
+    order: dict[int, Operator] = {}
+    visited: set[int] = set()
+
+    def visit(node: Operator) -> None:
+        if id(node) in visited:
+            return
+        visited.add(id(node))
+        for child in node.inputs:
+            edges[id(child)] = edges.get(id(child), 0) + 1
+            order.setdefault(id(child), child)
+            visit(child)
+
+    order[id(root)] = root
+    visit(root)
+    return [
+        node
+        for key, node in order.items()
+        if edges.get(key, 0) > 1 and not node.is_leaf
+    ]
+
+
+@dataclass
+class DagEvaluation:
+    """The result of a DAG evaluation.
+
+    Attributes:
+        output: the materialized answer.
+        shared_materializations: how many shared nodes were
+            materialized once instead of being evaluated per consumer.
+    """
+
+    output: BaseSequence
+    shared_materializations: int
+
+
+def _replace(node: Operator, mapping: dict[int, tuple[BaseSequence, str]]) -> Operator:
+    """Rebuild a tree substituting materialized leaves for shared nodes.
+
+    Each consumer site gets a *fresh* leaf node (sharing the
+    materialized sequence) so the rebuilt graph is a proper tree.
+    """
+    replacement = mapping.get(id(node))
+    if replacement is not None:
+        sequence, alias = replacement
+        return SequenceLeaf(sequence, alias)
+    if node.is_leaf:
+        return node
+    new_children = tuple(_replace(child, mapping) for child in node.inputs)
+    if all(a is b for a, b in zip(new_children, node.inputs)):
+        return node
+    return node.with_inputs(new_children)
+
+
+def evaluate_dag(
+    root: Operator,
+    span: Optional[Span] = None,
+    catalog: Optional[Catalog] = None,
+) -> DagEvaluation:
+    """Evaluate a (possibly DAG-shaped) operator graph.
+
+    Shared subgraphs are evaluated once, materialized as base
+    sequences, and spliced back as leaves; the resulting tree then runs
+    through the standard optimizer and engine.
+
+    Raises:
+        QueryError: if the graph is cyclic (shared nodes are fine,
+            cycles are not).
+    """
+    _check_acyclic(root)
+    mapping: dict[int, tuple[BaseSequence, str]] = {}
+    count = 0
+    # Innermost shared nodes first so outer shared nodes see the
+    # already-materialized leaves.
+    for node in reversed(shared_nodes(root)):
+        rebuilt = _replace(node, mapping)
+        sub_query = Query(rebuilt)
+        materialized = sub_query.run(span=None, catalog=catalog)
+        mapping[id(node)] = (materialized, f"shared_{count}")
+        count += 1
+    tree_root = _replace(root, mapping)
+    query = Query(tree_root)
+    output = query.run(span=span, catalog=catalog)
+    return DagEvaluation(output=output, shared_materializations=count)
+
+
+def _check_acyclic(root: Operator) -> None:
+    """Reject cyclic graphs (which with_inputs cannot even build, but a
+    hand-constructed graph could alias)."""
+    in_progress: set[int] = set()
+
+    def visit(node: Operator) -> None:
+        if id(node) in in_progress:
+            raise QueryError("query graph contains a cycle")
+        in_progress.add(id(node))
+        for child in node.inputs:
+            visit(child)
+        in_progress.discard(id(node))
+
+    visit(root)

@@ -1,0 +1,141 @@
+"""Ordering domains: collapse and expand between granularities (Section 5.1).
+
+"The knowledge of these relationships leads to operators that can
+'collapse' or 'expand' a sequence from one ordering domain to another.
+For instance, this would allow a daily sequence to be treated as a
+weekly sequence so that a weekly average could be computed."
+
+A domain relationship is a constant factor (days → weeks is 7).
+``collapse`` aggregates the records of each coarse position;
+``expand`` replicates each coarse record across its fine positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import Attribute, RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.algebra.aggregate import apply_aggregate, output_type
+from repro.model.types import AtomType
+
+
+@dataclass(frozen=True)
+class OrderingDomain:
+    """A named ordering domain with a granularity in base units.
+
+    Attributes:
+        name: e.g. "day", "week".
+        granularity: how many base units one position covers.
+    """
+
+    name: str
+    granularity: int
+
+    def factor_to(self, coarser: "OrderingDomain") -> int:
+        """The collapse factor from this domain to a coarser one.
+
+        Raises:
+            QueryError: if the granularities are not integer-related.
+        """
+        if coarser.granularity % self.granularity != 0:
+            raise QueryError(
+                f"domains {self.name!r} and {coarser.name!r} are not "
+                "integer-related"
+            )
+        factor = coarser.granularity // self.granularity
+        if factor < 1:
+            raise QueryError(
+                f"{coarser.name!r} is finer than {self.name!r}; expand instead"
+            )
+        return factor
+
+
+#: The well-known calendar-ish domains.
+DAY = OrderingDomain("day", 1)
+WEEK = OrderingDomain("week", 7)
+MONTH = OrderingDomain("month", 30)
+QUARTER = OrderingDomain("quarter", 90)
+
+
+def collapse(
+    sequence: Sequence,
+    factor: int,
+    aggregates: Mapping[str, str],
+) -> BaseSequence:
+    """Collapse a sequence to a coarser domain.
+
+    Each coarse position ``P`` aggregates the records at fine positions
+    ``[P*factor, (P+1)*factor)``.
+
+    Args:
+        sequence: the fine-grained sequence (bounded span).
+        factor: fine positions per coarse position (>= 1).
+        aggregates: output attribute -> (source attribute, implicitly
+            same name) aggregate function; e.g. ``{"close": "avg",
+            "volume": "sum"}``.
+
+    Raises:
+        QueryError: on an unbounded span, bad factor, or unknown
+            attributes/functions.
+    """
+    if factor < 1:
+        raise QueryError(f"collapse factor must be >= 1, got {factor}")
+    if not sequence.span.is_bounded:
+        raise QueryError("collapse needs a bounded span")
+    if not aggregates:
+        raise QueryError("collapse needs at least one aggregate")
+
+    attrs = []
+    for name, func in aggregates.items():
+        if name not in sequence.schema:
+            raise QueryError(f"unknown attribute {name!r}")
+        attrs.append(Attribute(name, output_type(func, sequence.schema.type_of(name))))
+    out_schema = RecordSchema(attrs)
+
+    buckets: dict[int, list[Record]] = {}
+    for position, record in sequence.iter_nonnull():
+        buckets.setdefault(position // factor, []).append(record)
+
+    items = []
+    for coarse, records in sorted(buckets.items()):
+        values = []
+        for name, func in aggregates.items():
+            raw = apply_aggregate(func, [r.get(name) for r in records])
+            if out_schema.type_of(name) is AtomType.FLOAT:
+                raw = float(raw)  # type: ignore[arg-type]
+            values.append(raw)
+        items.append((coarse, Record(out_schema, tuple(values))))
+
+    assert sequence.span.start is not None and sequence.span.end is not None
+    coarse_span = Span(sequence.span.start // factor, sequence.span.end // factor)
+    return BaseSequence(out_schema, items, span=coarse_span)
+
+
+def expand(sequence: Sequence, factor: int) -> BaseSequence:
+    """Expand a sequence to a finer domain by replication.
+
+    Each coarse record at ``P`` appears at fine positions
+    ``[P*factor, (P+1)*factor)``.
+
+    Raises:
+        QueryError: on an unbounded span or a bad factor.
+    """
+    if factor < 1:
+        raise QueryError(f"expand factor must be >= 1, got {factor}")
+    if not sequence.span.is_bounded:
+        raise QueryError("expand needs a bounded span")
+    items = []
+    for position, record in sequence.iter_nonnull():
+        for fine in range(position * factor, (position + 1) * factor):
+            items.append((fine, record))
+    assert sequence.span.start is not None and sequence.span.end is not None
+    fine_span = Span(
+        sequence.span.start * factor, (sequence.span.end + 1) * factor - 1
+    )
+    return BaseSequence(sequence.schema, items, span=fine_span)

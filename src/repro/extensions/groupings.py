@@ -1,0 +1,167 @@
+"""Sequence groupings (Section 5.1).
+
+"In some situations, it might be desirable to collectively query a
+group of sequences of similar record type.  For instance, given a
+database of experimental result sequences, a query might ask for those
+sequences that satisfy some condition."
+
+A :class:`SequenceGroup` is a named collection of same-schema
+sequences.  Group-level operations: per-member queries (``map``),
+member filtering by a whole-sequence condition (``filter``), and
+position-wise aggregation across members (``aggregate_across`` — e.g.
+an index average of many stock sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import Attribute, RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.aggregate import apply_aggregate, output_type
+from repro.algebra.builder import Seq, base
+from repro.algebra.graph import Query
+
+
+class SequenceGroup:
+    """A named collection of sequences sharing one record schema."""
+
+    def __init__(self, schema: RecordSchema, members: Mapping[str, Sequence]):
+        self.schema = schema
+        for name, member in members.items():
+            if member.schema != schema:
+                raise QueryError(
+                    f"group member {name!r} has schema {member.schema!r}, "
+                    f"expected {schema!r}"
+                )
+        self._members = dict(members)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def names(self) -> list[str]:
+        """Member names, sorted."""
+        return sorted(self._members)
+
+    def member(self, name: str) -> Sequence:
+        """One member.
+
+        Raises:
+            QueryError: if unknown.
+        """
+        try:
+            return self._members[name]
+        except KeyError:
+            raise QueryError(f"no member {name!r} in group") from None
+
+    def items(self):
+        """(name, sequence) pairs, sorted by name."""
+        return sorted(self._members.items())
+
+    # -- group-level queries ----------------------------------------------------
+
+    def map(self, build: Callable[[Seq], Seq]) -> "GroupResult":
+        """Run the same query over every member.
+
+        Args:
+            build: given the member wrapped as a builder, return the
+                finished builder (e.g. ``lambda s: s.window("avg",
+                "close", 6)``).
+        """
+        outputs = {}
+        for name, member in self.items():
+            query = build(base(member, name)).query()
+            outputs[name] = query.run()
+        return GroupResult(outputs)
+
+    def filter(self, condition: Callable[[str, Sequence], bool]) -> "SequenceGroup":
+        """Keep members satisfying a whole-sequence condition."""
+        kept = {
+            name: member for name, member in self.items() if condition(name, member)
+        }
+        return SequenceGroup(self.schema, kept)
+
+    def filter_by_aggregate(
+        self, func: str, attr: str, predicate: Callable[[object], bool]
+    ) -> "SequenceGroup":
+        """Keep members whose whole-sequence aggregate satisfies ``predicate``.
+
+        The Section 5.1 example: "a query might ask for those sequences
+        that satisfy some condition".
+        """
+        def condition(_name: str, member: Sequence) -> bool:
+            values = [record.get(attr) for _p, record in member.iter_nonnull()]
+            if not values:
+                return False
+            return predicate(apply_aggregate(func, values))
+
+        return self.filter(condition)
+
+    def aggregate_across(
+        self, func: str, attr: str, output_name: Optional[str] = None
+    ) -> BaseSequence:
+        """Position-wise aggregate across all members.
+
+        At each position, aggregate the values of members with a record
+        there; positions where no member has a record are Null.
+        """
+        if not self._members:
+            raise QueryError("cannot aggregate an empty group")
+        out_name = output_name or f"{func}_{attr}"
+        out_type = output_type(func, self.schema.type_of(attr))
+        out_schema = RecordSchema((Attribute(out_name, out_type),))
+
+        hull = Span.EMPTY
+        for _name, member in self.items():
+            hull = hull.hull(member.span)
+        per_position: dict[int, list] = {}
+        for _name, member in self.items():
+            for position, record in member.iter_nonnull():
+                per_position.setdefault(position, []).append(record.get(attr))
+
+        items = []
+        for position, values in sorted(per_position.items()):
+            raw = apply_aggregate(func, values)
+            if out_type is AtomType.FLOAT:
+                raw = float(raw)  # type: ignore[arg-type]
+            items.append((position, Record(out_schema, (raw,))))
+        return BaseSequence(out_schema, items, span=hull)
+
+
+class GroupResult:
+    """Per-member query outputs (same-shaped, possibly new schema)."""
+
+    def __init__(self, outputs: Mapping[str, BaseSequence]):
+        self._outputs = dict(outputs)
+
+    def names(self) -> list[str]:
+        """Member names, sorted."""
+        return sorted(self._outputs)
+
+    def output(self, name: str) -> BaseSequence:
+        """One member's output.
+
+        Raises:
+            QueryError: if unknown.
+        """
+        try:
+            return self._outputs[name]
+        except KeyError:
+            raise QueryError(f"no output for member {name!r}") from None
+
+    def as_group(self) -> SequenceGroup:
+        """The outputs re-wrapped as a group (schemas must agree)."""
+        schemas = {seq.schema for seq in self._outputs.values()}
+        if len(schemas) != 1:
+            raise QueryError("outputs do not share a schema")
+        return SequenceGroup(schemas.pop(), self._outputs)

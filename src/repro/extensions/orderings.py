@@ -1,0 +1,108 @@
+"""Multiple orderings over one record set (Section 5.1).
+
+"In bitemporal databases a set of records is typically associated with
+transaction time as well as valid time orderings.  In general, it is
+useful to be able to associate multiple orderings with the same set of
+records."
+
+A :class:`MultiOrderedRecords` holds one set of records plus several
+named orderings (integer position attributes).  ``as_sequence(name)``
+views the set as a sequence under that ordering, so the whole operator
+algebra and optimizer apply per ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import QueryError, SchemaError
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+from repro.model.types import AtomType
+
+
+class MultiOrderedRecords:
+    """A record set with several integer orderings.
+
+    Args:
+        schema: the *payload* schema (without the position attributes).
+        orderings: names of the orderings, e.g. ``("valid", "transaction")``.
+        rows: ``(positions, record)`` pairs where ``positions`` maps
+            each ordering name to that record's position under it.
+
+    Raises:
+        QueryError: on unknown/missing ordering keys or duplicate
+            positions within one ordering.
+    """
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        orderings: Iterable[str],
+        rows: Iterable[tuple[Mapping[str, int], Record]],
+    ):
+        self.schema = schema
+        self.orderings = tuple(orderings)
+        if len(set(self.orderings)) != len(self.orderings) or not self.orderings:
+            raise QueryError("orderings must be non-empty and unique")
+        self._rows: list[tuple[dict[str, int], Record]] = []
+        seen: dict[str, set[int]] = {name: set() for name in self.orderings}
+        for positions, record in rows:
+            if record.schema != schema:
+                raise SchemaError(
+                    f"record {record!r} does not match payload schema {schema!r}"
+                )
+            missing = set(self.orderings) - set(positions)
+            if missing:
+                raise QueryError(f"record missing positions for {sorted(missing)}")
+            for name in self.orderings:
+                position = positions[name]
+                if position in seen[name]:
+                    raise QueryError(
+                        f"duplicate position {position} under ordering {name!r}"
+                    )
+                seen[name].add(position)
+            self._rows.append(
+                ({name: positions[name] for name in self.orderings}, record)
+            )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def as_sequence(self, ordering: str) -> BaseSequence:
+        """This record set viewed as a sequence under one ordering.
+
+        Raises:
+            QueryError: for an unknown ordering name.
+        """
+        if ordering not in self.orderings:
+            raise QueryError(
+                f"unknown ordering {ordering!r}; have {list(self.orderings)}"
+            )
+        items = [
+            (positions[ordering], record) for positions, record in self._rows
+        ]
+        return BaseSequence(self.schema, items)
+
+    def with_positions_as_attributes(self, ordering: str) -> BaseSequence:
+        """Like :meth:`as_sequence`, but the *other* orderings' positions
+        become extra INT attributes of the records.
+
+        This is how a bitemporal query correlates the two time axes:
+        order by one, predicate over the other.
+        """
+        if ordering not in self.orderings:
+            raise QueryError(
+                f"unknown ordering {ordering!r}; have {list(self.orderings)}"
+            )
+        others = [name for name in self.orderings if name != ordering]
+        extended = self.schema
+        for name in others:
+            extended = extended.concat(RecordSchema.of(**{name: AtomType.INT}))
+        items = []
+        for positions, record in self._rows:
+            values = record.values + tuple(positions[name] for name in others)
+            items.append((positions[ordering], Record(extended, values)))
+        return BaseSequence(extended, items)

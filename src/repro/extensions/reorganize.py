@@ -1,0 +1,157 @@
+"""Physical reorganization advice (Section 5.3).
+
+"Finally, with regard to the base sequences, it might be efficient to
+first reorganize their physical representations before running the
+query (for example, sort them so that stream access is efficient)."
+
+:func:`recommend_reorganization` estimates, per base sequence a query
+touches, whether converting it to the clustered organization would pay
+off *for that query*: the plan's estimated cost with the current
+organization, versus the cost with a clustered replica plus the one-off
+conversion (a full scan + a bulk write).  :func:`apply_reorganization`
+carries the recommendations out, registering reorganized replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.span import Span
+from repro.algebra.graph import Query
+from repro.algebra.leaves import SequenceLeaf
+from repro.algebra.node import Operator
+from repro.catalog.catalog import Catalog
+from repro.optimizer.costmodel import CostParams
+from repro.optimizer.optimizer import optimize
+from repro.storage.stored import StoredSequence
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advice for one base sequence.
+
+    Attributes:
+        name: catalog name of the sequence.
+        current_organization: its physical organization today.
+        reorganize: whether converting to clustered pays off over the
+            assumed number of executions.
+        current_cost: estimated plan cost with the current organization.
+        reorganized_cost: estimated plan cost with a clustered replica.
+        conversion_cost: one-off cost of the conversion (read + write).
+        net_benefit: ``current - (reorganized + conversion)``; positive
+            means reorganizing wins even for a single execution.
+    """
+
+    name: str
+    current_organization: str
+    reorganize: bool
+    current_cost: float
+    reorganized_cost: float
+    conversion_cost: float
+    executions: int = 1
+
+    @property
+    def net_benefit(self) -> float:
+        """Total saving over the assumed executions, minus conversion."""
+        return (
+            (self.current_cost - self.reorganized_cost) * self.executions
+            - self.conversion_cost
+        )
+
+
+def _substitute_leaf(node: Operator, target: SequenceLeaf, replacement) -> Operator:
+    if node is target:
+        return SequenceLeaf(replacement, target.alias)
+    if node.is_leaf:
+        return node
+    return node.with_inputs(
+        tuple(_substitute_leaf(child, target, replacement) for child in node.inputs)
+    )
+
+
+def recommend_reorganization(
+    query: Query,
+    catalog: Catalog,
+    span: Span | None = None,
+    params: CostParams | None = None,
+    executions: int = 1,
+) -> list[Recommendation]:
+    """Per-sequence reorganization advice for one query.
+
+    Only stored sequences whose organization is not already clustered
+    are analyzed; each is hypothetically replaced with a clustered
+    replica and the query re-optimized.  ``executions`` amortizes the
+    one-off conversion over that many runs of the query (a conversion
+    rarely pays for a single execution — it costs about one scan of the
+    badly-organized data, which is what it saves).
+    """
+    params = params or CostParams()
+    baseline = optimize(query, catalog=catalog, span=span, params=params)
+    current_cost = baseline.plan.estimated_cost
+
+    recommendations: list[Recommendation] = []
+    for leaf in query.base_leaves():
+        sequence = leaf.sequence
+        if not isinstance(sequence, StoredSequence):
+            continue
+        if sequence.organization_kind == "clustered":
+            continue
+        entry = catalog.entry_for_sequence(sequence)
+        name = entry.name if entry is not None else leaf.alias
+
+        replica = StoredSequence.from_sequence(
+            f"{name}__clustered", sequence, organization="clustered"
+        )
+        hypothetical_root = _substitute_leaf(query.root, leaf, replica)
+        hypothetical = Query(hypothetical_root)
+        shadow = Catalog()
+        for other in catalog.entries():
+            if other.sequence is sequence:
+                shadow.register(other.name, replica, collect=other.stats is not None)
+            else:
+                shadow.register(other.name, other.sequence, collect=False)
+        result = optimize(hypothetical, catalog=shadow, span=span, params=params)
+        reorganized_cost = result.plan.estimated_cost
+
+        # conversion: one full scan in the old organization plus one
+        # sequential write of the clustered replica
+        profile = sequence.access_profile()
+        new_pages = replica.access_profile().stream_total
+        conversion = (profile.stream_total + new_pages) * params.page_cost
+
+        recommendation = Recommendation(
+            name=name,
+            current_organization=sequence.organization_kind,
+            reorganize=(current_cost - reorganized_cost) * executions > conversion,
+            current_cost=current_cost,
+            reorganized_cost=reorganized_cost,
+            conversion_cost=conversion,
+            executions=executions,
+        )
+        recommendations.append(recommendation)
+    return recommendations
+
+
+def apply_reorganization(
+    catalog: Catalog,
+    recommendations: list[Recommendation],
+    suffix: str = "_clustered",
+) -> dict[str, StoredSequence]:
+    """Materialize the positive recommendations as clustered replicas.
+
+    Each recommended sequence gains a ``<name><suffix>`` catalog entry
+    holding the clustered copy; the original stays registered.
+
+    Returns the new replicas by original name.
+    """
+    replicas: dict[str, StoredSequence] = {}
+    for recommendation in recommendations:
+        if not recommendation.reorganize:
+            continue
+        source = catalog.get(recommendation.name).sequence
+        replica = StoredSequence.from_sequence(
+            f"{recommendation.name}{suffix}", source, organization="clustered"
+        )
+        catalog.register(f"{recommendation.name}{suffix}", replica)
+        replicas[recommendation.name] = replica
+    return replicas

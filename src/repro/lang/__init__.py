@@ -1,0 +1,22 @@
+"""A small declarative textual query language for sequences."""
+
+from repro.lang.ast_nodes import Binary, Call, ColumnRef, Literal, SequenceRef, Unary
+from repro.lang.compiler import compile_query
+from repro.lang.formatter import format_expr, format_query
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+
+__all__ = [
+    "Binary",
+    "Call",
+    "ColumnRef",
+    "Literal",
+    "SequenceRef",
+    "Token",
+    "Unary",
+    "compile_query",
+    "format_expr",
+    "format_query",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,72 @@
+"""AST of the sequence query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# -- value expressions (predicates / scalars) --------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to an attribute of the current record."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric, string or boolean literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    """A binary arithmetic/comparison/boolean expression."""
+
+    op: str
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``not`` or unary minus."""
+
+    op: str
+    operand: "ValueExpr"
+
+
+ValueExpr = Union[ColumnRef, Literal, Binary, Unary]
+
+
+# -- sequence expressions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SequenceRef:
+    """A named base sequence (resolved against the environment/catalog)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Call:
+    """An operator application, e.g. ``window(ibm, avg, close, 6)``.
+
+    Attributes:
+        func: the operator name.
+        args: positional arguments — sequence expressions, value
+            expressions or bare names, as the operator requires.
+        aliases: per-argument ``as`` aliases (None where absent).
+    """
+
+    func: str
+    args: tuple[object, ...]
+    aliases: tuple[Optional[str], ...]
+
+
+SeqExpr = Union[SequenceRef, Call]

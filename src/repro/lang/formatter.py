@@ -1,0 +1,116 @@
+"""Formatting operator trees back to query-language text.
+
+``format_query`` is the inverse of
+:func:`~repro.lang.compiler.compile_query`: it emits language text plus
+the environment of base sequences the text refers to, such that
+compiling the text against that environment yields an equivalent query
+(the round-trip property, tested with hypothesis).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.model.sequence import Sequence
+from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
+from repro.algebra.compose import Compose
+from repro.algebra.expressions import And, Arith, Cmp, Col, Expr, Lit, Not, Or
+from repro.algebra.graph import Query
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.algebra.node import Operator
+from repro.algebra.offsets import PositionalOffset, ValueOffset
+from repro.algebra.project import Project
+from repro.algebra.select import Select
+
+
+def format_expr(expr: Expr) -> str:
+    """Language text of a predicate/scalar expression."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Lit):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            return "'" + expr.value + "'"
+        return repr(expr.value)
+    if isinstance(expr, Arith):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, Cmp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, And):
+        return f"({format_expr(expr.left)} and {format_expr(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({format_expr(expr.left)} or {format_expr(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(not {format_expr(expr.operand)})"
+    raise QueryError(f"cannot format expression {expr!r}")
+
+
+def _format_node(node: Operator, env: dict[str, Sequence]) -> str:
+    if isinstance(node, SequenceLeaf):
+        existing = env.get(node.alias)
+        if existing is not None and existing is not node.sequence:
+            raise QueryError(
+                f"two different sequences share the alias {node.alias!r}; "
+                "rename one before formatting"
+            )
+        env[node.alias] = node.sequence
+        return node.alias
+    if isinstance(node, ConstantLeaf):
+        raise QueryError(
+            "the query language has no literal for constant sequences"
+        )
+    if isinstance(node, Select):
+        return (
+            f"select({_format_node(node.inputs[0], env)}, "
+            f"{format_expr(node.predicate)})"
+        )
+    if isinstance(node, Project):
+        names = ", ".join(node.names)
+        return f"project({_format_node(node.inputs[0], env)}, {names})"
+    if isinstance(node, PositionalOffset):
+        return f"shift({_format_node(node.inputs[0], env)}, {node.offset})"
+    if isinstance(node, ValueOffset):
+        child = _format_node(node.inputs[0], env)
+        if node.offset == -1:
+            return f"previous({child})"
+        if node.offset == 1:
+            return f"next({child})"
+        return f"voffset({child}, {node.offset})"
+    if isinstance(node, WindowAggregate):
+        return (
+            f"window({_format_node(node.inputs[0], env)}, {node.func}, "
+            f"{node.attr}, {node.width}, {node.output_name})"
+        )
+    if isinstance(node, CumulativeAggregate):
+        return (
+            f"cumulative({_format_node(node.inputs[0], env)}, {node.func}, "
+            f"{node.attr}, {node.output_name})"
+        )
+    if isinstance(node, GlobalAggregate):
+        return (
+            f"global_agg({_format_node(node.inputs[0], env)}, {node.func}, "
+            f"{node.attr}, {node.output_name})"
+        )
+    if isinstance(node, Compose):
+        left = _format_node(node.inputs[0], env)
+        right = _format_node(node.inputs[1], env)
+        if node.prefixes[0]:
+            left = f"{left} as {node.prefixes[0]}"
+        if node.prefixes[1]:
+            right = f"{right} as {node.prefixes[1]}"
+        if node.predicate is not None:
+            return f"compose({left}, {right}, {format_expr(node.predicate)})"
+        return f"compose({left}, {right})"
+    raise QueryError(f"cannot format operator {node.describe()!r}")
+
+
+def format_query(query: Query) -> tuple[str, dict[str, Sequence]]:
+    """Emit a query as language text plus its base-sequence environment.
+
+    Raises:
+        QueryError: for constructs the language cannot express (constant
+            sequences) or alias collisions between distinct sequences.
+    """
+    env: dict[str, Sequence] = {}
+    text = _format_node(query.root, env)
+    return text, env

@@ -1,0 +1,143 @@
+"""Tokenizer for the sequence query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(("and", "or", "not", "as", "true", "false"))
+
+SYMBOLS = (
+    # longest first
+    ">=", "<=", "==", "!=",
+    "(", ")", ",", ">", "<", "+", "-", "*", "/",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``name``, ``keyword``, ``int``, ``float``, ``string``,
+            ``symbol`` or ``eof``.
+        text: the raw token text.
+        line, column: 1-based source location.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_symbol(self, text: str) -> bool:
+        """Whether this token is the symbol ``text``."""
+        return self.kind == "symbol" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """Whether this token is the keyword ``text``."""
+        return self.kind == "keyword" and self.text == text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a token list ending with an ``eof`` token.
+
+    Raises:
+        ParseError: on unrecognized characters or malformed literals.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":  # comment to end of line
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_column = column
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                if source[end] == ".":
+                    if seen_dot:
+                        raise error(f"malformed number near {source[index:end + 1]!r}")
+                    seen_dot = True
+                end += 1
+            text = source[index:end]
+            if text.endswith("."):
+                raise error(f"malformed number {text!r}")
+            # scientific notation: 1e9, 2.5e-140, 3E+7
+            seen_exp = False
+            if end < length and source[end] in "eE":
+                exp_end = end + 1
+                if exp_end < length and source[exp_end] in "+-":
+                    exp_end += 1
+                digits_start = exp_end
+                while exp_end < length and source[exp_end].isdigit():
+                    exp_end += 1
+                if exp_end > digits_start:
+                    seen_exp = True
+                    end = exp_end
+                    text = source[index:end]
+            tokens.append(
+                Token(
+                    "float" if (seen_dot or seen_exp) else "int",
+                    text,
+                    line,
+                    start_column,
+                )
+            )
+            column += end - index
+            index = end
+            continue
+        if char in "'\"":
+            end = index + 1
+            while end < length and source[end] != char:
+                if source[end] == "\n":
+                    raise error("unterminated string literal")
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", source[index + 1 : end], line, start_column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(Token("symbol", symbol, line, start_column))
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,172 @@
+"""Materialized base sequences.
+
+A base sequence (paper Section 2) explicitly associates positions with
+records; all other positions map to the Null record.  This in-memory
+implementation backs tests, the naive evaluator, and query outputs; the
+disk-resident variant lives in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Mapping, Optional, Sequence as PySequence
+
+from repro.errors import SchemaError, SpanError
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+
+
+class BaseSequence(Sequence):
+    """An explicit, immutable mapping from positions to records."""
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        items: Iterable[tuple[int, Record]],
+        span: Optional[Span] = None,
+    ):
+        """Build a base sequence.
+
+        Args:
+            schema: the record schema; every record must conform to it.
+            items: ``(position, record)`` pairs; positions must be unique.
+            span: the valid range.  Defaults to the tight hull of the
+                item positions (empty if there are no items).  Items
+                outside an explicit span are rejected.
+        """
+        mapping: dict[int, Record] = {}
+        for position, record in items:
+            if not isinstance(position, int) or isinstance(position, bool):
+                raise SpanError(f"position must be an int, got {position!r}")
+            if record is NULL:
+                continue  # explicit Nulls are simply empty positions
+            if not isinstance(record, Record):
+                raise SchemaError(f"expected Record at position {position}, got {record!r}")
+            if record.schema != schema:
+                raise SchemaError(
+                    f"record at position {position} has schema {record.schema!r}, "
+                    f"expected {schema!r}"
+                )
+            if position in mapping:
+                raise SpanError(f"duplicate position {position}")
+            mapping[position] = record
+
+        positions = sorted(mapping)
+        if span is None:
+            if positions:
+                span = Span(positions[0], positions[-1])
+            else:
+                span = Span.EMPTY
+        else:
+            for position in positions:
+                if position not in span:
+                    raise SpanError(
+                        f"position {position} lies outside declared span {span}"
+                    )
+
+        self._schema = schema
+        self._span = span
+        self._positions = positions
+        self._records = mapping
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        schema: RecordSchema,
+        rows: Iterable[tuple[int, PySequence[object]]],
+        span: Optional[Span] = None,
+    ) -> "BaseSequence":
+        """Build from ``(position, raw_values)`` pairs."""
+        return cls(
+            schema,
+            ((pos, Record(schema, values)) for pos, values in rows),
+            span=span,
+        )
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: RecordSchema,
+        rows: Mapping[int, Mapping[str, object]],
+        span: Optional[Span] = None,
+    ) -> "BaseSequence":
+        """Build from a ``position -> {attr: value}`` mapping."""
+        return cls(
+            schema,
+            (
+                (pos, Record(schema, tuple(values[n] for n in schema.names)))
+                for pos, values in rows.items()
+            ),
+            span=span,
+        )
+
+    @classmethod
+    def empty(cls, schema: RecordSchema, span: Span = Span.EMPTY) -> "BaseSequence":
+        """A sequence with no non-Null positions."""
+        return cls(schema, (), span=span)
+
+    # -- Sequence interface --------------------------------------------------
+
+    @property
+    def schema(self) -> RecordSchema:
+        return self._schema
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def at(self, position: int) -> RecordOrNull:
+        return self._records.get(position, NULL)
+
+    def iter_nonnull(self, within: Optional[Span] = None) -> Iterator[tuple[int, Record]]:
+        window = self._span if within is None else self._span.intersect(within)
+        if window.is_empty:
+            return
+        lo = 0 if window.start is None else bisect.bisect_left(self._positions, window.start)
+        hi = (
+            len(self._positions)
+            if window.end is None
+            else bisect.bisect_right(self._positions, window.end)
+        )
+        for position in self._positions[lo:hi]:
+            yield position, self._records[position]
+
+    # -- extras ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of non-Null positions."""
+        return len(self._positions)
+
+    def first_position(self) -> Optional[int]:
+        """The smallest non-Null position, or None."""
+        return self._positions[0] if self._positions else None
+
+    def last_position(self) -> Optional[int]:
+        """The largest non-Null position, or None."""
+        return self._positions[-1] if self._positions else None
+
+    def restricted(self, span: Span) -> "BaseSequence":
+        """A copy whose span (and contents) are clipped to ``span``."""
+        window = self._span.intersect(span)
+        return BaseSequence(self._schema, self.iter_nonnull(window), span=window)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BaseSequence):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._records == other._records
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self._schema, tuple(sorted(self._records.items()))))
+
+    def __repr__(self) -> str:
+        return (
+            f"BaseSequence(schema={self._schema!r}, span={self._span!r}, "
+            f"records={len(self._positions)})"
+        )

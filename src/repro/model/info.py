@@ -1,0 +1,51 @@
+"""Sequence meta-information carried through optimization.
+
+The optimizer annotates every node of a query graph with a
+:class:`SequenceInfo`: span, density, estimated record count, and
+(optionally) per-column statistics.  For base sequences this comes from
+the catalog (paper Section 3, Table 1); for derived sequences it is
+inferred bottom-up by each operator (Step 2.a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.model.span import Span
+
+
+@dataclass(frozen=True)
+class SequenceInfo:
+    """Optimizer-visible metadata about a (base or derived) sequence.
+
+    Attributes:
+        span: the valid range of the sequence.
+        density: fraction of span positions that are non-Null, in [0, 1].
+        stats: optional per-column statistics (histograms) for
+            selectivity estimation; ``None`` for derived sequences where
+            statistics were not propagated.
+    """
+
+    span: Span
+    density: float
+    stats: Optional["object"] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        density = min(1.0, max(0.0, float(self.density)))
+        object.__setattr__(self, "density", density)
+
+    def expected_records(self) -> Optional[float]:
+        """Estimated number of non-Null records; None if span unbounded."""
+        length = self.span.length()
+        if length is None:
+            return None
+        return length * self.density
+
+    def restricted(self, span: Span) -> "SequenceInfo":
+        """The same metadata clipped to a narrower span."""
+        return replace(self, span=self.span.intersect(span))
+
+    def with_density(self, density: float) -> "SequenceInfo":
+        """A copy with a different density estimate."""
+        return replace(self, density=density)

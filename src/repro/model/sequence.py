@@ -1,0 +1,87 @@
+"""The abstract sequence interface.
+
+A sequence (paper Section 2) is a function from integer positions to
+records of a fixed schema, or the Null record.  Implementations expose
+both random (*probed*) access via :meth:`Sequence.at` and ordered
+(*stream*) access via :meth:`Sequence.iter_nonnull`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.errors import SpanError
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+
+
+class Sequence(abc.ABC):
+    """A function from integer positions to records or Null."""
+
+    @property
+    @abc.abstractmethod
+    def schema(self) -> RecordSchema:
+        """The record schema of the sequence."""
+
+    @property
+    @abc.abstractmethod
+    def span(self) -> Span:
+        """The valid range; positions outside it map to Null."""
+
+    @abc.abstractmethod
+    def at(self, position: int) -> RecordOrNull:
+        """The record at ``position`` (probed access)."""
+
+    @abc.abstractmethod
+    def iter_nonnull(self, within: Optional[Span] = None) -> Iterator[tuple[int, Record]]:
+        """Yield ``(position, record)`` for non-Null positions in increasing order.
+
+        Args:
+            within: restrict iteration to this span (intersected with the
+                sequence's own span).  Required to be bounded if the
+                sequence's span is unbounded.
+        """
+
+    # -- convenience ------------------------------------------------------
+
+    def count_nonnull(self, within: Optional[Span] = None) -> int:
+        """Number of non-Null positions (optionally within a span)."""
+        return sum(1 for _ in self.iter_nonnull(within))
+
+    def density(self) -> float:
+        """Fraction of positions within the span mapping to non-Null records.
+
+        Raises:
+            SpanError: if the span is unbounded.
+        """
+        length = self.span.length()
+        if length is None:
+            raise SpanError("density undefined for unbounded sequences")
+        if length == 0:
+            return 0.0
+        return self.count_nonnull() / length
+
+    def to_pairs(self, within: Optional[Span] = None) -> list[tuple[int, Record]]:
+        """All non-Null ``(position, record)`` pairs as a list."""
+        return list(self.iter_nonnull(within))
+
+    def effective_window(self, within: Optional[Span]) -> Span:
+        """The bounded span to iterate: own span intersected with ``within``.
+
+        Raises:
+            SpanError: if the result is unbounded.
+        """
+        window = self.span if within is None else self.span.intersect(within)
+        if not window.is_bounded:
+            raise SpanError(
+                f"iteration window {window} is unbounded; pass a bounded span"
+            )
+        return window
+
+    def get(self, position: int) -> RecordOrNull:
+        """Alias of :meth:`at`, guarding the span check for subclasses."""
+        if not self.span.contains(position):
+            return NULL
+        return self.at(position)

@@ -1,0 +1,53 @@
+"""The cost-based sequence query optimizer (paper Sections 3-4)."""
+
+from repro.optimizer.annotate import AnnotatedQuery, Annotation, annotate
+from repro.optimizer.blocks import (
+    Block,
+    BlockInput,
+    JoinBlock,
+    UnaryBlock,
+    block_tree,
+    count_blocks,
+    describe_blocks,
+)
+from repro.optimizer.costmodel import AccessCosts, CostModel, CostParams, span_fraction
+from repro.optimizer.joinenum import BlockPlanner, PlannedOutput, PlanStats
+from repro.optimizer.optimizer import OptimizationResult, optimize
+from repro.optimizer.plans import (
+    PROBE,
+    STREAM,
+    ChainStep,
+    OptimizedPlan,
+    PhysicalPlan,
+)
+from repro.optimizer.rewrite import RewriteTrace, apply_rewrites, is_legal_push
+
+__all__ = [
+    "AccessCosts",
+    "AnnotatedQuery",
+    "Annotation",
+    "Block",
+    "BlockInput",
+    "BlockPlanner",
+    "ChainStep",
+    "CostModel",
+    "CostParams",
+    "JoinBlock",
+    "OptimizationResult",
+    "OptimizedPlan",
+    "PhysicalPlan",
+    "PlanStats",
+    "PlannedOutput",
+    "PROBE",
+    "STREAM",
+    "RewriteTrace",
+    "UnaryBlock",
+    "annotate",
+    "apply_rewrites",
+    "block_tree",
+    "count_blocks",
+    "describe_blocks",
+    "is_legal_push",
+    "optimize",
+    "span_fraction",
+]

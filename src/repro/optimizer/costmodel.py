@@ -1,0 +1,274 @@
+"""The cost model (paper Sections 4.1.1-4.1.3).
+
+Costs are measured in *page-access units*: one unit is the cost of
+fetching one page from disk.  CPU-side work (predicate applications,
+cache operations, per-record handling) is charged small constant
+fractions of a unit, mirroring the paper's constant ``K`` for "a single
+application of the join predicates".
+
+The formulas of Section 4.1.3 are implemented verbatim:
+
+* stream access to a positional join of S1, S2::
+
+      min(A1 + n1*a2,  A2 + n2*a1,  A1 + A2)  +  d1*d2*L*K
+
+* probed access (per position)::
+
+      min(a1 + d1*a2,  a2 + d2*a1)  +  d1*d2*K
+
+where ``A`` is a full stream cost, ``a`` a per-probe cost, ``d`` a
+density, ``L`` the output span length and ``n = d*L`` the expected
+record count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.model.span import Span
+from repro.storage.organizations import AccessProfile
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable constants of the cost model.
+
+    Attributes:
+        page_cost: cost of one page access (the unit; leave at 1.0).
+        predicate_cost: the paper's K — one predicate application.
+        cache_op_cost: one insertion/eviction/lookup in an operator cache.
+        record_cost: per-record CPU handling in a stream.
+    """
+
+    page_cost: float = 1.0
+    predicate_cost: float = 0.01
+    cache_op_cost: float = 0.002
+    record_cost: float = 0.001
+
+
+@dataclass(frozen=True)
+class AccessCosts:
+    """The two access-mode costs of a (sub)plan output.
+
+    Attributes:
+        stream_total: cost of producing the full restricted span as a
+            stream (the paper's A for this derived sequence).
+        probe_unit: cost of producing the record at one given position
+            (the paper's a).
+        setup: one-time cost paid before the first probe (e.g. the
+            build pass of a materialized derived sequence, or the single
+            computation of a whole-sequence aggregate).
+    """
+
+    stream_total: float
+    probe_unit: float
+    setup: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stream_total < 0 or self.probe_unit < 0 or self.setup < 0:
+            raise OptimizerError(f"negative cost: {self}")
+
+    def probes(self, count: float) -> float:
+        """Total cost of ``count`` probes, including the setup."""
+        return self.setup + count * self.probe_unit
+
+
+def span_fraction(part: Span, whole: Span) -> float:
+    """The fraction of ``whole``'s positions that ``part`` covers."""
+    whole_len = whole.length()
+    part_len = part.intersect(whole).length()
+    if whole_len is None or part_len is None:
+        raise OptimizerError("span fractions need bounded spans")
+    if whole_len == 0:
+        return 0.0
+    return part_len / whole_len
+
+
+class CostModel:
+    """Estimates access costs for base sequences and operators."""
+
+    def __init__(self, params: CostParams | None = None):
+        self.params = params or CostParams()
+
+    # -- base sequences (Section 4.1.1) ------------------------------------
+
+    def base_costs(
+        self,
+        profile: AccessProfile,
+        full_span: Span,
+        restricted_span: Span,
+    ) -> AccessCosts:
+        """Stream/probe costs of a base sequence over its restricted span.
+
+        The stream cost scales with the fraction of the valid range
+        actually scanned — the payoff of the span optimization.
+        """
+        fraction = span_fraction(restricted_span, full_span) if full_span.length() else 0.0
+        return AccessCosts(
+            stream_total=profile.stream_total * fraction * self.params.page_cost,
+            probe_unit=profile.probe_unit * self.params.page_cost,
+        )
+
+    def constant_costs(self) -> AccessCosts:
+        """Constants have no access cost (Section 4.1.1)."""
+        return AccessCosts(stream_total=0.0, probe_unit=0.0)
+
+    # -- unit-scope chains ------------------------------------------------------
+
+    def chain_costs(
+        self,
+        child: AccessCosts,
+        expected_records: float,
+        predicate_conjuncts: int,
+    ) -> AccessCosts:
+        """Costs after applying selections/projections/offsets to a stream."""
+        cpu_per_record = (
+            self.params.record_cost
+            + predicate_conjuncts * self.params.predicate_cost
+        )
+        return AccessCosts(
+            stream_total=child.stream_total + expected_records * cpu_per_record,
+            probe_unit=child.probe_unit + cpu_per_record,
+            setup=child.setup,
+        )
+
+    # -- positional joins (Section 4.1.3) ------------------------------------------
+
+    def join_stream_cost(
+        self,
+        left: AccessCosts,
+        right: AccessCosts,
+        left_density: float,
+        right_density: float,
+        out_length: int,
+        conjuncts: int,
+    ) -> tuple[float, str]:
+        """Cheapest stream plan for one positional join; returns (cost, strategy).
+
+        The three candidates are Join-Strategy-A in both directions and
+        Join-Strategy-B (Section 3.3).
+        """
+        n_left = left_density * out_length
+        n_right = right_density * out_length
+        candidates = {
+            "stream-probe": left.stream_total + right.probes(n_left),
+            "probe-stream": right.stream_total + left.probes(n_right),
+            "lockstep": left.stream_total + right.stream_total,
+        }
+        strategy = min(candidates, key=lambda k: candidates[k])
+        predicate_cost = (
+            left_density * right_density * out_length
+            * max(1, conjuncts) * self.params.predicate_cost
+        )
+        return candidates[strategy] + predicate_cost, strategy
+
+    def join_probe_cost(
+        self,
+        left: AccessCosts,
+        right: AccessCosts,
+        left_density: float,
+        right_density: float,
+        conjuncts: int,
+    ) -> tuple[float, str]:
+        """Cheapest probed plan (per position) for one positional join."""
+        candidates = {
+            "probe-left-first": left.probe_unit + left_density * right.probe_unit,
+            "probe-right-first": right.probe_unit + right_density * left.probe_unit,
+        }
+        strategy = min(candidates, key=lambda k: candidates[k])
+        predicate_cost = (
+            left_density * right_density * max(1, conjuncts) * self.params.predicate_cost
+        )
+        return candidates[strategy] + predicate_cost, strategy
+
+    # -- non-unit-scope operators (Section 4.1.2) -------------------------------------
+
+    def window_agg_costs(
+        self,
+        child: AccessCosts,
+        width: int,
+        out_length: int,
+        child_density: float,
+    ) -> tuple[AccessCosts, float]:
+        """(costs, naive_stream_cost) of a moving aggregate.
+
+        The stream cost uses Cache-Strategy-A: one pass over the input
+        with a scope-sized cache, two cache operations plus one
+        aggregate update per position.  The naive stream alternative
+        probes the input ``width`` times per output position.  The
+        probed cost is the naive one (the incremental algorithm is not
+        usable with probed access, Section 4.1.2).
+        """
+        per_position_cpu = 2 * self.params.cache_op_cost + self.params.record_cost
+        cache_a = child.stream_total + out_length * per_position_cpu
+        naive_stream = out_length * width * (child.probe_unit + self.params.record_cost)
+        probe_unit = width * (child.probe_unit + self.params.record_cost)
+        return (
+            AccessCosts(stream_total=min(cache_a, naive_stream), probe_unit=probe_unit),
+            naive_stream,
+        )
+
+    def value_offset_costs(
+        self,
+        child: AccessCosts,
+        reach: int,
+        out_length: int,
+        child_density: float,
+    ) -> AccessCosts:
+        """Costs of a value offset (Previous/Next and friends).
+
+        Stream: Cache-Strategy-B — one pass over the input, a
+        reach-sized incremental cache.  Probe: the naive algorithm scans
+        an expected ``reach / density`` input positions (Section 4.1.2's
+        "reasonable estimate ... made from the density").
+        """
+        stream = child.stream_total + out_length * 2 * self.params.cache_op_cost
+        expected_scan = reach / max(child_density, 1e-9)
+        probe_unit = expected_scan * (child.probe_unit + self.params.record_cost)
+        return AccessCosts(stream_total=stream, probe_unit=probe_unit)
+
+    def cumulative_costs(
+        self,
+        child: AccessCosts,
+        out_length: int,
+    ) -> AccessCosts:
+        """Costs of a cumulative aggregate (running state over a stream)."""
+        stream = child.stream_total + out_length * (
+            self.params.cache_op_cost + self.params.record_cost
+        )
+        # A single probe must aggregate the whole prefix: half the
+        # stream on average, via probes.
+        probe_unit = 0.5 * out_length * (child.probe_unit + self.params.record_cost)
+        return AccessCosts(stream_total=stream, probe_unit=probe_unit)
+
+    def global_agg_costs(
+        self,
+        child: AccessCosts,
+        out_length: int,
+    ) -> AccessCosts:
+        """Costs of a whole-sequence aggregate (computed once, replayed)."""
+        compute = child.stream_total
+        stream = compute + out_length * self.params.record_cost
+        return AccessCosts(
+            stream_total=stream,
+            probe_unit=self.params.record_cost,
+            setup=compute,
+        )
+
+    def materialize_costs(
+        self,
+        child_stream_total: float,
+        expected_records: float,
+    ) -> AccessCosts:
+        """Costs of materializing a stream and probing the result.
+
+        The Section 5.3 extension: pay the stream once plus a write per
+        record, then probes are in-memory lookups.
+        """
+        build = child_stream_total + expected_records * self.params.cache_op_cost
+        return AccessCosts(
+            stream_total=build,
+            probe_unit=self.params.cache_op_cost,
+            setup=build,
+        )

@@ -1,0 +1,112 @@
+"""The six-step query optimization algorithm (paper Section 4).
+
+``optimize`` runs:
+
+1. query specification — the caller supplies a validated
+   :class:`~repro.algebra.graph.Query` and (optionally) a requested
+   span (the query template's position sequence, Figure 6);
+2. meta-information propagation — bottom-up annotation plus top-down
+   span restriction (:mod:`repro.optimizer.annotate`);
+3. query transformations — the Section 3.1 heuristics
+   (:mod:`repro.optimizer.rewrite`);
+4. block identification (:mod:`repro.optimizer.blocks`);
+5. block-wise plan generation (:mod:`repro.optimizer.joinenum`);
+6. plan selection — the cheapest stream-access plan at the Start
+   operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.span import Span
+from repro.algebra.graph import Query
+from repro.catalog.catalog import Catalog
+from repro.optimizer.annotate import AnnotatedQuery, annotate
+from repro.optimizer.blocks import block_tree, count_blocks
+from repro.optimizer.costmodel import CostModel, CostParams
+from repro.optimizer.joinenum import BlockPlanner, PlanStats
+from repro.optimizer.plans import OptimizedPlan
+from repro.optimizer.rewrite import RewriteTrace, apply_rewrites
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the optimizer produced, for inspection and execution.
+
+    Attributes:
+        plan: the selected plan and its headline numbers.
+        rewritten: the transformed query actually planned.
+        annotated: per-node metadata of the rewritten query.
+        stats: enumeration instrumentation (Property 4.1 counters).
+        trace: rewrite rules fired.
+    """
+
+    plan: OptimizedPlan
+    rewritten: Query
+    annotated: AnnotatedQuery
+    stats: PlanStats
+    trace: RewriteTrace
+
+    def explain(self) -> str:
+        """The EXPLAIN text of the chosen plan."""
+        return self.plan.explain()
+
+
+def optimize(
+    query: Query,
+    catalog: Optional[Catalog] = None,
+    span: Optional[Span] = None,
+    params: Optional[CostParams] = None,
+    rewrite: bool = True,
+    consider_materialize: bool = True,
+    restrict_spans: bool = True,
+) -> OptimizationResult:
+    """Produce the cheapest stream-access evaluation plan for ``query``.
+
+    Args:
+        query: the declarative query.
+        catalog: base-sequence metadata source (spans, densities,
+            histograms, correlations, access profiles).
+        span: the requested output span; defaults to the query's
+            natural bounded span.
+        params: cost-model constants.
+        rewrite: apply Step 3 transformations (disable to measure their
+            benefit).
+        consider_materialize: allow materialized derived sequences as
+            probe targets (the Section 5.3 extension).
+        restrict_spans: apply the top-down global span optimization
+            (Section 3.2); disable only to measure its benefit.
+    """
+    if rewrite:
+        rewritten, trace = apply_rewrites(query)
+    else:
+        rewritten, trace = query, RewriteTrace()
+
+    annotated = annotate(rewritten, catalog, span, restrict_spans=restrict_spans)
+    blocks = block_tree(rewritten.root)
+    planner = BlockPlanner(
+        annotated,
+        catalog=catalog,
+        model=CostModel(params),
+        consider_materialize=consider_materialize,
+    )
+    output = planner.plan(blocks)
+
+    plan = OptimizedPlan(
+        plan=output.stream_plan,
+        output_span=annotated.output_span,
+        estimated_cost=output.costs.stream_total,
+        plans_considered=planner.stats.plans_considered,
+        peak_plans_stored=planner.stats.peak_plans_stored,
+        block_count=count_blocks(blocks),
+        rewrites=list(trace.applied),
+    )
+    return OptimizationResult(
+        plan=plan,
+        rewritten=rewritten,
+        annotated=annotated,
+        stats=planner.stats,
+        trace=trace,
+    )

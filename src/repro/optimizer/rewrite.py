@@ -1,0 +1,277 @@
+"""Equivalence-preserving query transformations (paper Section 3.1).
+
+The legal rules implemented (each preserves the query's input scopes
+and operator function, Definition 3.1 / Proposition 3.1):
+
+* combine successive selections; combine successive projections;
+  combine successive positional offsets (cancelling a net-zero shift);
+* push selections through projections and into the side of a compose
+  whose attributes the predicate reads (conjunct-wise, undoing compose
+  prefixes on the way down);
+* push projections into composes (splitting by side while keeping the
+  join predicate's columns alive);
+* push positional offsets through selections, projections, composes
+  and window aggregates — all operators of *relative* scope.
+
+Several legal rules come in mutually inverse pairs (e.g. selection
+through a positional offset in either direction); to guarantee
+termination the engine applies only one direction of each pair,
+normalizing towards the bottom-up order *offset, selection,
+projection* above each leaf.
+
+The transformations the paper identifies as incorrect are **not** rules:
+selections never move through aggregates or value offsets (non-unit
+scope), and aggregates/value offsets never move through composes or
+each other.  :func:`is_legal_push` answers these legality questions
+directly and is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
+from repro.algebra.compose import Compose
+from repro.algebra.expressions import And, Expr, conjoin, conjuncts
+from repro.algebra.graph import Query
+from repro.algebra.node import Operator
+from repro.algebra.offsets import PositionalOffset, ValueOffset
+from repro.algebra.project import Project
+from repro.algebra.select import Select
+
+#: Safety bound on full rewrite passes; queries are finite trees so the
+#: fixpoint is reached long before this.
+MAX_PASSES = 50
+
+_NON_UNIT_SCOPE = (WindowAggregate, CumulativeAggregate, GlobalAggregate, ValueOffset)
+
+
+@dataclass
+class RewriteTrace:
+    """A record of which rules fired during rewriting."""
+
+    applied: list[str] = field(default_factory=list)
+
+    def note(self, rule: str) -> None:
+        """Record one application of ``rule``."""
+        self.applied.append(rule)
+
+    def count(self, rule: str) -> int:
+        """How many times ``rule`` fired."""
+        return sum(1 for name in self.applied if name == rule)
+
+
+def is_legal_push(mover: Operator, through: Operator) -> bool:
+    """Whether ``mover`` may be pushed through ``through`` (Section 3.1).
+
+    Encodes the paper's positive and negative rules:
+
+    * selections and projections pass unit-scope relative operators
+      only; selections cannot pass any operator of non-unit scope;
+    * positional offsets pass any operator of relative scope on all its
+      inputs (which includes window aggregates but excludes value
+      offsets and cumulative/global aggregates);
+    * aggregates and value offsets pass nothing (not composes, not each
+      other).
+    """
+    if isinstance(mover, (Select, Project)):
+        if isinstance(through, _NON_UNIT_SCOPE):
+            return False
+        # Unit *size* suffices: selections commute with positional
+        # offsets (size-one relative scope) as well as with {i}-scoped
+        # operators.
+        return all(
+            through.scope_on(k).size == 1 and through.scope_on(k).is_relative
+            for k in range(through.arity)
+        )
+    if isinstance(mover, PositionalOffset):
+        return all(
+            through.scope_on(k).is_relative for k in range(through.arity)
+        )
+    # aggregates, value offsets, composes: never pushed
+    return False
+
+
+def _unprefix_map(compose: Compose, side: int) -> dict[str, str]:
+    """Rename map from the compose's output names back to a side's names."""
+    raw = compose.inputs[side].schema
+    prefix = compose.prefixes[side]
+    if not prefix:
+        return {}
+    return {f"{prefix}_{name}": name for name in raw.names}
+
+
+def _push_select_into_compose(select: Select, compose: Compose, trace: RewriteTrace) -> Operator:
+    """Distribute side-pure conjuncts of a selection into a compose."""
+    left_cols = compose.side_columns(0)
+    right_cols = compose.side_columns(1)
+    left_parts: list[Expr] = []
+    right_parts: list[Expr] = []
+    keep: list[Expr] = []
+    for part in conjuncts(select.predicate):
+        cols = part.columns()
+        if cols and cols <= left_cols:
+            left_parts.append(part.rename(_unprefix_map(compose, 0)))
+        elif cols and cols <= right_cols:
+            right_parts.append(part.rename(_unprefix_map(compose, 1)))
+        else:
+            keep.append(part)
+    if not left_parts and not right_parts:
+        return select
+    left, right = compose.inputs
+    if left_parts:
+        left = Select(left, conjoin(left_parts))
+        trace.note("push_select_into_compose")
+    if right_parts:
+        right = Select(right, conjoin(right_parts))
+        trace.note("push_select_into_compose")
+    new_compose = Compose(left, right, compose.predicate, compose.prefixes)
+    if keep:
+        return Select(new_compose, conjoin(keep))
+    return new_compose
+
+
+def _push_project_into_compose(project: Project, compose: Compose, trace: RewriteTrace) -> Operator:
+    """Split a projection by compose side, keeping predicate columns alive."""
+    needed = set(project.names) | compose.participating_columns()
+    left_cols = compose.side_columns(0)
+    right_cols = compose.side_columns(1)
+    if not needed <= (left_cols | right_cols):  # pragma: no cover - typing guards this
+        return project
+    left_needed = [c for c in needed if c in left_cols]
+    right_needed = [c for c in needed if c in right_cols]
+    if not left_needed or not right_needed:
+        # Compose still needs a record from both sides; never project a
+        # side away entirely.
+        return project
+    left_map = _unprefix_map(compose, 0)
+    right_map = _unprefix_map(compose, 1)
+    left_raw = sorted(left_map.get(c, c) for c in left_needed)
+    right_raw = sorted(right_map.get(c, c) for c in right_needed)
+    left, right = compose.inputs
+    changed = False
+    if set(left_raw) != set(left.schema.names):
+        left = Project(left, left_raw)
+        changed = True
+    if set(right_raw) != set(right.schema.names):
+        right = Project(right, right_raw)
+        changed = True
+    if not changed:
+        return project
+    trace.note("push_project_into_compose")
+    new_compose = Compose(left, right, compose.predicate, compose.prefixes)
+    return Project(new_compose, project.names)
+
+
+def _rewrite_node(node: Operator, trace: RewriteTrace) -> Operator:
+    """Apply one rule at ``node`` if any matches; return the new node."""
+    # -- combining rules ---------------------------------------------------
+    if isinstance(node, Select) and isinstance(node.inputs[0], Select):
+        inner = node.inputs[0]
+        trace.note("combine_selects")
+        return Select(inner.inputs[0], And(inner.predicate, node.predicate))
+    if isinstance(node, Project) and isinstance(node.inputs[0], Project):
+        inner = node.inputs[0]
+        trace.note("combine_projects")
+        return Project(inner.inputs[0], node.names)
+    if isinstance(node, PositionalOffset) and isinstance(node.inputs[0], PositionalOffset):
+        inner = node.inputs[0]
+        net = node.offset + inner.offset
+        trace.note("combine_offsets")
+        if net == 0:
+            return inner.inputs[0]
+        return PositionalOffset(inner.inputs[0], net)
+    if isinstance(node, PositionalOffset) and node.offset == 0:
+        trace.note("drop_zero_offset")
+        return node.inputs[0]
+
+    # -- selection pushdown ---------------------------------------------------
+    if isinstance(node, Select):
+        child = node.inputs[0]
+        if isinstance(child, Project):
+            # Predicate columns are all in the projection (typing), so
+            # the swap is always legal; reapply the projection above.
+            trace.note("push_select_through_project")
+            return Project(Select(child.inputs[0], node.predicate), child.names)
+        if isinstance(child, Compose):
+            replaced = _push_select_into_compose(node, child, trace)
+            if replaced is not node:
+                return replaced
+
+    # -- projection pushdown -----------------------------------------------------
+    if isinstance(node, Project):
+        child = node.inputs[0]
+        if isinstance(child, Compose):
+            replaced = _push_project_into_compose(node, child, trace)
+            if replaced is not node:
+                return replaced
+
+    # -- positional offset pushdown ------------------------------------------------
+    if isinstance(node, PositionalOffset):
+        child = node.inputs[0]
+        if isinstance(child, Select):
+            trace.note("push_offset_through_select")
+            return Select(
+                PositionalOffset(child.inputs[0], node.offset), child.predicate
+            )
+        if isinstance(child, Project):
+            trace.note("push_offset_through_project")
+            return Project(
+                PositionalOffset(child.inputs[0], node.offset), child.names
+            )
+        if isinstance(child, Compose):
+            trace.note("push_offset_through_compose")
+            left = PositionalOffset(child.inputs[0], node.offset)
+            right = PositionalOffset(child.inputs[1], node.offset)
+            return Compose(left, right, child.predicate, child.prefixes)
+        if isinstance(child, WindowAggregate):
+            # Window aggregates have relative scope on their input, so a
+            # positional offset commutes with them (Section 3.1).
+            trace.note("push_offset_through_window")
+            return WindowAggregate(
+                PositionalOffset(child.inputs[0], node.offset),
+                child.func,
+                child.attr,
+                child.width,
+                child.output_name,
+            )
+
+    return node
+
+
+def _rewrite_tree(node: Operator, trace: RewriteTrace) -> Operator:
+    """Rewrite children first, then this node, to a local fixpoint."""
+    new_children = tuple(_rewrite_tree(child, trace) for child in node.inputs)
+    if any(a is not b for a, b in zip(new_children, node.inputs)):
+        node = node.with_inputs(new_children)
+    for _ in range(MAX_PASSES):
+        replaced = _rewrite_node(node, trace)
+        if replaced is node:
+            return node
+        # The rule may have buried rewritable shapes one level down.
+        node = _rewrite_tree_children_only(replaced, trace)
+    return node
+
+
+def _rewrite_tree_children_only(node: Operator, trace: RewriteTrace) -> Operator:
+    new_children = tuple(_rewrite_tree(child, trace) for child in node.inputs)
+    if any(a is not b for a, b in zip(new_children, node.inputs)):
+        return node.with_inputs(new_children)
+    return node
+
+
+def apply_rewrites(query: Query) -> tuple[Query, RewriteTrace]:
+    """Apply the Section 3.1 heuristics to a whole query.
+
+    Returns the rewritten (revalidated) query and the trace of rules
+    fired.  The rewritten query is equivalent to the original in the
+    sense of Definition 3.1.
+    """
+    trace = RewriteTrace()
+    root = query.root
+    for _ in range(MAX_PASSES):
+        new_root = _rewrite_tree(root, trace)
+        if new_root is root:
+            break
+        root = new_root
+    return Query(root), trace

@@ -1,0 +1,25 @@
+"""The relational baseline engine (Example 1.1's comparator)."""
+
+from repro.relational.example11 import (
+    relational_plan,
+    sequence_answers,
+    sequence_query,
+    tables_from_sequences,
+)
+from repro.relational.table import (
+    RelationalCounters,
+    Table,
+    scalar_aggregate,
+    select,
+)
+
+__all__ = [
+    "RelationalCounters",
+    "Table",
+    "relational_plan",
+    "scalar_aggregate",
+    "select",
+    "sequence_answers",
+    "sequence_query",
+    "tables_from_sequences",
+]

@@ -1,0 +1,101 @@
+"""The paper's Example 1.1, both ways.
+
+``relational_plan`` evaluates the SQL formulation the way the paper
+says a 1979-style optimizer would: for every Volcano tuple, invoke the
+correlated subquery ``SELECT max(E1.time) FROM Earthquakes E1 WHERE
+E1.time < V.time`` (a full scan of Earthquakes), use the result to
+probe Earthquakes again, then apply the strength filter.  Cost:
+O(|V| * |E|) tuple reads.
+
+``sequence_query`` builds the equivalent declarative sequence query of
+Figure 1 — compose(volcanos, previous(earthquakes)) filtered on
+strength — which the optimizer evaluates with a single lock-step scan
+of both sequences and a one-record cache (Cache-Strategy-B).
+"""
+
+from __future__ import annotations
+
+from repro.model.sequence import Sequence
+from repro.algebra.builder import Seq, base
+from repro.algebra.expressions import col
+from repro.algebra.graph import Query
+from repro.relational.table import RelationalCounters, Table, scalar_aggregate
+
+
+def tables_from_sequences(
+    volcanos: Sequence, earthquakes: Sequence
+) -> tuple[Table, Table]:
+    """Flatten the two event sequences into relational tables.
+
+    The position becomes the explicit ``time`` column, exactly as a
+    relational schema would model the data.
+    """
+    volcano_rows = [
+        (pos, record.get("name")) for pos, record in volcanos.iter_nonnull()
+    ]
+    quake_rows = [
+        (pos, record.get("strength")) for pos, record in earthquakes.iter_nonnull()
+    ]
+    return (
+        Table("Volcanos", ("time", "name"), volcano_rows),
+        Table("Earthquakes", ("time", "strength"), quake_rows),
+    )
+
+
+def relational_plan(
+    volcanos: Table,
+    earthquakes: Table,
+    threshold: float = 7.0,
+    counters: RelationalCounters | None = None,
+) -> tuple[list[str], RelationalCounters]:
+    """The nested-subquery relational evaluation of Example 1.1."""
+    counters = counters if counters is not None else RelationalCounters()
+    v_time = volcanos.column_index("time")
+    v_name = volcanos.column_index("name")
+    e_time = earthquakes.column_index("time")
+    e_strength = earthquakes.column_index("strength")
+
+    answers: list[str] = []
+    for volcano in volcanos.scan(counters):
+        # Correlated subquery: max(E1.time) where E1.time < V.time —
+        # a full scan of Earthquakes per outer tuple.
+        counters.subquery_invocations += 1
+        cutoff = volcano[v_time]
+        latest = scalar_aggregate(
+            earthquakes,
+            "time",
+            "max",
+            lambda row: row[e_time] < cutoff,
+            counters,
+        )
+        if latest is None:
+            continue
+        # Join condition E.time = (subquery): probe Earthquakes again.
+        for quake in earthquakes.scan(counters):
+            counters.comparisons += 1
+            if quake[e_time] != latest:
+                continue
+            counters.comparisons += 1
+            if quake[e_strength] > threshold:
+                answers.append(volcano[v_name])
+            break
+    return answers, counters
+
+
+def sequence_query(
+    volcanos: Sequence, earthquakes: Sequence, threshold: float = 7.0
+) -> Query:
+    """The declarative sequence-query formulation (Figure 1)."""
+    previous_quake = Seq(base(earthquakes, "e").previous().node)
+    return (
+        base(volcanos, "v")
+        .compose(previous_quake, prefixes=("v", "e"))
+        .select(col("e_strength") > threshold)
+        .project("v_name")
+        .query()
+    )
+
+
+def sequence_answers(output) -> list[str]:
+    """Extract the volcano names from the sequence query's answer."""
+    return [record.get("v_name") for _pos, record in output.iter_nonnull()]

@@ -1,0 +1,122 @@
+"""A miniature relational engine: tables with access accounting.
+
+The paper's Example 1.1 contrasts the sequence engine with how "a
+conventional relational query optimizer as described in [SMALP79]"
+would evaluate the volcano/earthquake query: a correlated aggregate
+subquery re-evaluated per outer tuple.  This subpackage implements
+exactly enough of a relational engine — tables, scans, selections,
+correlated scalar subqueries — to run that baseline and count its work
+honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+
+
+class RelationalCounters:
+    """Work counters for the relational engine."""
+
+    def __init__(self):
+        self.tuples_read = 0
+        self.subquery_invocations = 0
+        self.comparisons = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.tuples_read = 0
+        self.subquery_invocations = 0
+        self.comparisons = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary."""
+        return {
+            "tuples_read": self.tuples_read,
+            "subquery_invocations": self.subquery_invocations,
+            "comparisons": self.comparisons,
+        }
+
+
+class Table:
+    """A relation: named columns over a list of tuples."""
+
+    def __init__(self, name: str, columns: tuple[str, ...], rows: Iterable[tuple]):
+        self.name = name
+        self.columns = columns
+        self._index = {c: i for i, c in enumerate(columns)}
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(columns):
+                raise ReproError(
+                    f"row {row!r} does not match columns {columns!r} of {name!r}"
+                )
+
+    def column_index(self, name: str) -> int:
+        """Position of a column.
+
+        Raises:
+            ReproError: for an unknown column.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ReproError(f"no column {name!r} in table {self.name!r}") from None
+
+    def scan(self, counters: RelationalCounters) -> Iterator[tuple]:
+        """Full scan, counting tuples read."""
+        for row in self.rows:
+            counters.tuples_read += 1
+            yield row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def select(
+    table: Table,
+    predicate: Callable[[tuple], bool],
+    counters: RelationalCounters,
+) -> list[tuple]:
+    """Filter a table by a row predicate (counting comparisons)."""
+    kept = []
+    for row in table.scan(counters):
+        counters.comparisons += 1
+        if predicate(row):
+            kept.append(row)
+    return kept
+
+
+def scalar_aggregate(
+    table: Table,
+    column: str,
+    func: str,
+    predicate: Optional[Callable[[tuple], bool]],
+    counters: RelationalCounters,
+) -> Optional[object]:
+    """A scalar aggregate subquery: ``SELECT func(column) WHERE pred``.
+
+    Returns None on an empty qualifying set (SQL NULL).
+    """
+    index = table.column_index(column)
+    values = []
+    for row in table.scan(counters):
+        if predicate is not None:
+            counters.comparisons += 1
+            if not predicate(row):
+                continue
+        values.append(row[index])
+    if not values:
+        return None
+    if func == "max":
+        return max(values)
+    if func == "min":
+        return min(values)
+    if func == "count":
+        return len(values)
+    if func == "sum":
+        return sum(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    raise ReproError(f"unknown aggregate {func!r}")

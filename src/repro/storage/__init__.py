@@ -1,0 +1,31 @@
+"""The paged storage substrate with access accounting."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import StorageCounters
+from repro.storage.disk import SimulatedDisk
+from repro.storage.organizations import (
+    ORGANIZATION_KINDS,
+    AccessProfile,
+    AppendLogOrganization,
+    ClusteredOrganization,
+    IndexedOrganization,
+    PhysicalOrganization,
+    make_organization,
+)
+from repro.storage.page import Page
+from repro.storage.stored import StoredSequence
+
+__all__ = [
+    "ORGANIZATION_KINDS",
+    "AccessProfile",
+    "AppendLogOrganization",
+    "BufferPool",
+    "ClusteredOrganization",
+    "IndexedOrganization",
+    "Page",
+    "PhysicalOrganization",
+    "SimulatedDisk",
+    "StorageCounters",
+    "StoredSequence",
+    "make_organization",
+]

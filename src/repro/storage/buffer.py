@@ -1,0 +1,52 @@
+"""An LRU buffer pool over the simulated disk.
+
+The pool bounds how many pages are memory-resident; repeated accesses to
+hot pages (e.g. consecutive probes into the same page during a
+lock-step join) are buffer hits and cost nothing at the disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of pages."""
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 16):
+        if capacity < 1:
+            raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
+        self._disk = disk
+        self._capacity = capacity
+        self._frames: OrderedDict[int, Page] = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident pages."""
+        return self._capacity
+
+    @property
+    def resident(self) -> int:
+        """Number of currently resident pages."""
+        return len(self._frames)
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page, from the pool if resident, else from disk."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self._disk.counters.buffer_hits += 1
+            return frame
+        page = self._disk.read(page_id)
+        self._frames[page_id] = page
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+        return page
+
+    def flush(self) -> None:
+        """Drop all resident pages (e.g. between benchmark runs)."""
+        self._frames.clear()

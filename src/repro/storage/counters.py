@@ -1,0 +1,68 @@
+"""Cost accounting for the storage substrate.
+
+The paper argues every optimization in terms of access counts (single
+scans vs repeated probes, pages touched, cache operations).  These
+counters make those quantities measurable, so benchmarks can compare the
+optimizer's *estimated* costs against *actual* costs in the same units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class StorageCounters:
+    """Mutable counters of storage-level work.
+
+    Attributes:
+        page_reads: pages fetched from the simulated disk (buffer misses).
+        page_writes: pages written to the simulated disk.
+        buffer_hits: page requests satisfied by the buffer pool.
+        records_streamed: records delivered by stream (scan) access.
+        probes: point lookups of a record at a given position.
+        index_node_reads: index pages traversed during probes (subset of
+            ``page_reads`` when the index misses the buffer).
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    records_streamed: int = 0
+    probes: int = 0
+    index_node_reads: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "StorageCounters":
+        """An immutable copy of the current counts."""
+        return StorageCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other: "StorageCounters") -> "StorageCounters":
+        return StorageCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "StorageCounters") -> "StorageCounters":
+        return StorageCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def total_page_accesses(self) -> int:
+        """Pages fetched from disk — the paper's primary cost unit."""
+        return self.page_reads
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary (for reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,64 @@
+"""The simulated disk: a page store with access accounting.
+
+Every page fetch and write is counted.  The disk is deliberately dumb —
+placement policy lives in the physical organizations and caching in the
+buffer pool — so the counters measure exactly the I/O a real disk-based
+system would perform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.counters import StorageCounters
+from repro.storage.page import Page
+
+
+class SimulatedDisk:
+    """An accounting page store."""
+
+    def __init__(self, page_capacity: int = 32, counters: StorageCounters | None = None):
+        if page_capacity < 1:
+            raise StorageError(f"page capacity must be >= 1, got {page_capacity}")
+        self.page_capacity = page_capacity
+        self.counters = counters if counters is not None else StorageCounters()
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+
+    def allocate(self, kind: str = Page.DATA, capacity: int | None = None) -> Page:
+        """Create a fresh page (counted as one page write)."""
+        page = Page(self._next_id, capacity or self.page_capacity, kind=kind)
+        self._pages[page.page_id] = page
+        self._next_id += 1
+        self.counters.page_writes += 1
+        return page
+
+    def read(self, page_id: int) -> Page:
+        """Fetch a page from disk (counted).
+
+        Raises:
+            StorageError: if the page does not exist.
+        """
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"no such page {page_id}") from None
+        self.counters.page_reads += 1
+        if page.kind == Page.INDEX:
+            self.counters.index_node_reads += 1
+        return page
+
+    def peek(self, page_id: int) -> Page:
+        """Fetch a page without counting (loader/test use only)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"no such page {page_id}") from None
+
+    @property
+    def page_count(self) -> int:
+        """Total pages allocated."""
+        return len(self._pages)
+
+    def page_ids(self) -> list[int]:
+        """All allocated page ids."""
+        return sorted(self._pages)

@@ -1,0 +1,61 @@
+"""Fixed-capacity pages of the simulated disk.
+
+A page holds either data entries (``(position, values)`` tuples) or
+index entries (``(key, payload)`` tuples); both are slot lists bounded
+by the page capacity.  Pages are plain containers — all accounting
+happens in the disk and buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StorageError
+
+
+class Page:
+    """A fixed-capacity slotted page."""
+
+    __slots__ = ("page_id", "capacity", "slots", "kind")
+
+    DATA = "data"
+    INDEX = "index"
+
+    def __init__(self, page_id: int, capacity: int, kind: str = DATA):
+        if capacity < 1:
+            raise StorageError(f"page capacity must be >= 1, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.kind = kind
+        self.slots: list[tuple] = []
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the page has no free slots."""
+        return len(self.slots) >= self.capacity
+
+    def append(self, entry: tuple) -> int:
+        """Add an entry, returning its slot number.
+
+        Raises:
+            StorageError: if the page is full.
+        """
+        if self.is_full:
+            raise StorageError(f"page {self.page_id} is full")
+        self.slots.append(entry)
+        return len(self.slots) - 1
+
+    def get(self, slot: int) -> Optional[tuple]:
+        """The entry at ``slot``, or None if the slot is out of range."""
+        if 0 <= slot < len(self.slots):
+            return self.slots[slot]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self.page_id}, kind={self.kind}, "
+            f"used={len(self.slots)}/{self.capacity})"
+        )

@@ -1,0 +1,201 @@
+"""Disk-resident sequences.
+
+A :class:`StoredSequence` is a base sequence whose records live on the
+simulated disk under one of the physical organizations.  It implements
+the full :class:`~repro.model.sequence.Sequence` interface (probed
+``at`` and streaming ``iter_nonnull``) while counting every access, and
+exposes the :class:`~repro.storage.organizations.AccessProfile` the
+optimizer's cost model consumes (paper Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.sequence import Sequence
+from repro.model.span import Span
+from repro.storage.buffer import BufferPool
+from repro.storage.counters import StorageCounters
+from repro.storage.disk import SimulatedDisk
+from repro.storage.organizations import (
+    AccessProfile,
+    PhysicalOrganization,
+    make_organization,
+)
+
+
+class StoredSequence(Sequence):
+    """A base sequence stored on the simulated disk."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: RecordSchema,
+        organization: PhysicalOrganization,
+        span: Span,
+        counters: StorageCounters,
+        pool: BufferPool,
+    ):
+        self._name = name
+        self._schema = schema
+        self._organization = organization
+        self._span = span
+        self._counters = counters
+        self._pool = pool
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        schema: RecordSchema,
+        items: Iterable[tuple[int, Record]],
+        *,
+        span: Optional[Span] = None,
+        organization: str = "clustered",
+        page_capacity: int = 32,
+        buffer_pages: int = 16,
+        index_fanout: int = 64,
+        seed: int = 0,
+    ) -> "StoredSequence":
+        """Bulk-load a stored sequence.
+
+        Args:
+            name: catalog name of the sequence.
+            schema: record schema; all records must conform.
+            items: ``(position, record)`` pairs in any order.
+            span: declared valid range (defaults to the tight hull).
+            organization: one of ``clustered``, ``indexed``, ``log``.
+            page_capacity: records per data page.
+            buffer_pages: LRU buffer pool size in pages.
+            index_fanout: B-tree fanout for the indexed organization.
+            seed: shuffle seed for the indexed organization's placement.
+        """
+        pairs = sorted(((pos, rec) for pos, rec in items), key=lambda p: p[0])
+        seen: set[int] = set()
+        for position, record in pairs:
+            if position in seen:
+                raise StorageError(f"duplicate position {position} in load")
+            seen.add(position)
+            if record.schema != schema:
+                raise StorageError(
+                    f"record at {position} does not match schema {schema!r}"
+                )
+        if span is None:
+            span = Span(pairs[0][0], pairs[-1][0]) if pairs else Span.EMPTY
+        else:
+            for position, _record in pairs:
+                if position not in span:
+                    raise StorageError(
+                        f"position {position} outside declared span {span}"
+                    )
+
+        counters = StorageCounters()
+        disk = SimulatedDisk(page_capacity=page_capacity, counters=counters)
+        pool = BufferPool(disk, capacity=buffer_pages)
+        org = make_organization(
+            organization, disk, pool, fanout=index_fanout, seed=seed
+        )
+        org.load((pos, rec.values) for pos, rec in pairs)
+        return cls(name, schema, org, span, counters, pool)
+
+    @classmethod
+    def from_sequence(
+        cls,
+        name: str,
+        source: Sequence,
+        *,
+        organization: str = "clustered",
+        page_capacity: int = 32,
+        buffer_pages: int = 16,
+        index_fanout: int = 64,
+        seed: int = 0,
+    ) -> "StoredSequence":
+        """Materialize any sequence onto the simulated disk."""
+        return cls.create(
+            name,
+            source.schema,
+            source.iter_nonnull(),
+            span=source.span,
+            organization=organization,
+            page_capacity=page_capacity,
+            buffer_pages=buffer_pages,
+            index_fanout=index_fanout,
+            seed=seed,
+        )
+
+    # -- Sequence interface ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The catalog name of this sequence."""
+        return self._name
+
+    @property
+    def schema(self) -> RecordSchema:
+        return self._schema
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    @property
+    def counters(self) -> StorageCounters:
+        """The live access counters for this sequence's disk."""
+        return self._counters
+
+    @property
+    def organization_kind(self) -> str:
+        """The physical organization name."""
+        return self._organization.kind
+
+    def at(self, position: int) -> RecordOrNull:
+        if position not in self._span:
+            return NULL
+        self._counters.probes += 1
+        values = self._organization.probe(position)
+        if values is None:
+            return NULL
+        return Record(self._schema, values)
+
+    def iter_nonnull(self, within: Optional[Span] = None) -> Iterator[tuple[int, Record]]:
+        window = self._span if within is None else self._span.intersect(within)
+        for position, values in self._organization.scan(window):
+            self._counters.records_streamed += 1
+            yield position, Record(self._schema, values)
+
+    def density(self) -> float:
+        length = self._span.length()
+        if not length:
+            return 0.0
+        return self._organization.record_count / length
+
+    # -- optimizer hooks --------------------------------------------------------
+
+    def access_profile(self) -> AccessProfile:
+        """Estimated stream/probe costs (the paper's A and a)."""
+        return self._organization.profile()
+
+    def record_count(self) -> int:
+        """Number of stored records (exact, from load time)."""
+        return self._organization.record_count
+
+    def reset_counters(self) -> StorageCounters:
+        """Zero the counters, returning the pre-reset snapshot."""
+        snap = self._counters.snapshot()
+        self._counters.reset()
+        return snap
+
+    def flush_buffer(self) -> None:
+        """Drop buffered pages so a fresh run starts cold."""
+        self._pool.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"StoredSequence({self._name!r}, org={self.organization_kind}, "
+            f"span={self._span!r}, records={self.record_count()})"
+        )

@@ -1,0 +1,35 @@
+"""Synthetic workload generators for the paper's scenarios."""
+
+from repro.workloads.generic import (
+    VALUE_SCHEMA,
+    bernoulli_sequence,
+    correlated_pair,
+)
+from repro.workloads.stocks import (
+    STOCK_SCHEMA,
+    TABLE1_SPECS,
+    StockSpec,
+    generate_stock,
+    table1_catalog,
+)
+from repro.workloads.weather import (
+    EARTHQUAKE_SCHEMA,
+    VOLCANO_SCHEMA,
+    WeatherSpec,
+    generate_weather,
+)
+
+__all__ = [
+    "EARTHQUAKE_SCHEMA",
+    "STOCK_SCHEMA",
+    "TABLE1_SPECS",
+    "VALUE_SCHEMA",
+    "VOLCANO_SCHEMA",
+    "StockSpec",
+    "WeatherSpec",
+    "bernoulli_sequence",
+    "correlated_pair",
+    "generate_stock",
+    "generate_weather",
+    "table1_catalog",
+]

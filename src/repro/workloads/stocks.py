@@ -1,0 +1,126 @@
+"""Synthetic daily stock sequences (the paper's Table 1 setting).
+
+Prices follow a seeded geometric random walk; densities thin positions
+with independent Bernoulli draws (optionally correlated between
+sequences through a shared trading-halt process).  ``table1_catalog``
+regenerates the exact IBM/DEC/HP configuration of Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.catalog.catalog import Catalog
+from repro.storage.stored import StoredSequence
+
+#: The record schema of a daily stock sequence.
+STOCK_SCHEMA = RecordSchema.of(
+    open=AtomType.FLOAT,
+    close=AtomType.FLOAT,
+    high=AtomType.FLOAT,
+    low=AtomType.FLOAT,
+    volume=AtomType.INT,
+)
+
+
+@dataclass(frozen=True)
+class StockSpec:
+    """Parameters of one synthetic stock sequence.
+
+    Attributes:
+        name: catalog name.
+        span: valid range of trading days (positions).
+        density: fraction of days with a record.
+        start_price: initial price of the walk.
+        volatility: per-day standard deviation of returns.
+        seed: RNG seed (sequence-specific).
+    """
+
+    name: str
+    span: Span
+    density: float
+    start_price: float = 100.0
+    volatility: float = 0.015
+    seed: int = 0
+
+
+def generate_stock(spec: StockSpec) -> BaseSequence:
+    """Generate one stock sequence from its spec."""
+    rng = random.Random(spec.seed)
+    items: list[tuple[int, Record]] = []
+    price = spec.start_price
+    assert spec.span.start is not None and spec.span.end is not None
+    for day in range(spec.span.start, spec.span.end + 1):
+        open_price = price
+        price *= 1.0 + rng.gauss(0.0002, spec.volatility)
+        close = round(price, 2)
+        high = round(max(open_price, close) * (1.0 + abs(rng.gauss(0, 0.004))), 2)
+        low = round(min(open_price, close) * (1.0 - abs(rng.gauss(0, 0.004))), 2)
+        if rng.random() >= spec.density:
+            continue  # a day with no record (holiday, halt, missing tick)
+        volume = int(rng.lognormvariate(11, 0.6))
+        items.append(
+            (
+                day,
+                Record(
+                    STOCK_SCHEMA,
+                    (round(open_price, 2), close, high, low, volume),
+                ),
+            )
+        )
+    return BaseSequence(STOCK_SCHEMA, items, span=spec.span)
+
+
+#: The three sequences of the paper's Table 1.
+TABLE1_SPECS = (
+    StockSpec("ibm", Span(200, 500), 0.95, start_price=110.0, seed=11),
+    StockSpec("dec", Span(1, 350), 0.70, start_price=60.0, seed=12),
+    StockSpec("hp", Span(1, 750), 1.00, start_price=85.0, seed=13),
+)
+
+
+def table1_catalog(
+    organization: Optional[str] = None,
+    page_capacity: int = 32,
+    buffer_pages: int = 16,
+) -> tuple[Catalog, dict[str, BaseSequence]]:
+    """The Table 1 catalog: IBM [200,500] d=.95, DEC [1,350] d=.7, HP [1,750] d=1.
+
+    Args:
+        organization: if given, sequences are loaded into the storage
+            substrate under that physical organization; otherwise they
+            stay in memory.
+        page_capacity: records per page for stored sequences.
+        buffer_pages: buffer-pool pages for stored sequences.
+
+    Returns:
+        (catalog, sequences-by-name); the catalog has statistics and
+        pairwise correlations analyzed.
+    """
+    catalog = Catalog()
+    sequences: dict[str, BaseSequence] = {}
+    for spec in TABLE1_SPECS:
+        sequence = generate_stock(spec)
+        sequences[spec.name] = sequence
+        if organization is not None:
+            stored = StoredSequence.from_sequence(
+                spec.name,
+                sequence,
+                organization=organization,
+                page_capacity=page_capacity,
+                buffer_pages=buffer_pages,
+                seed=spec.seed,
+            )
+            catalog.register(spec.name, stored)
+        else:
+            catalog.register(spec.name, sequence)
+    for first, second in (("ibm", "dec"), ("ibm", "hp"), ("dec", "hp")):
+        catalog.analyze_correlation(first, second)
+    return catalog, sequences

@@ -1,0 +1,77 @@
+"""Synthetic weather-event sequences (the paper's Example 1.1 setting).
+
+Volcano eruptions and earthquakes are Poisson-thinned event streams
+over a shared time axis; earthquake strengths are uniform on a
+configurable Richter range so the ``strength > 7.0`` filter has a
+predictable selectivity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+from repro.model.types import AtomType
+
+EARTHQUAKE_SCHEMA = RecordSchema.of(strength=AtomType.FLOAT, region=AtomType.STR)
+VOLCANO_SCHEMA = RecordSchema.of(name=AtomType.STR, region=AtomType.STR)
+
+_REGIONS = ("pacific", "andes", "iceland", "indonesia", "japan")
+_VOLCANO_NAMES = (
+    "etna", "fuji", "hood", "rainier", "krakatoa", "pelee", "hekla", "mayon",
+)
+
+
+@dataclass(frozen=True)
+class WeatherSpec:
+    """Parameters of the weather-monitoring workload.
+
+    Attributes:
+        horizon: the time axis is positions [0, horizon).
+        quake_rate: per-position probability of an earthquake record.
+        eruption_rate: per-position probability of a volcano record.
+        min_strength, max_strength: Richter range of quakes.
+        seed: RNG seed.
+    """
+
+    horizon: int = 10_000
+    quake_rate: float = 0.05
+    eruption_rate: float = 0.002
+    min_strength: float = 4.0
+    max_strength: float = 9.5
+    seed: int = 0
+
+
+def generate_weather(spec: WeatherSpec) -> tuple[BaseSequence, BaseSequence]:
+    """Generate (volcanos, earthquakes) sequences for the spec."""
+    rng = random.Random(spec.seed)
+    span = Span(0, spec.horizon - 1)
+    quakes: list[tuple[int, Record]] = []
+    volcanos: list[tuple[int, Record]] = []
+    for t in range(spec.horizon):
+        roll = rng.random()
+        if roll < spec.quake_rate:
+            strength = round(
+                rng.uniform(spec.min_strength, spec.max_strength), 2
+            )
+            quakes.append(
+                (t, Record(EARTHQUAKE_SCHEMA, (strength, rng.choice(_REGIONS))))
+            )
+        elif roll < spec.quake_rate + spec.eruption_rate:
+            volcanos.append(
+                (
+                    t,
+                    Record(
+                        VOLCANO_SCHEMA,
+                        (rng.choice(_VOLCANO_NAMES), rng.choice(_REGIONS)),
+                    ),
+                )
+            )
+    return (
+        BaseSequence(VOLCANO_SCHEMA, volcanos, span=span),
+        BaseSequence(EARTHQUAKE_SCHEMA, quakes, span=span),
+    )

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.workloads import (
+    StockSpec,
+    WeatherSpec,
+    generate_stock,
+    generate_weather,
+    table1_catalog,
+)
+
+PRICE_SCHEMA = RecordSchema.of(close=AtomType.FLOAT)
+
+
+def price_sequence(
+    span: Span, values: dict[int, float], schema: RecordSchema = PRICE_SCHEMA
+) -> BaseSequence:
+    """A small single-attribute sequence from a position->value map."""
+    return BaseSequence(
+        schema,
+        ((pos, Record(schema, (value,))) for pos, value in values.items()),
+        span=span,
+    )
+
+
+@pytest.fixture
+def price_schema() -> RecordSchema:
+    return PRICE_SCHEMA
+
+
+@pytest.fixture
+def small_prices() -> BaseSequence:
+    """Positions 1..10, close = position * 10.0, gaps at 3 and 7."""
+    return price_sequence(
+        Span(1, 10),
+        {p: p * 10.0 for p in (1, 2, 4, 5, 6, 8, 9, 10)},
+    )
+
+
+@pytest.fixture(scope="session")
+def table1():
+    """The Table 1 catalog and sequences (session-scoped: read-only)."""
+    catalog, sequences = table1_catalog()
+    return catalog, sequences
+
+
+@pytest.fixture(scope="session")
+def weather():
+    """A small Example 1.1 workload (session-scoped: read-only)."""
+    volcanos, quakes = generate_weather(WeatherSpec(horizon=4000, seed=21))
+    catalog = Catalog()
+    catalog.register("volcanos", volcanos)
+    catalog.register("earthquakes", quakes)
+    return catalog, volcanos, quakes
+
+
+@pytest.fixture
+def dense_walk() -> BaseSequence:
+    """A fully dense 120-day stock walk."""
+    return generate_stock(StockSpec("walk", Span(0, 119), 1.0, seed=9))
+
+
+@pytest.fixture
+def sparse_walk() -> BaseSequence:
+    """A 40%-dense 200-day stock walk."""
+    return generate_stock(StockSpec("sparse", Span(0, 199), 0.4, seed=10))

@@ -1,0 +1,141 @@
+"""Tests for meta-information propagation (Steps 2.a / 2.b, Figure 3)."""
+
+import pytest
+
+from repro.model import Span
+from repro.algebra import base, col
+from repro.optimizer import annotate
+
+
+class TestBottomUp:
+    def test_leaf_annotation_from_catalog(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["ibm"], "ibm").query()
+        annotated = annotate(query, catalog)
+        annotation = annotated.of(query.root)
+        assert annotation.span == Span(200, 500)
+        assert annotation.density == pytest.approx(0.95, abs=0.05)
+        assert "close" in annotation.colstats
+
+    def test_leaf_annotation_without_catalog(self, small_prices):
+        query = base(small_prices, "p").query()
+        annotated = annotate(query)
+        assert annotated.of(query.root).density == pytest.approx(0.8)
+
+    def test_select_density_uses_histogram(self, table1):
+        catalog, sequences = table1
+        stats = catalog.get("ibm").stats
+        median = sorted(
+            record.get("close") for _p, record in sequences["ibm"].iter_nonnull()
+        )[len(sequences["ibm"]) // 2]
+        query = base(sequences["ibm"], "ibm").select(col("close") > median).query()
+        annotated = annotate(query, catalog)
+        density = annotated.of(query.root).density
+        # roughly half the records pass a median filter
+        assert density == pytest.approx(stats.density * 0.5, rel=0.3)
+
+    def test_colstats_filtered_by_project(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["ibm"], "ibm").project("close").query()
+        annotated = annotate(query, catalog)
+        colstats = annotated.of(query.root).colstats
+        assert set(colstats) == {"close"}
+
+    def test_colstats_prefixed_through_compose(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .query()
+        )
+        annotated = annotate(query, catalog)
+        colstats = annotated.of(query.root).colstats
+        assert "ibm_close" in colstats and "hp_close" in colstats
+
+    def test_aggregate_output_has_no_colstats(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        annotated = annotate(query, catalog)
+        assert annotated.of(query.root).colstats == {}
+
+    def test_compose_span_intersection(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["dec"], "dec"), prefixes=("ibm", "dec"))
+            .query()
+        )
+        annotated = annotate(query, catalog)
+        assert annotated.of(query.root).span == Span(200, 350)
+
+    def test_correlation_applied_to_leaf_pair_compose(self):
+        from repro.catalog import Catalog
+        from repro.workloads import correlated_pair
+
+        a, b = correlated_pair(Span(0, 1999), 0.5, 1.0, seed=4)
+        catalog = Catalog()
+        catalog.register("a", a)
+        catalog.register("b", b)
+        catalog.analyze_correlation("a", "b")
+        query = base(a, "a").compose(base(b, "b")).query()
+        annotated = annotate(query, catalog)
+        # with full correlation, joint density ~ d (0.5), not d^2 (0.25)
+        assert annotated.of(query.root).density == pytest.approx(0.5, abs=0.08)
+
+
+class TestTopDownFigure3:
+    """The global span optimization on the paper's own example."""
+
+    def test_figure3_span_restriction(self, table1):
+        catalog, sequences = table1
+        # DEC where IBM.close > HP.close (Figure 3.A)
+        ibm_hp = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select(col("ibm_close") > col("hp_close"))
+        )
+        query = (
+            base(sequences["dec"], "dec")
+            .compose(ibm_hp, prefixes=("dec", None))
+            .query()
+        )
+        annotated = annotate(query, catalog)
+        # Figure 3.B: every base restricted to [200, 350]
+        assert annotated.output_span == Span(200, 350)
+        for leaf in query.base_leaves():
+            assert annotated.of(leaf).restricted_span == Span(200, 350), leaf.alias
+
+    def test_restriction_respects_requested_span(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["hp"], "hp").query()
+        annotated = annotate(query, catalog, span=Span(100, 120))
+        assert annotated.of(query.root).restricted_span == Span(100, 120)
+
+    def test_window_agg_widens_input_requirement(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["hp"], "hp").window("avg", "close", 10).query()
+        annotated = annotate(query, catalog, span=Span(100, 120))
+        leaf = query.base_leaves()[0]
+        assert annotated.of(leaf).restricted_span == Span(91, 120)
+
+    def test_global_agg_blocks_restriction(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["hp"], "hp").global_agg("max", "close").query()
+        annotated = annotate(query, catalog, span=Span(100, 120))
+        leaf = query.base_leaves()[0]
+        assert annotated.of(leaf).restricted_span == Span(1, 750)
+
+    def test_unknown_node_raises(self, small_prices):
+        from repro.errors import OptimizerError
+        from repro.algebra import SequenceLeaf
+
+        query = base(small_prices, "p").query()
+        annotated = annotate(query)
+        with pytest.raises(OptimizerError):
+            annotated.of(SequenceLeaf(small_prices, "other"))
+
+    def test_expected_records(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["hp"], "hp").query()
+        annotated = annotate(query, catalog, span=Span(1, 100))
+        assert annotated.of(query.root).expected_records() == pytest.approx(100, abs=5)

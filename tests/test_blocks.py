@@ -1,0 +1,145 @@
+"""Tests for query block identification (Step 4)."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.algebra import base, col
+from repro.optimizer import JoinBlock, UnaryBlock, block_tree, count_blocks, describe_blocks
+
+
+class TestJoinBlocks:
+    def test_single_leaf_is_a_join_block(self, small_prices):
+        query = base(small_prices, "p").query()
+        block = block_tree(query.root)
+        assert isinstance(block, JoinBlock)
+        assert len(block.inputs) == 1
+        assert block.inputs[0].leaf is not None
+
+    def test_flattens_nested_composes(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["dec"], "dec")
+            .compose(
+                base(sequences["ibm"], "ibm").compose(
+                    base(sequences["hp"], "hp"), prefixes=("ibm", "hp")
+                ),
+                prefixes=("dec", None),
+            )
+            .query()
+        )
+        block = block_tree(query.root)
+        assert isinstance(block, JoinBlock)
+        # dec flattened; the prefixed inner compose side stays atomic,
+        # but the unprefixed side of the outer compose flattens into it
+        assert len(block.inputs) == 3
+
+    def test_selects_become_predicates(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select(col("ibm_close") > col("hp_close"))
+            .query()
+        )
+        block = block_tree(query.root)
+        assert isinstance(block, JoinBlock)
+        assert len(block.predicates) == 1
+        assert block.predicates[0].columns() == {"ibm_close", "hp_close"}
+
+    def test_compose_predicate_collected(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(
+                base(sequences["hp"], "hp"),
+                predicate=col("ibm_close") > col("hp_close"),
+                prefixes=("ibm", "hp"),
+            )
+            .query()
+        )
+        block = block_tree(query.root)
+        assert len(block.predicates) == 1
+
+    def test_root_offsets_accumulate_post_shift(self, small_prices):
+        query = base(small_prices, "p").shift(2).shift(1).query()
+        block = block_tree(query.root)
+        assert isinstance(block, JoinBlock)
+        assert block.post_shift == 3
+
+    def test_chain_over_leaf_stays_in_input(self, small_prices):
+        query = (
+            base(small_prices, "p").select(col("close") > 0.0).query()
+        )
+        block = block_tree(query.root)
+        # a root-level select becomes a block predicate, not a chain
+        assert block.predicates
+        assert block.inputs[0].leaf is not None
+
+    def test_chain_under_prefixed_compose_side(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .select(col("close") > 100.0)
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .query()
+        )
+        block = block_tree(query.root)
+        ibm_input = block.inputs[0]
+        assert ibm_input.prefix == "ibm"
+        assert len(ibm_input.chain) == 1  # the select travels with the input
+        assert "select" in ibm_input.describe()
+
+
+class TestUnaryBlocks:
+    def test_aggregate_is_its_own_block(self, dense_walk):
+        query = base(dense_walk, "w").window("avg", "close", 5).query()
+        block = block_tree(query.root)
+        assert isinstance(block, UnaryBlock)
+        assert isinstance(block.child, JoinBlock)
+        assert count_blocks(block) == 2
+
+    def test_value_offset_is_its_own_block(self, small_prices):
+        query = base(small_prices, "p").previous().query()
+        block = block_tree(query.root)
+        assert isinstance(block, UnaryBlock)
+
+    def test_blocks_stack(self, dense_walk):
+        query = (
+            base(dense_walk, "w")
+            .window("avg", "close", 5)
+            .select(col("avg_close") > 0.0)
+            .cumulative("max", "avg_close")
+            .query()
+        )
+        block = block_tree(query.root)
+        # cumulative <- join(select) <- window <- join(leaf)
+        assert isinstance(block, UnaryBlock)
+        assert isinstance(block.child, JoinBlock)
+        assert count_blocks(block) == 4
+
+    def test_example11_block_structure(self, weather):
+        from repro.relational import sequence_query
+
+        _catalog, volcanos, quakes = weather
+        query = sequence_query(volcanos, quakes)
+        block = block_tree(query.root)
+        assert isinstance(block, JoinBlock)
+        assert len(block.inputs) == 2
+        sources = [i for i in block.inputs if i.source is not None]
+        assert len(sources) == 1  # previous(quakes) is a nested block
+        assert isinstance(sources[0].source, UnaryBlock)
+
+    def test_describe_blocks(self, dense_walk):
+        query = base(dense_walk, "w").window("avg", "close", 5).query()
+        text = describe_blocks(block_tree(query.root))
+        assert "UnaryBlock" in text and "JoinBlock" in text
+
+
+class TestValidation:
+    def test_block_input_needs_leaf_or_source(self, small_prices):
+        from repro.optimizer.blocks import BlockInput
+        from repro.algebra import SequenceLeaf
+
+        leaf = SequenceLeaf(small_prices, "p")
+        with pytest.raises(OptimizerError):
+            BlockInput(top=leaf)  # neither leaf nor source

@@ -1,0 +1,183 @@
+"""Tests for histograms, statistics collection and the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.catalog import (
+    Catalog,
+    EquiWidthHistogram,
+    collect_stats,
+    null_correlation,
+)
+from repro.workloads import bernoulli_sequence, correlated_pair
+
+
+class TestHistogram:
+    def test_build_and_bounds(self):
+        histogram = EquiWidthHistogram.build(list(range(100)), buckets=10)
+        assert histogram.low == 0 and histogram.high == 99
+        assert sum(histogram.counts) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram.build([])
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram.build([1.0], buckets=0)
+
+    def test_selectivity_less_than(self):
+        histogram = EquiWidthHistogram.build(list(range(1000)), buckets=20)
+        assert histogram.selectivity("<", 250) == pytest.approx(0.25, abs=0.02)
+        assert histogram.selectivity("<", -5) == 0.0
+        assert histogram.selectivity("<", 5000) == 1.0
+
+    def test_selectivity_greater_than(self):
+        histogram = EquiWidthHistogram.build(list(range(1000)), buckets=20)
+        assert histogram.selectivity(">", 250) == pytest.approx(0.75, abs=0.02)
+        assert histogram.selectivity(">=", -5) == 1.0
+
+    def test_selectivity_equality_small(self):
+        histogram = EquiWidthHistogram.build(list(range(1000)), buckets=20)
+        assert histogram.selectivity("==", 500) < 0.1
+        assert histogram.selectivity("!=", 500) > 0.9
+
+    def test_degenerate_single_value(self):
+        histogram = EquiWidthHistogram.build([5.0] * 10)
+        assert histogram.selectivity("==", 5.0) == 1.0
+        assert histogram.selectivity("<", 5.0) == 0.0
+        assert histogram.selectivity(">", 5.0) == 0.0
+
+    def test_non_numeric_literal_rejected(self):
+        histogram = EquiWidthHistogram.build([1.0, 2.0])
+        with pytest.raises(CatalogError):
+            histogram.selectivity("<", "abc")
+
+    def test_unknown_operator_rejected(self):
+        histogram = EquiWidthHistogram.build([1.0, 2.0])
+        with pytest.raises(CatalogError):
+            histogram.selectivity("~", 1.0)
+
+
+class TestStats:
+    def test_collect(self, small_prices):
+        stats = collect_stats(small_prices)
+        assert stats.count == 8
+        assert stats.density == pytest.approx(0.8)
+        assert stats.span == Span(1, 10)
+        close = stats.column("close")
+        assert close.count == 8 and close.distinct == 8
+        assert close.histogram is not None
+
+    def test_column_selectivity_with_histogram(self, small_prices):
+        stats = collect_stats(small_prices)
+        sel = stats.column("close").selectivity("<", 50.0)
+        assert 0.2 < sel < 0.6
+
+    def test_string_column_uses_distinct(self):
+        schema = RecordSchema.of(sym=AtomType.STR)
+        sequence = BaseSequence.from_values(
+            schema, [(i, ("abc"[i % 3],)) for i in range(30)]
+        )
+        stats = collect_stats(sequence)
+        sym = stats.column("sym")
+        assert sym.histogram is None
+        assert sym.selectivity("==", "a") == pytest.approx(1 / 3)
+        assert sym.selectivity("!=", "a") == pytest.approx(2 / 3)
+        assert sym.selectivity("<", "b") == pytest.approx(1 / 3)
+
+    def test_unbounded_span_rejected(self, price_schema):
+        sequence = BaseSequence.from_values(
+            price_schema, [(0, (1.0,))], span=Span(0, None)
+        )
+        with pytest.raises(CatalogError):
+            collect_stats(sequence)
+
+    def test_unknown_column_is_none(self, small_prices):
+        assert collect_stats(small_prices).column("nope") is None
+
+
+class TestCorrelation:
+    def test_independent_near_one(self):
+        a, b = correlated_pair(Span(0, 4999), 0.5, 0.0, seed=3)
+        assert null_correlation(a, b) == pytest.approx(1.0, abs=0.1)
+
+    def test_fully_shared_near_inverse_density(self):
+        a, b = correlated_pair(Span(0, 4999), 0.5, 1.0, seed=3)
+        assert null_correlation(a, b) == pytest.approx(2.0, abs=0.2)
+
+    def test_disjoint_spans_default_one(self, price_schema):
+        a = BaseSequence.from_values(price_schema, [(0, (1.0,))])
+        b = BaseSequence.from_values(price_schema, [(10, (1.0,))])
+        assert null_correlation(a, b) == 1.0
+
+
+class TestCatalog:
+    def test_register_and_get(self, small_prices):
+        catalog = Catalog()
+        entry = catalog.register("p", small_prices)
+        assert catalog.get("p") is entry
+        assert "p" in catalog and catalog.names() == ["p"]
+
+    def test_duplicate_rejected(self, small_prices):
+        catalog = Catalog()
+        catalog.register("p", small_prices)
+        with pytest.raises(CatalogError, match="already"):
+            catalog.register("p", small_prices)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CatalogError, match="unknown"):
+            Catalog().get("nope")
+
+    def test_info_from_stats(self, small_prices):
+        catalog = Catalog()
+        info = catalog.register("p", small_prices).info
+        assert info.span == Span(1, 10)
+        assert info.density == pytest.approx(0.8)
+
+    def test_info_without_stats(self, small_prices):
+        catalog = Catalog()
+        info = catalog.register("p", small_prices, collect=False).info
+        assert info.density == pytest.approx(0.8)
+        assert info.stats is None
+
+    def test_profile_for_memory_sequence(self, small_prices):
+        catalog = Catalog()
+        profile = catalog.register("p", small_prices).profile
+        assert profile.stream_total >= 1.0 and profile.probe_unit == 1.0
+
+    def test_profile_for_stored_sequence(self, small_prices):
+        from repro.storage import StoredSequence
+
+        stored = StoredSequence.from_sequence("p", small_prices, organization="log")
+        catalog = Catalog()
+        profile = catalog.register("p", stored).profile
+        assert profile.probe_unit > 0
+
+    def test_correlations(self):
+        a, b = correlated_pair(Span(0, 999), 0.5, 1.0, seed=1)
+        catalog = Catalog()
+        catalog.register("a", a)
+        catalog.register("b", b)
+        assert catalog.correlation("a", "b") == 1.0  # not analyzed yet
+        value = catalog.analyze_correlation("a", "b")
+        assert catalog.correlation("a", "b") == value
+        assert catalog.correlation("b", "a") == value  # symmetric key
+
+    def test_set_correlation(self, small_prices):
+        catalog = Catalog()
+        catalog.set_correlation("x", "y", 1.5)
+        assert catalog.correlation("y", "x") == 1.5
+
+    def test_entry_for_sequence(self, small_prices):
+        catalog = Catalog()
+        catalog.register("p", small_prices)
+        assert catalog.entry_for_sequence(small_prices).name == "p"
+        assert catalog.entry_for_sequence(BaseSequence.empty(small_prices.schema)) is None
+
+    def test_describe_renders_table1(self, table1):
+        catalog, _ = table1
+        text = catalog.describe()
+        assert "ibm" in text and "dec" in text and "hp" in text
+        assert "200..500" in text

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_csv
+from repro.workloads import StockSpec, WeatherSpec, generate_stock, generate_weather
+from repro.model import Span
+
+
+@pytest.fixture
+def prices_csv(tmp_path):
+    sequence = generate_stock(StockSpec("p", Span(0, 99), 0.9, seed=81))
+    path = tmp_path / "prices.csv"
+    write_csv(sequence, path)
+    return path, sequence
+
+
+@pytest.fixture
+def weather_csvs(tmp_path):
+    volcanos, quakes = generate_weather(
+        WeatherSpec(horizon=2000, seed=82, eruption_rate=0.01)
+    )
+    volcano_path = tmp_path / "volcanos.csv"
+    quake_path = tmp_path / "quakes.csv"
+    write_csv(volcanos, volcano_path)
+    write_csv(quakes, quake_path)
+    return volcano_path, quake_path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_simple_query(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "--load", f"prices={path}", "select(prices, close > 100.0)"
+        )
+        assert code == 0
+        assert "loaded prices" in text
+        assert "records over" in text
+
+    def test_example11(self, weather_csvs):
+        volcano_path, quake_path = weather_csvs
+        code, text = run_cli(
+            "--load", f"v={volcano_path}",
+            "--load", f"e={quake_path}",
+            "--naive",
+            "project(select(compose(v as v, previous(e) as e), "
+            "e_strength > 7.0), v_name)",
+        )
+        assert code == 0
+        assert "naive reference evaluation agrees." in text
+
+    def test_explain(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "--load", f"prices={path}", "--explain",
+            "window(prices, avg, close, 6)",
+        )
+        assert code == 0
+        assert "estimated cost" in text
+        assert "window-agg" in text
+
+    def test_span_option(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "--load", f"prices={path}", "--span", "10:20", "prices"
+        )
+        assert code == 0
+        assert "Span[10, 20]" in text
+
+    def test_limit(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "--load", f"prices={path}", "--limit", "3", "prices"
+        )
+        assert code == 0
+        assert "more rows" in text
+
+    def test_bad_load_spec(self, prices_csv):
+        code, text = run_cli("--load", "nonsense", "prices")
+        assert code == 1
+        assert "error:" in text
+
+    def test_bad_span(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "--load", f"prices={path}", "--span", "abc", "prices"
+        )
+        assert code == 1
+        assert "START:END" in text
+
+    def test_unknown_sequence(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli("--load", f"prices={path}", "select(nope, close > 1.0)")
+        assert code == 1
+        assert "unknown sequence" in text
+
+    def test_parse_error_reported(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli("--load", f"prices={path}", "select(prices,")
+        assert code == 1
+        assert "error:" in text

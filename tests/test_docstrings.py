@@ -1,0 +1,99 @@
+"""Quality gate: every public module, class and function is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+EXEMPT_FUNCTION_NAMES = {
+    # dunder / protocol methods whose contracts are standard
+    "__init__", "__new__", "__repr__", "__str__", "__eq__", "__hash__",
+    "__len__", "__iter__", "__contains__", "__getitem__", "__bool__",
+    "__sub__", "__add__", "__post_init__", "__main__",
+}
+
+
+def iter_public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(iter_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"module {module.__name__} has no docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or not inspect.isclass(obj):
+            continue
+        if obj.__module__ != module.__name__:
+            continue  # re-export
+        if not obj.__doc__:
+            undocumented.append(name)
+    assert not undocumented, f"{module.__name__}: classes {undocumented}"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or not inspect.isfunction(obj):
+            continue
+        if obj.__module__ != module.__name__:
+            continue
+        if not obj.__doc__:
+            undocumented.append(name)
+    assert not undocumented, f"{module.__name__}: functions {undocumented}"
+
+
+def _inherited_doc(klass, method_name) -> bool:
+    """Whether a base class documents this method (inherited contract)."""
+    for base in klass.__mro__[1:]:
+        candidate = base.__dict__.get(method_name)
+        if candidate is None:
+            continue
+        if isinstance(candidate, property):
+            candidate = candidate.fget
+        elif isinstance(candidate, (staticmethod, classmethod)):
+            candidate = candidate.__func__
+        if getattr(candidate, "__doc__", None):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    undocumented = []
+    for class_name, klass in vars(module).items():
+        if class_name.startswith("_") or not inspect.isclass(klass):
+            continue
+        if klass.__module__ != module.__name__:
+            continue
+        for method_name, method in vars(klass).items():
+            if method_name.startswith("_") and method_name not in EXEMPT_FUNCTION_NAMES:
+                continue
+            if method_name in EXEMPT_FUNCTION_NAMES:
+                continue
+            if isinstance(method, property):
+                target = method.fget
+            elif isinstance(method, (staticmethod, classmethod)):
+                target = method.__func__
+            elif inspect.isfunction(method):
+                target = method
+            else:
+                continue
+            if not target.__doc__ and not _inherited_doc(klass, method_name):
+                undocumented.append(f"{class_name}.{method_name}")
+    assert not undocumented, f"{module.__name__}: methods {undocumented}"

@@ -1,0 +1,104 @@
+"""Tests for the Definition 3.1 equivalence checker."""
+
+import pytest
+
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.algebra import (
+    PositionalOffset,
+    Project,
+    Query,
+    Select,
+    SequenceLeaf,
+    WindowAggregate,
+    base,
+    col,
+    queries_equivalent,
+)
+from repro.optimizer import apply_rewrites
+
+SCHEMA = RecordSchema.of(v=AtomType.FLOAT, w=AtomType.FLOAT)
+
+
+@pytest.fixture
+def data():
+    return BaseSequence.from_values(
+        SCHEMA, [(i, (float(i), float(i * 2))) for i in range(0, 20, 2)]
+    )
+
+
+class TestPositiveVerdicts:
+    def test_identical_queries(self, data):
+        q1 = base(data, "s").select(col("v") > 5.0).query()
+        q2 = base(data, "s").select(col("v") > 5.0).query()
+        assert queries_equivalent(q1, q2)
+
+    def test_combined_selects(self, data):
+        q1 = base(data, "s").select(col("v") > 2.0).select(col("v") < 15.0).query()
+        q2 = base(data, "s").select((col("v") > 2.0) & (col("v") < 15.0)).query()
+        assert queries_equivalent(q1, q2)
+
+    def test_offset_commutes_with_select(self, data):
+        q1 = base(data, "s").select(col("v") > 2.0).shift(3).query()
+        q2 = base(data, "s").shift(3).select(col("v") > 2.0).query()
+        report = queries_equivalent(q1, q2)
+        assert report.equivalent and report.trials >= 4
+
+    def test_rewrites_preserve_equivalence(self, table1):
+        _catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("i", "h"))
+            .select((col("i_close") > 100.0) & (col("i_close") > col("h_close")))
+            .project("i_close")
+            .query()
+        )
+        rewritten, trace = apply_rewrites(query)
+        assert trace.applied
+        assert queries_equivalent(query, rewritten, trials=3)
+
+
+class TestNegativeVerdicts:
+    def test_different_schemas(self, data):
+        q1 = base(data, "s").project("v").query()
+        q2 = base(data, "s").project("w").query()
+        report = queries_equivalent(q1, q2)
+        assert not report and "schema" in report.reason
+
+    def test_different_leaves(self, data):
+        other = BaseSequence.from_values(SCHEMA, [(0, (1.0, 2.0))])
+        q1 = base(data, "s").query()
+        q2 = base(other, "s").query()
+        report = queries_equivalent(q1, q2)
+        assert not report and "input sequences" in report.reason
+
+    def test_different_scopes(self, data):
+        q1 = Query(PositionalOffset(SequenceLeaf(data, "s"), -2))
+        q2 = Query(PositionalOffset(SequenceLeaf(data, "s"), -3))
+        report = queries_equivalent(q1, q2)
+        assert not report and "scope" in report.reason
+
+    def test_same_scope_different_function(self, data):
+        # identical scopes (window 3) but different aggregate functions:
+        # only the randomized-sampling condition can tell them apart
+        q1 = Query(WindowAggregate(SequenceLeaf(data, "s"), "min", "v", 3, "x"))
+        q2 = Query(WindowAggregate(SequenceLeaf(data, "s"), "max", "v", 3, "x"))
+        report = queries_equivalent(q1, q2)
+        assert not report and "outputs differ" in report.reason
+
+    def test_data_coincidence_caught_by_randomization(self):
+        # On THIS data, v > 5 and w > 10 keep identical positions
+        # (w = 2v), so trial 0 passes; random data must expose them.
+        schema = RecordSchema.of(v=AtomType.FLOAT, w=AtomType.FLOAT)
+        tricky = BaseSequence.from_values(
+            schema, [(i, (float(i), float(2 * i))) for i in range(10)]
+        )
+        q1 = base(tricky, "s").select(col("v") > 5.0).project("v").query()
+        q2 = base(tricky, "s").select(col("w") > 10.0).project("v").query()
+        report = queries_equivalent(q1, q2, trials=6)
+        assert not report
+
+    def test_different_leaf_count(self, data):
+        q1 = base(data, "s").query()
+        q2 = base(data, "a").compose(base(data, "b"), prefixes=("a", "b")).query()
+        report = queries_equivalent(q1, q2)
+        assert not report

@@ -1,0 +1,178 @@
+"""Tests for operator caches and sliding aggregators."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.model import AtomType, Record, RecordSchema
+from repro.execution import (
+    CumulativeAggregator,
+    ExecutionCounters,
+    FifoCache,
+    MonotonicAggregator,
+    RunningSumAggregator,
+    make_sliding,
+)
+
+SCHEMA = RecordSchema.of(v=AtomType.INT)
+
+
+def rec(v):
+    return Record(SCHEMA, (v,))
+
+
+class TestFifoCache:
+    def test_push_and_get(self):
+        cache = FifoCache(capacity=3)
+        cache.push(1, rec(10))
+        cache.push(2, rec(20))
+        assert cache.get(1).get("v") == 10
+        assert cache.get(5) is None
+        assert len(cache) == 2
+
+    def test_capacity_evicts_fifo(self):
+        cache = FifoCache(capacity=2)
+        for position in (1, 2, 3):
+            cache.push(position, rec(position))
+        assert cache.get(1) is None
+        assert cache.get(2) is not None and cache.get(3) is not None
+
+    def test_evict_below(self):
+        cache = FifoCache()
+        for position in (1, 2, 3, 4):
+            cache.push(position, rec(position))
+        cache.evict_below(3)
+        assert len(cache) == 2
+        assert cache.oldest()[0] == 3
+        assert cache.newest()[0] == 4
+
+    def test_unbounded(self):
+        cache = FifoCache(capacity=None)
+        for position in range(100):
+            cache.push(position, rec(position))
+        assert len(cache) == 100
+
+    def test_counters_charged(self):
+        counters = ExecutionCounters()
+        cache = FifoCache(capacity=4, counters=counters)
+        cache.push(1, rec(1))
+        cache.get(1)
+        assert counters.cache_ops == 2
+        assert counters.max_cache_occupancy == 1
+
+    def test_entries(self):
+        cache = FifoCache()
+        cache.push(1, rec(1))
+        cache.push(2, rec(2))
+        assert [p for p, _ in cache.entries()] == [1, 2]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ExecutionError):
+            FifoCache(capacity=0)
+
+
+class TestRunningSumAggregator:
+    def test_sum(self):
+        agg = RunningSumAggregator("sum")
+        agg.add(1, 10)
+        agg.add(2, 20)
+        assert agg.result() == 30
+        agg.evict_below(2)
+        assert agg.result() == 20
+
+    def test_avg(self):
+        agg = RunningSumAggregator("avg")
+        agg.add(1, 10)
+        agg.add(2, 20)
+        assert agg.result() == 15.0
+
+    def test_count(self):
+        agg = RunningSumAggregator("count")
+        agg.add(1, "a")
+        agg.add(2, "b")
+        assert agg.result() == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ExecutionError):
+            RunningSumAggregator("sum").result()
+
+    def test_wrong_func(self):
+        with pytest.raises(ExecutionError):
+            RunningSumAggregator("min")
+
+    def test_matches_fresh_sum_after_many_slides(self):
+        # the recompute-from-cache design means no float drift
+        import random
+
+        rng = random.Random(5)
+        values = [rng.uniform(0, 1) for _ in range(200)]
+        agg = RunningSumAggregator("sum")
+        for position, value in enumerate(values):
+            agg.add(position, value)
+            agg.evict_below(position - 9)
+            window = values[max(0, position - 9) : position + 1]
+            assert agg.result() == sum(window)
+
+
+class TestMonotonicAggregator:
+    def test_min(self):
+        agg = MonotonicAggregator("min")
+        for position, value in enumerate([5, 3, 8, 1, 9]):
+            agg.add(position, value)
+        assert agg.result() == 1
+        agg.evict_below(4)
+        assert agg.result() == 9
+
+    def test_max_sliding(self):
+        agg = MonotonicAggregator("max")
+        values = [2, 9, 4, 7, 1, 8, 3]
+        for position, value in enumerate(values):
+            agg.add(position, value)
+            agg.evict_below(position - 2)
+            assert agg.result() == max(values[max(0, position - 2) : position + 1])
+
+    def test_count_tracks_window(self):
+        agg = MonotonicAggregator("max")
+        agg.add(1, 5)
+        agg.add(2, 3)
+        assert agg.count == 2
+        agg.evict_below(2)
+        assert agg.count == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ExecutionError):
+            MonotonicAggregator("min").result()
+
+    def test_wrong_func(self):
+        with pytest.raises(ExecutionError):
+            MonotonicAggregator("sum")
+
+
+class TestCumulativeAggregator:
+    @pytest.mark.parametrize(
+        "func,values,expected",
+        [
+            ("sum", [1, 2, 3], 6),
+            ("avg", [1, 2, 3], 2.0),
+            ("count", [1, 2, 3], 3),
+            ("min", [3, 1, 2], 1),
+            ("max", [3, 1, 2], 3),
+        ],
+    )
+    def test_funcs(self, func, values, expected):
+        agg = CumulativeAggregator(func)
+        for value in values:
+            agg.add(value)
+        assert agg.result() == expected
+
+    def test_empty_raises(self):
+        with pytest.raises(ExecutionError):
+            CumulativeAggregator("sum").result()
+
+
+class TestFactory:
+    def test_routing(self):
+        assert isinstance(make_sliding("sum"), RunningSumAggregator)
+        assert isinstance(make_sliding("avg"), RunningSumAggregator)
+        assert isinstance(make_sliding("count"), RunningSumAggregator)
+        assert isinstance(make_sliding("min"), MonotonicAggregator)
+        assert isinstance(make_sliding("max"), MonotonicAggregator)

@@ -1,0 +1,192 @@
+"""Tests for the expression AST: evaluation, typing, renames, selectivity."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.model import AtomType, Record, RecordSchema
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Cmp,
+    Col,
+    Lit,
+    Not,
+    Or,
+    col,
+    conjoin,
+    conjuncts,
+    lit,
+)
+
+SCHEMA = RecordSchema.of(close=AtomType.FLOAT, volume=AtomType.INT, sym=AtomType.STR)
+REC = Record(SCHEMA, (101.5, 2000, "ibm"))
+
+
+class TestEvaluation:
+    def test_col(self):
+        assert col("close").eval(REC) == 101.5
+
+    def test_lit(self):
+        assert lit(3).eval(REC) == 3
+
+    def test_arith(self):
+        assert (col("close") + 0.5).eval(REC) == 102.0
+        assert (col("volume") * 2).eval(REC) == 4000
+        assert (col("close") - 1.5).eval(REC) == 100.0
+        assert (col("volume") / 4).eval(REC) == 500.0
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError, match="division"):
+            (col("close") / 0).eval(REC)
+
+    def test_comparisons(self):
+        assert (col("close") > 100.0).eval(REC)
+        assert (col("close") >= 101.5).eval(REC)
+        assert not (col("close") < 100.0).eval(REC)
+        assert (col("close") <= 200.0).eval(REC)
+        assert col("sym").eq("ibm").eval(REC)
+        assert col("sym").ne("dec").eval(REC)
+
+    def test_boolean_connectives(self):
+        true = col("close") > 0.0
+        false = col("close") < 0.0
+        assert (true & true).eval(REC)
+        assert not (true & false).eval(REC)
+        assert (true | false).eval(REC)
+        assert not (false | false).eval(REC)
+        assert (~false).eval(REC)
+
+    def test_cross_column_comparison(self):
+        assert (col("volume") > col("close")).eval(REC)
+
+
+class TestTyping:
+    def test_col_type(self):
+        assert col("volume").infer_type(SCHEMA) is AtomType.INT
+
+    def test_unknown_col(self):
+        with pytest.raises(ExpressionError, match="unknown column"):
+            col("nope").infer_type(SCHEMA)
+
+    def test_lit_types(self):
+        assert lit(1).infer_type(SCHEMA) is AtomType.INT
+        assert lit(1.5).infer_type(SCHEMA) is AtomType.FLOAT
+        assert lit("x").infer_type(SCHEMA) is AtomType.STR
+        assert lit(True).infer_type(SCHEMA) is AtomType.BOOL
+
+    def test_unsupported_literal(self):
+        with pytest.raises(ExpressionError):
+            Lit([1, 2])
+
+    def test_arith_widens(self):
+        assert (col("volume") + 1).infer_type(SCHEMA) is AtomType.INT
+        assert (col("volume") + 1.0).infer_type(SCHEMA) is AtomType.FLOAT
+        assert (col("volume") / 2).infer_type(SCHEMA) is AtomType.FLOAT
+
+    def test_arith_on_str_rejected(self):
+        with pytest.raises(ExpressionError, match="numeric"):
+            (col("sym") + 1).infer_type(SCHEMA)
+
+    def test_cmp_is_bool(self):
+        assert (col("close") > 1.0).infer_type(SCHEMA) is AtomType.BOOL
+
+    def test_cmp_mixed_numeric_ok(self):
+        assert (col("volume") > col("close")).infer_type(SCHEMA) is AtomType.BOOL
+
+    def test_cmp_str_int_rejected(self):
+        with pytest.raises(ExpressionError, match="compare"):
+            (col("sym") > 1).infer_type(SCHEMA)
+
+    def test_ordering_on_bool_rejected(self):
+        schema = RecordSchema.of(flag=AtomType.BOOL)
+        with pytest.raises(ExpressionError, match="ordering"):
+            (col("flag") > lit(True)).infer_type(schema)
+
+    def test_and_needs_bool(self):
+        with pytest.raises(ExpressionError):
+            (col("close") & col("volume")).infer_type(SCHEMA)
+
+    def test_not_needs_bool(self):
+        with pytest.raises(ExpressionError):
+            Not(col("close")).infer_type(SCHEMA)
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(ExpressionError):
+            Arith("%", lit(1), lit(2))
+        with pytest.raises(ExpressionError):
+            Cmp("~", lit(1), lit(2))
+
+
+class TestColumnsAndRename:
+    def test_columns(self):
+        expr = (col("close") > 1.0) & (col("volume") + col("close") > 0)
+        assert expr.columns() == {"close", "volume"}
+
+    def test_lit_has_no_columns(self):
+        assert lit(5).columns() == frozenset()
+
+    def test_rename(self):
+        expr = (col("close") > col("volume")) | ~(col("sym").eq("x"))
+        renamed = expr.rename({"close": "ibm_close", "sym": "ibm_sym"})
+        assert renamed.columns() == {"ibm_close", "volume", "ibm_sym"}
+        # original untouched
+        assert expr.columns() == {"close", "volume", "sym"}
+
+
+class TestSelectivity:
+    def test_defaults(self):
+        assert (col("close") > 1.0).selectivity() == pytest.approx(1 / 3)
+        assert col("close").eq(1.0).selectivity() == pytest.approx(0.10)
+        assert col("close").ne(1.0).selectivity() == pytest.approx(0.90)
+
+    def test_and_multiplies(self):
+        expr = (col("close") > 1.0) & (col("volume") > 1)
+        assert expr.selectivity() == pytest.approx(1 / 9)
+
+    def test_or_inclusion_exclusion(self):
+        expr = (col("close") > 1.0) | (col("volume") > 1)
+        expected = 1 / 3 + 1 / 3 - 1 / 9
+        assert expr.selectivity() == pytest.approx(expected)
+
+    def test_not_complements(self):
+        assert (~(col("close") > 1.0)).selectivity() == pytest.approx(2 / 3)
+
+    def test_histogram_used_when_available(self):
+        from repro.catalog.histogram import EquiWidthHistogram
+
+        histogram = EquiWidthHistogram.build(list(range(100)), buckets=10)
+        lookup = {"close": histogram}.get
+        expr = col("close") < 25
+        assert expr.selectivity(lookup) == pytest.approx(0.25, abs=0.05)
+
+    def test_histogram_reversed_literal(self):
+        from repro.catalog.histogram import EquiWidthHistogram
+
+        histogram = EquiWidthHistogram.build(list(range(100)), buckets=10)
+        lookup = {"close": histogram}.get
+        # 25 > close  ==  close < 25
+        expr = Cmp(">", lit(25), col("close"))
+        assert expr.selectivity(lookup) == pytest.approx(0.25, abs=0.05)
+
+
+class TestConjuncts:
+    def test_split_and_rejoin(self):
+        a, b, c = col("close") > 1.0, col("volume") > 1, col("sym").eq("x")
+        expr = And(And(a, b), c)
+        parts = conjuncts(expr)
+        assert parts == [a, b, c]
+        rejoined = conjoin(parts)
+        assert rejoined.eval(REC) == expr.eval(REC)
+
+    def test_non_and_is_single_conjunct(self):
+        expr = col("close") > 1.0
+        assert conjuncts(expr) == [expr]
+
+    def test_conjoin_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            conjoin([])
+
+    def test_repr_is_readable(self):
+        expr = (col("a") > 1) & ~(col("b").eq("x"))
+        text = repr(expr)
+        assert "a" in text and "AND" in text and "NOT" in text

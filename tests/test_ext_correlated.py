@@ -1,0 +1,135 @@
+"""Tests for correlated queries via sequence groupings (Section 5.2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.algebra import col
+from repro.extensions import (
+    correlated_previous_join,
+    correlated_previous_join_naive,
+    partition_by,
+)
+from repro.workloads import WeatherSpec, generate_weather
+
+EVENT = RecordSchema.of(strength=AtomType.FLOAT, region=AtomType.STR)
+SITE = RecordSchema.of(name=AtomType.STR, region=AtomType.STR)
+
+
+@pytest.fixture
+def tiny():
+    quakes = BaseSequence.from_values(
+        EVENT,
+        [
+            (1, (8.0, "west")),
+            (3, (5.0, "east")),
+            (6, (7.5, "east")),
+            (8, (6.0, "west")),
+        ],
+    )
+    volcanos = BaseSequence.from_values(
+        SITE,
+        [
+            (4, ("etna", "east")),   # most recent east quake @3: 5.0 -> no
+            (7, ("fuji", "east")),   # most recent east quake @6: 7.5 -> yes
+            (9, ("hood", "east")),   # east quake @6: 7.5 -> yes (but the
+                                     # most recent quake OVERALL is @8,
+                                     # west, 6.0 -> the uncorrelated
+                                     # query says no: correlation matters)
+            (10, ("pele", "north")),  # no north quakes -> no pair at all
+        ],
+    )
+    return volcanos, quakes
+
+
+class TestPartitionBy:
+    def test_partitions_preserve_positions(self, tiny):
+        _volcanos, quakes = tiny
+        group = partition_by(quakes, "region")
+        assert set(group.names()) == {"west", "east"}
+        east = group.member("east")
+        assert [p for p, _ in east.iter_nonnull()] == [3, 6]
+        assert east.span == quakes.span  # spans survive partitioning
+
+    def test_unknown_attr(self, tiny):
+        _volcanos, quakes = tiny
+        with pytest.raises(QueryError):
+            partition_by(quakes, "nope")
+
+    def test_unbounded_span_rejected(self):
+        sequence = BaseSequence.from_values(
+            EVENT, [(0, (1.0, "x"))], span=Span(0, None)
+        )
+        with pytest.raises(QueryError):
+            partition_by(sequence, "region")
+
+
+class TestCorrelatedJoin:
+    def test_hand_checked(self, tiny):
+        volcanos, quakes = tiny
+        output = correlated_previous_join(
+            volcanos, quakes, "region",
+            predicate=col("i_strength") > 7.0,
+            prefixes=("v", "i"),
+        )
+        answers = [
+            (p, r.get("v_name")) for p, r in output.iter_nonnull()
+        ]
+        assert answers == [(7, "fuji"), (9, "hood")]
+
+    def test_unfiltered_pairs(self, tiny):
+        volcanos, quakes = tiny
+        output = correlated_previous_join(
+            volcanos, quakes, "region", prefixes=("v", "i")
+        )
+        # etna, fuji, hood have a same-region previous quake; pele does not
+        assert [p for p, _ in output.iter_nonnull()] == [4, 7, 9]
+
+    def test_agrees_with_naive_oracle(self):
+        volcanos, quakes = generate_weather(
+            WeatherSpec(horizon=6000, seed=23, eruption_rate=0.01)
+        )
+        for predicate in (None, col("i_strength") > 7.0):
+            fast = correlated_previous_join(
+                volcanos, quakes, "region", predicate=predicate, prefixes=("v", "i")
+            )
+            naive = correlated_previous_join_naive(
+                volcanos, quakes, "region", predicate=predicate, prefixes=("v", "i")
+            )
+            assert fast.to_pairs() == naive.to_pairs()
+
+    def test_differs_from_uncorrelated(self, tiny):
+        # the paper's point: correlation changes the answer
+        volcanos, quakes = tiny
+        from repro.relational import sequence_query
+
+        correlated = correlated_previous_join(
+            volcanos, quakes, "region",
+            predicate=col("i_strength") > 7.0,
+            prefixes=("v", "i"),
+        )
+        uncorrelated = sequence_query(volcanos, quakes, threshold=7.0).run_naive()
+        correlated_names = [r.get("v_name") for _p, r in correlated.iter_nonnull()]
+        uncorrelated_names = [r.get("v_name") for _p, r in uncorrelated.iter_nonnull()]
+        # with the region correlation, hood's relevant quake is the
+        # strong east one @6; without it, the weak west quake @8 is the
+        # most recent and hood drops out
+        assert correlated_names == ["fuji", "hood"]
+        assert uncorrelated_names == ["fuji"]
+
+    def test_missing_key_rejected(self, tiny):
+        volcanos, _quakes = tiny
+        other = BaseSequence.from_values(
+            RecordSchema.of(x=AtomType.INT), [(0, (1,))]
+        )
+        with pytest.raises(QueryError, match="correlation key"):
+            correlated_previous_join(volcanos, other, "region")
+
+    def test_schema_shape(self, tiny):
+        volcanos, quakes = tiny
+        output = correlated_previous_join(
+            volcanos, quakes, "region", prefixes=("v", "i")
+        )
+        assert output.schema.names == (
+            "v_name", "v_region", "i_strength", "i_region"
+        )

@@ -1,0 +1,102 @@
+"""Tests for multiple orderings over one record set (Section 5.1)."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.model import AtomType, Record, RecordSchema
+from repro.algebra import base, col
+from repro.extensions import MultiOrderedRecords
+
+PAYLOAD = RecordSchema.of(amount=AtomType.FLOAT)
+
+
+def record(amount):
+    return Record(PAYLOAD, (amount,))
+
+
+@pytest.fixture
+def bitemporal():
+    """Classic bitemporal setup: valid time vs transaction time."""
+    return MultiOrderedRecords(
+        PAYLOAD,
+        ("valid", "txn"),
+        [
+            ({"valid": 10, "txn": 1}, record(100.0)),
+            ({"valid": 5, "txn": 2}, record(50.0)),   # late-arriving fact
+            ({"valid": 20, "txn": 3}, record(200.0)),
+            ({"valid": 15, "txn": 4}, record(150.0)),  # another correction
+        ],
+    )
+
+
+class TestConstruction:
+    def test_len(self, bitemporal):
+        assert len(bitemporal) == 4
+
+    def test_duplicate_ordering_names_rejected(self):
+        with pytest.raises(QueryError):
+            MultiOrderedRecords(PAYLOAD, ("t", "t"), [])
+
+    def test_empty_orderings_rejected(self):
+        with pytest.raises(QueryError):
+            MultiOrderedRecords(PAYLOAD, (), [])
+
+    def test_missing_position_rejected(self):
+        with pytest.raises(QueryError, match="missing"):
+            MultiOrderedRecords(
+                PAYLOAD, ("valid", "txn"), [({"valid": 1}, record(1.0))]
+            )
+
+    def test_duplicate_position_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            MultiOrderedRecords(
+                PAYLOAD,
+                ("valid",),
+                [({"valid": 1}, record(1.0)), ({"valid": 1}, record(2.0))],
+            )
+
+    def test_schema_mismatch_rejected(self):
+        other = RecordSchema.of(x=AtomType.INT)
+        with pytest.raises(SchemaError):
+            MultiOrderedRecords(
+                PAYLOAD, ("valid",), [({"valid": 1}, Record(other, (1,)))]
+            )
+
+
+class TestViews:
+    def test_each_ordering_orders(self, bitemporal):
+        valid = bitemporal.as_sequence("valid")
+        txn = bitemporal.as_sequence("txn")
+        assert [p for p, _ in valid.iter_nonnull()] == [5, 10, 15, 20]
+        assert [p for p, _ in txn.iter_nonnull()] == [1, 2, 3, 4]
+        # same records, different arrangement
+        assert valid.at(5).get("amount") == 50.0
+        assert txn.at(2).get("amount") == 50.0
+
+    def test_unknown_ordering(self, bitemporal):
+        with pytest.raises(QueryError):
+            bitemporal.as_sequence("decision")
+
+    def test_queries_work_per_ordering(self, bitemporal):
+        valid = bitemporal.as_sequence("valid")
+        query = base(valid, "v").cumulative("sum", "amount").query()
+        output = query.run()
+        assert output.at(20).get("sum_amount") == 500.0
+        txn = bitemporal.as_sequence("txn")
+        query2 = base(txn, "t").cumulative("sum", "amount").query()
+        assert query2.run().at(2).get("sum_amount") == 150.0
+
+    def test_positions_as_attributes(self, bitemporal):
+        extended = bitemporal.with_positions_as_attributes("valid")
+        assert "txn" in extended.schema
+        assert extended.at(5).get("txn") == 2
+        # bitemporal query: facts ordered by valid time that were known
+        # by transaction time 2
+        known_early = (
+            base(extended, "v").select(col("txn") <= 2).query().run()
+        )
+        assert [p for p, _ in known_early.iter_nonnull()] == [5, 10]
+
+    def test_positions_as_attributes_unknown(self, bitemporal):
+        with pytest.raises(QueryError):
+            bitemporal.with_positions_as_attributes("nope")

@@ -1,0 +1,122 @@
+"""Tests for physical reorganization advice (Section 5.3)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.model import AtomType, RecordSchema, Span
+from repro.algebra import base, col
+from repro.extensions import (
+    Recommendation,
+    apply_reorganization,
+    recommend_reorganization,
+)
+from repro.storage import StoredSequence
+from repro.workloads import bernoulli_sequence
+
+
+def scan_heavy_setup(organization="indexed", n=2_000):
+    sequence = bernoulli_sequence(Span(0, n - 1), 0.9, seed=55)
+    stored = StoredSequence.from_sequence("raw", sequence, organization=organization)
+    catalog = Catalog()
+    catalog.register("raw", stored)
+    query = base(stored, "raw").window("avg", "value", 10).query()
+    return query, catalog, stored
+
+
+class TestRecommendations:
+    def test_indexed_store_recommended_when_amortized(self):
+        query, catalog, _stored = scan_heavy_setup("indexed")
+        (single,) = recommend_reorganization(query, catalog)
+        (amortized,) = recommend_reorganization(query, catalog, executions=5)
+        # one execution: the conversion costs about what it saves
+        assert not single.reorganize
+        assert single.net_benefit < 0
+        # repeated executions: clearly worth it
+        assert amortized.reorganize
+        assert amortized.net_benefit > 0
+        assert amortized.current_cost > amortized.reorganized_cost * 5
+
+    def test_clustered_store_not_analyzed(self):
+        query, catalog, _stored = scan_heavy_setup("clustered")
+        assert recommend_reorganization(query, catalog) == []
+
+    def test_memory_sequences_not_analyzed(self, small_prices):
+        catalog = Catalog()
+        catalog.register("p", small_prices)
+        query = base(small_prices, "p").query()
+        assert recommend_reorganization(query, catalog) == []
+
+    def test_log_store_scan_query_not_recommended(self):
+        # a log already streams cheaply; nothing to gain
+        query, catalog, _stored = scan_heavy_setup("log")
+        (rec,) = recommend_reorganization(query, catalog, executions=10)
+        assert not rec.reorganize
+
+    def test_log_store_probe_heavy_query_recommended(self):
+        # a sparse driver probing a log pays half a scan per probe;
+        # clustering the probed side wins
+        a = bernoulli_sequence(
+            Span(0, 1999), 0.005, seed=1, schema=RecordSchema.of(a=AtomType.FLOAT)
+        )
+        b = bernoulli_sequence(
+            Span(0, 1999), 0.9, seed=2, schema=RecordSchema.of(b=AtomType.FLOAT)
+        )
+        stored_a = StoredSequence.from_sequence("a", a, organization="clustered")
+        stored_b = StoredSequence.from_sequence("b", b, organization="log")
+        catalog = Catalog()
+        catalog.register("a", stored_a)
+        catalog.register("b", stored_b)
+        query = base(stored_a, "a").compose(base(stored_b, "b")).query()
+        (rec,) = recommend_reorganization(query, catalog, executions=3)
+        assert rec.name == "b"
+        assert rec.reorganize
+
+
+class TestApply:
+    def test_apply_registers_replicas(self):
+        query, catalog, _stored = scan_heavy_setup("indexed")
+        recommendations = recommend_reorganization(query, catalog, executions=5)
+        replicas = apply_reorganization(catalog, recommendations)
+        assert set(replicas) == {"raw"}
+        assert "raw_clustered" in catalog
+        replica = replicas["raw"]
+        assert replica.organization_kind == "clustered"
+        assert replica.to_pairs() == catalog.get("raw").sequence.to_pairs()
+
+    def test_apply_skips_negative_recommendations(self):
+        query, catalog, _stored = scan_heavy_setup("indexed")
+        recommendations = recommend_reorganization(query, catalog)  # 1 execution
+        replicas = apply_reorganization(catalog, recommendations)
+        assert replicas == {}
+
+    def test_query_over_replica_is_cheaper(self):
+        query, catalog, stored = scan_heavy_setup("indexed")
+        recommendations = recommend_reorganization(query, catalog, executions=5)
+        replicas = apply_reorganization(catalog, recommendations)
+        from repro.optimizer import optimize
+
+        replica_query = base(replicas["raw"], "raw_c").window("avg", "value", 10).query()
+        old_cost = optimize(query, catalog=catalog).plan.estimated_cost
+        new_cost = optimize(replica_query, catalog=catalog).plan.estimated_cost
+        assert new_cost < old_cost / 5
+        assert replica_query.run(catalog=catalog).to_pairs() == query.run_naive().to_pairs()
+
+
+class TestDotExport:
+    def test_to_dot_structure(self, table1):
+        from repro.optimizer import optimize
+
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("i", "h"))
+            .select(col("i_close") > col("h_close"))
+            .query()
+        )
+        dot = optimize(query, catalog=catalog).plan.plan.to_dot("figure3")
+        assert dot.startswith("digraph figure3 {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 2  # a join has two children
+        assert "lockstep" in dot or "probe" in dot
+        # quotes in predicates must not break the DOT syntax
+        assert '\\"' not in dot

@@ -1,0 +1,297 @@
+"""Tests for the Section 5 extensions."""
+
+import pytest
+
+from repro.errors import ExecutionError, QueryError
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.algebra import (
+    Compose,
+    Select,
+    SequenceLeaf,
+    base,
+    col,
+)
+from repro.catalog import Catalog
+from repro.extensions import (
+    DAY,
+    WEEK,
+    GroupResult,
+    OrderingDomain,
+    SequenceGroup,
+    TriggerEngine,
+    collapse,
+    evaluate_dag,
+    expand,
+    materialize_query,
+    register_materialized,
+    shared_nodes,
+)
+from repro.relational import sequence_query
+from repro.workloads import StockSpec, WeatherSpec, generate_stock, generate_weather
+
+
+class TestTrigger:
+    def _events(self, volcanos, quakes):
+        return sorted(
+            [("v", p, r) for p, r in volcanos.iter_nonnull()]
+            + [("e", p, r) for p, r in quakes.iter_nonnull()],
+            key=lambda t: t[1],
+        )
+
+    def test_example11_trigger_equals_batch(self):
+        volcanos, quakes = generate_weather(WeatherSpec(horizon=3000, seed=5))
+        query = sequence_query(volcanos, quakes)
+        engine = TriggerEngine(query)
+        emitted = []
+        for source, position, record in self._events(volcanos, quakes):
+            emitted.extend(engine.push(source, position, record))
+        assert emitted == query.run_naive().to_pairs()
+
+    def test_per_arrival_cost_constant(self):
+        costs = []
+        for horizon in (2000, 8000):
+            volcanos, quakes = generate_weather(WeatherSpec(horizon=horizon, seed=5))
+            query = sequence_query(volcanos, quakes)
+            engine = TriggerEngine(query)
+            for source, position, record in self._events(volcanos, quakes):
+                engine.push(source, position, record)
+            costs.append(engine.ops_per_arrival())
+        assert costs[1] == pytest.approx(costs[0], rel=0.25)
+
+    def test_select_project_shift(self, dense_walk):
+        query = (
+            base(dense_walk, "w")
+            .select(col("close") > 100.0)
+            .project("close")
+            .shift(-1)
+            .query()
+        )
+        engine = TriggerEngine(query)
+        emitted = []
+        for position, record in dense_walk.iter_nonnull():
+            emitted.extend(engine.push("w", position, record))
+        batch = query.run_naive()
+        assert emitted == batch.to_pairs()
+
+    def test_window_and_cumulative_as_of_arrival(self, sparse_walk):
+        for build in (
+            lambda s: s.window("max", "close", 4),
+            lambda s: s.cumulative("sum", "close"),
+        ):
+            query = build(base(sparse_walk, "s")).query()
+            engine = TriggerEngine(query)
+            batch = query.run_naive()
+            for position, record in sparse_walk.iter_nonnull():
+                outputs = engine.push("s", position, record)
+                assert len(outputs) == 1
+                out_position, out_record = outputs[0]
+                assert out_position == position
+                assert batch.at(position) == out_record
+
+    def test_out_of_order_rejected(self, dense_walk):
+        query = base(dense_walk, "w").select(col("close") > 0.0).query()
+        engine = TriggerEngine(query)
+        items = dense_walk.to_pairs()
+        engine.push("w", items[5][0], items[5][1])
+        with pytest.raises(ExecutionError, match="out-of-order"):
+            engine.push("w", items[0][0], items[0][1])
+
+    def test_unknown_source_rejected(self, dense_walk):
+        query = base(dense_walk, "w").query()
+        engine = TriggerEngine(query)
+        with pytest.raises(ExecutionError, match="unknown source"):
+            engine.push("nope", 0, dense_walk.to_pairs()[0][1])
+
+    def test_unsupported_operators_rejected(self, dense_walk):
+        with pytest.raises(QueryError):
+            TriggerEngine(base(dense_walk, "w").next().query())
+        with pytest.raises(QueryError):
+            TriggerEngine(base(dense_walk, "w").global_agg("max", "close").query())
+        with pytest.raises(QueryError, match="held"):
+            TriggerEngine(base(dense_walk, "w").previous().query())
+
+    def test_two_held_sides_rejected(self, dense_walk, sparse_walk):
+        left = base(dense_walk, "a").previous()
+        right = base(sparse_walk, "b").previous()
+        query = left.compose(right, prefixes=("a", "b")).query()
+        with pytest.raises(QueryError, match="two held"):
+            TriggerEngine(query)
+
+
+class TestDag:
+    def test_shared_detection(self, dense_walk):
+        leaf = SequenceLeaf(dense_walk, "w")
+        shared = Select(leaf, col("close") > 100.0)
+        root = Compose(shared, shared, None, ("l", "r"))
+        assert len(shared_nodes(root)) == 1
+
+    def test_evaluation_matches_tree_semantics(self, dense_walk):
+        leaf = SequenceLeaf(dense_walk, "w")
+        shared = Select(leaf, col("close") > 100.0)
+        root = Compose(shared, shared, None, ("l", "r"))
+        result = evaluate_dag(root, span=Span(0, 119))
+        # equivalent tree: two separate copies of the shared select
+        copy_a = Select(SequenceLeaf(dense_walk, "w"), col("close") > 100.0)
+        copy_b = Select(SequenceLeaf(dense_walk, "w"), col("close") > 100.0)
+        from repro.algebra import Query
+
+        tree = Query(Compose(copy_a, copy_b, None, ("l", "r")))
+        assert result.output.to_pairs() == tree.run_naive(Span(0, 119)).to_pairs()
+        assert result.shared_materializations == 1
+
+    def test_plain_tree_has_no_materializations(self, dense_walk):
+        leaf = SequenceLeaf(dense_walk, "w")
+        root = Select(leaf, col("close") > 100.0)
+        result = evaluate_dag(root, span=Span(0, 119))
+        assert result.shared_materializations == 0
+
+
+class TestDomains:
+    def test_factor_between_domains(self):
+        assert DAY.factor_to(WEEK) == 7
+        with pytest.raises(QueryError):
+            WEEK.factor_to(OrderingDomain("tenday", 10))
+        with pytest.raises(QueryError):
+            WEEK.factor_to(DAY)
+
+    def test_collapse_weekly(self):
+        daily = generate_stock(StockSpec("x", Span(0, 27), 1.0, seed=3))
+        weekly = collapse(daily, 7, {"close": "avg", "volume": "sum"})
+        assert weekly.span == Span(0, 3)
+        week0 = [record for p, record in daily.iter_nonnull() if p < 7]
+        expected_avg = sum(r.get("close") for r in week0) / len(week0)
+        assert weekly.at(0).get("close") == pytest.approx(expected_avg)
+        assert weekly.at(0).get("volume") == sum(r.get("volume") for r in week0)
+
+    def test_collapse_with_gaps(self, small_prices):
+        coarse = collapse(small_prices, 5, {"close": "count"})
+        # positions 1..4 in bucket 0 (3 is a gap), 5..9 in bucket 1, 10 in 2
+        assert coarse.at(0).get("close") == 3
+        assert coarse.at(1).get("close") == 4
+        assert coarse.at(2).get("close") == 1
+
+    def test_collapse_validation(self, small_prices):
+        with pytest.raises(QueryError):
+            collapse(small_prices, 0, {"close": "avg"})
+        with pytest.raises(QueryError):
+            collapse(small_prices, 5, {})
+        with pytest.raises(QueryError):
+            collapse(small_prices, 5, {"nope": "avg"})
+
+    def test_expand_replicates(self, small_prices):
+        weekly = collapse(small_prices, 5, {"close": "avg"})
+        daily = expand(weekly, 5)
+        assert daily.span == Span(0, 14)
+        assert daily.at(0) == daily.at(4)
+
+    def test_expand_then_collapse_identity_on_avg(self):
+        daily = generate_stock(StockSpec("x", Span(0, 13), 1.0, seed=3))
+        weekly = collapse(daily, 7, {"close": "avg"})
+        again = collapse(expand(weekly, 7), 7, {"close": "avg"})
+        assert [p for p, _ in again.iter_nonnull()] == [
+            p for p, _ in weekly.iter_nonnull()
+        ]
+        assert [record.get("close") for _p, record in again.iter_nonnull()] == (
+            pytest.approx(
+                [record.get("close") for _p, record in weekly.iter_nonnull()]
+            )
+        )
+
+
+class TestGroupings:
+    @pytest.fixture
+    def group(self):
+        members = {
+            f"s{i}": generate_stock(StockSpec(f"s{i}", Span(0, 59), 1.0, seed=i))
+            for i in range(4)
+        }
+        schema = next(iter(members.values())).schema
+        return SequenceGroup(schema, members)
+
+    def test_membership(self, group):
+        assert len(group) == 4
+        assert "s0" in group and "nope" not in group
+        assert group.names() == ["s0", "s1", "s2", "s3"]
+        with pytest.raises(QueryError):
+            group.member("nope")
+
+    def test_schema_mismatch_rejected(self, group, small_prices):
+        with pytest.raises(QueryError, match="schema"):
+            SequenceGroup(group.schema, {"bad": small_prices})
+
+    def test_map_runs_query_per_member(self, group):
+        result = group.map(lambda s: s.window("avg", "close", 5))
+        assert isinstance(result, GroupResult)
+        assert result.names() == group.names()
+        for name in group.names():
+            member = group.member(name)
+            expected = (
+                base(member, name).window("avg", "close", 5).query().run_naive()
+            )
+            assert result.output(name).to_pairs() == expected.to_pairs()
+
+    def test_filter_by_aggregate(self, group):
+        maxima = {
+            name: max(r.get("close") for _p, r in group.member(name).iter_nonnull())
+            for name in group.names()
+        }
+        cutoff = sorted(maxima.values())[2]
+        kept = group.filter_by_aggregate("max", "close", lambda v: v >= cutoff)
+        assert len(kept) == 2
+
+    def test_aggregate_across(self, group):
+        index = group.aggregate_across("avg", "close")
+        assert index.span == Span(0, 59)
+        at0 = [group.member(n).at(0).get("close") for n in group.names()]
+        assert index.at(0).get("avg_close") == pytest.approx(sum(at0) / 4)
+
+    def test_group_result_as_group(self, group):
+        result = group.map(lambda s: s.window("avg", "close", 5))
+        regrouped = result.as_group()
+        assert len(regrouped) == 4
+
+    def test_empty_group_aggregate_rejected(self, group):
+        empty = group.filter(lambda _n, _s: False)
+        with pytest.raises(QueryError):
+            empty.aggregate_across("avg", "close")
+
+
+class TestMaterialize:
+    def test_materialize_query(self, table1):
+        catalog, sequences = table1
+        query = base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        result = materialize_query(query, catalog=catalog)
+        assert result.to_pairs() == query.run_naive().to_pairs()
+
+    def test_register_materialized_in_memory(self, table1):
+        catalog, sequences = table1
+        fresh = Catalog()
+        fresh.register("ibm", sequences["ibm"])
+        query = base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        entry = register_materialized(fresh, "ibm_ma5", query)
+        assert "ibm_ma5" in fresh
+        assert entry.stats is not None  # fresh statistics collected
+
+    def test_register_materialized_on_disk(self, table1):
+        from repro.storage import StoredSequence
+
+        catalog, sequences = table1
+        fresh = Catalog()
+        fresh.register("ibm", sequences["ibm"])
+        query = base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        entry = register_materialized(
+            fresh, "ibm_ma5", query, organization="clustered"
+        )
+        assert isinstance(entry.sequence, StoredSequence)
+        assert entry.sequence.to_pairs() == query.run_naive().to_pairs()
+
+    def test_materialized_usable_in_new_queries(self, table1):
+        catalog, sequences = table1
+        fresh = Catalog()
+        fresh.register("ibm", sequences["ibm"])
+        query = base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        entry = register_materialized(fresh, "ibm_ma5", query)
+        follow_up = (
+            base(entry.sequence, "ibm_ma5").select(col("avg_close") > 100.0).query()
+        )
+        assert follow_up.run(catalog=fresh).to_pairs() == follow_up.run_naive().to_pairs()

@@ -1,0 +1,157 @@
+"""Tests for query graphs, validation, and the fluent builder."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model import AtomType, BaseSequence, RecordSchema, Span
+from repro.algebra import (
+    Compose,
+    Query,
+    Select,
+    SequenceLeaf,
+    base,
+    col,
+    constant,
+)
+
+
+class TestQueryValidation:
+    def test_tree_accepted(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 0.0).query()
+        assert query.schema == small_prices.schema
+
+    def test_shared_node_rejected(self, small_prices):
+        leaf = SequenceLeaf(small_prices, "p")
+        shared = Select(leaf, col("close") > 0.0)
+        with pytest.raises(QueryError, match="tree"):
+            Query(Compose(shared, shared, prefixes=("a", "b")))
+
+    def test_type_errors_surface_at_build(self, small_prices):
+        with pytest.raises(QueryError):
+            base(small_prices, "p").select(col("nope") > 0.0).query()
+
+    def test_leaves_enumerated(self, small_prices, dense_walk):
+        query = (
+            base(small_prices, "p")
+            .compose(base(dense_walk, "w"), prefixes=("p", "w"))
+            .query()
+        )
+        assert len(query.leaves()) == 2
+        assert [leaf.alias for leaf in query.base_leaves()] == ["p", "w"]
+
+    def test_operators_walk(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 0.0).project("close").query()
+        names = [op.name for op in query.operators()]
+        assert names == ["project", "select", "base"]
+
+    def test_pretty(self, small_prices):
+        text = base(small_prices, "p").select(col("close") > 0.0).query().pretty()
+        assert "select" in text and "base(p)" in text
+
+
+class TestSpans:
+    def test_inferred_span(self, small_prices):
+        query = base(small_prices, "p").shift(2).query()
+        assert query.inferred_span() == Span(-1, 8)
+
+    def test_default_span_bounded(self, small_prices):
+        query = base(small_prices, "p").query()
+        assert query.default_span() == Span(1, 10)
+
+    def test_default_span_clips_unbounded(self, small_prices):
+        query = base(small_prices, "p").previous().query()
+        span = query.default_span()
+        assert span.is_bounded
+        assert span.start == 2  # previous starts after the first record
+
+    def test_default_span_unboundable_raises(self):
+        query = constant("k", 1).query()
+        with pytest.raises(QueryError, match="explicit span"):
+            query.default_span()
+
+
+class TestBuilder:
+    def test_full_chain(self, dense_walk):
+        query = (
+            base(dense_walk, "w")
+            .select(col("close") > 0.0)
+            .project("close")
+            .shift(1)
+            .window("avg", "close", 5)
+            .query()
+        )
+        assert query.schema.names == ("avg_close",)
+
+    def test_value_offsets(self, small_prices):
+        assert base(small_prices, "p").previous().query().schema == small_prices.schema
+        assert base(small_prices, "p").next().query().schema == small_prices.schema
+        assert (
+            base(small_prices, "p").value_offset(-2).query().schema
+            == small_prices.schema
+        )
+
+    def test_cumulative_and_global(self, small_prices):
+        assert base(small_prices, "p").cumulative("sum", "close").query().schema.names == (
+            "sum_close",
+        )
+        assert base(small_prices, "p").global_agg("max", "close").query().schema.names == (
+            "max_close",
+        )
+
+    def test_compose_accepts_seq_operator_sequence(self, small_prices, dense_walk):
+        from repro.algebra import Seq, SequenceLeaf
+
+        built = base(small_prices, "p")
+        # a Seq
+        q1 = built.compose(base(dense_walk, "w"), prefixes=("p", "w")).query()
+        # an Operator
+        q2 = base(small_prices, "p").compose(
+            SequenceLeaf(dense_walk, "w"), prefixes=("p", "w")
+        ).query()
+        # a raw Sequence
+        q3 = base(small_prices, "p").compose(dense_walk, prefixes=("p", "w")).query()
+        assert q1.schema == q2.schema == q3.schema
+
+    def test_compose_bad_argument(self, small_prices):
+        with pytest.raises(QueryError):
+            base(small_prices, "p").compose(42)  # type: ignore[arg-type]
+
+    def test_constant_compose(self, small_prices):
+        query = (
+            base(small_prices, "p")
+            .compose(constant("threshold", 45.0))
+            .select(col("close") > col("threshold"))
+            .project("close")
+            .query()
+        )
+        output = query.run_naive()
+        assert [p for p, _ in output.iter_nonnull()] == [5, 6, 8, 9, 10]
+
+    def test_repr(self, small_prices):
+        assert "Seq(" in repr(base(small_prices, "p"))
+        assert "Query(" in repr(base(small_prices, "p").query())
+
+    def test_with_inputs_on_leaf(self, small_prices):
+        leaf = SequenceLeaf(small_prices, "p")
+        assert leaf.with_inputs(()) is leaf
+        with pytest.raises(QueryError):
+            leaf.with_inputs((leaf,))
+
+
+class TestQueryExplain:
+    def test_explain_on_query(self, small_prices):
+        from repro.algebra import base, col
+
+        query = base(small_prices, "p").select(col("close") > 45.0).query()
+        text = query.explain()
+        assert "estimated cost" in text and "scan" in text
+
+    def test_explain_with_catalog(self, table1):
+        from repro.algebra import base, col
+
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm").window("avg", "close", 5).query()
+        )
+        text = query.explain(catalog=catalog)
+        assert "window-agg" in text and "cache-a" in text

@@ -1,0 +1,131 @@
+"""Integration tests: full query pipeline over the storage substrate.
+
+Every physical organization, deep multi-block queries, the language
+front-end, the span optimization and caching strategies — together.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.model import AtomType, RecordSchema, Span
+from repro.algebra import base, col
+from repro.execution import run_query_detailed
+from repro.lang import compile_query
+from repro.storage import StoredSequence
+from repro.workloads import StockSpec, generate_stock
+
+
+def stored_catalog(organization: str):
+    catalog = Catalog()
+    sequences = {}
+    for name, span, density, seed in (
+        ("alpha", Span(0, 599), 0.9, 1),
+        ("beta", Span(100, 899), 0.6, 2),
+        ("gamma", Span(0, 999), 1.0, 3),
+    ):
+        sequence = generate_stock(StockSpec(name, span, density, seed=seed))
+        stored = StoredSequence.from_sequence(
+            name, sequence, organization=organization, page_capacity=16,
+            buffer_pages=8,
+        )
+        sequences[name] = stored
+        catalog.register(name, stored)
+    catalog.analyze_correlation("alpha", "beta")
+    catalog.analyze_correlation("alpha", "gamma")
+    return catalog, sequences
+
+
+DEEP_QUERIES = {
+    "five-block": lambda s: (
+        base(s["alpha"], "alpha")
+        .window("avg", "close", 6, "ma")
+        .select(col("ma") > 50.0)
+        .previous()
+        .window("max", "ma", 4, "peak")
+        .query()
+    ),
+    "join-of-aggregates": lambda s: (
+        base(s["alpha"], "alpha").window("avg", "close", 5, "fast")
+        .compose(base(s["alpha"], "alpha").window("avg", "close", 15, "slow"))
+        .select(col("fast") > col("slow"))
+        .project("fast")
+        .query()
+    ),
+    "three-way-with-shifts": lambda s: (
+        base(s["alpha"], "alpha")
+        .shift(-3)
+        .compose(
+            base(s["beta"], "beta").compose(
+                base(s["gamma"], "gamma"), prefixes=("b", "g")
+            ),
+            prefixes=("a", None),
+        )
+        .select(col("a_close") > col("b_close"))
+        .project("a_close", "b_close", "g_close")
+        .query()
+    ),
+    "cumulative-over-join": lambda s: (
+        base(s["beta"], "beta")
+        .compose(base(s["gamma"], "gamma"), prefixes=("b", "g"))
+        .select(col("b_close") > col("g_close"))
+        .cumulative("count", "b_close")
+        .query()
+    ),
+}
+
+
+@pytest.mark.parametrize("organization", ["clustered", "indexed", "log"])
+@pytest.mark.parametrize("name", sorted(DEEP_QUERIES))
+def test_deep_query_matches_oracle(organization, name):
+    catalog, sequences = stored_catalog(organization)
+    query = DEEP_QUERIES[name](sequences)
+    result = run_query_detailed(query, catalog=catalog)
+    expected = query.run_naive(result.optimization.plan.output_span)
+    assert result.output.to_pairs() == expected.to_pairs()
+
+
+@pytest.mark.parametrize("organization", ["clustered", "log"])
+def test_language_front_end_over_storage(organization):
+    catalog, _sequences = stored_catalog(organization)
+    query = compile_query(
+        "select(compose(window(alpha, avg, close, 5, fast) as f, "
+        "window(alpha, avg, close, 20, slow) as s), f_fast > s_slow)",
+        catalog,
+    )
+    result = run_query_detailed(query, catalog=catalog)
+    expected = query.run_naive(result.optimization.plan.output_span)
+    assert result.output.to_pairs() == expected.to_pairs()
+
+
+def test_span_restriction_on_disjoint_heavy_join():
+    catalog, sequences = stored_catalog("clustered")
+    # beta spans [100,899]; alpha [0,599]: overlap [100,599]
+    query = (
+        base(sequences["alpha"], "alpha")
+        .compose(base(sequences["beta"], "beta"), prefixes=("a", "b"))
+        .query()
+    )
+    result = run_query_detailed(query, catalog=catalog)
+    assert result.optimization.plan.output_span == Span(100, 599)
+    for plan in result.optimization.plan.plan.walk():
+        if plan.kind == "scan":
+            assert plan.span == Span(100, 599)
+
+
+def test_counters_consistent_across_runs():
+    catalog, sequences = stored_catalog("clustered")
+    query = DEEP_QUERIES["five-block"](sequences)
+    first = run_query_detailed(query, catalog=catalog)
+    second = run_query_detailed(query, catalog=catalog)
+    assert first.output.to_pairs() == second.output.to_pairs()
+    assert first.counters.as_dict() == second.counters.as_dict()
+
+
+def test_requested_span_narrower_than_data():
+    catalog, sequences = stored_catalog("clustered")
+    query = DEEP_QUERIES["join-of-aggregates"](sequences)
+    full = run_query_detailed(query, catalog=catalog)
+    narrow = run_query_detailed(query, span=Span(200, 300), catalog=catalog)
+    expected = [(p, r) for p, r in full.output.to_pairs() if p in Span(200, 300)]
+    assert narrow.output.to_pairs() == expected
+    assert narrow.counters.operator_records <= full.counters.operator_records

@@ -1,0 +1,103 @@
+"""Tests for the smaller supporting modules: info, errors, bench harness."""
+
+import pytest
+
+from repro.errors import ParseError, ReproError
+from repro.model import SequenceInfo, Span
+from repro.bench import Measurement, format_table, measure, speedup
+
+
+class TestSequenceInfo:
+    def test_density_clamped(self):
+        assert SequenceInfo(Span(0, 9), 1.7).density == 1.0
+        assert SequenceInfo(Span(0, 9), -0.3).density == 0.0
+
+    def test_expected_records(self):
+        info = SequenceInfo(Span(0, 99), 0.5)
+        assert info.expected_records() == 50.0
+        assert SequenceInfo(Span(0, None), 0.5).expected_records() is None
+
+    def test_restricted(self):
+        info = SequenceInfo(Span(0, 99), 0.5)
+        clipped = info.restricted(Span(50, 200))
+        assert clipped.span == Span(50, 99)
+        assert clipped.density == 0.5
+
+    def test_with_density(self):
+        info = SequenceInfo(Span(0, 99), 0.5).with_density(0.25)
+        assert info.density == 0.25
+
+    def test_stats_excluded_from_equality(self):
+        a = SequenceInfo(Span(0, 9), 0.5, stats="x")
+        b = SequenceInfo(Span(0, 9), 0.5, stats="y")
+        assert a == b
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (
+            CatalogError,
+            ExecutionError,
+            ExpressionError,
+            OptimizerError,
+            QueryError,
+            SchemaError,
+            SpanError,
+            StorageError,
+        )
+
+        for error_type in (
+            CatalogError, ExecutionError, OptimizerError, QueryError,
+            SchemaError, SpanError, StorageError, ParseError,
+        ):
+            assert issubclass(error_type, ReproError)
+        assert issubclass(ExpressionError, QueryError)
+
+    def test_parse_error_location(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        error = ParseError("bad")
+        assert str(error) == "bad"
+
+
+class TestBenchHarness:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 123456]],
+            title="t",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in lines[-1]
+
+    def test_format_table_float_styles(self):
+        text = format_table(["x"], [[0.00123], [1.5], [12345.6]])
+        assert "0.0012" in text
+        assert "1.50" in text
+        assert "12,346" in text
+
+    def test_measure_returns_counters(self, table1):
+        # use a fresh stored catalog so counters exist
+        from repro.workloads import table1_catalog
+
+        catalog, _ = table1_catalog(organization="clustered")
+        sequence = catalog.get("hp").sequence
+
+        measurement = measure(lambda: list(sequence.iter_nonnull()), catalog)
+        assert isinstance(measurement, Measurement)
+        assert measurement.seconds > 0
+        assert measurement.records_streamed == 750
+        assert measurement.page_reads > 0
+
+    def test_measure_without_catalog(self):
+        measurement = measure(lambda: sum(range(100)))
+        assert measurement.page_reads == 0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == float("inf")

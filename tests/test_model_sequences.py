@@ -1,0 +1,138 @@
+"""Tests for base and constant sequences."""
+
+import pytest
+
+from repro.errors import SchemaError, SpanError
+from repro.model import (
+    NULL,
+    AtomType,
+    BaseSequence,
+    ConstantSequence,
+    Record,
+    RecordSchema,
+    Span,
+)
+
+
+@pytest.fixture
+def schema():
+    return RecordSchema.of(v=AtomType.INT)
+
+
+@pytest.fixture
+def sequence(schema):
+    return BaseSequence.from_values(schema, [(2, (20,)), (5, (50,)), (9, (90,))])
+
+
+class TestBaseSequence:
+    def test_span_defaults_to_hull(self, sequence):
+        assert sequence.span == Span(2, 9)
+
+    def test_at_hits_and_misses(self, sequence):
+        assert sequence.at(5).get("v") == 50
+        assert sequence.at(3) is NULL
+        assert sequence.at(100) is NULL
+
+    def test_get_respects_span(self, sequence):
+        assert sequence.get(1) is NULL
+
+    def test_iter_nonnull_in_order(self, sequence):
+        assert [p for p, _ in sequence.iter_nonnull()] == [2, 5, 9]
+
+    def test_iter_nonnull_within(self, sequence):
+        assert [p for p, _ in sequence.iter_nonnull(Span(3, 8))] == [5]
+
+    def test_iter_nonnull_within_unbounded_window(self, sequence):
+        assert [p for p, _ in sequence.iter_nonnull(Span(None, 5))] == [2, 5]
+
+    def test_len_and_density(self, sequence):
+        assert len(sequence) == 3
+        assert sequence.density() == pytest.approx(3 / 8)
+
+    def test_count_nonnull(self, sequence):
+        assert sequence.count_nonnull(Span(2, 5)) == 2
+
+    def test_first_last_position(self, sequence):
+        assert sequence.first_position() == 2
+        assert sequence.last_position() == 9
+
+    def test_empty(self, schema):
+        empty = BaseSequence.empty(schema)
+        assert empty.span == Span.EMPTY
+        assert len(empty) == 0
+        assert empty.first_position() is None
+
+    def test_restricted(self, sequence):
+        clipped = sequence.restricted(Span(3, 9))
+        assert clipped.span == Span(3, 9)
+        assert [p for p, _ in clipped.iter_nonnull()] == [5, 9]
+
+    def test_duplicate_position_rejected(self, schema):
+        with pytest.raises(SpanError, match="duplicate"):
+            BaseSequence.from_values(schema, [(1, (1,)), (1, (2,))])
+
+    def test_out_of_span_item_rejected(self, schema):
+        with pytest.raises(SpanError, match="outside"):
+            BaseSequence.from_values(schema, [(10, (1,))], span=Span(0, 5))
+
+    def test_wrong_schema_rejected(self, schema):
+        other = RecordSchema.of(w=AtomType.INT)
+        with pytest.raises(SchemaError):
+            BaseSequence(schema, [(1, Record(other, (1,)))])
+
+    def test_explicit_null_items_skipped(self, schema):
+        sequence = BaseSequence(schema, [(1, Record(schema, (1,))), (2, NULL)])
+        assert len(sequence) == 1
+
+    def test_bool_position_rejected(self, schema):
+        with pytest.raises(SpanError):
+            BaseSequence.from_values(schema, [(True, (1,))])
+
+    def test_from_dicts(self, schema):
+        sequence = BaseSequence.from_dicts(schema, {3: {"v": 30}})
+        assert sequence.at(3).get("v") == 30
+
+    def test_equality(self, schema, sequence):
+        same = BaseSequence.from_values(
+            schema, [(2, (20,)), (5, (50,)), (9, (90,))]
+        )
+        assert sequence == same
+
+    def test_density_of_unbounded_raises(self, schema):
+        sequence = BaseSequence.from_values(schema, [(1, (1,))], span=Span(0, None))
+        with pytest.raises(SpanError):
+            sequence.density()
+
+
+class TestConstantSequence:
+    def test_scalar_inference(self):
+        constant = ConstantSequence.scalar("threshold", 7.0)
+        assert constant.schema.type_of("threshold") is AtomType.FLOAT
+        assert constant.at(123456).get("threshold") == 7.0
+
+    def test_scalar_int_bool_str(self):
+        assert ConstantSequence.scalar("k", 3).schema.type_of("k") is AtomType.INT
+        assert ConstantSequence.scalar("b", True).schema.type_of("b") is AtomType.BOOL
+        assert ConstantSequence.scalar("s", "x").schema.type_of("s") is AtomType.STR
+
+    def test_scalar_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            ConstantSequence.scalar("o", object())
+
+    def test_density_is_one(self):
+        assert ConstantSequence.scalar("k", 1).density() == 1.0
+
+    def test_span_restriction(self):
+        constant = ConstantSequence.scalar("k", 1, span=Span(0, 4))
+        assert constant.at(5) is NULL
+        assert [p for p, _ in constant.iter_nonnull()] == [0, 1, 2, 3, 4]
+
+    def test_iter_unbounded_needs_window(self):
+        constant = ConstantSequence.scalar("k", 1)
+        with pytest.raises(SpanError):
+            list(constant.iter_nonnull())
+        assert len(list(constant.iter_nonnull(Span(0, 2)))) == 3
+
+    def test_non_record_rejected(self):
+        with pytest.raises(SchemaError):
+            ConstantSequence("nope")  # type: ignore[arg-type]

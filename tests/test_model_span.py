@@ -1,0 +1,118 @@
+"""Tests for span algebra."""
+
+import pytest
+
+from repro.errors import SpanError
+from repro.model.span import Span
+
+
+class TestConstruction:
+    def test_bounded(self):
+        span = Span(2, 9)
+        assert span.start == 2 and span.end == 9
+        assert span.is_bounded and not span.is_empty
+
+    def test_empty_normalization(self):
+        assert Span(5, 3) == Span.EMPTY
+        assert Span(5, 3).is_empty
+
+    def test_singleton(self):
+        span = Span(4, 4)
+        assert span.length() == 1
+
+    def test_unbounded_ends(self):
+        assert not Span(None, 10).is_bounded
+        assert not Span(10, None).is_bounded
+        assert not Span.ALL.is_bounded
+
+    def test_non_int_bound_rejected(self):
+        with pytest.raises(SpanError):
+            Span(1.5, 2)  # type: ignore[arg-type]
+
+
+class TestMembership:
+    def test_contains(self):
+        span = Span(2, 5)
+        assert 2 in span and 5 in span and 3 in span
+        assert 1 not in span and 6 not in span
+
+    def test_empty_contains_nothing(self):
+        assert 0 not in Span.EMPTY
+
+    def test_unbounded_contains(self):
+        assert -1_000_000 in Span(None, 5)
+        assert 1_000_000 in Span(5, None)
+        assert 0 in Span.ALL
+
+    def test_covers(self):
+        assert Span(0, 10).covers(Span(2, 5))
+        assert not Span(0, 10).covers(Span(2, 15))
+        assert Span.ALL.covers(Span(0, 10))
+        assert Span(0, 10).covers(Span.EMPTY)
+        assert not Span.EMPTY.covers(Span(1, 1))
+        assert not Span(0, 10).covers(Span(None, 5))
+
+
+class TestAlgebra:
+    def test_intersect(self):
+        assert Span(0, 10).intersect(Span(5, 20)) == Span(5, 10)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Span(0, 4).intersect(Span(5, 9)) == Span.EMPTY
+
+    def test_intersect_with_unbounded(self):
+        assert Span(None, 10).intersect(Span(5, None)) == Span(5, 10)
+
+    def test_intersect_empty(self):
+        assert Span(0, 10).intersect(Span.EMPTY) == Span.EMPTY
+
+    def test_hull(self):
+        assert Span(0, 4).hull(Span(10, 12)) == Span(0, 12)
+
+    def test_hull_with_empty(self):
+        assert Span.EMPTY.hull(Span(1, 2)) == Span(1, 2)
+        assert Span(1, 2).hull(Span.EMPTY) == Span(1, 2)
+
+    def test_hull_with_unbounded(self):
+        assert Span(0, 10).hull(Span(5, None)) == Span(0, None)
+
+    def test_shift(self):
+        assert Span(2, 5).shift(3) == Span(5, 8)
+        assert Span(2, 5).shift(-3) == Span(-1, 2)
+
+    def test_shift_unbounded(self):
+        assert Span(None, 5).shift(2) == Span(None, 7)
+
+    def test_shift_empty(self):
+        assert Span.EMPTY.shift(7) == Span.EMPTY
+
+    def test_widen(self):
+        assert Span(5, 8).widen(below=2, above=1) == Span(3, 9)
+
+    def test_widen_negative_rejected(self):
+        with pytest.raises(SpanError):
+            Span(0, 1).widen(below=-1)
+
+    def test_unbounded_above_below(self):
+        assert Span(2, 9).unbounded_above() == Span(2, None)
+        assert Span(2, 9).unbounded_below() == Span(None, 9)
+
+
+class TestLengthAndIteration:
+    def test_length(self):
+        assert Span(3, 7).length() == 5
+        assert Span.EMPTY.length() == 0
+        assert Span(0, None).length() is None
+
+    def test_positions(self):
+        assert list(Span(3, 6).positions()) == [3, 4, 5, 6]
+        assert list(Span.EMPTY.positions()) == []
+
+    def test_positions_unbounded_raises(self):
+        with pytest.raises(SpanError):
+            Span(0, None).positions()
+
+    def test_repr(self):
+        assert "200" in repr(Span(200, 500))
+        assert repr(Span.EMPTY) == "Span.EMPTY"
+        assert "-inf" in repr(Span(None, 3))

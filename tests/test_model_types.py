@@ -1,0 +1,80 @@
+"""Tests for atomic types and the coercion lattice."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.types import AtomType, check_value, common_type
+
+
+class TestAccepts:
+    def test_int_accepts_int(self):
+        assert AtomType.INT.accepts(7)
+
+    def test_int_rejects_bool(self):
+        assert not AtomType.INT.accepts(True)
+
+    def test_int_rejects_float(self):
+        assert not AtomType.INT.accepts(7.5)
+
+    def test_float_accepts_float(self):
+        assert AtomType.FLOAT.accepts(7.5)
+
+    def test_float_accepts_int(self):
+        assert AtomType.FLOAT.accepts(7)
+
+    def test_float_rejects_bool(self):
+        assert not AtomType.FLOAT.accepts(False)
+
+    def test_str_accepts_str(self):
+        assert AtomType.STR.accepts("x")
+
+    def test_str_rejects_int(self):
+        assert not AtomType.STR.accepts(1)
+
+    def test_bool_accepts_bool(self):
+        assert AtomType.BOOL.accepts(True)
+
+    def test_bool_rejects_int(self):
+        assert not AtomType.BOOL.accepts(1)
+
+
+class TestNumeric:
+    def test_int_is_numeric(self):
+        assert AtomType.INT.is_numeric
+
+    def test_float_is_numeric(self):
+        assert AtomType.FLOAT.is_numeric
+
+    def test_str_is_not_numeric(self):
+        assert not AtomType.STR.is_numeric
+
+    def test_bool_is_not_numeric(self):
+        assert not AtomType.BOOL.is_numeric
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(AtomType.INT, AtomType.INT) is AtomType.INT
+
+    def test_int_float_widens(self):
+        assert common_type(AtomType.INT, AtomType.FLOAT) is AtomType.FLOAT
+
+    def test_float_int_widens(self):
+        assert common_type(AtomType.FLOAT, AtomType.INT) is AtomType.FLOAT
+
+    def test_str_int_fails(self):
+        with pytest.raises(SchemaError):
+            common_type(AtomType.STR, AtomType.INT)
+
+    def test_bool_float_fails(self):
+        with pytest.raises(SchemaError):
+            common_type(AtomType.BOOL, AtomType.FLOAT)
+
+
+class TestCheckValue:
+    def test_valid_passes(self):
+        check_value(AtomType.INT, 3)
+
+    def test_invalid_raises_with_context(self):
+        with pytest.raises(SchemaError, match="attribute 'x'"):
+            check_value(AtomType.INT, "nope", context="attribute 'x'")

@@ -1,0 +1,65 @@
+"""Tests for the naive reference evaluator."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model import NULL, Span
+from repro.algebra import base, col
+from repro.execution.naive import OperatorView, build_views, evaluate_naive
+
+
+class TestEvaluateNaive:
+    def test_example_from_fixture(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 45.0).query()
+        output = evaluate_naive(query)
+        assert [p for p, _ in output.iter_nonnull()] == [5, 6, 8, 9, 10]
+        assert output.span == Span(1, 10)
+
+    def test_explicit_span(self, small_prices):
+        query = base(small_prices, "p").query()
+        output = evaluate_naive(query, Span(4, 6))
+        assert [p for p, _ in output.iter_nonnull()] == [4, 5, 6]
+
+    def test_unbounded_span_rejected(self, small_prices):
+        query = base(small_prices, "p").query()
+        with pytest.raises(QueryError, match="bounded"):
+            evaluate_naive(query, Span(0, None))
+
+    def test_leaf_only_query(self, small_prices):
+        query = base(small_prices, "p").query()
+        output = evaluate_naive(query)
+        assert output.to_pairs() == small_prices.to_pairs()
+
+
+class TestOperatorView:
+    def test_memoizes(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 0.0).query()
+        view = build_views(query.root)
+        assert isinstance(view, OperatorView)
+        view.at(5)
+        view.at(5)
+        assert view.evaluations == 1
+
+    def test_honest_at_ignores_span(self, small_prices):
+        # at() computes truthfully even outside the inferred span so
+        # span soundness is testable, not assumed.
+        query = base(small_prices, "p").query()
+        view = build_views(query.root)
+        assert view.get(100) is NULL
+
+    def test_view_span_matches_inference(self, small_prices):
+        query = base(small_prices, "p").shift(-2).query()
+        view = build_views(query.root)
+        assert view.span == Span(3, 12)
+
+    def test_iter_nonnull(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 45.0).query()
+        view = build_views(query.root)
+        positions = [p for p, _ in view.iter_nonnull(Span(1, 10))]
+        assert positions == [5, 6, 8, 9, 10]
+
+    def test_node_accessor(self, small_prices):
+        query = base(small_prices, "p").select(col("close") > 0.0).query()
+        view = build_views(query.root)
+        assert view.node is query.root
+        assert view.schema == small_prices.schema

@@ -1,0 +1,174 @@
+"""Semantics tests for the aggregate operators (Section 2.1)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model import NULL, AtomType, RecordSchema, SequenceInfo, Span
+from repro.algebra import (
+    CumulativeAggregate,
+    GlobalAggregate,
+    SequenceLeaf,
+    WindowAggregate,
+    apply_aggregate,
+    output_type,
+)
+
+
+@pytest.fixture
+def leaf(small_prices):
+    return SequenceLeaf(small_prices, "p")
+
+
+def value_at(node, position):
+    return node.value_at([node.inputs[0].sequence], position)
+
+
+class TestOutputTypes:
+    def test_count_is_int(self):
+        assert output_type("count", AtomType.STR) is AtomType.INT
+
+    def test_avg_is_float(self):
+        assert output_type("avg", AtomType.INT) is AtomType.FLOAT
+
+    def test_sum_preserves(self):
+        assert output_type("sum", AtomType.INT) is AtomType.INT
+        assert output_type("sum", AtomType.FLOAT) is AtomType.FLOAT
+
+    def test_min_max_preserve(self):
+        assert output_type("min", AtomType.STR) is AtomType.STR
+        assert output_type("max", AtomType.FLOAT) is AtomType.FLOAT
+
+    def test_sum_of_str_rejected(self):
+        with pytest.raises(QueryError):
+            output_type("sum", AtomType.STR)
+
+    def test_minmax_of_bool_rejected(self):
+        with pytest.raises(QueryError):
+            output_type("min", AtomType.BOOL)
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            output_type("median", AtomType.INT)
+
+    def test_apply(self):
+        assert apply_aggregate("sum", [1, 2, 3]) == 6
+        assert apply_aggregate("avg", [1, 2, 3]) == 2.0
+        assert apply_aggregate("min", [3, 1]) == 1
+        assert apply_aggregate("max", [3, 1]) == 3
+        assert apply_aggregate("count", ["a", "b"]) == 2
+
+
+class TestWindowAggregate:
+    def test_sum_over_window(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        # window {4,5,6}: 40+50+60
+        assert value_at(node, 6).get("sum_close") == 150.0
+
+    def test_window_skips_gaps(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        # window {2,3,4}: 3 is a gap -> 20+40
+        assert value_at(node, 4).get("sum_close") == 60.0
+
+    def test_all_null_window_is_null(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 2)
+        assert value_at(node, 0) is NULL
+
+    def test_partial_head_window(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        assert value_at(node, 1).get("sum_close") == 10.0
+
+    def test_tail_overhang(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        # position 12: window {10,11,12} -> only 10
+        assert value_at(node, 12).get("sum_close") == 100.0
+
+    def test_output_name_default_and_custom(self, leaf):
+        assert WindowAggregate(leaf, "avg", "close", 3).schema.names == ("avg_close",)
+        named = WindowAggregate(leaf, "avg", "close", 3, "ma3")
+        assert named.schema.names == ("ma3",)
+
+    def test_span_extends_by_window(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        assert node.infer_span([Span(1, 10)]) == Span(1, 12)
+
+    def test_required_input_span(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        (required,) = node.required_input_spans(Span(5, 8), [Span(1, 10)])
+        assert required == Span(3, 8)
+
+    def test_density(self, leaf):
+        node = WindowAggregate(leaf, "sum", "close", 3)
+        d = node.infer_density([SequenceInfo(Span(1, 10), 0.5)])
+        assert d == pytest.approx(1 - 0.5**3)
+
+    def test_bad_width(self, leaf):
+        with pytest.raises(QueryError):
+            WindowAggregate(leaf, "sum", "close", 0)
+
+    def test_unknown_attr(self, leaf):
+        with pytest.raises(QueryError):
+            WindowAggregate(leaf, "sum", "nope", 3).type_check()
+
+    def test_unknown_func(self, leaf):
+        with pytest.raises(QueryError):
+            WindowAggregate(leaf, "median", "close", 3)
+
+
+class TestCumulativeAggregate:
+    def test_running_sum(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        # positions 1,2,4,5 -> 10+20+40+50
+        assert value_at(node, 5).get("sum_close") == 120.0
+
+    def test_defined_on_gaps(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        assert value_at(node, 3).get("sum_close") == 30.0
+
+    def test_null_outside_input_span(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        assert value_at(node, 0) is NULL
+        assert value_at(node, 11) is NULL
+
+    def test_min_running(self, leaf):
+        node = CumulativeAggregate(leaf, "min", "close")
+        assert value_at(node, 9).get("min_close") == 10.0
+
+    def test_span_is_input_span(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        assert node.infer_span([Span(1, 10)]) == Span(1, 10)
+
+    def test_required_span_unbounded_below_start(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        (required,) = node.required_input_spans(Span(5, 8), [Span(1, 10)])
+        assert required == Span(1, 8)
+
+    def test_density_monotone_in_input(self, leaf):
+        node = CumulativeAggregate(leaf, "sum", "close")
+        sparse = node.infer_density([SequenceInfo(Span(1, 100), 0.05)])
+        dense = node.infer_density([SequenceInfo(Span(1, 100), 0.9)])
+        assert 0.0 <= sparse <= dense <= 1.0
+
+
+class TestGlobalAggregate:
+    def test_same_value_everywhere(self, leaf):
+        node = GlobalAggregate(leaf, "max", "close")
+        assert value_at(node, 1).get("max_close") == 100.0
+        assert value_at(node, 10).get("max_close") == 100.0
+
+    def test_null_outside_span(self, leaf):
+        node = GlobalAggregate(leaf, "max", "close")
+        assert value_at(node, 0) is NULL
+
+    def test_count(self, leaf):
+        node = GlobalAggregate(leaf, "count", "close")
+        assert value_at(node, 5).get("count_close") == 8
+
+    def test_density_is_one_if_any(self, leaf):
+        node = GlobalAggregate(leaf, "count", "close")
+        assert node.infer_density([SequenceInfo(Span(1, 10), 0.5)]) == 1.0
+        assert node.infer_density([SequenceInfo(Span(1, 10), 0.0)]) == 0.0
+
+    def test_required_span_is_full_input(self, leaf):
+        node = GlobalAggregate(leaf, "max", "close")
+        (required,) = node.required_input_spans(Span(5, 6), [Span(1, 10)])
+        assert required == Span(1, 10)

@@ -1,0 +1,106 @@
+"""Plan-shape tests: bushy trees across blocks, left-deep within,
+and the equivalence checker's variable-scope path."""
+
+import pytest
+
+from repro.model import AtomType, RecordSchema, Span
+from repro.algebra import Query, SequenceLeaf, ValueOffset, base, col, queries_equivalent
+from repro.optimizer import optimize
+from repro.workloads import bernoulli_sequence
+
+
+class TestPlanShapes:
+    def test_bushy_across_blocks(self, table1):
+        """'The entire query evaluation plan however is not restricted
+        to be a left-deep tree because the graph may be bushy across
+        query blocks' (Section 4.1.4)."""
+        catalog, sequences = table1
+        fast = base(sequences["hp"], "hp").window("avg", "close", 5, "fast")
+        slow = base(sequences["hp"], "hp").window("avg", "close", 20, "slow")
+        query = fast.compose(slow).query()
+        plan = optimize(query, catalog=catalog).plan.plan
+        join = next(
+            p for p in plan.walk()
+            if p.kind in ("lockstep", "stream-probe", "probe-stream")
+        )
+        # both children are themselves non-leaf subplans: a bushy tree
+        kinds = [child.kind for child in join.children]
+        assert all(kind != "scan" for kind in kinds)
+        window_plans = [p for p in plan.walk() if p.kind == "window-agg"]
+        assert len(window_plans) == 2
+
+    def test_left_deep_within_block(self):
+        """Within a join block the stream join tree is left-deep."""
+        sequences = [
+            bernoulli_sequence(
+                Span(0, 99), 0.9, seed=i,
+                schema=RecordSchema.of(**{f"v{i}": AtomType.FLOAT}),
+            )
+            for i in range(4)
+        ]
+        built = base(sequences[0], "s0")
+        for index, sequence in enumerate(sequences[1:], start=1):
+            built = built.compose(base(sequence, f"s{index}"))
+        plan = optimize(built.query()).plan.plan
+        joins = [
+            p for p in plan.walk()
+            if p.kind in ("lockstep", "stream-probe", "probe-stream")
+        ]
+        assert len(joins) == 3
+        for join in joins:
+            right = join.children[1]
+            # the right input of every join is a single base input
+            # (possibly chained), never another join: left-deep
+            right_joins = [
+                p for p in right.walk()
+                if p.kind in ("lockstep", "stream-probe", "probe-stream")
+            ]
+            assert right_joins == []
+
+    def test_block_boundary_forces_nested_plan(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .window("avg", "close", 5)
+            .select(col("avg_close") > 100.0)
+            .previous()
+            .query()
+        )
+        plan = optimize(query, catalog=catalog).plan.plan
+        kinds = [p.kind for p in plan.walk()]
+        assert kinds[0] == "value-offset"
+        assert "window-agg" in kinds
+
+
+class TestEquivalenceVariableScopes:
+    def test_variable_scope_falls_back_to_sampling(self, small_prices):
+        q1 = Query(ValueOffset.previous(SequenceLeaf(small_prices, "p")))
+        q2 = Query(ValueOffset.previous(SequenceLeaf(small_prices, "p")))
+        report = queries_equivalent(q1, q2)
+        assert report.equivalent
+        assert not report.scope_checked  # variable scopes: sampled only
+
+    def test_variable_scope_difference_detected_by_sampling(self, small_prices):
+        q1 = Query(ValueOffset(SequenceLeaf(small_prices, "p"), -1))
+        q2 = Query(ValueOffset(SequenceLeaf(small_prices, "p"), -2))
+        report = queries_equivalent(q1, q2, trials=4)
+        assert not report.equivalent
+        assert "outputs differ" in report.reason
+
+
+class TestCliLimitZero:
+    def test_limit_zero_prints_all(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        from repro.io import write_csv
+        from repro.workloads import StockSpec, generate_stock
+
+        sequence = generate_stock(StockSpec("p", Span(0, 49), 1.0, seed=3))
+        path = tmp_path / "p.csv"
+        write_csv(sequence, path)
+        out = io.StringIO()
+        code = main(["--load", f"prices={path}", "--limit", "0", "prices"], out=out)
+        assert code == 0
+        assert "more rows" not in out.getvalue()
+        assert out.getvalue().count("\n") > 50

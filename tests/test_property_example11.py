@@ -1,0 +1,95 @@
+"""Property test: the three Example 1.1 evaluations agree on random data.
+
+The relational nested-subquery plan, the optimized sequence engine, and
+the push-based trigger engine must produce identical answers for any
+volcano/earthquake workload and threshold.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.model import BaseSequence, Record
+from repro.execution import run_query
+
+from repro.relational import (
+    relational_plan,
+    sequence_answers,
+    sequence_query,
+    tables_from_sequences,
+)
+from repro.extensions import TriggerEngine
+from repro.workloads.weather import EARTHQUAKE_SCHEMA, VOLCANO_SCHEMA
+
+
+@st.composite
+def weather_case(draw):
+    horizon = draw(st.integers(min_value=10, max_value=120))
+    positions = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=horizon - 1),
+                min_size=0,
+                max_size=horizon,
+            )
+        )
+    )
+    volcanos = []
+    quakes = []
+    for position in positions:
+        if draw(st.booleans()):
+            strength = draw(
+                st.floats(min_value=1.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False)
+            )
+            quakes.append(
+                (position, Record(EARTHQUAKE_SCHEMA, (strength, "x")))
+            )
+        else:
+            volcanos.append(
+                (position, Record(VOLCANO_SCHEMA, (f"v{position}", "x")))
+            )
+    from repro.model import Span
+
+    span = Span(0, horizon - 1)
+    threshold = draw(
+        st.floats(min_value=1.0, max_value=10.0, allow_nan=False,
+                  allow_infinity=False)
+    )
+    return (
+        BaseSequence(VOLCANO_SCHEMA, volcanos, span=span),
+        BaseSequence(EARTHQUAKE_SCHEMA, quakes, span=span),
+        threshold,
+    )
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=weather_case())
+def test_three_evaluations_agree(case):
+    volcanos, quakes, threshold = case
+
+    # relational nested-subquery baseline
+    volcano_table, quake_table = tables_from_sequences(volcanos, quakes)
+    relational_answers, _counters = relational_plan(
+        volcano_table, quake_table, threshold=threshold
+    )
+
+    # optimized sequence engine
+    query = sequence_query(volcanos, quakes, threshold=threshold)
+    engine_answers = sequence_answers(run_query(query))
+
+    assert engine_answers == relational_answers
+
+    # push-based trigger engine
+    trigger = TriggerEngine(query)
+    events = sorted(
+        [("v", p, r) for p, r in volcanos.iter_nonnull()]
+        + [("e", p, r) for p, r in quakes.iter_nonnull()],
+        key=lambda t: t[1],
+    )
+    fired = []
+    for source, position, record in events:
+        fired.extend(trigger.push(source, position, record))
+    assert [record.get("v_name") for _p, record in fired] == relational_answers

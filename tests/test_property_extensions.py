@@ -1,0 +1,127 @@
+"""Property tests for the Section 5 extensions."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.algebra import Compose, Query, Select, SequenceLeaf, WindowAggregate, col
+from repro.extensions import collapse, evaluate_dag, expand, partition_by
+
+VALUE = RecordSchema.of(value=AtomType.FLOAT)
+KEYED = RecordSchema.of(value=AtomType.FLOAT, key=AtomType.STR)
+
+
+@st.composite
+def value_sequence(draw, schema=VALUE, keys=("x", "y", "z")):
+    positions = draw(
+        st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=30)
+    )
+    items = []
+    for position in sorted(positions):
+        value = draw(
+            st.floats(min_value=-100, max_value=100, allow_nan=False,
+                      allow_infinity=False)
+        )
+        if schema is KEYED:
+            record = Record(schema, (value, draw(st.sampled_from(keys))))
+        else:
+            record = Record(schema, (value,))
+        items.append((position, record))
+    return BaseSequence(schema, items)
+
+
+# -- DAG sharing -----------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(),
+       threshold=st.floats(min_value=-100, max_value=100, allow_nan=False,
+                           allow_infinity=False),
+       width=st.integers(min_value=1, max_value=5))
+def test_dag_equals_tree_property(sequence, threshold, width):
+    """Evaluating a shared node once equals evaluating it per consumer."""
+    leaf = SequenceLeaf(sequence, "s")
+    shared = WindowAggregate(
+        Select(leaf, col("value") > threshold), "avg", "value", width, "m"
+    )
+    dag_root = Compose(shared, shared, prefixes=("l", "r"))
+
+    def fresh():
+        return WindowAggregate(
+            Select(SequenceLeaf(sequence, "s"), col("value") > threshold),
+            "avg", "value", width, "m",
+        )
+
+    tree = Query(Compose(fresh(), fresh(), prefixes=("l", "r")))
+    span = tree.default_span()
+    dag_result = evaluate_dag(dag_root, span=span)
+    assert dag_result.output.to_pairs() == tree.run_naive(span).to_pairs()
+    assert dag_result.shared_materializations == 1
+
+
+# -- ordering domains ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(), factor=st.integers(min_value=1, max_value=9))
+def test_collapse_preserves_counts(sequence, factor):
+    coarse = collapse(sequence, factor, {"value": "count"})
+    total = sum(record.get("value") for _p, record in coarse.iter_nonnull())
+    assert total == sequence.count_nonnull()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(), factor=st.integers(min_value=1, max_value=9))
+def test_collapse_preserves_sums(sequence, factor):
+    import math
+
+    coarse = collapse(sequence, factor, {"value": "sum"})
+    coarse_total = sum(record.get("value") for _p, record in coarse.iter_nonnull())
+    fine_total = sum(record.get("value") for _p, record in sequence.iter_nonnull())
+    assert math.isclose(coarse_total, fine_total, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(), factor=st.integers(min_value=1, max_value=9))
+def test_expand_then_collapse_identity(sequence, factor):
+    """expand is a right inverse of collapse for idempotent aggregates."""
+    coarse = collapse(sequence, factor, {"value": "max"})
+    again = collapse(expand(coarse, factor), factor, {"value": "max"})
+    assert again.to_pairs() == coarse.to_pairs()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(), factor=st.integers(min_value=1, max_value=9))
+def test_expand_density_is_full_per_bucket(sequence, factor):
+    coarse = collapse(sequence, factor, {"value": "min"})
+    fine = expand(coarse, factor)
+    for position, record in coarse.iter_nonnull():
+        for offset in range(factor):
+            assert fine.at(position * factor + offset) == record
+
+
+# -- partitioning ------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=value_sequence(schema=KEYED))
+def test_partition_is_a_partition(sequence):
+    """Every record lands in exactly one member, at its position."""
+    group = partition_by(sequence, "key")
+    seen: dict[int, str] = {}
+    for name in group.names():
+        member = group.member(name)
+        for position, record in member.iter_nonnull():
+            assert position not in seen
+            seen[position] = name
+            assert record.get("key") == name
+            assert sequence.at(position) == record
+    assert len(seen) == sequence.count_nonnull()

@@ -1,0 +1,97 @@
+"""Property tests for the scope calculus (Proposition 2.1)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.algebra.scope import ScopeSpec
+
+offset_sets = st.frozensets(
+    st.integers(min_value=-8, max_value=8), min_size=1, max_size=6
+)
+
+all_kinds = st.one_of(
+    offset_sets.map(ScopeSpec.relative),
+    st.integers(min_value=1, max_value=3).map(ScopeSpec.variable_past),
+    st.integers(min_value=1, max_value=3).map(ScopeSpec.variable_future),
+    st.just(ScopeSpec.all_past()),
+    st.just(ScopeSpec.everything()),
+)
+
+
+@given(a=offset_sets, b=offset_sets)
+def test_relative_composition_is_minkowski_sum(a, b):
+    composed = ScopeSpec.relative(a).compose(ScopeSpec.relative(b))
+    assert composed.offsets == frozenset(x + y for x in a for y in b)
+
+
+@given(a=offset_sets, b=offset_sets)
+def test_prop21a_fixed_size_closure(a, b):
+    composed = ScopeSpec.relative(a).compose(ScopeSpec.relative(b))
+    assert composed.is_fixed_size
+
+
+@given(a=offset_sets, b=offset_sets)
+def test_prop21c_relative_closure(a, b):
+    composed = ScopeSpec.relative(a).compose(ScopeSpec.relative(b))
+    assert composed.is_relative
+
+
+@given(a=st.integers(min_value=1, max_value=8), b=st.integers(min_value=1, max_value=8))
+def test_prop21b_sequential_closure_for_windows(a, b):
+    # trailing windows are the canonical sequential scopes; composition
+    # must stay sequential (Proposition 2.1b)
+    composed = ScopeSpec.window(a).compose(ScopeSpec.window(b))
+    assert composed.is_sequential
+    assert composed.size == a + b - 1
+
+
+def _is_sequential_bruteforce(offsets: frozenset[int]) -> bool:
+    """Direct check of Scope(i) ⊆ Scope(i-1) ∪ {i} at i = 0."""
+    scope_i = {k for k in offsets}
+    scope_prev = {k - 1 for k in offsets}
+    return scope_i <= (scope_prev | {0})
+
+
+@given(a=offset_sets)
+def test_sequentiality_matches_definition(a):
+    assert ScopeSpec.relative(a).is_sequential == _is_sequential_bruteforce(a)
+
+
+@given(a=offset_sets)
+def test_effective_scope_is_sequential_superset(a):
+    scope = ScopeSpec.relative(a)
+    effective = scope.effective()
+    assert scope.offsets <= effective.offsets
+    if max(a) <= 0:
+        # purely backward scopes broaden to a sequential window
+        assert effective.is_sequential
+    else:
+        # forward scopes need lookahead; the window is contiguous and
+        # the lookahead requirement is exactly the largest offset
+        assert effective.lookahead() == max(a)
+
+
+@given(a=offset_sets)
+def test_effective_scope_is_minimal_window(a):
+    # the broadened window spans exactly min(lo,0)..max(hi,0)
+    effective = ScopeSpec.relative(a).effective()
+    lo, hi = min(a), max(a)
+    assert effective.offsets == frozenset(range(min(lo, 0), max(hi, 0) + 1))
+
+
+@given(a=all_kinds, b=all_kinds)
+def test_composition_total_and_stable(a, b):
+    composed = a.compose(b)
+    assert composed.kind in ScopeSpec.VALID_KINDS
+    # composing with the unit scope changes nothing
+    assert a.compose(ScopeSpec.unit()) == a
+    assert ScopeSpec.unit().compose(a) == a
+
+
+@given(a=all_kinds, b=all_kinds)
+def test_variable_participants_never_fixed(a, b):
+    composed = a.compose(b)
+    if not (a.is_fixed_size and b.is_fixed_size):
+        assert not composed.is_fixed_size

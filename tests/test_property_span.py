@@ -1,0 +1,85 @@
+"""Property tests: span inference is *sound*.
+
+A sequence's span promises that every position outside it maps to Null
+(Section 3).  For randomly generated operator trees, the honestly
+computed value at positions outside the inferred span must be NULL —
+span inference may over-approximate but never exclude a non-null
+position.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.model import NULL, Span
+from repro.execution.naive import OperatorView, build_views
+
+from tests.test_property_semantics import random_query
+
+
+def _sample_positions(span: Span, data) -> list[int]:
+    """Positions just outside (and far outside) a possibly-unbounded span."""
+    positions = []
+    if span.is_empty:
+        return [data.draw(st.integers(min_value=-50, max_value=50)) for _ in range(3)]
+    if span.start is not None:
+        positions.extend([span.start - 1, span.start - 7])
+    if span.end is not None:
+        positions.extend([span.end + 1, span.end + 7])
+    return positions
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(query=random_query(), data=st.data())
+def test_outside_inferred_span_is_null(query, data):
+    view = build_views(query.root)
+    if not isinstance(view, OperatorView):
+        # leaf-only query: the base sequence's span is exact by construction
+        return
+    for position in _sample_positions(view.span, data):
+        assert view.at(position) is NULL, (
+            f"non-null at {position} outside inferred span {view.span}"
+        )
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(query=random_query(max_depth=2))
+def test_all_nonnull_positions_lie_within_inferred_span(query):
+    view = build_views(query.root)
+    if not isinstance(view, OperatorView):
+        return
+    window = query.default_span()
+    assert window.start is not None and window.end is not None
+    probe_window = Span(window.start - 5, window.end + 5)
+    for position in probe_window.positions():
+        if view.at(position) is not NULL:
+            assert position in view.span
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(query=random_query(max_depth=2))
+def test_top_down_restriction_preserves_requested_range(query):
+    """Restricting spans (Step 2.b) never changes in-range answers."""
+    from repro.execution import run_query
+
+    span = query.default_span()
+    assert span.start is not None and span.end is not None
+    mid = (span.start + span.end) // 2
+    sub = Span(span.start, mid)
+    full_answer = query.run_naive(span)
+    restricted_answer = run_query(query, span=sub)
+    expected = [(p, r) for p, r in full_answer.to_pairs() if p in sub]
+    assert restricted_answer.to_pairs() == expected

@@ -1,0 +1,70 @@
+"""Property tests: the storage substrate is a faithful sequence store."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.model import NULL, AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.storage import StoredSequence
+
+SCHEMA = RecordSchema.of(v=AtomType.INT)
+
+
+@st.composite
+def stored_case(draw):
+    positions = draw(
+        st.sets(st.integers(min_value=-40, max_value=120), min_size=0, max_size=60)
+    )
+    items = [(p, Record(SCHEMA, (p * 3,))) for p in sorted(positions)]
+    organization = draw(st.sampled_from(["clustered", "indexed", "log"]))
+    page_capacity = draw(st.sampled_from([1, 3, 8, 32]))
+    buffer_pages = draw(st.sampled_from([1, 2, 8]))
+    fanout = draw(st.sampled_from([2, 4, 16]))
+    return items, organization, page_capacity, buffer_pages, fanout
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stored_case())
+def test_round_trip_scan(case):
+    items, organization, page_capacity, buffer_pages, fanout = case
+    stored = StoredSequence.create(
+        "s", SCHEMA, items, organization=organization,
+        page_capacity=page_capacity, buffer_pages=buffer_pages,
+        index_fanout=fanout,
+    )
+    assert stored.to_pairs() == items
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stored_case(), data=st.data())
+def test_probe_agrees_with_memory(case, data):
+    items, organization, page_capacity, buffer_pages, fanout = case
+    stored = StoredSequence.create(
+        "s", SCHEMA, items, organization=organization,
+        page_capacity=page_capacity, buffer_pages=buffer_pages,
+        index_fanout=fanout,
+    )
+    reference = BaseSequence(SCHEMA, items)
+    for _ in range(10):
+        position = data.draw(st.integers(min_value=-50, max_value=130))
+        assert stored.get(position) == reference.get(position)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stored_case(), data=st.data())
+def test_window_scan_agrees(case, data):
+    items, organization, page_capacity, buffer_pages, fanout = case
+    stored = StoredSequence.create(
+        "s", SCHEMA, items, organization=organization,
+        page_capacity=page_capacity, buffer_pages=buffer_pages,
+        index_fanout=fanout,
+    )
+    reference = BaseSequence(SCHEMA, items)
+    lo = data.draw(st.integers(min_value=-50, max_value=130))
+    hi = data.draw(st.integers(min_value=lo, max_value=131))
+    window = Span(lo, hi)
+    assert stored.to_pairs(window) == reference.to_pairs(window)

@@ -1,0 +1,134 @@
+"""Tests for the relational baseline engine and Example 1.1 equivalence."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model import Span
+from repro.catalog import Catalog
+from repro.execution import run_query
+from repro.relational import (
+    RelationalCounters,
+    Table,
+    relational_plan,
+    scalar_aggregate,
+    select,
+    sequence_answers,
+    sequence_query,
+    tables_from_sequences,
+)
+from repro.workloads import WeatherSpec, generate_weather
+
+
+@pytest.fixture
+def tiny_tables():
+    volcanos = Table("Volcanos", ("time", "name"), [(4, "etna"), (7, "fuji"), (11, "hood"), (16, "rainier")])
+    quakes = Table(
+        "Earthquakes",
+        ("time", "strength"),
+        [(2, 6.0), (5, 7.5), (9, 8.0), (14, 5.0)],
+    )
+    return volcanos, quakes
+
+
+class TestTable:
+    def test_row_arity_checked(self):
+        with pytest.raises(ReproError):
+            Table("t", ("a", "b"), [(1,)])
+
+    def test_column_index(self, tiny_tables):
+        volcanos, _ = tiny_tables
+        assert volcanos.column_index("name") == 1
+        with pytest.raises(ReproError):
+            volcanos.column_index("nope")
+
+    def test_scan_counts(self, tiny_tables):
+        volcanos, _ = tiny_tables
+        counters = RelationalCounters()
+        rows = list(volcanos.scan(counters))
+        assert len(rows) == 4
+        assert counters.tuples_read == 4
+
+    def test_select_counts_comparisons(self, tiny_tables):
+        volcanos, _ = tiny_tables
+        counters = RelationalCounters()
+        kept = select(volcanos, lambda row: row[0] > 5, counters)
+        assert len(kept) == 3
+        assert counters.comparisons == 4
+
+    def test_scalar_aggregate(self, tiny_tables):
+        _, quakes = tiny_tables
+        counters = RelationalCounters()
+        assert scalar_aggregate(quakes, "time", "max", None, counters) == 14
+        assert scalar_aggregate(quakes, "strength", "min", None, counters) == 5.0
+        assert scalar_aggregate(quakes, "time", "count", None, counters) == 4
+        assert scalar_aggregate(quakes, "strength", "sum", None, counters) == 26.5
+        assert scalar_aggregate(quakes, "strength", "avg", None, counters) == 6.625
+
+    def test_scalar_aggregate_empty_is_null(self, tiny_tables):
+        _, quakes = tiny_tables
+        counters = RelationalCounters()
+        assert (
+            scalar_aggregate(quakes, "time", "max", lambda r: r[0] > 99, counters)
+            is None
+        )
+
+    def test_unknown_aggregate(self, tiny_tables):
+        _, quakes = tiny_tables
+        with pytest.raises(ReproError):
+            scalar_aggregate(quakes, "time", "median", None, RelationalCounters())
+
+    def test_counters_reset(self):
+        counters = RelationalCounters()
+        counters.tuples_read = 5
+        counters.reset()
+        assert counters.as_dict() == {
+            "tuples_read": 0,
+            "subquery_invocations": 0,
+            "comparisons": 0,
+        }
+
+
+class TestExample11:
+    def test_hand_checked_answers(self, tiny_tables):
+        volcanos, quakes = tiny_tables
+        answers, counters = relational_plan(volcanos, quakes)
+        # fuji's latest quake (t=5) is 7.5; hood's (t=9) is 8.0
+        assert answers == ["fuji", "hood"]
+        assert counters.subquery_invocations == 4
+        # each volcano triggers a full scan of earthquakes
+        assert counters.tuples_read >= 4 * 4
+
+    def test_sequence_and_relational_agree(self, weather):
+        catalog, volcanos, quakes = weather
+        volcano_table, quake_table = tables_from_sequences(volcanos, quakes)
+        relational_answers, _ = relational_plan(volcano_table, quake_table)
+        query = sequence_query(volcanos, quakes)
+        output = run_query(query, catalog=catalog)
+        assert sequence_answers(output) == relational_answers
+
+    def test_sequence_matches_naive(self, weather):
+        _catalog, volcanos, quakes = weather
+        query = sequence_query(volcanos, quakes)
+        assert query.run_naive().to_pairs() == run_query(query).to_pairs()
+
+    @pytest.mark.parametrize("threshold", [5.0, 7.0, 9.0])
+    def test_threshold_variants(self, threshold):
+        volcanos, quakes = generate_weather(WeatherSpec(horizon=2000, seed=13))
+        volcano_table, quake_table = tables_from_sequences(volcanos, quakes)
+        relational_answers, _ = relational_plan(
+            volcano_table, quake_table, threshold=threshold
+        )
+        query = sequence_query(volcanos, quakes, threshold=threshold)
+        assert sequence_answers(run_query(query)) == relational_answers
+
+    def test_relational_cost_grows_quadratically(self):
+        reads = []
+        for horizon in (2000, 8000):
+            volcanos, quakes = generate_weather(
+                WeatherSpec(horizon=horizon, seed=5, eruption_rate=0.01)
+            )
+            vt, et = tables_from_sequences(volcanos, quakes)
+            _answers, counters = relational_plan(vt, et)
+            reads.append(counters.tuples_read)
+        # 4x the horizon means ~4x volcanos and ~4x quakes: ~16x reads
+        assert reads[1] > reads[0] * 8

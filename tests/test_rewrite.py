@@ -1,0 +1,297 @@
+"""Tests for the Section 3.1 transformation rules — legal and illegal."""
+
+import pytest
+
+from repro.model import Span
+from repro.algebra import (
+    Compose,
+    CumulativeAggregate,
+    GlobalAggregate,
+    PositionalOffset,
+    Project,
+    Select,
+    SequenceLeaf,
+    ValueOffset,
+    WindowAggregate,
+    base,
+    col,
+)
+from repro.optimizer import apply_rewrites, is_legal_push
+
+
+def rewritten_root(query):
+    new_query, trace = apply_rewrites(query)
+    return new_query.root, trace
+
+
+def assert_equivalent(original, span=None):
+    """The rewritten query must produce the identical output."""
+    new_query, _trace = apply_rewrites(original)
+    window = span or original.default_span()
+    assert original.run_naive(window).to_pairs() == new_query.run_naive(window).to_pairs()
+
+
+class TestCombining:
+    def test_combine_selects(self, small_prices):
+        query = (
+            base(small_prices, "p")
+            .select(col("close") > 10.0)
+            .select(col("close") < 90.0)
+            .query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("combine_selects") == 1
+        assert isinstance(root, Select)
+        assert isinstance(root.inputs[0], SequenceLeaf)
+        assert_equivalent(query)
+
+    def test_combine_projects(self, dense_walk):
+        query = (
+            base(dense_walk, "w").project("close", "volume").project("close").query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("combine_projects") == 1
+        assert isinstance(root, Project)
+        assert root.names == ("close",)
+        assert_equivalent(query)
+
+    def test_combine_offsets(self, small_prices):
+        query = base(small_prices, "p").shift(3).shift(-1).query()
+        root, trace = rewritten_root(query)
+        assert trace.count("combine_offsets") == 1
+        assert isinstance(root, PositionalOffset) and root.offset == 2
+        assert_equivalent(query)
+
+    def test_cancelling_offsets_vanish(self, small_prices):
+        query = base(small_prices, "p").shift(3).shift(-3).query()
+        root, _trace = rewritten_root(query)
+        assert isinstance(root, SequenceLeaf)
+        assert_equivalent(query)
+
+
+class TestSelectionPushdown:
+    def test_select_through_project(self, dense_walk):
+        query = (
+            base(dense_walk, "w").project("close").select(col("close") > 0.0).query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("push_select_through_project") == 1
+        assert isinstance(root, Project)
+        assert isinstance(root.inputs[0], Select)
+        assert_equivalent(query)
+
+    def test_select_into_compose_sides(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select((col("ibm_close") > 100.0) & (col("hp_close") > 50.0))
+            .query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("push_select_into_compose") == 2
+        assert isinstance(root, Compose)
+        assert isinstance(root.inputs[0], Select)
+        assert isinstance(root.inputs[1], Select)
+        # prefixes undone on the way down
+        assert root.inputs[0].predicate.columns() == {"close"}
+        assert_equivalent(query)
+
+    def test_mixed_conjunct_stays_above(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select((col("ibm_close") > col("hp_close")) & (col("hp_close") > 50.0))
+            .query()
+        )
+        root, _trace = rewritten_root(query)
+        assert isinstance(root, Select)  # the cross-side conjunct remains
+        assert root.predicate.columns() == {"ibm_close", "hp_close"}
+        assert isinstance(root.inputs[0].inputs[1], Select)  # hp side pushed
+        assert_equivalent(query)
+
+    def test_select_not_pushed_through_aggregate(self, dense_walk):
+        query = (
+            base(dense_walk, "w")
+            .window("avg", "close", 5)
+            .select(col("avg_close") > 0.0)
+            .query()
+        )
+        root, _trace = rewritten_root(query)
+        assert isinstance(root, Select)
+        assert isinstance(root.inputs[0], WindowAggregate)
+        assert_equivalent(query)
+
+    def test_select_not_pushed_through_value_offset(self, small_prices):
+        query = (
+            base(small_prices, "p").previous().select(col("close") > 0.0).query()
+        )
+        root, _trace = rewritten_root(query)
+        assert isinstance(root, Select)
+        assert isinstance(root.inputs[0], ValueOffset)
+
+
+class TestProjectionPushdown:
+    def test_project_into_compose(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .project("ibm_close", "hp_close")
+            .query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("push_project_into_compose") == 1
+        assert isinstance(root, Project)
+        compose = root.inputs[0]
+        assert isinstance(compose.inputs[0], Project)
+        assert compose.inputs[0].names == ("close",)
+        assert_equivalent(query)
+
+    def test_project_keeps_join_predicate_columns(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(
+                base(sequences["hp"], "hp"),
+                predicate=col("ibm_volume") > col("hp_volume"),
+                prefixes=("ibm", "hp"),
+            )
+            .project("ibm_close", "hp_close")
+            .query()
+        )
+        root, _trace = rewritten_root(query)
+        compose = root.inputs[0]
+        # volume participates in the join predicate so it must survive
+        assert "volume" in compose.inputs[0].names
+        assert_equivalent(query)
+
+
+class TestOffsetPushdown:
+    def test_offset_through_select(self, small_prices):
+        query = (
+            base(small_prices, "p").select(col("close") > 0.0).shift(2).query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("push_offset_through_select") == 1
+        assert isinstance(root, Select)
+        assert isinstance(root.inputs[0], PositionalOffset)
+        assert_equivalent(query)
+
+    def test_offset_through_project(self, dense_walk):
+        query = base(dense_walk, "w").project("close").shift(-1).query()
+        root, trace = rewritten_root(query)
+        assert trace.count("push_offset_through_project") == 1
+        assert isinstance(root, Project)
+        assert_equivalent(query)
+
+    def test_offset_through_compose_distributes(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .shift(5)
+            .query()
+        )
+        root, trace = rewritten_root(query)
+        assert trace.count("push_offset_through_compose") == 1
+        assert isinstance(root, Compose)
+        assert isinstance(root.inputs[0], PositionalOffset)
+        assert isinstance(root.inputs[1], PositionalOffset)
+        assert_equivalent(query, span=Span(195, 400))
+
+    def test_offset_through_window_aggregate(self, dense_walk):
+        # Window aggregates have relative scope, so offsets commute.
+        query = base(dense_walk, "w").window("avg", "close", 5).shift(3).query()
+        root, trace = rewritten_root(query)
+        assert trace.count("push_offset_through_window") == 1
+        assert isinstance(root, WindowAggregate)
+        assert isinstance(root.inputs[0], PositionalOffset)
+        assert_equivalent(query)
+
+    def test_offset_not_pushed_through_value_offset(self, small_prices):
+        query = base(small_prices, "p").previous().shift(2).query()
+        root, _trace = rewritten_root(query)
+        assert isinstance(root, PositionalOffset)
+        assert isinstance(root.inputs[0], ValueOffset)
+
+
+class TestLegality:
+    """is_legal_push mirrors the paper's positive and negative lists."""
+
+    def _nodes(self, small_prices, dense_walk):
+        leaf = SequenceLeaf(dense_walk, "w")
+        leaf2 = SequenceLeaf(small_prices, "p")
+        return {
+            "select": Select(leaf, col("close") > 0.0),
+            "project": Project(leaf, ["close"]),
+            "offset": PositionalOffset(leaf, -2),
+            "window": WindowAggregate(leaf, "avg", "close", 3),
+            "cumulative": CumulativeAggregate(leaf, "sum", "close"),
+            "global": GlobalAggregate(leaf, "max", "close"),
+            "voffset": ValueOffset.previous(leaf),
+            "compose": Compose(leaf, leaf2, prefixes=("w", "p")),
+        }
+
+    def test_select_through_unit_ops(self, small_prices, dense_walk):
+        nodes = self._nodes(small_prices, dense_walk)
+        assert is_legal_push(nodes["select"], nodes["project"])
+        assert is_legal_push(nodes["select"], nodes["offset"])
+        assert is_legal_push(nodes["select"], nodes["compose"])
+
+    def test_select_blocked_by_non_unit_scope(self, small_prices, dense_walk):
+        nodes = self._nodes(small_prices, dense_walk)
+        assert not is_legal_push(nodes["select"], nodes["window"])
+        assert not is_legal_push(nodes["select"], nodes["voffset"])
+        assert not is_legal_push(nodes["select"], nodes["cumulative"])
+        assert not is_legal_push(nodes["select"], nodes["global"])
+
+    def test_offset_through_relative_scope(self, small_prices, dense_walk):
+        nodes = self._nodes(small_prices, dense_walk)
+        assert is_legal_push(nodes["offset"], nodes["select"])
+        assert is_legal_push(nodes["offset"], nodes["window"])
+        assert is_legal_push(nodes["offset"], nodes["compose"])
+
+    def test_offset_blocked_by_non_relative(self, small_prices, dense_walk):
+        nodes = self._nodes(small_prices, dense_walk)
+        assert not is_legal_push(nodes["offset"], nodes["voffset"])
+        assert not is_legal_push(nodes["offset"], nodes["cumulative"])
+        assert not is_legal_push(nodes["offset"], nodes["global"])
+
+    def test_aggregates_and_voffsets_push_nothing(self, small_prices, dense_walk):
+        nodes = self._nodes(small_prices, dense_walk)
+        for mover in ("window", "cumulative", "global", "voffset"):
+            assert not is_legal_push(nodes[mover], nodes["compose"])
+            assert not is_legal_push(nodes[mover], nodes["select"])
+        # and not through each other
+        assert not is_legal_push(nodes["window"], nodes["voffset"])
+        assert not is_legal_push(nodes["voffset"], nodes["window"])
+
+
+class TestFixpoint:
+    def test_deep_chain_terminates_and_matches(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select(col("ibm_close") > 100.0)
+            .project("ibm_close", "hp_close")
+            .select(col("hp_close") > 50.0)
+            .shift(1)
+            .select(col("ibm_close") > col("hp_close"))
+            .query()
+        )
+        assert_equivalent(query, span=Span(200, 400))
+
+    def test_idempotent(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .select(col("ibm_close") > 100.0)
+            .query()
+        )
+        once, _ = apply_rewrites(query)
+        twice, trace = apply_rewrites(once)
+        assert not trace.applied

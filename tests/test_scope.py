@@ -1,0 +1,214 @@
+"""Tests for the scope calculus (paper Section 2.3, Proposition 2.1)."""
+
+import pytest
+
+from repro.algebra.scope import ScopeSpec
+
+
+class TestConstruction:
+    def test_unit(self):
+        scope = ScopeSpec.unit()
+        assert scope.is_unit and scope.size == 1
+        assert scope.is_sequential and scope.is_relative and scope.is_fixed_size
+
+    def test_shifted_not_sequential(self):
+        # The paper's example: a positional offset's scope is fixed-size
+        # and relative but NOT sequential.
+        scope = ScopeSpec.shifted(-5)
+        assert scope.size == 1 and scope.is_relative
+        assert not scope.is_sequential
+        assert not scope.is_unit
+
+    def test_zero_shift_is_unit(self):
+        assert ScopeSpec.shifted(0).is_unit
+
+    def test_window_sequential(self):
+        # The paper's example: an aggregate over the most recent three
+        # positions IS sequential.
+        scope = ScopeSpec.window(3)
+        assert scope.size == 3
+        assert scope.is_sequential and scope.is_relative and scope.is_fixed_size
+
+    def test_window_width_validated(self):
+        with pytest.raises(ValueError):
+            ScopeSpec.window(0)
+
+    def test_variable_past(self):
+        scope = ScopeSpec.variable_past(reach=2)
+        assert scope.size is None and not scope.is_fixed_size
+        assert not scope.is_relative
+        assert not scope.is_sequential
+
+    def test_all_past_sequential(self):
+        scope = ScopeSpec.all_past()
+        assert scope.is_sequential and scope.size is None
+
+    def test_everything(self):
+        scope = ScopeSpec.everything()
+        assert scope.size is None and not scope.is_relative
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ScopeSpec("weird")
+
+    def test_relative_needs_offsets(self):
+        with pytest.raises(ValueError):
+            ScopeSpec("relative", frozenset())
+
+    def test_gap_window_not_sequential(self):
+        # {-3, 0}: dropping -3 requires "jumping", so not sequential.
+        scope = ScopeSpec.relative({-3, 0})
+        assert not scope.is_sequential
+
+
+class TestEffectiveScope:
+    def test_negative_shift_broadens_to_window(self):
+        # The paper: offset -5 has effective scope of size six (the
+        # current and five most recent positions), which is sequential.
+        effective = ScopeSpec.shifted(-5).effective()
+        assert effective.size == 6
+        assert effective.is_sequential
+        assert effective.offsets == frozenset(range(-5, 1))
+
+    def test_positive_shift_needs_lookahead(self):
+        effective = ScopeSpec.shifted(3).effective()
+        assert effective.size == 4
+        assert effective.lookahead() == 3
+
+    def test_window_already_effective(self):
+        scope = ScopeSpec.window(4)
+        assert scope.effective() == scope
+
+    def test_variable_unchanged(self):
+        scope = ScopeSpec.variable_past()
+        assert scope.effective() == scope
+
+    def test_lookback_lookahead(self):
+        assert ScopeSpec.window(4).lookback() == 3
+        assert ScopeSpec.window(4).lookahead() == 0
+        assert ScopeSpec.variable_past().lookback() is None
+        assert ScopeSpec.variable_past().lookahead() == 0
+        assert ScopeSpec.variable_future().lookback() == 0
+        assert ScopeSpec.all_past().lookahead() == 0
+
+
+class TestComposition:
+    """Proposition 2.1: closure of the three properties under composition."""
+
+    def test_relative_compose_is_minkowski_sum(self):
+        outer = ScopeSpec.window(3)  # {-2,-1,0}
+        inner = ScopeSpec.shifted(-5)
+        composed = outer.compose(inner)
+        assert composed.offsets == frozenset({-7, -6, -5})
+
+    def test_prop21a_fixed_sizes_compose_fixed(self):
+        composed = ScopeSpec.window(3).compose(ScopeSpec.window(2))
+        assert composed.is_fixed_size
+        assert composed.size == 4  # {-3..0}
+
+    def test_prop21b_sequential_composes_sequential(self):
+        a = ScopeSpec.window(3)
+        b = ScopeSpec.window(2)
+        assert a.is_sequential and b.is_sequential
+        assert a.compose(b).is_sequential
+
+    def test_prop21c_relative_composes_relative(self):
+        a = ScopeSpec.shifted(-2)
+        b = ScopeSpec.window(4)
+        assert a.compose(b).is_relative
+
+    def test_nonsequential_can_compose_nonsequential(self):
+        composed = ScopeSpec.shifted(-1).compose(ScopeSpec.shifted(-1))
+        assert composed.offsets == frozenset({-2})
+        assert not composed.is_sequential
+
+    def test_variable_past_absorbs_relative_past(self):
+        composed = ScopeSpec.variable_past().compose(ScopeSpec.window(3))
+        assert composed.kind == "variable_past"
+        composed2 = ScopeSpec.window(3).compose(ScopeSpec.variable_past())
+        assert composed2.kind == "variable_past"
+
+    def test_variable_past_with_future_offset_becomes_all(self):
+        composed = ScopeSpec.variable_past().compose(ScopeSpec.shifted(2))
+        assert composed.kind == "all"
+
+    def test_variable_future_with_past_offset_becomes_all(self):
+        composed = ScopeSpec.variable_future().compose(ScopeSpec.shifted(-2))
+        assert composed.kind == "all"
+
+    def test_past_and_future_becomes_all(self):
+        composed = ScopeSpec.variable_past().compose(ScopeSpec.variable_future())
+        assert composed.kind == "all"
+
+    def test_all_absorbs_everything(self):
+        assert ScopeSpec.everything().compose(ScopeSpec.window(2)).kind == "all"
+        assert ScopeSpec.window(2).compose(ScopeSpec.everything()).kind == "all"
+
+    def test_all_past_composes(self):
+        assert ScopeSpec.all_past().compose(ScopeSpec.window(3)).kind == "all_past"
+        assert ScopeSpec.all_past().compose(ScopeSpec.shifted(1)).kind == "all"
+
+    def test_variable_future_composes(self):
+        composed = ScopeSpec.variable_future(2).compose(ScopeSpec.variable_future(3))
+        assert composed.kind == "variable_future"
+        assert composed.reach == 3
+
+    def test_repr(self):
+        assert "relative" in repr(ScopeSpec.window(2))
+        assert "variable_past" in repr(ScopeSpec.variable_past(2))
+        assert "all" in repr(ScopeSpec.everything())
+
+
+class TestOperatorScopes:
+    """The scopes the concrete operators declare (paper Section 2.1)."""
+
+    def test_select_project_compose_unit(self, small_prices):
+        from repro.algebra import Compose, Project, Select, SequenceLeaf, col
+
+        leaf = SequenceLeaf(small_prices, "p")
+        assert Select(leaf, col("close") > 0.0).scope_on(0).is_unit
+        assert Project(leaf, ["close"]).scope_on(0).is_unit
+        leaf2 = SequenceLeaf(small_prices, "q")
+        compose = Compose(leaf, leaf2, prefixes=("a", "b"))
+        assert compose.scope_on(0).is_unit and compose.scope_on(1).is_unit
+
+    def test_offset_scope(self, small_prices):
+        from repro.algebra import PositionalOffset, SequenceLeaf
+
+        node = PositionalOffset(SequenceLeaf(small_prices, "p"), -4)
+        assert node.scope_on(0).offsets == frozenset({-4})
+
+    def test_value_offset_scope(self, small_prices):
+        from repro.algebra import SequenceLeaf, ValueOffset
+
+        leaf = SequenceLeaf(small_prices, "p")
+        assert ValueOffset.previous(leaf).scope_on(0).kind == "variable_past"
+        assert ValueOffset.next(leaf).scope_on(0).kind == "variable_future"
+
+    def test_aggregate_scopes(self, small_prices):
+        from repro.algebra import (
+            CumulativeAggregate,
+            GlobalAggregate,
+            SequenceLeaf,
+            WindowAggregate,
+        )
+
+        leaf = SequenceLeaf(small_prices, "p")
+        assert WindowAggregate(leaf, "sum", "close", 3).scope_on(0) == ScopeSpec.window(3)
+        assert CumulativeAggregate(leaf, "sum", "close").scope_on(0).kind == "all_past"
+        assert GlobalAggregate(leaf, "sum", "close").scope_on(0).kind == "all"
+
+    def test_query_scope_on_leaves_composes(self, small_prices):
+        from repro.algebra import SequenceLeaf, WindowAggregate, PositionalOffset
+
+        leaf = SequenceLeaf(small_prices, "p")
+        tree = WindowAggregate(PositionalOffset(leaf, -2), "sum", "close", 3)
+        scopes = tree.query_scope_on_leaves()
+        assert scopes[id(leaf)].offsets == frozenset({-4, -3, -2})
+
+    def test_leaf_scope_raises(self, small_prices):
+        from repro.errors import QueryError
+        from repro.algebra import SequenceLeaf
+
+        with pytest.raises(QueryError):
+            SequenceLeaf(small_prices, "p").scope_on(0)

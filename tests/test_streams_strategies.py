@@ -1,0 +1,125 @@
+"""Direct tests of stream-mode strategies, including the forced-naive
+variants the optimizer normally avoids."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.model import AtomType, BaseSequence, RecordSchema, Span
+from repro.algebra import base, col
+from repro.execution import ExecutionCounters, build_stream, execute_plan
+from repro.optimizer import optimize
+from repro.optimizer.blocks import block_tree
+from repro.optimizer.joinenum import BlockPlanner
+from repro.workloads import bernoulli_sequence
+
+SCHEMA = RecordSchema.of(value=AtomType.FLOAT)
+
+
+def plans_for(query, catalog=None):
+    result = optimize(query, catalog=catalog)
+    blocks = block_tree(result.rewritten.root)
+    planner = BlockPlanner(result.annotated, catalog=catalog)
+    return planner.plan(blocks), result
+
+
+@pytest.fixture
+def data():
+    return bernoulli_sequence(Span(0, 199), 0.6, seed=33)
+
+
+class TestForcedNaiveStreams:
+    """The 'naive' strategy of each unary stream must match the oracle."""
+
+    def test_window_agg_naive_stream(self, data):
+        query = base(data, "s").window("avg", "value", 5).query()
+        planned, result = plans_for(query)
+        plan = planned.stream_plan
+        assert plan.kind == "window-agg"
+        naive = replace(
+            plan, strategy="naive", cache_size=None,
+            children=(planned.probe_plan.children[0],),
+        )
+        output = execute_plan(naive, result.plan.output_span, ExecutionCounters())
+        assert output.to_pairs() == query.run_naive(result.plan.output_span).to_pairs()
+
+    def test_value_offset_naive_stream(self, data):
+        query = base(data, "s").value_offset(-2).query()
+        planned, result = plans_for(query)
+        plan = planned.stream_plan
+        assert plan.kind == "value-offset"
+        naive = replace(
+            plan, strategy="naive", cache_size=None,
+            children=(planned.probe_plan.children[0],),
+        )
+        output = execute_plan(naive, result.plan.output_span, ExecutionCounters())
+        assert output.to_pairs() == query.run_naive(result.plan.output_span).to_pairs()
+
+    def test_cumulative_naive_stream(self, data):
+        query = base(data, "s").cumulative("sum", "value").query()
+        planned, result = plans_for(query)
+        plan = planned.stream_plan
+        assert plan.kind == "cumulative-agg"
+        naive = replace(
+            plan, strategy="naive",
+            children=(planned.probe_plan.children[0],),
+        )
+        output = execute_plan(naive, result.plan.output_span, ExecutionCounters())
+        assert output.to_pairs() == query.run_naive(result.plan.output_span).to_pairs()
+
+    def test_naive_costs_more_probes(self, data):
+        query = base(data, "s").window("sum", "value", 8).query()
+        planned, result = plans_for(query)
+        cached_counters = ExecutionCounters()
+        execute_plan(planned.stream_plan, result.plan.output_span, cached_counters)
+        naive = replace(
+            planned.stream_plan, strategy="naive", cache_size=None,
+            children=(planned.probe_plan.children[0],),
+        )
+        naive_counters = ExecutionCounters()
+        execute_plan(naive, result.plan.output_span, naive_counters)
+        assert naive_counters.probes_issued > 8 * cached_counters.probes_issued + 100
+
+
+class TestStreamWindows:
+    def test_lockstep_emits_only_in_window(self, data):
+        other = bernoulli_sequence(
+            Span(0, 199), 0.6, seed=34, schema=RecordSchema.of(w=AtomType.FLOAT)
+        )
+        query = base(data, "s").compose(base(other, "o")).query()
+        plan = optimize(query).plan.plan
+        counters = ExecutionCounters()
+        narrow = list(build_stream(plan, Span(50, 60), counters))
+        assert all(50 <= position <= 60 for position, _ in narrow)
+        full = list(build_stream(plan, Span(0, 199), ExecutionCounters()))
+        assert narrow == [(p, r) for p, r in full if 50 <= p <= 60]
+
+    def test_chain_shift_window_math(self, data):
+        query = base(data, "s").shift(-7).query()  # out(i) = in(i - 7)
+        plan = optimize(query).plan.plan
+        out = list(build_stream(plan, Span(10, 20), ExecutionCounters()))
+        expected = [
+            (p + 7, r) for p, r in data.iter_nonnull(Span(3, 13))
+        ]
+        assert out == expected
+
+    def test_forward_value_offset_lookahead_bounded(self, data):
+        query = base(data, "s").value_offset(3).query()
+        result = optimize(query)
+        plan = result.plan.plan
+        counters = ExecutionCounters()
+        output = list(build_stream(plan, result.plan.output_span, counters))
+        assert counters.max_cache_occupancy <= 3
+        oracle = query.run_naive(result.plan.output_span)
+        assert output == oracle.to_pairs()
+
+    def test_empty_window(self, data):
+        query = base(data, "s").query()
+        plan = optimize(query).plan.plan
+        assert list(build_stream(plan, Span.EMPTY, ExecutionCounters())) == []
+
+    def test_global_agg_empty_input(self):
+        empty = BaseSequence.empty(SCHEMA, span=Span(0, 10))
+        query = base(empty, "e").global_agg("max", "value").query()
+        output = query.run(span=Span(0, 10))
+        assert len(output) == 0

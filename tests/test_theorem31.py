@@ -1,0 +1,88 @@
+"""Tests for the stream-access property (Theorem 3.1, Lemmas 3.1-3.2).
+
+"If every operator in a query graph has a sequential, fixed-size scope
+on all its inputs, and if caches of the size of the scopes are used,
+then the query has a stream-access evaluation" — i.e. cache-finite
+(constant cache occupancy, independent of data size) plus a single
+positional-order scan of each base sequence.
+"""
+
+import pytest
+
+from repro.model import Span
+from repro.catalog import Catalog
+from repro.algebra import base, col
+from repro.execution import run_query_detailed
+from repro.workloads import bernoulli_sequence
+
+
+def stream_query(sequence):
+    """Sequential fixed-size scopes only: select + window aggregates."""
+    return (
+        base(sequence, "s")
+        .select(col("value") > 10.0)
+        .window("avg", "value", 8)
+        .query()
+    )
+
+
+def run(n, seed=3):
+    sequence = bernoulli_sequence(Span(0, n - 1), 0.8, seed=seed)
+    catalog = Catalog()
+    catalog.register("s", sequence)
+    return run_query_detailed(stream_query(sequence), catalog=catalog)
+
+
+class TestStreamAccessProperty:
+    def test_single_scan_of_each_base(self):
+        result = run(2000)
+        assert result.counters.scans_opened == 1
+        assert result.counters.probes_issued == 0
+
+    def test_cache_occupancy_bounded_by_scope(self):
+        result = run(2000)
+        # Cache-Strategy-A: at most the window width is resident.
+        assert 0 < result.counters.max_cache_occupancy <= 8
+
+    def test_cache_occupancy_constant_in_data_size(self):
+        occupancies = [run(n).counters.max_cache_occupancy for n in (500, 2000, 8000)]
+        assert occupancies[0] == occupancies[1] == occupancies[2]
+
+    def test_declared_cache_size_matches_scope(self):
+        sequence = bernoulli_sequence(Span(0, 999), 0.8, seed=3)
+        catalog = Catalog()
+        catalog.register("s", sequence)
+        result = run_query_detailed(stream_query(sequence), catalog=catalog)
+        window_plans = [
+            plan for plan in result.optimization.plan.plan.walk()
+            if plan.kind == "window-agg"
+        ]
+        assert window_plans and window_plans[0].strategy == "cache-a"
+        assert window_plans[0].cache_size == 8
+
+    def test_value_offset_is_cache_finite_too(self):
+        # Previous has variable scope, but Cache-Strategy-B keeps the
+        # evaluation cache-finite (occupancy = reach).
+        occupancies = []
+        for n in (500, 4000):
+            sequence = bernoulli_sequence(Span(0, n - 1), 0.3, seed=7)
+            catalog = Catalog()
+            catalog.register("s", sequence)
+            query = base(sequence, "s").value_offset(-3).query()
+            result = run_query_detailed(query, catalog=catalog)
+            occupancies.append(result.counters.max_cache_occupancy)
+            assert result.counters.scans_opened == 1
+        assert occupancies[0] == occupancies[1] <= 3
+
+    def test_lockstep_join_needs_no_cache(self, table1):
+        catalog, sequences = table1
+        query = (
+            base(sequences["ibm"], "ibm")
+            .compose(base(sequences["hp"], "hp"), prefixes=("ibm", "hp"))
+            .query()
+        )
+        result = run_query_detailed(query, catalog=catalog)
+        kinds = {p.kind for p in result.optimization.plan.plan.walk()}
+        assert "lockstep" in kinds
+        assert result.counters.max_cache_occupancy == 0
+        assert result.counters.scans_opened == 2

@@ -1,0 +1,152 @@
+"""Deeper tests of the trigger engine's emission kinds and matching."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.algebra import Compose, SequenceLeaf, base, col
+from repro.extensions import TriggerEngine
+
+A = RecordSchema.of(a=AtomType.FLOAT)
+B = RecordSchema.of(b=AtomType.FLOAT)
+
+
+def seq(schema, mapping):
+    name = schema.names[0]
+    return BaseSequence.from_values(
+        schema, [(p, (v,)) for p, v in mapping.items()]
+    )
+
+
+def push_all(engine, *sources):
+    """Push interleaved (alias, sequence) arrivals in position order."""
+    events = []
+    for alias, sequence in sources:
+        events.extend((alias, p, r) for p, r in sequence.iter_nonnull())
+    events.sort(key=lambda t: t[1])
+    emitted = []
+    for alias, position, record in events:
+        emitted.extend(engine.push(alias, position, record))
+    return emitted
+
+
+class TestPointPointCompose:
+    def test_matching_positions_join(self):
+        left = seq(A, {1: 10.0, 3: 30.0, 5: 50.0})
+        right = seq(B, {3: 300.0, 5: 500.0, 7: 700.0})
+        query = base(left, "l").compose(base(right, "r")).query()
+        engine = TriggerEngine(query)
+        emitted = push_all(engine, ("l", left), ("r", right))
+        assert [(p, r.as_dict()) for p, r in emitted] == [
+            (3, {"a": 30.0, "b": 300.0}),
+            (5, {"a": 50.0, "b": 500.0}),
+        ]
+
+    def test_pending_entries_garbage_collected(self):
+        left = seq(A, {p: float(p) for p in range(0, 100, 2)})
+        right = seq(B, {p: float(p) for p in range(1, 100, 2)})  # never matches
+        query = base(left, "l").compose(base(right, "r")).query()
+        engine = TriggerEngine(query)
+        push_all(engine, ("l", left), ("r", right))
+        compose_proc = next(
+            proc for proc in engine._pipeline if proc.__class__.__name__ == "_ComposeProc"
+        )
+        # dead pending entries are dropped as the watermark advances
+        assert len(compose_proc._pending[0]) <= 2
+        assert len(compose_proc._pending[1]) <= 2
+
+    def test_same_position_both_sides_single_push_order(self):
+        left = seq(A, {4: 1.0})
+        right = seq(B, {4: 2.0})
+        query = base(left, "l").compose(base(right, "r")).query()
+        engine = TriggerEngine(query)
+        first = engine.push("l", 4, left.at(4))
+        assert first == []
+        second = engine.push("r", 4, right.at(4))
+        assert [(p, r.as_dict()) for p, r in second] == [(4, {"a": 1.0, "b": 2.0})]
+
+
+class TestHeldStreams:
+    def test_shift_adjusts_held_validity(self):
+        # previous(shift(inner, 0)) composed: the held register's
+        # valid_from must move with positional shifts above the offset
+        inner = seq(B, {2: 20.0, 6: 60.0})
+        outer = seq(A, {3: 1.0, 4: 2.0, 7: 3.0})
+        query = (
+            base(outer, "o")
+            .compose(base(inner, "i").previous().shift(-1))
+            .query()
+        )
+        engine = TriggerEngine(query)
+        emitted = push_all(engine, ("o", outer), ("i", inner))
+        batch = query.run_naive(Span(0, 10))
+        assert emitted == [
+            (p, r) for p, r in batch.to_pairs() if p in {3, 4, 7}
+        ]
+
+    def test_select_clears_held_register(self):
+        # a failing predicate over a held stream must clear the register
+        inner = seq(B, {2: 100.0, 5: 1.0})  # second value fails the filter
+        outer = seq(A, {3: 1.0, 6: 2.0, 8: 3.0})
+        query = (
+            base(outer, "o")
+            .compose(base(inner, "i").previous().select(col("b") > 50.0))
+            .query()
+        )
+        engine = TriggerEngine(query)
+        emitted = push_all(engine, ("o", outer), ("i", inner))
+        # at 3: held previous = inner@2 (100.0), passes; at 6 and 8 the
+        # previous is inner@5 (1.0), which fails the filter and must
+        # have CLEARED the register
+        positions = [p for p, _ in emitted]
+        batch = query.run_naive(Span(0, 10))
+        expected = [p for p, _ in batch.to_pairs() if p in {3, 6, 8}]
+        assert positions == expected == [3]
+
+
+class TestSharedSources:
+    def test_one_arrival_feeds_both_leaf_uses(self):
+        data = seq(A, {1: 10.0, 2: 20.0, 3: 30.0})
+        query = (
+            base(data, "s")
+            .compose(base(data, "s").shift(1), prefixes=("now", "next"))
+            .query()
+        )
+        engine = TriggerEngine(query)
+        emitted = push_all(engine, ("s", data))
+        batch = query.run_naive()
+        assert emitted == batch.to_pairs()
+
+
+class TestValidation:
+    def test_two_held_compose_rejected(self):
+        left = seq(A, {1: 1.0})
+        right = seq(B, {1: 2.0})
+        query = Compose(
+            SequenceLeaf(left, "l"),
+            SequenceLeaf(right, "r"),
+        )
+        from repro.algebra import Query, ValueOffset
+
+        held_query = Query(
+            Compose(
+                ValueOffset.previous(SequenceLeaf(left, "l")),
+                ValueOffset.previous(SequenceLeaf(right, "r")),
+            )
+        )
+        with pytest.raises(QueryError, match="two held"):
+            TriggerEngine(held_query)
+
+    def test_stacked_value_offsets_rejected(self):
+        data = seq(A, {1: 1.0, 5: 2.0})
+        query = base(data, "s").previous().value_offset(-1)
+        from repro.algebra import Query
+
+        with pytest.raises(QueryError, match="stack"):
+            TriggerEngine(query.query())
+
+    def test_aggregate_over_held_rejected(self):
+        data = seq(A, {1: 1.0, 5: 2.0})
+        query = base(data, "s").previous().window("sum", "a", 3).query()
+        with pytest.raises(QueryError, match="aggregate over a value offset"):
+            TriggerEngine(query)

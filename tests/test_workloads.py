@@ -1,0 +1,112 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.model import Span
+from repro.workloads import (
+    StockSpec,
+    TABLE1_SPECS,
+    WeatherSpec,
+    bernoulli_sequence,
+    correlated_pair,
+    generate_stock,
+    generate_weather,
+    table1_catalog,
+)
+
+
+class TestStocks:
+    def test_deterministic(self):
+        spec = StockSpec("x", Span(0, 99), 0.9, seed=4)
+        assert generate_stock(spec).to_pairs() == generate_stock(spec).to_pairs()
+
+    def test_density_close_to_spec(self):
+        spec = StockSpec("x", Span(0, 1999), 0.7, seed=4)
+        assert generate_stock(spec).density() == pytest.approx(0.7, abs=0.05)
+
+    def test_full_density(self):
+        spec = StockSpec("x", Span(0, 99), 1.0, seed=4)
+        assert generate_stock(spec).density() == 1.0
+
+    def test_price_fields_consistent(self):
+        sequence = generate_stock(StockSpec("x", Span(0, 199), 1.0, seed=4))
+        for _pos, record in sequence.iter_nonnull():
+            assert record.get("low") <= record.get("open") <= record.get("high")
+            assert record.get("low") <= record.get("close") <= record.get("high")
+            assert record.get("volume") > 0
+
+    def test_table1_catalog_matches_paper(self):
+        catalog, sequences = table1_catalog()
+        ibm = catalog.get("ibm").info
+        dec = catalog.get("dec").info
+        hp = catalog.get("hp").info
+        assert ibm.span == Span(200, 500)
+        assert dec.span == Span(1, 350)
+        assert hp.span == Span(1, 750)
+        assert ibm.density == pytest.approx(0.95, abs=0.04)
+        assert dec.density == pytest.approx(0.70, abs=0.05)
+        assert hp.density == 1.0
+        assert set(sequences) == {"ibm", "dec", "hp"}
+
+    def test_table1_on_storage_substrate(self):
+        catalog, _ = table1_catalog(organization="clustered")
+        from repro.storage import StoredSequence
+
+        for name in ("ibm", "dec", "hp"):
+            assert isinstance(catalog.get(name).sequence, StoredSequence)
+
+    def test_table1_correlations_analyzed(self):
+        catalog, _ = table1_catalog()
+        assert catalog.correlation("ibm", "hp") > 0
+
+
+class TestWeather:
+    def test_deterministic(self):
+        spec = WeatherSpec(horizon=500, seed=2)
+        a = generate_weather(spec)
+        b = generate_weather(spec)
+        assert a[0].to_pairs() == b[0].to_pairs()
+        assert a[1].to_pairs() == b[1].to_pairs()
+
+    def test_rates(self):
+        volcanos, quakes = generate_weather(WeatherSpec(horizon=20000, seed=2))
+        assert quakes.density() == pytest.approx(0.05, abs=0.01)
+        assert volcanos.density() == pytest.approx(0.002, abs=0.001)
+
+    def test_no_position_collisions(self):
+        volcanos, quakes = generate_weather(WeatherSpec(horizon=5000, seed=2))
+        volcano_positions = {p for p, _ in volcanos.iter_nonnull()}
+        quake_positions = {p for p, _ in quakes.iter_nonnull()}
+        assert not volcano_positions & quake_positions
+
+    def test_strength_range(self):
+        _volcanos, quakes = generate_weather(
+            WeatherSpec(horizon=5000, seed=2, min_strength=5.0, max_strength=6.0)
+        )
+        for _pos, record in quakes.iter_nonnull():
+            assert 5.0 <= record.get("strength") <= 6.0
+
+
+class TestGeneric:
+    def test_bernoulli_density(self):
+        sequence = bernoulli_sequence(Span(0, 4999), 0.3, seed=8)
+        assert sequence.density() == pytest.approx(0.3, abs=0.03)
+
+    def test_bernoulli_value_range(self):
+        sequence = bernoulli_sequence(Span(0, 199), 1.0, seed=8, low=5.0, high=6.0)
+        for _pos, record in sequence.iter_nonnull():
+            assert 5.0 <= record.get("value") <= 6.0
+
+    def test_correlated_pair_weights(self):
+        from repro.catalog import null_correlation
+
+        span = Span(0, 9999)
+        independent = correlated_pair(span, 0.4, 0.0, seed=9)
+        shared = correlated_pair(span, 0.4, 1.0, seed=9)
+        assert null_correlation(*independent) == pytest.approx(1.0, abs=0.1)
+        assert null_correlation(*shared) == pytest.approx(2.5, abs=0.25)
+
+    def test_pair_schemas_distinct(self):
+        a, b = correlated_pair(Span(0, 10), 1.0, 0.5, seed=1)
+        assert a.schema.names == ("a",)
+        assert b.schema.names == ("b",)
