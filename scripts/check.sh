@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repository check script: static checks + tier-1 tests.
+#
+# Runs, in order:
+#   1. ruff  (if installed — `pip install .[lint]`)
+#   2. mypy  (if installed)
+#   3. a byte-compilation pass over src/ (always; catches syntax errors
+#      even when the optional linters are absent)
+#   4. the tier-1 test suite
+#
+# Missing optional tools are skipped with a notice, not an error, so
+# the script works in minimal containers.
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if "$@"; then
+        echo "    ${name}: ok"
+    else
+        echo "    ${name}: FAILED"
+        failures=$((failures + 1))
+    fi
+}
+
+if command -v ruff >/dev/null 2>&1; then
+    run_step "ruff" ruff check src tests benchmarks examples
+else
+    echo "==> ruff not installed; skipping (pip install .[lint])"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run_step "mypy" mypy
+else
+    echo "==> mypy not installed; skipping (pip install .[lint])"
+fi
+
+run_step "compileall" python -m compileall -q src
+
+run_step "tier-1 tests" env PYTHONPATH=src python -m pytest -x -q
+
+if [ "${failures}" -ne 0 ]; then
+    echo "${failures} check(s) failed"
+    exit 1
+fi
+echo "all checks passed"

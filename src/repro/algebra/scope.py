@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import QueryError
+
 
 @dataclass(frozen=True)
 class ScopeSpec:
@@ -43,9 +45,9 @@ class ScopeSpec:
 
     def __post_init__(self) -> None:
         if self.kind not in self.VALID_KINDS:
-            raise ValueError(f"unknown scope kind {self.kind!r}")
+            raise QueryError(f"unknown scope kind {self.kind!r}")
         if self.kind == "relative" and not self.offsets:
-            raise ValueError("relative scope needs at least one offset")
+            raise QueryError("relative scope needs at least one offset")
 
     # -- constructors -------------------------------------------------------
 
@@ -63,7 +65,7 @@ class ScopeSpec:
     def window(width: int) -> "ScopeSpec":
         """The trailing window {i-width+1 .. i} of a moving aggregate."""
         if width < 1:
-            raise ValueError(f"window width must be >= 1, got {width}")
+            raise QueryError(f"window width must be >= 1, got {width}")
         return ScopeSpec("relative", frozenset(range(-width + 1, 1)))
 
     @staticmethod

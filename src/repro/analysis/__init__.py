@@ -1,0 +1,91 @@
+"""Static analysis of query graphs and physical plans.
+
+A rule-based verifier that checks the paper's correctness invariants
+without running anything: scope closure (Proposition 2.1), span
+propagation (Section 3.2 Step 2), schema flow (Section 2.2), rewrite
+legality (Proposition 3.1 / Definition 3.1), cache finiteness
+(Theorem 3.1 / Lemma 3.2) and cost sanity (Section 4.1).
+
+Entry points: :func:`verify_query`, :func:`verify_plan`,
+:func:`verify_rewrites`, :func:`verify_optimization`; the ``repro
+lint`` and ``repro verify-plan`` CLI subcommands and the opt-in
+``REPRO_VERIFY=1`` hooks (:mod:`repro.analysis.hooks`) build on them.
+
+Attributes are loaded lazily (PEP 562) so that the optimizer and the
+executor can import :mod:`repro.analysis.hooks` without dragging in
+the verifier (and, through its plan rules, the execution layer) at
+import time — the hooks only load the verifier when ``REPRO_VERIFY``
+is actually set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "Diagnostic",
+    "PLAN_RULES",
+    "PlanContext",
+    "QUERY_RULES",
+    "QueryContext",
+    "RuleInfo",
+    "Severity",
+    "VerificationReport",
+    "audit_rewrites",
+    "plan_rule",
+    "query_rule",
+    "verify_optimization",
+    "verify_plan",
+    "verify_query",
+    "verify_rewrites",
+]
+
+_EXPORTS = {
+    "Diagnostic": "repro.analysis.diagnostics",
+    "Severity": "repro.analysis.diagnostics",
+    "VerificationReport": "repro.analysis.diagnostics",
+    "PLAN_RULES": "repro.analysis.base",
+    "QUERY_RULES": "repro.analysis.base",
+    "PlanContext": "repro.analysis.base",
+    "QueryContext": "repro.analysis.base",
+    "RuleInfo": "repro.analysis.base",
+    "plan_rule": "repro.analysis.base",
+    "query_rule": "repro.analysis.base",
+    "audit_rewrites": "repro.analysis.rewrite_audit",
+    "verify_optimization": "repro.analysis.verifier",
+    "verify_plan": "repro.analysis.verifier",
+    "verify_query": "repro.analysis.verifier",
+    "verify_rewrites": "repro.analysis.verifier",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static import surface for type checkers
+    from repro.analysis.base import (
+        PLAN_RULES,
+        QUERY_RULES,
+        PlanContext,
+        QueryContext,
+        RuleInfo,
+        plan_rule,
+        query_rule,
+    )
+    from repro.analysis.diagnostics import Diagnostic, Severity, VerificationReport
+    from repro.analysis.rewrite_audit import audit_rewrites
+    from repro.analysis.verifier import (
+        verify_optimization,
+        verify_plan,
+        verify_query,
+        verify_rewrites,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,154 @@
+"""The rule framework of the static verifier.
+
+A *rule* is a generator function taking a context object and yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  Rules are
+registered with the :func:`query_rule` / :func:`plan_rule` decorators
+and executed by :mod:`repro.analysis.verifier`, which builds the
+context, runs every registered rule and collects the findings into a
+report.  Rules never raise on a bad graph — they *report*; a rule that
+itself crashes is converted into an ``ERROR`` finding so one broken
+invariant cannot hide another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.graph import Query
+    from repro.algebra.node import Operator
+    from repro.optimizer.annotate import AnnotatedQuery
+    from repro.optimizer.plans import PhysicalPlan
+    from repro.optimizer.rewrite import RewriteTrace
+
+
+@dataclass
+class QueryContext:
+    """Everything a logical-graph rule may inspect.
+
+    Attributes:
+        query: the query under verification.
+        annotated: optimizer annotations, when the query has been
+            through Step 2 (span rules need them; scope/schema rules
+            do not).
+        paths: node path strings keyed by ``id(node)``.
+    """
+
+    query: "Query"
+    annotated: Optional["AnnotatedQuery"] = None
+    paths: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            self.paths = operator_paths(self.query.root)
+
+    def path(self, node: "Operator") -> str:
+        """The path of ``node``; its description if it is not in the tree."""
+        return self.paths.get(id(node), node.describe())
+
+
+@dataclass
+class PlanContext:
+    """Everything a physical-plan rule may inspect."""
+
+    plan: "PhysicalPlan"
+    paths: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            self.paths = plan_paths(self.plan)
+
+    def path(self, node: "PhysicalPlan") -> str:
+        """The path of ``node``; its kind if it is not in the tree."""
+        return self.paths.get(id(node), node.kind)
+
+
+def operator_paths(root: "Operator") -> dict[int, str]:
+    """Slash-separated paths for every operator, keyed by ``id(node)``."""
+    paths: dict[int, str] = {}
+
+    def visit(node: "Operator", prefix: str) -> None:
+        paths[id(node)] = prefix
+        for index, child in enumerate(node.inputs):
+            visit(child, f"{prefix}/{index}:{child.name}")
+
+    visit(root, f"root:{root.name}")
+    return paths
+
+
+def plan_paths(root: "PhysicalPlan") -> dict[int, str]:
+    """Slash-separated paths for every plan node, keyed by ``id(node)``."""
+    paths: dict[int, str] = {}
+
+    def visit(node: "PhysicalPlan", prefix: str) -> None:
+        paths[id(node)] = prefix
+        for index, child in enumerate(node.children):
+            visit(child, f"{prefix}/{index}:{child.kind}")
+
+    visit(root, f"root:{root.kind}")
+    return paths
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registration record of one rule."""
+
+    rule_id: str
+    citation: str
+    check: Callable[..., Iterator[Diagnostic]]
+    needs_annotations: bool = False
+
+
+#: Registered logical-graph rules, in registration order.
+QUERY_RULES: list[RuleInfo] = []
+#: Registered physical-plan rules, in registration order.
+PLAN_RULES: list[RuleInfo] = []
+
+
+def query_rule(rule_id: str, citation: str = "", needs_annotations: bool = False):
+    """Register a logical-graph rule.
+
+    The decorated generator receives a :class:`QueryContext` and yields
+    diagnostics; ``needs_annotations`` rules are skipped when the
+    context has no :class:`~repro.optimizer.annotate.AnnotatedQuery`.
+    """
+
+    def decorate(func: Callable[[QueryContext], Iterable[Diagnostic]]):
+        QUERY_RULES.append(RuleInfo(rule_id, citation, func, needs_annotations))
+        return func
+
+    return decorate
+
+
+def plan_rule(rule_id: str, citation: str = ""):
+    """Register a physical-plan rule (receives a :class:`PlanContext`)."""
+
+    def decorate(func: Callable[[PlanContext], Iterable[Diagnostic]]):
+        PLAN_RULES.append(RuleInfo(rule_id, citation, func))
+        return func
+
+    return decorate
+
+
+def run_rule(info: RuleInfo, context) -> list[Diagnostic]:
+    """Execute one rule, converting a rule crash into an ERROR finding.
+
+    A rule that raises mid-scan has usually tripped over the very
+    corruption it exists to detect (e.g. a schema recomputation raising
+    on an unknown column), so the exception text becomes the finding.
+    """
+    try:
+        return list(info.check(context))
+    except Exception as exc:  # noqa: BLE001 - findings must not be lost
+        return [
+            Diagnostic(
+                rule=info.rule_id,
+                severity=Severity.ERROR,
+                path="root",
+                message=f"rule crashed while checking: {exc}",
+                citation=info.citation,
+            )
+        ]

@@ -7,6 +7,11 @@ Examples::
 
     python -m repro --load v=volcanos.csv --load e=quakes.csv --explain \\
         "project(select(compose(v as v, previous(e) as e), e_strength > 7.0), v_name)"
+
+Static verification subcommands (exit 1 on error-severity findings)::
+
+    python -m repro lint --load prices=prices.csv "next(select(prices, close > 100))"
+    python -m repro verify-plan --json --load prices=prices.csv "window(prices, avg, close, 6)"
 """
 
 from __future__ import annotations
@@ -16,11 +21,13 @@ import sys
 from typing import Optional, Sequence as PySequence
 
 from repro.errors import ReproError
+from repro.analysis import verify_optimization, verify_query
 from repro.catalog import Catalog
 from repro.execution import run_query_detailed
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
+from repro.optimizer import optimize
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,11 +92,70 @@ def _parse_span(spec: Optional[str]) -> Optional[Span]:
         raise ReproError(f"--span needs START:END integers, got {spec!r}") from None
 
 
+def build_verify_parser(command: str) -> argparse.ArgumentParser:
+    """The argument parser for the ``lint`` / ``verify-plan`` subcommands."""
+    if command == "lint":
+        description = (
+            "Statically verify a query graph: scope closure (Prop 2.1), "
+            "span propagation (Sec 3.2 Step 2) and schema flow (Sec 2.2)."
+        )
+    else:
+        description = (
+            "Optimize a query and verify the full pipeline: the query "
+            "rules plus rewrite legality (Prop 3.1), cache finiteness "
+            "(Thm 3.1) and cost sanity (Sec 4.1) of the chosen plan."
+        )
+    parser = argparse.ArgumentParser(prog=f"repro {command}", description=description)
+    parser.add_argument("query", help="query text to verify")
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable)",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span (default: the query's own)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    return parser
+
+
+def _verify_main(command: str, argv: PySequence[str], out) -> int:
+    """Run ``repro lint`` or ``repro verify-plan``."""
+    args = build_verify_parser(command).parse_args(argv)
+    try:
+        catalog = Catalog()
+        for spec in args.load:
+            name, path, poscol = _parse_load(spec)
+            catalog.register(name, read_csv(path, position_column=poscol))
+        query = compile_query(args.query, catalog)
+        span = _parse_span(args.span)
+        if command == "verify-plan":
+            report = verify_optimization(optimize(query, catalog=catalog, span=span))
+        else:
+            report = verify_query(query, catalog=catalog, span=span)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    print(report.render_json() if args.json else report.render_text(), file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] in ("lint", "verify-plan"):
+        return _verify_main(arguments[0], arguments[1:], out)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     try:
         catalog = Catalog()

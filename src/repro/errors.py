@@ -48,6 +48,23 @@ class CatalogError(ReproError):
     """A catalog lookup or registration failed."""
 
 
+class VerificationError(ReproError):
+    """A static verification pass found error-severity diagnostics.
+
+    Raised by :mod:`repro.analysis` when a query graph or physical plan
+    violates one of the paper's invariants (Proposition 2.1, the Step-2
+    span propagation, Proposition 3.1, Theorem 3.1).
+
+    Attributes:
+        report: the :class:`repro.analysis.VerificationReport` whose
+            error-severity diagnostics triggered the failure.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
+
+
 class ParseError(ReproError):
     """The query language text could not be parsed.
 

@@ -16,6 +16,7 @@ from repro.errors import ExecutionError
 from repro.model.base import BaseSequence
 from repro.model.span import Span
 from repro.algebra.graph import Query
+from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
 from repro.optimizer.costmodel import CostParams
 from repro.optimizer.optimizer import OptimizationResult, optimize
@@ -39,6 +40,9 @@ def execute_plan(
     window = plan.span if span is None else span.intersect(plan.span)
     if not window.is_bounded:
         raise ExecutionError(f"cannot execute over unbounded span {window}")
+    # Opt-in self-check (REPRO_VERIFY=1): refuse to run a plan that
+    # violates the cache-finiteness or cost-sanity invariants.
+    hooks.verify_plan_hook(plan)
     counters = counters if counters is not None else ExecutionCounters()
     pairs = []
     for position, record in build_stream(plan, window, counters):

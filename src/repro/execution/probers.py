@@ -228,7 +228,8 @@ class MaterializeProber(Prober):
         if self._table is None:
             self._build()
         self._counters.cache_ops += 1
-        assert self._table is not None
+        if self._table is None:
+            raise ExecutionError("materialize prober failed to build its table")
         return self._table.get(position, NULL)
 
 

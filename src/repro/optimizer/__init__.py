@@ -20,7 +20,12 @@ from repro.optimizer.plans import (
     OptimizedPlan,
     PhysicalPlan,
 )
-from repro.optimizer.rewrite import RewriteTrace, apply_rewrites, is_legal_push
+from repro.optimizer.rewrite import (
+    RewriteStep,
+    RewriteTrace,
+    apply_rewrites,
+    is_legal_push,
+)
 
 __all__ = [
     "AccessCosts",
@@ -40,6 +45,7 @@ __all__ = [
     "PlannedOutput",
     "PROBE",
     "STREAM",
+    "RewriteStep",
     "RewriteTrace",
     "UnaryBlock",
     "annotate",

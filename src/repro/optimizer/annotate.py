@@ -93,7 +93,11 @@ def _leaf_annotation(node: Operator, catalog: Optional[Catalog]) -> Annotation:
     """Bottom-up metadata for a leaf, preferring catalog statistics."""
     if isinstance(node, ConstantLeaf):
         return Annotation(span=node.constant.span, density=1.0)
-    assert isinstance(node, SequenceLeaf)
+    if not isinstance(node, SequenceLeaf):
+        raise OptimizerError(
+            f"leaf annotation needs a sequence or constant leaf, got "
+            f"{node.describe()!r}"
+        )
     entry = None
     if catalog is not None:
         if node.alias in catalog:

@@ -148,7 +148,11 @@ class BlockPlanner:
         if block_input.leaf is not None:
             source = self._leaf_output(block_input.leaf)
         else:
-            assert block_input.source is not None
+            if block_input.source is None:
+                raise OptimizerError(
+                    f"block input {block_input.describe()!r} has neither a "
+                    "leaf nor a source block"
+                )
             source = self.plan(block_input.source)
         steps, conjunct_count = self._chain_steps(block_input)
         if not steps:

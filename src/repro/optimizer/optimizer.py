@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.model.span import Span
 from repro.algebra.graph import Query
+from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
 from repro.optimizer.annotate import AnnotatedQuery, annotate
 from repro.optimizer.blocks import block_tree, count_blocks
@@ -83,8 +84,14 @@ def optimize(
         rewritten, trace = apply_rewrites(query)
     else:
         rewritten, trace = query, RewriteTrace()
+    # Opt-in self-check (REPRO_VERIFY=1): every recorded rewrite step
+    # must replay as legal and equivalence-preserving.
+    hooks.verify_rewrites_hook(trace)
 
     annotated = annotate(rewritten, catalog, span, restrict_spans=restrict_spans)
+    # Opt-in self-check: scope closure, span propagation and schema
+    # flow of the annotated query.
+    hooks.verify_query_hook(rewritten, annotated)
     blocks = block_tree(rewritten.root)
     planner = BlockPlanner(
         annotated,
@@ -93,6 +100,9 @@ def optimize(
         consider_materialize=consider_materialize,
     )
     output = planner.plan(blocks)
+    # Opt-in self-check: cache finiteness and cost sanity of the
+    # generated plan.
+    hooks.verify_plan_hook(output.stream_plan)
 
     plan = OptimizedPlan(
         plan=output.stream_plan,

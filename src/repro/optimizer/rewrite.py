@@ -46,15 +46,48 @@ MAX_PASSES = 50
 _NON_UNIT_SCOPE = (WindowAggregate, CumulativeAggregate, GlobalAggregate, ValueOffset)
 
 
+@dataclass(frozen=True)
+class RewriteStep:
+    """One recorded rule application: the subtree before and after.
+
+    Attributes:
+        rule: the rule name (e.g. ``push_select_through_project``).
+        before: the subtree root the rule matched.
+        after: the replacement subtree root.
+
+    The legality-audit rule of :mod:`repro.analysis` replays these
+    steps and re-verifies each one against Proposition 3.1 (via
+    :func:`is_legal_push`) and Definition 3.1 equivalence (schema and
+    composed input scopes preserved).
+    """
+
+    rule: str
+    before: Operator
+    after: Operator
+
+
 @dataclass
 class RewriteTrace:
-    """A record of which rules fired during rewriting."""
+    """A record of which rules fired during rewriting.
+
+    ``applied`` keeps the flat list of rule names (what ``EXPLAIN``
+    prints); ``steps`` additionally records the before/after subtrees
+    of every application for the static legality audit.
+    """
 
     applied: list[str] = field(default_factory=list)
+    steps: list[RewriteStep] = field(default_factory=list)
 
-    def note(self, rule: str) -> None:
-        """Record one application of ``rule``."""
+    def note(
+        self,
+        rule: str,
+        before: "Operator | None" = None,
+        after: "Operator | None" = None,
+    ) -> None:
+        """Record one application of ``rule`` (and its before/after trees)."""
         self.applied.append(rule)
+        if before is not None and after is not None:
+            self.steps.append(RewriteStep(rule, before, after))
 
     def count(self, rule: str) -> int:
         """How many times ``rule`` fired."""
@@ -121,14 +154,19 @@ def _push_select_into_compose(select: Select, compose: Compose, trace: RewriteTr
     left, right = compose.inputs
     if left_parts:
         left = Select(left, conjoin(left_parts))
-        trace.note("push_select_into_compose")
     if right_parts:
         right = Select(right, conjoin(right_parts))
-        trace.note("push_select_into_compose")
     new_compose = Compose(left, right, compose.predicate, compose.prefixes)
-    if keep:
-        return Select(new_compose, conjoin(keep))
-    return new_compose
+    replacement: Operator = (
+        Select(new_compose, conjoin(keep)) if keep else new_compose
+    )
+    # One note per side pushed (the trace counts rule applications);
+    # both record the same before/after pair for the legality audit.
+    if left_parts:
+        trace.note("push_select_into_compose", select, replacement)
+    if right_parts:
+        trace.note("push_select_into_compose", select, replacement)
+    return replacement
 
 
 def _push_project_into_compose(project: Project, compose: Compose, trace: RewriteTrace) -> Operator:
@@ -158,9 +196,10 @@ def _push_project_into_compose(project: Project, compose: Compose, trace: Rewrit
         changed = True
     if not changed:
         return project
-    trace.note("push_project_into_compose")
     new_compose = Compose(left, right, compose.predicate, compose.prefixes)
-    return Project(new_compose, project.names)
+    replacement = Project(new_compose, project.names)
+    trace.note("push_project_into_compose", project, replacement)
+    return replacement
 
 
 def _rewrite_node(node: Operator, trace: RewriteTrace) -> Operator:
@@ -168,21 +207,24 @@ def _rewrite_node(node: Operator, trace: RewriteTrace) -> Operator:
     # -- combining rules ---------------------------------------------------
     if isinstance(node, Select) and isinstance(node.inputs[0], Select):
         inner = node.inputs[0]
-        trace.note("combine_selects")
-        return Select(inner.inputs[0], And(inner.predicate, node.predicate))
+        replaced = Select(inner.inputs[0], And(inner.predicate, node.predicate))
+        trace.note("combine_selects", node, replaced)
+        return replaced
     if isinstance(node, Project) and isinstance(node.inputs[0], Project):
         inner = node.inputs[0]
-        trace.note("combine_projects")
-        return Project(inner.inputs[0], node.names)
+        replaced = Project(inner.inputs[0], node.names)
+        trace.note("combine_projects", node, replaced)
+        return replaced
     if isinstance(node, PositionalOffset) and isinstance(node.inputs[0], PositionalOffset):
         inner = node.inputs[0]
         net = node.offset + inner.offset
-        trace.note("combine_offsets")
-        if net == 0:
-            return inner.inputs[0]
-        return PositionalOffset(inner.inputs[0], net)
+        replaced = (
+            inner.inputs[0] if net == 0 else PositionalOffset(inner.inputs[0], net)
+        )
+        trace.note("combine_offsets", node, replaced)
+        return replaced
     if isinstance(node, PositionalOffset) and node.offset == 0:
-        trace.note("drop_zero_offset")
+        trace.note("drop_zero_offset", node, node.inputs[0])
         return node.inputs[0]
 
     # -- selection pushdown ---------------------------------------------------
@@ -191,8 +233,9 @@ def _rewrite_node(node: Operator, trace: RewriteTrace) -> Operator:
         if isinstance(child, Project):
             # Predicate columns are all in the projection (typing), so
             # the swap is always legal; reapply the projection above.
-            trace.note("push_select_through_project")
-            return Project(Select(child.inputs[0], node.predicate), child.names)
+            replaced = Project(Select(child.inputs[0], node.predicate), child.names)
+            trace.note("push_select_through_project", node, replaced)
+            return replaced
         if isinstance(child, Compose):
             replaced = _push_select_into_compose(node, child, trace)
             if replaced is not node:
@@ -210,31 +253,35 @@ def _rewrite_node(node: Operator, trace: RewriteTrace) -> Operator:
     if isinstance(node, PositionalOffset):
         child = node.inputs[0]
         if isinstance(child, Select):
-            trace.note("push_offset_through_select")
-            return Select(
+            replaced = Select(
                 PositionalOffset(child.inputs[0], node.offset), child.predicate
             )
+            trace.note("push_offset_through_select", node, replaced)
+            return replaced
         if isinstance(child, Project):
-            trace.note("push_offset_through_project")
-            return Project(
+            replaced = Project(
                 PositionalOffset(child.inputs[0], node.offset), child.names
             )
+            trace.note("push_offset_through_project", node, replaced)
+            return replaced
         if isinstance(child, Compose):
-            trace.note("push_offset_through_compose")
             left = PositionalOffset(child.inputs[0], node.offset)
             right = PositionalOffset(child.inputs[1], node.offset)
-            return Compose(left, right, child.predicate, child.prefixes)
+            replaced = Compose(left, right, child.predicate, child.prefixes)
+            trace.note("push_offset_through_compose", node, replaced)
+            return replaced
         if isinstance(child, WindowAggregate):
             # Window aggregates have relative scope on their input, so a
             # positional offset commutes with them (Section 3.1).
-            trace.note("push_offset_through_window")
-            return WindowAggregate(
+            replaced = WindowAggregate(
                 PositionalOffset(child.inputs[0], node.offset),
                 child.func,
                 child.attr,
                 child.width,
                 child.output_name,
             )
+            trace.note("push_offset_through_window", node, replaced)
+            return replaced
 
     return node
 

@@ -17,6 +17,40 @@ from repro.workloads import (
 PRICE_SCHEMA = RecordSchema.of(close=AtomType.FLOAT)
 
 
+def pytest_configure(config) -> None:
+    """Statically verify every query graph the suite constructs.
+
+    Wraps :meth:`repro.algebra.graph.Query.validate` so that each
+    successfully validated graph is also run through the structural
+    rules of :mod:`repro.analysis` (scope closure and schema flow;
+    span rules need optimizer annotations and run in the REPRO_VERIFY
+    hooks instead).  Installed here rather than as an autouse fixture
+    so hypothesis-driven tests are covered without tripping the
+    function-scoped-fixture health check.  Disable with
+    ``REPRO_TEST_VERIFY=0``.
+    """
+    import functools
+    import os
+
+    if os.environ.get("REPRO_TEST_VERIFY", "1").lower() in ("0", "false", "no", "off"):
+        return
+
+    from repro.algebra.graph import Query
+    from repro.analysis.verifier import verify_query
+
+    if getattr(Query, "_analysis_verified", False):
+        return
+    original = Query.validate
+
+    @functools.wraps(original)
+    def validate_and_verify(self) -> None:
+        original(self)
+        verify_query(self, with_annotations=False).raise_if_errors()
+
+    Query.validate = validate_and_verify
+    Query._analysis_verified = True
+
+
 def price_sequence(
     span: Span, values: dict[int, float], schema: RecordSchema = PRICE_SCHEMA
 ) -> BaseSequence:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.algebra.scope import ScopeSpec
+from repro.errors import QueryError
 
 
 class TestConstruction:
@@ -30,7 +31,7 @@ class TestConstruction:
         assert scope.is_sequential and scope.is_relative and scope.is_fixed_size
 
     def test_window_width_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             ScopeSpec.window(0)
 
     def test_variable_past(self):
@@ -48,11 +49,11 @@ class TestConstruction:
         assert scope.size is None and not scope.is_relative
 
     def test_bad_kind(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             ScopeSpec("weird")
 
     def test_relative_needs_offsets(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             ScopeSpec("relative", frozenset())
 
     def test_gap_window_not_sequential(self):
