@@ -11,6 +11,10 @@ from repro import AtomType, BaseSequence, Catalog, Record, RecordSchema, Span
 from repro.algebra import base, col
 from repro.execution import run_query_detailed
 
+#: The text form of the quickstart query; the repository check script
+#: lints this against the quickstart catalog on every run.
+TEXT_QUERY = "window(select(prices, volume > 4000), avg, close, 3, ma3)"
+
 
 def main() -> None:
     # 1. Define a record schema and a base sequence.  Positions are
@@ -58,9 +62,7 @@ def main() -> None:
     # 5. The same query as text, via the query language.
     from repro.lang import compile_query
 
-    text_query = compile_query(
-        "window(select(prices, volume > 4000), avg, close, 3, ma3)", catalog
-    )
+    text_query = compile_query(TEXT_QUERY, catalog)
     assert text_query.run(catalog=catalog).to_pairs() == result.output.to_pairs()
     print("\nquery-language version produced the identical answer.")
 

@@ -6,7 +6,9 @@
 #   2. mypy  (if installed)
 #   3. a byte-compilation pass over src/ (always; catches syntax errors
 #      even when the optional linters are absent)
-#   4. the tier-1 test suite
+#   4. the query lint: semantic analysis of every query text shipped
+#      in examples/ and workloads/ (scripts/check_queries.py)
+#   5. the tier-1 test suite
 #
 # Missing optional tools are skipped with a notice, not an error, so
 # the script works in minimal containers.
@@ -41,6 +43,8 @@ else
 fi
 
 run_step "compileall" python -m compileall -q src
+
+run_step "query lint" python scripts/check_queries.py
 
 run_step "tier-1 tests" env PYTHONPATH=src python -m pytest -x -q
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Lint every query text shipped in the repository.
+
+Runs the front-end semantic analyzer (`repro check`) over each query
+string registered in examples/ and workloads/ and fails if any of them
+produces a diagnostic — errors AND warnings, so the shipped corpus
+stays lint-clean:
+
+* ``examples/query_language_tour.py`` — the ``TOUR`` list;
+* ``examples/quickstart.py`` — the ``TEXT_QUERY`` constant;
+* ``repro.workloads.STOCK_EXAMPLE_QUERIES`` over the Table 1 catalog;
+* ``repro.workloads.WEATHER_EXAMPLE_QUERIES`` over the weather
+  environment (``v`` = volcanos, ``e`` = earthquakes).
+
+Exit status: 0 = all queries clean; 1 = at least one diagnostic.
+Invoked by ``scripts/check.sh`` as the "query lint" step.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "examples"))
+
+from query_language_tour import TOUR  # noqa: E402
+from quickstart import TEXT_QUERY  # noqa: E402
+
+from repro import AtomType, BaseSequence, Catalog, RecordSchema  # noqa: E402
+from repro.lang import analyze, render_diagnostics  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    STOCK_EXAMPLE_QUERIES,
+    WEATHER_EXAMPLE_QUERIES,
+    WeatherSpec,
+    generate_weather,
+    table1_catalog,
+)
+
+
+def quickstart_catalog() -> Catalog:
+    """A tiny catalog shaped like the one quickstart.py builds."""
+    schema = RecordSchema.of(close=AtomType.FLOAT, volume=AtomType.INT)
+    prices = BaseSequence.from_values(
+        schema, [(1, (101.2, 5_000)), (2, (102.8, 6_200)), (4, (101.1, 4_100))]
+    )
+    catalog = Catalog()
+    catalog.register("prices", prices)
+    return catalog
+
+
+def weather_catalog() -> Catalog:
+    volcanos, quakes = generate_weather(WeatherSpec(horizon=2000, seed=7))
+    catalog = Catalog()
+    catalog.register("v", volcanos)
+    catalog.register("e", quakes)
+    return catalog
+
+
+def gather() -> list[tuple[str, str, Catalog]]:
+    """Every (label, source, environment) triple to lint."""
+    table1, _ = table1_catalog()
+    weather = weather_catalog()
+    corpus: list[tuple[str, str, Catalog]] = []
+    for index, (title, source) in enumerate(TOUR):
+        corpus.append((f"tour[{index}] {title}", source, table1))
+    corpus.append(("quickstart.TEXT_QUERY", TEXT_QUERY, quickstart_catalog()))
+    for index, source in enumerate(STOCK_EXAMPLE_QUERIES):
+        corpus.append((f"stocks.EXAMPLE_QUERIES[{index}]", source, table1))
+    for index, source in enumerate(WEATHER_EXAMPLE_QUERIES):
+        corpus.append((f"weather.EXAMPLE_QUERIES[{index}]", source, weather))
+    return corpus
+
+
+def main() -> int:
+    corpus = gather()
+    dirty = 0
+    for label, source, catalog in corpus:
+        result = analyze(source, catalog)
+        if result.diagnostics:
+            dirty += 1
+            print(f"{label}: {source}")
+            print(render_diagnostics(source, result.report))
+    if dirty:
+        print(f"{dirty} of {len(corpus)} shipped queries have diagnostics")
+        return 1
+    print(f"all {len(corpus)} shipped queries analyze clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

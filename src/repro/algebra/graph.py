@@ -16,6 +16,7 @@ from repro.model.schema import RecordSchema
 from repro.model.span import Span
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.node import Operator
+from repro.algebra.scope import ScopeSpec
 
 
 class Query:
@@ -23,7 +24,33 @@ class Query:
 
     def __init__(self, root: Operator):
         self.root = root
+        #: Front-end analysis report (a
+        #: :class:`repro.analysis.VerificationReport`) attached by
+        #: :func:`repro.lang.compile_query`; None for programmatically
+        #: built queries that never went through the analyzer.
+        self.analysis = None
+        #: Full front-end annotations (a
+        #: :class:`repro.lang.AnalysisResult`): inferred spans and leaf
+        #: scopes the span/scope accessors consume instead of
+        #: re-deriving.  None without the analyzer.
+        self.annotations = None
         self.validate()
+
+    @classmethod
+    def _from_analysis(cls, root: Operator) -> "Query":
+        """Wrap an operator tree the front-end analyzer already validated.
+
+        The analyzer constructs each operator exactly once (tree-ness
+        holds by construction) and derives every schema bottom-up
+        (type-correctness), so :meth:`validate` would only re-derive
+        what is already known.  Internal: only
+        :func:`repro.lang.compile_query` should call this.
+        """
+        query = cls.__new__(cls)
+        query.root = root
+        query.analysis = None
+        query.annotations = None
+        return query
 
     # -- validation ------------------------------------------------------------
 
@@ -66,10 +93,61 @@ class Query:
         """Only the base-sequence leaves."""
         return [node for node in self.root.walk() if isinstance(node, SequenceLeaf)]
 
+    @property
+    def warnings(self) -> list:
+        """Warning-severity diagnostics collected by the front-end analyzer."""
+        if self.analysis is None:
+            return []
+        return self.analysis.warnings
+
     # -- spans --------------------------------------------------------------------
+
+    def inferred_spans(self) -> dict[int, Span]:
+        """Bottom-up inferred output span of every operator (Step 2.a).
+
+        Returns a mapping keyed by ``id()`` of each node — the
+        compile-time mirror of the optimizer's span annotation pass,
+        usable without running the optimizer.  Analyzed queries return
+        the annotations the front end already inferred.
+        """
+        annotations = self.annotations
+        if (
+            annotations is not None
+            and annotations.root is self.root
+            and annotations.spans
+        ):
+            return annotations.spans
+        spans: dict[int, Span] = {}
+
+        def infer(node: Operator) -> Span:
+            span = node.infer_span([infer(child) for child in node.inputs])
+            spans[id(node)] = span
+            return span
+
+        infer(self.root)
+        return spans
+
+    def leaf_scopes(self) -> dict[int, "ScopeSpec"]:
+        """The composed scope of the whole query on each leaf (Prop 2.1).
+
+        Keys are ``id()`` of the leaf nodes; a query whose composed
+        scopes are all sequential admits pure stream evaluation
+        (Theorem 3.1).
+        """
+        annotations = self.annotations
+        if annotations is not None and annotations.root is self.root:
+            return annotations.leaf_scopes
+        return self.root.query_scope_on_leaves()
 
     def inferred_span(self) -> Span:
         """Bottom-up inferred output span of the root."""
+        annotations = self.annotations
+        if (
+            annotations is not None
+            and annotations.root is self.root
+            and annotations.span is not None
+        ):
+            return annotations.span
 
         def infer(node: Operator) -> Span:
             return node.infer_span([infer(child) for child in node.inputs])

@@ -1,4 +1,4 @@
-"""Static analysis of query graphs and physical plans.
+"""Static analysis of query graphs, physical plans and query source text.
 
 A rule-based verifier that checks the paper's correctness invariants
 without running anything: scope closure (Proposition 2.1), span
@@ -30,6 +30,7 @@ __all__ = [
     "QueryContext",
     "RuleInfo",
     "Severity",
+    "SourceDiagnostic",
     "VerificationReport",
     "audit_rewrites",
     "plan_rule",
@@ -43,6 +44,7 @@ __all__ = [
 _EXPORTS = {
     "Diagnostic": "repro.analysis.diagnostics",
     "Severity": "repro.analysis.diagnostics",
+    "SourceDiagnostic": "repro.analysis.diagnostics",
     "VerificationReport": "repro.analysis.diagnostics",
     "PLAN_RULES": "repro.analysis.base",
     "QUERY_RULES": "repro.analysis.base",
@@ -68,7 +70,12 @@ if TYPE_CHECKING:  # pragma: no cover - static import surface for type checkers
         plan_rule,
         query_rule,
     )
-    from repro.analysis.diagnostics import Diagnostic, Severity, VerificationReport
+    from repro.analysis.diagnostics import (
+        Diagnostic,
+        Severity,
+        SourceDiagnostic,
+        VerificationReport,
+    )
     from repro.analysis.rewrite_audit import audit_rewrites
     from repro.analysis.verifier import (
         verify_optimization,

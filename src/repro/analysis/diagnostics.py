@@ -69,6 +69,49 @@ class Diagnostic:
         }
 
 
+@dataclass(frozen=True)
+class SourceDiagnostic(Diagnostic):
+    """A finding anchored to query *source text* rather than a graph node.
+
+    Produced by the front-end semantic analyzer
+    (:mod:`repro.lang.analyzer`): in addition to the rule/severity/
+    path/message of a :class:`Diagnostic` it carries the 1-based source
+    location of the offending characters and a prerendered caret
+    excerpt.
+
+    Attributes:
+        line: 1-based source line (0 when unknown).
+        column: 1-based column of the first offending character.
+        end_column: column one past the last offending character.
+        excerpt: two-line source excerpt with a caret underline.
+    """
+
+    line: int = 0
+    column: int = 0
+    end_column: int = 0
+    excerpt: str = ""
+
+    def render(self) -> str:
+        """``severity [rule] line:col: message (citation)`` plus the excerpt."""
+        cite = f"  ({self.citation})" if self.citation else ""
+        where = f"{self.line}:{self.column}" if self.line else self.path
+        head = f"{self.severity.value:7s} [{self.rule}] {where}: {self.message}{cite}"
+        if self.excerpt:
+            return f"{head}\n{self.excerpt}"
+        return head
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict including the source location."""
+        data = super().to_dict()
+        data.update(
+            line=self.line,
+            column=self.column,
+            end_column=self.end_column,
+            excerpt=self.excerpt,
+        )
+        return data
+
+
 @dataclass
 class VerificationReport:
     """All findings of one verification pass over a query or plan.
@@ -113,7 +156,7 @@ class VerificationReport:
     @property
     def ok(self) -> bool:
         """Whether no error-severity finding was produced."""
-        return not self.errors
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
 
     def by_rule(self, rule: str) -> list[Diagnostic]:
         """Findings produced by one rule."""

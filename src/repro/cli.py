@@ -8,10 +8,19 @@ Examples::
     python -m repro --load v=volcanos.csv --load e=quakes.csv --explain \\
         "project(select(compose(v as v, previous(e) as e), e_strength > 7.0), v_name)"
 
-Static verification subcommands (exit 1 on error-severity findings)::
+Static-analysis subcommands::
 
+    python -m repro check --load prices=prices.csv "select(prices, close > 100)"
     python -m repro lint --load prices=prices.csv "next(select(prices, close > 100))"
     python -m repro verify-plan --json --load prices=prices.csv "window(prices, avg, close, 6)"
+
+All three share one exit-code contract and one JSON report shape:
+
+* ``0`` — analysis ran and produced no error-severity findings;
+* ``1`` — error-severity findings (parse errors are reported as a
+  ``parse-error`` diagnostic, semantic errors under their SEM* codes);
+* ``2`` — usage errors: bad ``--load``/``--span`` syntax or an
+  unreadable input file (argparse uses 2 for bad flags as well).
 """
 
 from __future__ import annotations
@@ -20,8 +29,14 @@ import argparse
 import sys
 from typing import Optional, Sequence as PySequence
 
-from repro.errors import ReproError
-from repro.analysis import verify_optimization, verify_query
+from repro.errors import ParseError, ReproError, SemanticError
+from repro.analysis import (
+    Severity,
+    SourceDiagnostic,
+    VerificationReport,
+    verify_optimization,
+    verify_query,
+)
 from repro.catalog import Catalog
 from repro.execution import run_query_detailed
 from repro.io import read_csv
@@ -29,12 +44,25 @@ from repro.lang import compile_query
 from repro.model import Span
 from repro.optimizer import optimize
 
+#: --help epilog shared by every static-analysis subcommand.
+_EXIT_CODE_HELP = (
+    "exit status: 0 = no error-severity findings; 1 = error findings "
+    "(including parse errors); 2 = usage errors (bad --load/--span or "
+    "unreadable file)."
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run a sequence query (SIGMOD '94 style) over CSV data.",
+        epilog=(
+            "exit status: 0 = success; 1 = any error (bad query, missing "
+            "file); 2 = answer mismatch against --naive. "
+            "Subcommands check/lint/verify-plan have their own contract: "
+            + _EXIT_CODE_HELP
+        ),
     )
     parser.add_argument(
         "query",
@@ -72,13 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _UsageError(ReproError):
+    """A bad command-line argument (exit code 2)."""
+
+
 def _parse_load(spec: str) -> tuple[str, str, str]:
     if "=" not in spec:
-        raise ReproError(f"--load needs NAME=FILE, got {spec!r}")
+        raise _UsageError(f"--load needs NAME=FILE, got {spec!r}")
     name, _, rest = spec.partition("=")
     path, _, poscol = rest.partition(":")
     if not name or not path:
-        raise ReproError(f"--load needs NAME=FILE, got {spec!r}")
+        raise _UsageError(f"--load needs NAME=FILE, got {spec!r}")
     return name, path, poscol or "position"
 
 
@@ -89,12 +121,60 @@ def _parse_span(spec: Optional[str]) -> Optional[Span]:
     try:
         return Span(int(start_text), int(end_text))
     except ValueError:
-        raise ReproError(f"--span needs START:END integers, got {spec!r}") from None
+        raise _UsageError(
+            f"--span needs START:END integers, got {spec!r}"
+        ) from None
+
+
+def _load_catalog(specs: PySequence[str]) -> Catalog:
+    """Build a catalog from ``--load`` specs; failures are usage errors."""
+    catalog = Catalog()
+    for spec in specs:
+        name, path, poscol = _parse_load(spec)
+        try:
+            catalog.register(name, read_csv(path, position_column=poscol))
+        except (ReproError, OSError) as error:
+            raise _UsageError(f"--load {spec}: {error}") from error
+    return catalog
+
+
+def _emit_report(report: VerificationReport, as_json: bool, out) -> int:
+    """Shared report emitter: JSON or text, exit 0/1 by ``report.ok``."""
+    print(report.render_json() if as_json else report.render_text(), file=out)
+    return 0 if report.ok else 1
+
+
+def _parse_error_report(error: ParseError) -> VerificationReport:
+    """Wrap a :class:`ParseError` as a one-finding source report."""
+    report = VerificationReport(subject="source", rules_run=["parse-error"])
+    message = str(error).splitlines()[0]
+    location = f" (line {error.line}, column {error.column})"
+    if error.line and message.endswith(location):
+        message = message[: -len(location)]
+    report.add(
+        SourceDiagnostic(
+            rule="parse-error",
+            severity=Severity.ERROR,
+            path="root",
+            message=message,
+            line=error.line,
+            column=error.column,
+            excerpt=error.excerpt,
+        )
+    )
+    return report
 
 
 def build_verify_parser(command: str) -> argparse.ArgumentParser:
-    """The argument parser for the ``lint`` / ``verify-plan`` subcommands."""
-    if command == "lint":
+    """The argument parser for the static-analysis subcommands."""
+    if command == "check":
+        description = (
+            "Semantically analyze a query text without running it: name "
+            "resolution, schema/type inference, operator signatures, and "
+            "span/scope lints, each finding a stable SEM* code with "
+            "line:col and a caret excerpt."
+        )
+    elif command == "lint":
         description = (
             "Statically verify a query graph: scope closure (Prop 2.1), "
             "span propagation (Sec 3.2 Step 2) and schema flow (Sec 2.2)."
@@ -105,8 +185,12 @@ def build_verify_parser(command: str) -> argparse.ArgumentParser:
             "rules plus rewrite legality (Prop 3.1), cache finiteness "
             "(Thm 3.1) and cost sanity (Sec 4.1) of the chosen plan."
         )
-    parser = argparse.ArgumentParser(prog=f"repro {command}", description=description)
-    parser.add_argument("query", help="query text to verify")
+    parser = argparse.ArgumentParser(
+        prog=f"repro {command}",
+        description=description,
+        epilog=_EXIT_CODE_HELP,
+    )
+    parser.add_argument("query", help="query text to analyze")
     parser.add_argument(
         "--load",
         action="append",
@@ -114,11 +198,12 @@ def build_verify_parser(command: str) -> argparse.ArgumentParser:
         metavar="NAME=FILE[:POSCOL]",
         help="register a CSV file as a base sequence (repeatable)",
     )
-    parser.add_argument(
-        "--span",
-        metavar="START:END",
-        help="evaluation span (default: the query's own)",
-    )
+    if command != "check":
+        parser.add_argument(
+            "--span",
+            metavar="START:END",
+            help="evaluation span (default: the query's own)",
+        )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -127,16 +212,60 @@ def build_verify_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
+def _check_main(argv: PySequence[str], out) -> int:
+    """Run ``repro check``: the front-end semantic analyzer."""
+    from repro.lang import analyze, render_diagnostics
+
+    args = build_verify_parser("check").parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        result = analyze(args.query, catalog)
+    except ParseError as error:
+        return _emit_report(_parse_error_report(error), args.json, out)
+    report = result.report
+    if args.json:
+        return _emit_report(report, True, out)
+    header = (
+        f"checked source: {len(report.rules_run)} rule(s), "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    print(header, file=out)
+    if report.diagnostics:
+        print(render_diagnostics(args.query, report), file=out)
+    if result.root is not None:
+        stream = "yes" if result.sequential else "no"
+        print(
+            f"schema: {result.schema!r}  span: {result.span!r}  "
+            f"stream-friendly: {stream}",
+            file=out,
+        )
+    return 0 if report.ok else 1
+
+
 def _verify_main(command: str, argv: PySequence[str], out) -> int:
     """Run ``repro lint`` or ``repro verify-plan``."""
     args = build_verify_parser(command).parse_args(argv)
     try:
-        catalog = Catalog()
-        for spec in args.load:
-            name, path, poscol = _parse_load(spec)
-            catalog.register(name, read_csv(path, position_column=poscol))
-        query = compile_query(args.query, catalog)
+        catalog = _load_catalog(args.load)
         span = _parse_span(args.span)
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+    except SemanticError as error:
+        report = VerificationReport(
+            subject="source", rules_run=["semantic-analysis"]
+        )
+        report.diagnostics.extend(error.diagnostics)
+        return _emit_report(report, args.json, out)
+    except ParseError as error:
+        return _emit_report(_parse_error_report(error), args.json, out)
+    try:
         if command == "verify-plan":
             report = verify_optimization(optimize(query, catalog=catalog, span=span))
         else:
@@ -144,14 +273,15 @@ def _verify_main(command: str, argv: PySequence[str], out) -> int:
     except ReproError as error:
         print(f"error: {error}", file=out)
         return 1
-    print(report.render_json() if args.json else report.render_text(), file=out)
-    return 0 if report.ok else 1
+    return _emit_report(report, args.json, out)
 
 
 def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "check":
+        return _check_main(arguments[1:], out)
     if arguments and arguments[0] in ("lint", "verify-plan"):
         return _verify_main(arguments[0], arguments[1:], out)
     parser = build_parser()

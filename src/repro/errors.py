@@ -71,10 +71,55 @@ class ParseError(ReproError):
     Attributes:
         line: 1-based line of the offending token.
         column: 1-based column of the offending token.
+        excerpt: optional source excerpt with a caret underline,
+            appended to the message on its own lines.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        excerpt: str = "",
+    ):
         location = f" (line {line}, column {column})" if line else ""
-        super().__init__(f"{message}{location}")
+        rendered = f"{message}{location}"
+        if excerpt:
+            rendered = f"{rendered}\n{excerpt}"
+        super().__init__(rendered)
         self.line = line
         self.column = column
+        self.excerpt = excerpt
+
+
+class SemanticError(ParseError):
+    """Semantic analysis rejected a parsed query.
+
+    Raised by :func:`repro.lang.compile_query` when the front-end
+    analyzer (:mod:`repro.lang.analyzer`) produces error-severity
+    diagnostics.  Unlike a plain :class:`ParseError` — which reports
+    the first offending token — a SemanticError aggregates *all*
+    diagnostics of the analysis pass, each with its own source
+    location and caret excerpt.
+
+    A subclass of :class:`ParseError`: both mean "this query text was
+    rejected at compile time", and callers that catch ParseError for
+    user-facing error reporting handle both uniformly.
+
+    Attributes:
+        diagnostics: the error- and warning-severity
+            :class:`repro.analysis.SourceDiagnostic` findings, in
+            source order.
+    """
+
+    def __init__(self, message: str, diagnostics: object = ()):
+        diagnostics = list(diagnostics)  # type: ignore[call-overload]
+        first = next(
+            (d for d in diagnostics if getattr(d, "line", 0)), None
+        )
+        super().__init__(
+            message,
+            line=getattr(first, "line", 0),
+            column=getattr(first, "column", 0),
+        )
+        self.diagnostics = diagnostics

@@ -1,22 +1,31 @@
 """A small declarative textual query language for sequences."""
 
+from repro.lang.analyzer import SEM_RULES, AnalysisResult, SemRule, analyze
 from repro.lang.ast_nodes import Binary, Call, ColumnRef, Literal, SequenceRef, Unary
 from repro.lang.compiler import compile_query
-from repro.lang.formatter import format_expr, format_query
+from repro.lang.formatter import format_expr, format_query, render_diagnostics
 from repro.lang.lexer import Token, tokenize
 from repro.lang.parser import parse
+from repro.lang.source import Pos, caret_excerpt
 
 __all__ = [
+    "AnalysisResult",
     "Binary",
     "Call",
     "ColumnRef",
     "Literal",
+    "Pos",
+    "SEM_RULES",
+    "SemRule",
     "SequenceRef",
     "Token",
     "Unary",
+    "analyze",
+    "caret_excerpt",
     "compile_query",
     "format_expr",
     "format_query",
     "parse",
+    "render_diagnostics",
     "tokenize",
 ]

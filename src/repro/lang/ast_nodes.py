@@ -1,9 +1,17 @@
-"""AST of the sequence query language."""
+"""AST of the sequence query language.
+
+Every node carries a :class:`~repro.lang.source.Pos` pointing at the
+source characters it was parsed from (``None`` for programmatically
+built trees).  Positions do not participate in equality, so structural
+comparisons of trees from different sources still work.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
+
+from repro.lang.source import Pos
 
 
 # -- value expressions (predicates / scalars) --------------------------------
@@ -14,6 +22,7 @@ class ColumnRef:
     """A reference to an attribute of the current record."""
 
     name: str
+    pos: Optional[Pos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -21,6 +30,7 @@ class Literal:
     """A numeric, string or boolean literal."""
 
     value: object
+    pos: Optional[Pos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -30,6 +40,7 @@ class Binary:
     op: str
     left: "ValueExpr"
     right: "ValueExpr"
+    pos: Optional[Pos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -38,6 +49,7 @@ class Unary:
 
     op: str
     operand: "ValueExpr"
+    pos: Optional[Pos] = field(default=None, compare=False)
 
 
 ValueExpr = Union[ColumnRef, Literal, Binary, Unary]
@@ -51,6 +63,7 @@ class SequenceRef:
     """A named base sequence (resolved against the environment/catalog)."""
 
     name: str
+    pos: Optional[Pos] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -62,11 +75,18 @@ class Call:
         args: positional arguments — sequence expressions, value
             expressions or bare names, as the operator requires.
         aliases: per-argument ``as`` aliases (None where absent).
+        pos: source extent of the operator name.
+        alias_positions: source extents of the alias names (None where
+            no alias was written).
     """
 
     func: str
     args: tuple[object, ...]
     aliases: tuple[Optional[str], ...]
+    pos: Optional[Pos] = field(default=None, compare=False)
+    alias_positions: tuple[Optional[Pos], ...] = field(default=(), compare=False)
 
 
-SeqExpr = Union[SequenceRef, Call]
+def node_pos(node: object) -> Optional[Pos]:
+    """The source position of any AST node (None when absent)."""
+    return getattr(node, "pos", None)

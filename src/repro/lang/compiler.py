@@ -42,6 +42,10 @@ from repro.lang.parser import parse
 
 Environment = Union[Mapping[str, Sequence], Catalog]
 
+#: Lazily bound analyzer entry point (the analyzer imports this module,
+#: so the import cannot happen at module load).
+_analyze = None
+
 _SEQ_OPERATORS = frozenset(
     (
         "select",
@@ -167,7 +171,7 @@ def _compile_seq(node, env: Environment) -> Operator:
         return ValueOffset(child, _expect_int(node.args[1], "an offset"))
 
     # the three aggregate shapes share a signature
-    _arity(node, 3, 5 if func == "window" else 4)
+    _arity(node, 4 if func == "window" else 3, 5 if func == "window" else 4)
     agg = _expect_name(node.args[1], "an aggregate function")
     if agg not in AGGREGATE_FUNCS:
         raise ParseError(
@@ -190,15 +194,43 @@ def _compile_seq(node, env: Environment) -> Operator:
     return GlobalAggregate(child, agg, attr, name)
 
 
-def compile_query(source: str, env: Environment) -> Query:
-    """Parse and compile a query text against an environment.
+def compile_query(source: str, env: Environment, *, analyze: bool = True) -> Query:
+    """Parse, semantically analyze, and compile a query text.
+
+    With ``analyze=True`` (the default) the front-end analyzer
+    (:mod:`repro.lang.analyzer`) runs between parsing and compilation:
+    error diagnostics raise :class:`~repro.errors.SemanticError` (a
+    :class:`~repro.errors.ParseError` subclass) aggregating *all*
+    findings with source positions and caret excerpts, and the
+    resulting :class:`Query` carries the report on ``query.analysis``
+    (warnings on ``query.warnings``).  The analyzer's operator tree —
+    schema caches already warm — is wrapped directly, so compilation
+    does not re-derive schemas or spans.
+
+    With ``analyze=False`` the legacy raise-on-first-error path runs
+    instead (no warnings, positions only for syntax errors).
 
     Args:
         source: the query text.
         env: name → Sequence mapping, or a Catalog.
 
     Raises:
-        ParseError: on syntax errors or unknown names/operators.
+        ParseError: on syntax errors, or (as :class:`SemanticError`)
+            on semantic errors.
     """
-    ast = parse(source)
-    return Query(_compile_seq(ast, env))
+    if not analyze:
+        ast = parse(source)
+        return Query(_compile_seq(ast, env))
+    global _analyze
+    if _analyze is None:
+        # Imported on first use: the analyzer imports this module.
+        from repro.lang.analyzer import analyze as _analyzer_entry
+
+        _analyze = _analyzer_entry
+
+    result = _analyze(source, env).raise_if_errors()
+    assert result.root is not None  # no errors => tree was built
+    query = Query._from_analysis(result.root)
+    query.analysis = result.report
+    query.annotations = result
+    return query

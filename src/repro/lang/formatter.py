@@ -104,6 +104,56 @@ def _format_node(node: Operator, env: dict[str, Sequence]) -> str:
     raise QueryError(f"cannot format operator {node.describe()!r}")
 
 
+def render_diagnostics(source: str, diagnostics) -> str:
+    """Render analyzer diagnostics inline with the query text.
+
+    Produces a gutter-numbered listing of ``source`` where every line
+    that has findings is followed by one caret line per diagnostic::
+
+        1 | select(prices, clse > 100.0)
+          |                ^^^^ error SEM002: unknown column 'clse'
+
+    ``diagnostics`` is an iterable of
+    :class:`repro.analysis.SourceDiagnostic` (a
+    :class:`~repro.analysis.VerificationReport` works too); findings
+    without a source position are listed after the source.
+    """
+    if hasattr(diagnostics, "diagnostics"):
+        diagnostics = diagnostics.diagnostics
+    by_line: dict[int, list] = {}
+    unplaced = []
+    for diagnostic in diagnostics:
+        line = getattr(diagnostic, "line", 0)
+        if line:
+            by_line.setdefault(line, []).append(diagnostic)
+        else:
+            unplaced.append(diagnostic)
+
+    lines = source.splitlines() or [""]
+    gutter = len(str(len(lines)))
+    out: list[str] = []
+    for number, text in enumerate(lines, start=1):
+        out.append(f"{number:>{gutter}} | {text}")
+        for diagnostic in sorted(
+            by_line.get(number, []), key=lambda d: d.column
+        ):
+            lead = "".join(
+                "\t" if char == "\t" else " "
+                for char in text[: diagnostic.column - 1]
+            )
+            width = max(1, diagnostic.end_column - diagnostic.column)
+            width = min(width, max(1, len(text) - diagnostic.column + 1))
+            cite = f"  ({diagnostic.citation})" if diagnostic.citation else ""
+            out.append(
+                f"{' ' * gutter} | {lead}{'^' * width} "
+                f"{diagnostic.severity.value} {diagnostic.rule}: "
+                f"{diagnostic.message}{cite}"
+            )
+    for diagnostic in unplaced:
+        out.append(diagnostic.render())
+    return "\n".join(out)
+
+
 def format_query(query: Query) -> tuple[str, dict[str, Sequence]]:
     """Emit a query as language text plus its base-sequence environment.
 

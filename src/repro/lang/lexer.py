@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.errors import ParseError
+from repro.lang.source import Pos, caret_excerpt
 
 KEYWORDS = frozenset(("and", "or", "not", "as", "true", "false"))
 
@@ -23,14 +23,28 @@ class Token:
     Attributes:
         kind: ``name``, ``keyword``, ``int``, ``float``, ``string``,
             ``symbol`` or ``eof``.
-        text: the raw token text.
-        line, column: 1-based source location.
+        text: the raw token text (for strings: without the quotes).
+        line, column: 1-based source location of the first character.
+        end_column: column one past the last source character of the
+            token (for strings this includes the closing quote).
     """
 
     kind: str
     text: str
     line: int
     column: int
+    end_column: int = -1
+
+    def __post_init__(self) -> None:
+        if self.end_column < 0:
+            object.__setattr__(self, "end_column", self.column + len(self.text))
+
+    @property
+    def pos(self) -> Pos:
+        """The source extent of this token."""
+        if self.kind == "eof":
+            return Pos(self.line, self.column, self.column)
+        return Pos(self.line, self.column, self.end_column)
 
     def is_symbol(self, text: str) -> bool:
         """Whether this token is the symbol ``text``."""
@@ -53,7 +67,12 @@ def tokenize(source: str) -> list[Token]:
     length = len(source)
 
     def error(message: str) -> ParseError:
-        return ParseError(message, line=line, column=column)
+        return ParseError(
+            message,
+            line=line,
+            column=column,
+            excerpt=caret_excerpt(source, Pos.point(line, column)),
+        )
 
     while index < length:
         char = source[index]
@@ -69,6 +88,7 @@ def tokenize(source: str) -> list[Token]:
         if char == "#":  # comment to end of line
             while index < length and source[index] != "\n":
                 index += 1
+                column += 1
             continue
 
         start_column = column
@@ -126,8 +146,17 @@ def tokenize(source: str) -> list[Token]:
                 end += 1
             if end >= length:
                 raise error("unterminated string literal")
-            tokens.append(Token("string", source[index + 1 : end], line, start_column))
-            column += end - index + 1
+            consumed = end - index + 1  # both quotes
+            tokens.append(
+                Token(
+                    "string",
+                    source[index + 1 : end],
+                    line,
+                    start_column,
+                    start_column + consumed,
+                )
+            )
+            column += consumed
             index = end + 1
             continue
         for symbol in SYMBOLS:

@@ -1,0 +1,80 @@
+"""Source positions and caret excerpts for the query language.
+
+Every token and AST node carries a :class:`Pos` — a 1-based
+``(line, column, end_column)`` triple — so that parse errors and the
+semantic analyzer's diagnostics can point at the exact characters of
+the query text, SEQUIN-style::
+
+    select(prices, clse > 100.0)
+                   ^^^^
+
+:func:`caret_excerpt` renders that two-line excerpt from the original
+source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A half-open source extent on one line (1-based columns).
+
+    Attributes:
+        line: 1-based source line.
+        column: 1-based column of the first character.
+        end_column: column one past the last character; ``end_column ==
+            column`` marks a zero-width position (e.g. end of input).
+    """
+
+    line: int
+    column: int
+    end_column: int
+
+    @classmethod
+    def point(cls, line: int, column: int) -> "Pos":
+        """A single-character position."""
+        return cls(line, column, column + 1)
+
+    def cover(self, other: "Pos") -> "Pos":
+        """The smallest extent containing both positions.
+
+        Extents on different lines collapse to ``self`` (excerpts are
+        single-line); within a line the columns are merged.
+        """
+        if other.line != self.line:
+            return self
+        return Pos(
+            self.line,
+            min(self.column, other.column),
+            max(self.end_column, other.end_column),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def source_line(source: str, line: int) -> str:
+    """The 1-based ``line`` of ``source`` (empty if out of range)."""
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""
+
+
+def caret_excerpt(source: str, pos: Pos, indent: str = "  ") -> str:
+    """A two-line excerpt: the source line plus a caret underline.
+
+    Tabs in the source line are preserved in the underline so the
+    carets stay aligned in terminals that expand tabs.
+    """
+    text = source_line(source, pos.line)
+    if not text:
+        return ""
+    width = max(1, pos.end_column - pos.column)
+    width = min(width, max(1, len(text) - pos.column + 1))
+    lead = "".join(
+        "\t" if char == "\t" else " " for char in text[: pos.column - 1]
+    )
+    return f"{indent}{text}\n{indent}{lead}{'^' * width}"

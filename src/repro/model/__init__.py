@@ -7,7 +7,7 @@ from repro.model.record import NULL, Record, RecordOrNull, is_null, record_from
 from repro.model.schema import Attribute, RecordSchema
 from repro.model.sequence import Sequence
 from repro.model.span import Span
-from repro.model.types import AtomType, check_value, common_type
+from repro.model.types import AtomType, check_value, common_type, comparable
 
 __all__ = [
     "AtomType",
@@ -23,6 +23,7 @@ __all__ = [
     "Span",
     "check_value",
     "common_type",
+    "comparable",
     "is_null",
     "record_from",
 ]

@@ -35,7 +35,7 @@ class Attribute:
 class RecordSchema:
     """An immutable ordered collection of uniquely named attributes."""
 
-    __slots__ = ("_attrs", "_index")
+    __slots__ = ("_attrs", "_index", "_names")
 
     def __init__(self, attrs: Iterable[Attribute]):
         attrs = tuple(attrs)
@@ -48,6 +48,7 @@ class RecordSchema:
             index[attr.name] = i
         self._attrs = attrs
         self._index = index
+        self._names = tuple(index)
 
     @classmethod
     def of(cls, **attrs: AtomType) -> "RecordSchema":
@@ -62,7 +63,7 @@ class RecordSchema:
     @property
     def names(self) -> tuple[str, ...]:
         """Attribute names, in declaration order."""
-        return tuple(a.name for a in self._attrs)
+        return self._names
 
     def __len__(self) -> int:
         return len(self._attrs)
@@ -112,6 +113,15 @@ class RecordSchema:
         """A copy with every attribute renamed to ``prefix + '_' + name``."""
         return RecordSchema(a.renamed(f"{prefix}_{a.name}") for a in self._attrs)
 
+    def collisions(self, other: "RecordSchema") -> list[str]:
+        """Attribute names shared with ``other`` (sorted).
+
+        A non-empty result means :meth:`concat` would fail; the
+        semantic analyzer uses this to report name collisions without
+        raising.
+        """
+        return sorted(self._index.keys() & other._index.keys())
+
     def concat(self, other: "RecordSchema") -> "RecordSchema":
         """Concatenate two schemas (compose-operator output schema).
 
@@ -119,7 +129,7 @@ class RecordSchema:
             SchemaError: if attribute names collide; callers should use
                 :meth:`prefixed` on one side first.
         """
-        overlap = set(self.names) & set(other.names)
+        overlap = self._index.keys() & other._index.keys()
         if overlap:
             raise SchemaError(
                 f"cannot concat schemas: colliding attributes {sorted(overlap)}"

@@ -6,6 +6,7 @@ from repro.workloads.generic import (
     correlated_pair,
 )
 from repro.workloads.stocks import (
+    EXAMPLE_QUERIES as STOCK_EXAMPLE_QUERIES,
     STOCK_SCHEMA,
     TABLE1_SPECS,
     StockSpec,
@@ -14,6 +15,7 @@ from repro.workloads.stocks import (
 )
 from repro.workloads.weather import (
     EARTHQUAKE_SCHEMA,
+    EXAMPLE_QUERIES as WEATHER_EXAMPLE_QUERIES,
     VOLCANO_SCHEMA,
     WeatherSpec,
     generate_weather,
@@ -21,10 +23,12 @@ from repro.workloads.weather import (
 
 __all__ = [
     "EARTHQUAKE_SCHEMA",
+    "STOCK_EXAMPLE_QUERIES",
     "STOCK_SCHEMA",
     "TABLE1_SPECS",
     "VALUE_SCHEMA",
     "VOLCANO_SCHEMA",
+    "WEATHER_EXAMPLE_QUERIES",
     "StockSpec",
     "WeatherSpec",
     "bernoulli_sequence",

@@ -124,3 +124,28 @@ def table1_catalog(
     for first, second in (("ibm", "dec"), ("ibm", "hp"), ("dec", "hp")):
         catalog.analyze_correlation(first, second)
     return catalog, sequences
+
+
+#: Representative analyzer-clean query texts over the Table 1 catalog
+#: names (``ibm``, ``dec``, ``hp``) — the corpus `repro check` and the
+#: repository check script lint on every run.
+EXAMPLE_QUERIES: tuple[str, ...] = (
+    "select(ibm, close > 115.0)",
+    "project(ibm, close, volume)",
+    "shift(ibm, -5)",
+    "previous(ibm)",
+    "next(ibm)",
+    "voffset(ibm, -2)",
+    "window(ibm, avg, close, 6, ma6)",
+    "cumulative(ibm, max, close)",
+    "global_agg(ibm, min, close)",
+    "compose(ibm as i, hp as h)",
+    "compose(ibm as i, dec as d, i_close > d_close)",
+    "project(select(compose(ibm as i, hp as h), i_close > h_close), i_close, h_close)",
+    "project(compose(dec as d, select(compose(ibm as i, hp as h), "
+    "i_close > h_close)), d_close)",
+    "select(compose(project(ibm, close) as now, window(ibm, avg, close, 10) as trend), "
+    "now_close > trend_avg_close)",
+    "select(ibm, close - open > 1.0 and volume > 4000)",
+    "window(select(ibm, volume > 4000), avg, close, 3, ma3)",
+)

@@ -75,3 +75,16 @@ def generate_weather(spec: WeatherSpec) -> tuple[BaseSequence, BaseSequence]:
         BaseSequence(VOLCANO_SCHEMA, volcanos, span=span),
         BaseSequence(EARTHQUAKE_SCHEMA, quakes, span=span),
     )
+
+
+#: Representative analyzer-clean query texts over the weather workload;
+#: the environment binds ``v`` to the volcano sequence and ``e`` to the
+#: earthquake sequence (the paper's Example 1.1 naming).
+EXAMPLE_QUERIES: tuple[str, ...] = (
+    "select(e, strength > 7.0)",
+    "project(v, name, region)",
+    "project(select(compose(v as v, previous(e) as e), e_strength > 7.0), v_name)",
+    "window(e, count, strength, 50, quakes_50)",
+    "cumulative(e, max, strength)",
+    "select(e, strength >= 4.0 and strength <= 9.5)",
+)

@@ -363,7 +363,9 @@ class TestCliSubcommands:
             "lint", "--load", f"prices={prices_csv}", "select(prices, nosuch > 1)"
         )
         assert code == 1
-        assert "error:" in text
+        assert "error" in text
+        assert "SEM002" in text
+        assert "nosuch" in text
 
     def test_lint_span_option(self, prices_csv):
         code, text = self.run_cli(

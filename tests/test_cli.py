@@ -108,3 +108,127 @@ class TestCli:
         code, text = run_cli("--load", f"prices={path}", "select(prices,")
         assert code == 1
         assert "error:" in text
+
+
+class TestCheckCli:
+    """`repro check`: the front-end semantic analyzer subcommand."""
+
+    def test_clean_query(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "check", "--load", f"prices={path}",
+            "window(prices, avg, close, 6, ma)",
+        )
+        assert code == 0
+        assert "0 error(s)" in text
+        assert "schema:" in text and "stream-friendly: yes" in text
+
+    def test_error_findings_inline(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "check", "--load", f"prices={path}",
+            "select(prices, clse > 100.0)",
+        )
+        assert code == 1
+        assert "SEM002" in text
+        assert "did you mean 'close'" in text
+        assert "^" in text  # caret rendered inline under the source line
+
+    def test_warning_findings_exit_zero(self, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "check", "--load", f"prices={path}", "select(prices, true)"
+        )
+        assert code == 0
+        assert "SEM013" in text and "warning" in text
+
+    def test_json_report(self, prices_csv):
+        import json
+
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "check", "--json", "--load", f"prices={path}",
+            "select(prices, clse > 100.0)",
+        )
+        assert code == 1
+        data = json.loads(text)
+        assert data["subject"] == "source"
+        assert data["ok"] is False
+        (finding,) = data["diagnostics"]
+        assert finding["rule"] == "SEM002"
+        assert finding["line"] == 1 and finding["column"] == 16
+        assert "^" in finding["excerpt"]
+
+    def test_parse_error_is_a_diagnostic(self, prices_csv):
+        import json
+
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            "check", "--json", "--load", f"prices={path}", "select(prices"
+        )
+        assert code == 1
+        data = json.loads(text)
+        (finding,) = data["diagnostics"]
+        assert finding["rule"] == "parse-error"
+        assert finding["line"] == 1
+
+    def test_usage_error_exit_two(self):
+        code, text = run_cli("check", "--load", "nonsense", "prices")
+        assert code == 2
+        assert "error:" in text
+
+    def test_missing_file_exit_two(self, tmp_path):
+        code, text = run_cli(
+            "check", "--load", f"prices={tmp_path}/missing.csv", "prices"
+        )
+        assert code == 2
+
+
+class TestExitCodeContract:
+    """check/lint/verify-plan share the 0/1/2 exit-code contract."""
+
+    @pytest.mark.parametrize("command", ["check", "lint", "verify-plan"])
+    def test_clean_is_zero(self, command, prices_csv):
+        path, _sequence = prices_csv
+        code, _text = run_cli(
+            command, "--load", f"prices={path}",
+            "window(prices, avg, close, 6)",
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize("command", ["check", "lint", "verify-plan"])
+    def test_semantic_error_is_one(self, command, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            command, "--load", f"prices={path}",
+            "select(prices, clse > 100.0)",
+        )
+        assert code == 1
+        assert "SEM002" in text
+
+    @pytest.mark.parametrize("command", ["check", "lint", "verify-plan"])
+    def test_parse_error_is_one(self, command, prices_csv):
+        path, _sequence = prices_csv
+        code, text = run_cli(command, "--load", f"prices={path}", "select(")
+        assert code == 1
+        assert "parse-error" in text
+
+    @pytest.mark.parametrize("command", ["check", "lint", "verify-plan"])
+    def test_usage_error_is_two(self, command):
+        code, _text = run_cli(command, "--load", "nonsense", "prices")
+        assert code == 2
+
+    @pytest.mark.parametrize("command", ["check", "lint", "verify-plan"])
+    def test_json_shares_one_shape(self, command, prices_csv):
+        import json
+
+        path, _sequence = prices_csv
+        code, text = run_cli(
+            command, "--json", "--load", f"prices={path}",
+            "window(prices, avg, close, 6)",
+        )
+        assert code == 0
+        data = json.loads(text)
+        assert set(data) == {
+            "subject", "ok", "rules_run", "errors", "warnings", "diagnostics"
+        }

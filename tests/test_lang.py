@@ -53,6 +53,37 @@ class TestLexer:
         tokens = tokenize(">= <= == !=")
         assert [t.text for t in tokens[:-1]] == [">=", "<=", "==", "!="]
 
+    def test_end_columns(self):
+        tokens = tokenize("select >= 'etna' 2.5")
+        assert [(t.column, t.end_column) for t in tokens[:-1]] == [
+            (1, 7),   # select
+            (8, 10),  # >=
+            (11, 17), # 'etna' spans both quotes
+            (18, 21), # 2.5
+        ]
+
+    def test_eof_position(self):
+        tokens = tokenize("ab\ncd")
+        eof = tokens[-1]
+        assert eof.kind == "eof"
+        assert (eof.line, eof.column) == (2, 3)
+        assert eof.pos.end_column == eof.pos.column  # zero-width
+
+    def test_column_tracking_after_comment(self):
+        # Regression: comment skipping used to not advance the column,
+        # misplacing every token reported after a same-line comment.
+        tokens = tokenize("ibm # trailing comment")
+        eof = tokens[-1]
+        assert (eof.line, eof.column) == (1, 23)
+
+    def test_lexer_error_has_position_and_caret(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("ibm @ hp")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 5)
+        assert "^" in error.excerpt
+        assert "ibm @ hp" in str(error)
+
 
 class TestParser:
     def test_precedence(self):
@@ -102,6 +133,40 @@ class TestParser:
     def test_booleans(self):
         ast = parse("true and false")
         assert isinstance(ast.left, Literal) and ast.left.value is True
+
+    def test_node_positions(self):
+        ast = parse("select(ibm, close > 7.0)")
+        assert (ast.pos.line, ast.pos.column) == (1, 1)
+        cmp = ast.args[1]
+        assert (cmp.pos.line, cmp.pos.column) == (1, 19)  # the '>' token
+        assert (cmp.left.pos.line, cmp.left.pos.column) == (1, 13)
+        assert cmp.left.pos.end_column == 18
+        assert (cmp.right.pos.line, cmp.right.pos.column) == (1, 21)
+
+    def test_alias_positions(self):
+        ast = parse("compose(v as a, e as bee)")
+        positions = ast.alias_positions
+        assert (positions[0].column, positions[0].end_column) == (14, 15)
+        assert (positions[1].column, positions[1].end_column) == (22, 25)
+
+    def test_parse_error_has_caret_excerpt(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("select(ibm close)")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 12)
+        assert "select(ibm close)" in str(error)
+        assert "^^^^^" in str(error)  # caret under `close`
+
+    def test_parse_error_at_end_of_input(self):
+        with pytest.raises(ParseError, match="end of input") as excinfo:
+            parse("select(ibm, x > 1")
+        assert excinfo.value.column == 18
+
+    def test_multiline_positions(self):
+        ast = parse("select(\n  ibm,\n  close > 7.0)")
+        assert ast.pos.line == 1
+        assert ast.args[0].pos.line == 2
+        assert ast.args[1].pos.line == 3
 
 
 class TestCompiler:
@@ -188,3 +253,12 @@ class TestCompiler:
         catalog, _ = table1
         query = compile_query("select(ibm, close - open > -1000.0)", catalog)
         assert len(query.run_naive()) > 0
+
+    def test_window_missing_width_rejected(self, table1):
+        # Regression: the shared aggregate arity check used to admit a
+        # 3-argument window(), which then crashed on the missing width.
+        catalog, _ = table1
+        with pytest.raises(ParseError, match="arguments"):
+            compile_query("window(ibm, avg, close)", catalog)
+        with pytest.raises(ParseError, match="arguments"):
+            compile_query("window(ibm, avg, close)", catalog, analyze=False)
