@@ -9,6 +9,8 @@
 #   4. the query lint: semantic analysis of every query text shipped
 #      in examples/ and workloads/ (scripts/check_queries.py)
 #   5. the tier-1 test suite
+#   6. a smoke-sized run of the batch-vs-row execution benchmark
+#      (asserts identical answers and a minimum batch speedup)
 #
 # Missing optional tools are skipped with a notice, not an error, so
 # the script works in minimal containers.
@@ -47,6 +49,9 @@ run_step "compileall" python -m compileall -q src
 run_step "query lint" python scripts/check_queries.py
 
 run_step "tier-1 tests" env PYTHONPATH=src python -m pytest -x -q
+
+run_step "batch speedup smoke" env PYTHONPATH=src \
+    python benchmarks/bench_batch_speedup.py --smoke
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} check(s) failed"

@@ -21,6 +21,9 @@ from repro.algebra.expressions import (
     Not,
     Or,
     col,
+    compile_columnwise,
+    compile_filter,
+    compile_rowwise,
     conjoin,
     conjuncts,
     lit,
@@ -61,6 +64,9 @@ __all__ = [
     "apply_aggregate",
     "base",
     "col",
+    "compile_columnwise",
+    "compile_filter",
+    "compile_rowwise",
     "conjoin",
     "conjuncts",
     "constant",

@@ -391,6 +391,186 @@ class Not(Expr):
         return f"(NOT {self.operand!r})"
 
 
+# -- compilation -----------------------------------------------------------
+#
+# The executor's hot loops pay a full tree walk per Expr.eval call.  The
+# lowerer below turns any expression tree into one fused Python closure:
+# either row-wise (over a record's values tuple) or column-wise (a single
+# compiled loop over a batch's column lists).  Lowered code preserves the
+# interpreter's semantics exactly: evaluation order, bool() coercion and
+# short-circuiting in And/Or/Not, and the ExpressionError raised on
+# division by zero.
+
+
+class _CannotLower(Exception):
+    """An expression node the lowerer does not know (custom subclass)."""
+
+
+def _checked_div(left: object, right: object, where: str) -> object:
+    """Division with the interpreter's division-by-zero error."""
+    if right == 0:
+        raise ExpressionError(f"division by zero in {where}")
+    return left / right  # type: ignore[operator]
+
+
+class _Lowerer:
+    """Lowers an expression tree to a Python source fragment.
+
+    ``cell(index)`` supplies the source text that reads the value of
+    schema attribute ``index`` for the row under evaluation; constants
+    and helpers are passed through ``env`` rather than inlined so the
+    generated source never depends on ``repr`` round-tripping.
+    """
+
+    def __init__(self, schema: RecordSchema, cell: Callable[[int], str]):
+        self.schema = schema
+        self.cell = cell
+        self.env: dict[str, object] = {"_div": _checked_div}
+        self.used_columns: set[int] = set()
+        self._bindings = 0
+
+    def bind(self, value: object) -> str:
+        """Bind a constant into the environment, returning its name."""
+        name = f"_k{self._bindings}"
+        self._bindings += 1
+        self.env[name] = value
+        return name
+
+    def lower(self, expr: Expr) -> str:
+        """The source fragment computing ``expr`` for one row.
+
+        Raises:
+            _CannotLower: on expression classes the lowerer does not
+                know; callers fall back to interpreted evaluation.
+        """
+        if type(expr) is Col:
+            index = self.schema.index_of(expr.name)
+            self.used_columns.add(index)
+            return self.cell(index)
+        if type(expr) is Lit:
+            return self.bind(expr.value)
+        if type(expr) is Arith:
+            left = self.lower(expr.left)
+            right = self.lower(expr.right)
+            if expr.op == "/":
+                return f"_div({left}, {right}, {self.bind(repr(expr))})"
+            return f"({left} {expr.op} {right})"
+        if type(expr) is Cmp:
+            return f"({self.lower(expr.left)} {expr.op} {self.lower(expr.right)})"
+        if type(expr) is And:
+            return f"(bool({self.lower(expr.left)}) and bool({self.lower(expr.right)}))"
+        if type(expr) is Or:
+            return f"(bool({self.lower(expr.left)}) or bool({self.lower(expr.right)}))"
+        if type(expr) is Not:
+            return f"(not bool({self.lower(expr.operand)}))"
+        raise _CannotLower(type(expr).__name__)
+
+
+def compile_rowwise(expr: Expr, schema: RecordSchema) -> Callable[[tuple], object]:
+    """Compile ``expr`` to one fused closure over a record's values tuple.
+
+    The returned function takes the ``values`` tuple of a record
+    conforming to ``schema`` and returns the expression value — the
+    row path's replacement for a per-record ``Expr.eval`` tree walk.
+    Unknown expression subclasses fall back to interpreted evaluation.
+    """
+    lowerer = _Lowerer(schema, lambda index: f"_v[{index}]")
+    try:
+        fragment = lowerer.lower(expr)
+    except _CannotLower:
+        return lambda values: expr.eval(Record.unchecked(schema, tuple(values)))
+    return eval(f"lambda _v: {fragment}", lowerer.env)  # noqa: S307 - engine codegen
+
+
+def _compile_batch(
+    expr: Expr, schema: RecordSchema, template: str
+) -> Optional[Callable]:
+    """Shared column-wise codegen; None when ``expr`` cannot be lowered."""
+    lowerer = _Lowerer(schema, lambda index: f"_c{index}[_i]")
+    try:
+        fragment = lowerer.lower(expr)
+    except _CannotLower:
+        return None
+    preamble = "".join(
+        f"    _c{index} = _columns[{index}]\n" for index in sorted(lowerer.used_columns)
+    )
+    source = template.format(preamble=preamble, fragment=fragment)
+    namespace = dict(lowerer.env)
+    exec(source, namespace)  # noqa: S102 - engine codegen
+    return namespace["_compiled"]
+
+
+_COLUMNWISE_TEMPLATE = """\
+def _compiled(_columns, _valid):
+{preamble}\
+    _out = [None] * len(_valid)
+    for _i, _ok in enumerate(_valid):
+        if _ok:
+            _out[_i] = {fragment}
+    return _out
+"""
+
+_FILTER_TEMPLATE = """\
+def _compiled(_columns, _valid):
+{preamble}\
+    _out = [False] * len(_valid)
+    for _i, _ok in enumerate(_valid):
+        if _ok and {fragment}:
+            _out[_i] = True
+    return _out
+"""
+
+
+def compile_columnwise(
+    expr: Expr, schema: RecordSchema
+) -> Callable[[list[list], list[bool]], list]:
+    """Compile ``expr`` to one fused loop over column lists.
+
+    The returned function takes ``(columns, valid)`` — per-attribute
+    value lists in ``schema`` order plus a validity mask — and returns
+    the list of expression values, ``None`` at invalid positions.  The
+    whole batch is processed in a single Python call.
+    """
+    compiled = _compile_batch(expr, schema, _COLUMNWISE_TEMPLATE)
+    if compiled is not None:
+        return compiled
+    rowwise = compile_rowwise(expr, schema)
+
+    def fallback(columns: list[list], valid: list[bool]) -> list:
+        out: list = [None] * len(valid)
+        for i, ok in enumerate(valid):
+            if ok:
+                out[i] = rowwise(tuple(column[i] for column in columns))
+        return out
+
+    return fallback
+
+
+def compile_filter(
+    expr: Expr, schema: RecordSchema
+) -> Callable[[list[list], list[bool]], list[bool]]:
+    """Compile predicate ``expr`` to a batch validity-mask refiner.
+
+    The returned function takes ``(columns, valid)`` and returns the
+    new validity mask: positions stay valid iff they were valid and the
+    predicate is truthy there — the batch equivalent of a select step's
+    per-record ``if not predicate.eval(record)`` test.
+    """
+    compiled = _compile_batch(expr, schema, _FILTER_TEMPLATE)
+    if compiled is not None:
+        return compiled
+    rowwise = compile_rowwise(expr, schema)
+
+    def fallback(columns: list[list], valid: list[bool]) -> list[bool]:
+        out = [False] * len(valid)
+        for i, ok in enumerate(valid):
+            if ok and rowwise(tuple(column[i] for column in columns)):
+                out[i] = True
+        return out
+
+    return fallback
+
+
 def col(name: str) -> Col:
     """Shorthand constructor for a column reference."""
     return Col(name)

@@ -38,7 +38,7 @@ from repro.analysis import (
     verify_query,
 )
 from repro.catalog import Catalog
-from repro.execution import run_query_detailed
+from repro.execution import DEFAULT_BATCH_SIZE, EXECUTION_MODES, run_query_detailed
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
@@ -90,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive",
         action="store_true",
         help="also run the naive reference evaluator and verify agreement",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default="batch",
+        help="execution mode: columnar batches (default) or "
+        "record-at-a-time rows",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        metavar="N",
+        help=f"positions per column batch in batch mode (default {DEFAULT_BATCH_SIZE})",
     )
     parser.add_argument(
         "--limit",
@@ -301,10 +315,25 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
 
         query = compile_query(args.query, catalog)
         span = _parse_span(args.span)
-        result = run_query_detailed(query, span=span, catalog=catalog)
+        result = run_query_detailed(
+            query,
+            span=span,
+            catalog=catalog,
+            mode=args.mode,
+            batch_size=args.batch_size,
+        )
 
         if args.explain:
             print("\n" + result.optimization.explain(), file=out)
+            if args.mode == "batch":
+                mode_line = (
+                    f"execution mode: batch (columnar, "
+                    f"{args.batch_size} positions/batch, "
+                    f"{result.counters.batches_built} batches built)"
+                )
+            else:
+                mode_line = "execution mode: row (record-at-a-time)"
+            print(mode_line, file=out)
 
         if args.naive:
             reference = query.run_naive(result.optimization.plan.output_span)

@@ -1,8 +1,10 @@
 """Plan execution: streams, probers, caches, and the naive oracle."""
 
+from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
 from repro.execution.cache import FifoCache
 from repro.execution.counters import ExecutionCounters
 from repro.execution.engine import (
+    EXECUTION_MODES,
     RunResult,
     execute_plan,
     run_query,
@@ -21,6 +23,8 @@ from repro.execution.streams import build_stream
 
 __all__ = [
     "CumulativeAggregator",
+    "DEFAULT_BATCH_SIZE",
+    "EXECUTION_MODES",
     "ExecutionCounters",
     "FifoCache",
     "MonotonicAggregator",
@@ -30,6 +34,7 @@ __all__ = [
     "RunningSumAggregator",
     "RunResult",
     "SlidingAggregator",
+    "build_batch_stream",
     "build_prober",
     "build_stream",
     "build_views",

@@ -1,0 +1,651 @@
+"""Batch-mode plan execution.
+
+The row-mode executor (:mod:`repro.execution.streams`) pays a Python
+generator hop, a tree-walk predicate evaluation, and one or more
+:class:`~repro.model.record.Record` constructions *per record*.  The
+builders here amortize that interpreter overhead across position
+ranges: every operator consumes and produces
+:class:`~repro.model.batch.ColumnBatch` values — contiguous position
+ranges in columnar layout with a validity mask — and predicates run as
+compiled fused loops (:func:`repro.algebra.expressions.compile_filter`)
+over the column lists.
+
+Semantics are identical to row mode by construction: the same join
+strategies of Section 3.3 and caching strategies of Section 3.5 are
+expressed per batch.  A chain's unit operations become mask refinement
+(select), column-list selection (project) and a range shift; the
+scope-sized window cache of Cache-Strategy-A and the reach-``k``
+deques of Cache-Strategy-B slide over flattened column values instead
+of records.  The paper-accounting counters (``predicate_evals``,
+``operator_records``, ``cache_ops``) are still charged per logical
+record wherever the work is per record; counts that depend on how far
+child streams are read (e.g. join inputs outside the requested window)
+may differ from row mode — see DESIGN §8.
+
+Stream contract: ``build_batch_stream(plan, window, ...)`` yields
+batches whose covered ranges are ascending and disjoint and lie within
+``window`` intersected with the plan's span.  Positions not covered by
+any batch are Null.  All-Null batches may be skipped entirely.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.errors import ExecutionError
+from repro.model.batch import ColumnBatch
+from repro.model.record import NULL
+from repro.model.span import Span
+from repro.model.types import AtomType
+from repro.algebra.aggregate import (
+    CumulativeAggregate,
+    GlobalAggregate,
+    WindowAggregate,
+    apply_aggregate,
+)
+from repro.algebra.expressions import compile_filter
+from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
+from repro.algebra.offsets import ValueOffset
+from repro.execution.counters import ExecutionCounters
+from repro.execution.probers import ProberSequence, build_prober
+from repro.execution.sliding import CumulativeAggregator, make_sliding
+from repro.optimizer.plans import PhysicalPlan
+
+#: Positions covered by one batch (the vectorization granularity).
+DEFAULT_BATCH_SIZE = 1024
+
+BatchStream = Iterator[ColumnBatch]
+
+
+def build_batch_stream(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> BatchStream:
+    """Construct the batch iterator for a stream-mode plan node.
+
+    Args:
+        plan: the plan node (must be executable in stream mode).
+        window: the output window this node must emit within;
+            intersected with the plan's own span.
+        counters: execution counters charged as work happens.
+        batch_size: maximum positions covered per emitted batch.
+
+    The same top-down span discipline as row mode applies: child
+    streams are opened over the *children's plan spans* (the optimizer's
+    span restriction is the only mechanism that narrows what lower
+    operators read), and the window bounds emission at each node, so
+    executing a plan over a narrower window than it was optimized for
+    stays correct.
+    """
+    if batch_size < 1:
+        raise ExecutionError(f"batch size must be >= 1, got {batch_size}")
+    window = window.intersect(plan.span)
+    builder = _BUILDERS.get(plan.kind)
+    if builder is None:
+        raise ExecutionError(f"plan kind {plan.kind!r} cannot run in batch mode")
+    return builder(plan, window, counters, batch_size)
+
+
+def _finish(counters: ExecutionCounters, batch: ColumnBatch) -> ColumnBatch:
+    """Charge per-batch counters for an emitted batch."""
+    rows = batch.count_valid()
+    counters.operator_records += rows
+    counters.batches_built += 1
+    counters.batch_rows += rows
+    return batch
+
+
+def _tiles(window: Span, batch_size: int) -> Iterator[tuple[int, int]]:
+    """Split a bounded window into ``[lo, hi]`` ranges of ``batch_size``.
+
+    Raises:
+        ExecutionError: if the window is unbounded (row mode raises the
+            analogous :class:`~repro.errors.SpanError` when it tries to
+            iterate the window's positions).
+    """
+    if window.is_empty:
+        return
+    if not window.is_bounded:
+        raise ExecutionError(f"cannot batch-iterate unbounded window {window}")
+    assert window.start is not None and window.end is not None
+    lo = window.start
+    while lo <= window.end:
+        hi = min(lo + batch_size - 1, window.end)
+        yield lo, hi
+        lo = hi + 1
+
+
+def _clip(batch: ColumnBatch, window: Span) -> Optional[ColumnBatch]:
+    """Restrict a batch to the positions inside ``window``.
+
+    Returns ``None`` when the batch and the window are disjoint (or the
+    window is empty); returns the batch itself when already contained.
+    """
+    if window.is_empty:
+        return None
+    lo, hi = batch.start, batch.end
+    if hi < lo:
+        return None
+    if window.start is not None and window.start > lo:
+        lo = window.start
+    if window.end is not None and window.end < hi:
+        hi = window.end
+    if lo > hi:
+        return None
+    if lo == batch.start and hi == batch.end:
+        return batch
+    return batch.sliced(lo, hi)
+
+
+def _iter_values(stream: BatchStream) -> Iterator[tuple[int, tuple]]:
+    """Flatten a batch stream into ``(position, values_tuple)`` items."""
+    for batch in stream:
+        yield from batch.iter_values()
+
+
+def _iter_column(stream: BatchStream, index: int) -> Iterator[tuple[int, object]]:
+    """Flatten one column of a batch stream into ``(position, value)`` items."""
+    for batch in stream:
+        column = batch.columns[index]
+        start = batch.start
+        for i, ok in enumerate(batch.valid):
+            if ok:
+                yield start + i, column[i]
+
+
+class _BatchCursor:
+    """Re-chunk a batch stream to caller-aligned position ranges.
+
+    ``fetch(lo, hi)`` returns ``(columns, valid)`` lists aligned to the
+    absolute range ``[lo, hi]``; positions the underlying stream never
+    covers come back invalid.  Requests must be ascending and
+    non-overlapping, which lets the cursor walk the stream once.
+    """
+
+    def __init__(self, stream: BatchStream, width: int):
+        self._stream = stream
+        self._width = width
+        self._batch: Optional[ColumnBatch] = None
+        #: True once the underlying stream has been read to its end.
+        self.exhausted = False
+
+    def fetch(self, lo: int, hi: int) -> tuple[list[list], list[bool]]:
+        """Columns and validity for absolute positions ``[lo, hi]``."""
+        n = hi - lo + 1
+        columns: list[list] = [[None] * n for _ in range(self._width)]
+        valid: list[bool] = [False] * n
+        if n <= 0:
+            return columns, valid
+        while True:
+            batch = self._batch
+            if batch is None:
+                batch = next(self._stream, None)
+                if batch is None:
+                    self.exhausted = True
+                    return columns, valid
+                self._batch = batch
+            end = batch.end
+            if end < lo:
+                self._batch = None
+                continue
+            if batch.start > hi:
+                return columns, valid
+            s = max(lo, batch.start)
+            e = min(hi, end)
+            src_lo, src_hi = s - batch.start, e - batch.start + 1
+            dst_lo, dst_hi = s - lo, e - lo + 1
+            valid[dst_lo:dst_hi] = batch.valid[src_lo:src_hi]
+            for c in range(self._width):
+                columns[c][dst_lo:dst_hi] = batch.columns[c][src_lo:src_hi]
+            if end > hi:
+                return columns, valid
+            self._batch = None
+            if end == hi:
+                return columns, valid
+
+
+# -- leaf access -------------------------------------------------------------
+
+
+def _scan(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    leaf = plan.node
+    if isinstance(leaf, SequenceLeaf):
+        source = leaf.sequence
+    elif isinstance(leaf, ConstantLeaf):
+        source = leaf.constant
+    else:
+        raise ExecutionError(f"scan plan without a leaf node: {plan.kind}")
+    counters.scans_opened += 1
+    schema = plan.schema
+    ncols = len(schema)
+    bulk = getattr(source, "nonnull_items", None)
+    if bulk is not None:
+        # In-memory sequences expose their items as parallel lists; the
+        # scan then carves those with slices instead of a per-record
+        # generator hop.
+        positions, records = bulk(window)
+        total = len(positions)
+        i = 0
+        while i < total:
+            start = positions[i]
+            j = bisect_right(positions, start + batch_size - 1, i)
+            n = positions[j - 1] - start + 1
+            rows = [record.values for record in records[i:j]]
+            if j - i == n:
+                valid = [True] * n
+                columns = [list(column) for column in zip(*rows)]
+            else:
+                valid = [False] * n
+                columns = [[None] * n for _ in range(ncols)]
+                for position, values in zip(positions[i:j], rows):
+                    index = position - start
+                    valid[index] = True
+                    for c in range(ncols):
+                        columns[c][index] = values[c]
+            i = j
+            yield _finish(counters, ColumnBatch(schema, start, columns, valid))
+        return
+    items = source.iter_nonnull(window)
+    item = next(items, None)
+    while item is not None:
+        # One batch covers at most batch_size positions, anchored at the
+        # next record: sparse regions produce no batches at all.
+        start = item[0]
+        limit = start + batch_size
+        positions: list[int] = []
+        rows: list[tuple] = []
+        while item is not None and item[0] < limit:
+            positions.append(item[0])
+            rows.append(item[1].values)
+            item = next(items, None)
+        n = positions[-1] - start + 1
+        if len(positions) == n:
+            # Dense run: transpose all value tuples in one C-level pass.
+            valid = [True] * n
+            columns = [list(column) for column in zip(*rows)]
+        else:
+            valid = [False] * n
+            columns = [[None] * n for _ in range(ncols)]
+            for position, values in zip(positions, rows):
+                index = position - start
+                valid[index] = True
+                for c in range(ncols):
+                    columns[c][index] = values[c]
+        yield _finish(counters, ColumnBatch(schema, start, columns, valid))
+
+
+# -- unit-operation chains ---------------------------------------------------
+
+
+def _chain(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    shift = sum(step.offset for step in plan.steps if step.kind == "shift")
+    child_plan = plan.children[0]
+    child_window = window.shift(shift).intersect(child_plan.span)
+    # Pre-compile the unit operations against the schema flowing at
+    # each step: selects become fused mask refiners, projects become
+    # column index tuples, renames are purely a schema swap.
+    ops: list[tuple[str, object]] = []
+    schema = child_plan.schema
+    for step in plan.steps:
+        if step.kind == "select":
+            ops.append(("select", compile_filter(step.predicate, schema)))
+        elif step.kind == "project":
+            ops.append(("project", tuple(schema.index_of(n) for n in step.names)))
+            schema = schema.project(step.names)
+        elif step.kind == "rename":
+            schema = step.schema
+    out_schema = plan.schema
+    for batch in build_batch_stream(child_plan, child_window, counters, batch_size):
+        columns = batch.columns
+        valid = batch.valid
+        for kind, payload in ops:
+            if kind == "select":
+                counters.predicate_evals += valid.count(True)
+                valid = payload(columns, valid)
+            else:
+                columns = [columns[i] for i in payload]
+        if True in valid:
+            yield _finish(
+                counters, ColumnBatch(out_schema, batch.start - shift, columns, valid)
+            )
+
+
+# -- join strategies ---------------------------------------------------------
+
+
+def _lockstep(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    """Join-Strategy-B: merge both inputs in lock step, batch-aligned."""
+    left_plan, right_plan = plan.children
+    left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size)
+    right_cursor = _BatchCursor(
+        build_batch_stream(right_plan, right_plan.span, counters, batch_size),
+        len(right_plan.schema),
+    )
+    predicate = (
+        compile_filter(plan.predicate, plan.schema)
+        if plan.predicate is not None
+        else None
+    )
+    for left in left_stream:
+        rcols, rvalid = right_cursor.fetch(left.start, left.end)
+        valid = [a and b for a, b in zip(left.valid, rvalid)]
+        # Clip to the output window before the predicate runs: row mode
+        # only applies the join predicate to in-window pairs.
+        batch = _clip(
+            ColumnBatch(plan.schema, left.start, left.columns + rcols, valid), window
+        )
+        if batch is not None:
+            valid = batch.valid
+            if predicate is not None:
+                counters.predicate_evals += valid.count(True)
+                valid = predicate(batch.columns, valid)
+            if True in valid:
+                yield _finish(
+                    counters,
+                    ColumnBatch(plan.schema, batch.start, batch.columns, valid),
+                )
+        if right_cursor.exhausted:
+            # The merge ends when either input does, as in row mode.
+            return
+
+
+def _probe_side(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    driver_index: int,
+) -> BatchStream:
+    """Join-Strategy-A: stream one input in batches, probe the other."""
+    probed_index = 1 - driver_index
+    prober = build_prober(plan.children[probed_index], counters)
+    driver_plan = plan.children[driver_index]
+    probed_ncols = len(plan.children[probed_index].schema)
+    predicate = (
+        compile_filter(plan.predicate, plan.schema)
+        if plan.predicate is not None
+        else None
+    )
+    driver_stream = build_batch_stream(
+        driver_plan, driver_plan.span, counters, batch_size
+    )
+    for raw in driver_stream:
+        # Probe only in-window driver positions, exactly as row mode
+        # skips out-of-window records before issuing the probe.
+        batch = _clip(raw, window)
+        if batch is None:
+            continue
+        n = len(batch)
+        pcols: list[list] = [[None] * n for _ in range(probed_ncols)]
+        valid = list(batch.valid)
+        start = batch.start
+        get = prober.get
+        for i, ok in enumerate(batch.valid):
+            if not ok:
+                continue
+            record = get(start + i)
+            if record is NULL:
+                valid[i] = False
+                continue
+            values = record.values
+            for c in range(probed_ncols):
+                pcols[c][i] = values[c]
+        # Composed records are left.right regardless of which side drove.
+        columns = batch.columns + pcols if driver_index == 0 else pcols + batch.columns
+        if predicate is not None:
+            counters.predicate_evals += valid.count(True)
+            valid = predicate(columns, valid)
+        if True in valid:
+            yield _finish(counters, ColumnBatch(plan.schema, start, columns, valid))
+
+
+def _stream_probe(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    """Join-Strategy-A: stream the left input, probe the right."""
+    return _probe_side(plan, window, counters, batch_size, driver_index=0)
+
+
+def _probe_stream(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    """Join-Strategy-A, converse: stream the right input, probe the left."""
+    return _probe_side(plan, window, counters, batch_size, driver_index=1)
+
+
+# -- non-unit-scope unary operators ------------------------------------------
+
+
+def _naive_unary(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    """Forced-naive strategy: the operator's ``value_at`` over a prober."""
+    prober = build_prober(plan.children[0], counters)
+    source = ProberSequence(prober)
+    op = plan.node
+    schema = plan.schema
+    ncols = len(schema)
+    for lo, hi in _tiles(window, batch_size):
+        n = hi - lo + 1
+        columns: list[list] = [[None] * n for _ in range(ncols)]
+        valid = [False] * n
+        for position in range(lo, hi + 1):
+            record = op.value_at([source], position)
+            if record is NULL:
+                continue
+            index = position - lo
+            valid[index] = True
+            values = record.values
+            for c in range(ncols):
+                columns[c][index] = values[c]
+        if True in valid:
+            yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+
+
+def _window_agg(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    op = plan.node
+    if not isinstance(op, WindowAggregate):
+        raise ExecutionError("window-agg plan without a WindowAggregate node")
+    if plan.strategy == "naive":
+        yield from _naive_unary(plan, window, counters, batch_size)
+        return
+    # Cache-Strategy-A per batch: one pass over the input column with a
+    # scope-sized cache; only the aggregated attribute is flattened.
+    child_plan = plan.children[0]
+    attr_index = child_plan.schema.index_of(op.attr)
+    items = _iter_column(
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size),
+        attr_index,
+    )
+    pending = next(items, None)
+    aggregator = make_sliding(op.func, counters)
+    as_float = plan.schema.attributes[0].atype is AtomType.FLOAT
+    width = op.width
+    for lo, hi in _tiles(window, batch_size):
+        n = hi - lo + 1
+        out: list = [None] * n
+        valid = [False] * n
+        for position in range(lo, hi + 1):
+            aggregator.evict_below(position - width + 1)
+            while pending is not None and pending[0] <= position:
+                aggregator.add(pending[0], pending[1])
+                pending = next(items, None)
+            if aggregator.count > 0:
+                value = aggregator.result()
+                index = position - lo
+                out[index] = float(value) if as_float else value
+                valid[index] = True
+        if True in valid:
+            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid))
+
+
+def _value_offset(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    op = plan.node
+    if not isinstance(op, ValueOffset):
+        raise ExecutionError("value-offset plan without a ValueOffset node")
+    if plan.strategy == "naive":
+        yield from _naive_unary(plan, window, counters, batch_size)
+        return
+    # Cache-Strategy-B per batch: the reach-sized deque slides over
+    # flattened value tuples instead of records.
+    child_plan = plan.children[0]
+    schema = plan.schema
+    ncols = len(schema)
+    reach = op.reach
+
+    if op.looks_back:
+        items = _iter_values(
+            build_batch_stream(child_plan, child_plan.span, counters, batch_size)
+        )
+        pending = next(items, None)
+        buffer: deque[tuple[int, tuple]] = deque()
+        for lo, hi in _tiles(window, batch_size):
+            n = hi - lo + 1
+            columns: list[list] = [[None] * n for _ in range(ncols)]
+            valid = [False] * n
+            for position in range(lo, hi + 1):
+                while pending is not None and pending[0] < position:
+                    buffer.append(pending)
+                    if len(buffer) > reach:
+                        buffer.popleft()
+                    counters.cache_ops += 1
+                    counters.note_occupancy(len(buffer))
+                    pending = next(items, None)
+                if len(buffer) == reach:
+                    index = position - lo
+                    valid[index] = True
+                    values = buffer[0][1]
+                    for c in range(ncols):
+                        columns[c][index] = values[c]
+            if True in valid:
+                yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+        return
+
+    # Looking forward (Next and +k offsets): a reach-sized lookahead.
+    items = _iter_values(
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size)
+    )
+    buffer = deque()
+    exhausted = False
+    for lo, hi in _tiles(window, batch_size):
+        n = hi - lo + 1
+        columns = [[None] * n for _ in range(ncols)]
+        valid = [False] * n
+        for position in range(lo, hi + 1):
+            while buffer and buffer[0][0] <= position:
+                buffer.popleft()
+                counters.cache_ops += 1
+            while not exhausted and len(buffer) < reach:
+                item = next(items, None)
+                if item is None:
+                    exhausted = True
+                    break
+                if item[0] > position:
+                    buffer.append(item)
+                    counters.cache_ops += 1
+                    counters.note_occupancy(len(buffer))
+            if len(buffer) >= reach:
+                index = position - lo
+                valid[index] = True
+                values = buffer[reach - 1][1]
+                for c in range(ncols):
+                    columns[c][index] = values[c]
+        if True in valid:
+            yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+
+
+def _cumulative(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    op = plan.node
+    if not isinstance(op, CumulativeAggregate):
+        raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
+    if plan.strategy == "naive":
+        yield from _naive_unary(plan, window, counters, batch_size)
+        return
+    child_plan = plan.children[0]
+    attr_index = child_plan.schema.index_of(op.attr)
+    items = _iter_column(
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size),
+        attr_index,
+    )
+    pending = next(items, None)
+    running = CumulativeAggregator(op.func)
+    as_float = plan.schema.attributes[0].atype is AtomType.FLOAT
+    for lo, hi in _tiles(window, batch_size):
+        n = hi - lo + 1
+        out: list = [None] * n
+        valid = [False] * n
+        for position in range(lo, hi + 1):
+            while pending is not None and pending[0] <= position:
+                running.add(pending[1])
+                counters.cache_ops += 1
+                pending = next(items, None)
+            if running.count > 0:
+                value = running.result()
+                index = position - lo
+                out[index] = float(value) if as_float else value
+                valid[index] = True
+        if True in valid:
+            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid))
+
+
+def _global_agg(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    op = plan.node
+    if not isinstance(op, GlobalAggregate):
+        raise ExecutionError("global-agg plan without a GlobalAggregate node")
+    child_plan = plan.children[0]
+    attr_index = child_plan.schema.index_of(op.attr)
+    values: list = []
+    for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size):
+        column = batch.columns[attr_index]
+        for i, ok in enumerate(batch.valid):
+            if ok:
+                values.append(column[i])
+    if not values:
+        return
+    result = apply_aggregate(op.func, values)
+    if plan.schema.attributes[0].atype is AtomType.FLOAT:
+        result = float(result)
+    for lo, hi in _tiles(window, batch_size):
+        n = hi - lo + 1
+        yield _finish(
+            counters, ColumnBatch(plan.schema, lo, [[result] * n], [True] * n)
+        )
+
+
+def _materialize(
+    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+) -> BatchStream:
+    """A materialize node in a stream context simply forwards its child."""
+    yield from build_batch_stream(plan.children[0], window, counters, batch_size)
+
+
+_BUILDERS = {
+    "scan": _scan,
+    "chain": _chain,
+    "lockstep": _lockstep,
+    "stream-probe": _stream_probe,
+    "probe-stream": _probe_stream,
+    "window-agg": _window_agg,
+    "value-offset": _value_offset,
+    "cumulative-agg": _cumulative,
+    "global-agg": _global_agg,
+    "materialize": _materialize,
+}

@@ -26,6 +26,11 @@ class ExecutionCounters:
         predicate_evals: predicate applications (select + join).
         records_emitted: records produced by the root.
         operator_records: records flowing between operators (total).
+        batches_built: column batches emitted by batch-mode operators
+            (zero in row mode).
+        batch_rows: valid records carried by those batches; the mean
+            ``batch_rows / batches_built`` is the realized batch
+            density.
     """
 
     scans_opened: int = 0
@@ -35,6 +40,8 @@ class ExecutionCounters:
     predicate_evals: int = 0
     records_emitted: int = 0
     operator_records: int = 0
+    batches_built: int = 0
+    batch_rows: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""

@@ -10,10 +10,12 @@ counters alongside the answer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import compress, repeat
 from typing import Optional
 
 from repro.errors import ExecutionError
 from repro.model.base import BaseSequence
+from repro.model.record import Record
 from repro.model.span import Span
 from repro.algebra.graph import Query
 from repro.analysis import hooks
@@ -21,14 +23,21 @@ from repro.catalog.catalog import Catalog
 from repro.optimizer.costmodel import CostParams
 from repro.optimizer.optimizer import OptimizationResult, optimize
 from repro.optimizer.plans import PhysicalPlan
+from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
 from repro.execution.counters import ExecutionCounters
 from repro.execution.streams import build_stream
+
+#: Execution modes understood by :func:`execute_plan`.
+EXECUTION_MODES = ("batch", "row")
 
 
 def execute_plan(
     plan: PhysicalPlan,
     span: Optional[Span] = None,
     counters: Optional[ExecutionCounters] = None,
+    *,
+    mode: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> BaseSequence:
     """Run a stream-mode plan and materialize its output.
 
@@ -36,7 +45,15 @@ def execute_plan(
         plan: the root physical plan (stream mode).
         span: output window; defaults to the plan's own span.
         counters: counters to charge (a fresh set if omitted).
+        mode: ``"batch"`` (default) runs the columnar batch executor;
+            ``"row"`` runs the record-at-a-time executor, kept as the
+            semantics oracle.  Both produce identical answers.
+        batch_size: positions covered per batch in batch mode.
     """
+    if mode not in EXECUTION_MODES:
+        raise ExecutionError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
     window = plan.span if span is None else span.intersect(plan.span)
     if not window.is_bounded:
         raise ExecutionError(f"cannot execute over unbounded span {window}")
@@ -44,11 +61,31 @@ def execute_plan(
     # violates the cache-finiteness or cost-sanity invariants.
     hooks.verify_plan_hook(plan)
     counters = counters if counters is not None else ExecutionCounters()
-    pairs = []
-    for position, record in build_stream(plan, window, counters):
-        counters.records_emitted += 1
-        pairs.append((position, record))
-    return BaseSequence(plan.schema, pairs, span=window)
+    schema = plan.schema
+    pairs: list = []
+    if mode == "batch":
+        unchecked = Record.unchecked
+        for batch in build_batch_stream(plan, window, counters, batch_size):
+            counters.records_emitted += batch.count_valid()
+            if not batch.columns:
+                pairs.extend(batch.iter_items())
+                continue
+            # Transpose whole columns back to value tuples and pair them
+            # with their positions entirely in C (zip/map/compress).
+            valid = batch.valid
+            rows = zip(*batch.columns)
+            positions = range(batch.start, batch.start + len(valid))
+            if batch.count_valid() != len(valid):
+                rows = compress(rows, valid)
+                positions = compress(positions, valid)
+            pairs.extend(zip(positions, map(unchecked, repeat(schema), rows)))
+    else:
+        for position, record in build_stream(plan, window, counters):
+            counters.records_emitted += 1
+            pairs.append((position, record))
+    # Stream evaluations emit unique ascending positions with records of
+    # the plan's schema, so the output skips per-item revalidation.
+    return BaseSequence.unchecked(schema, pairs, span=window)
 
 
 @dataclass
@@ -75,6 +112,8 @@ def run_query_detailed(
     rewrite: bool = True,
     consider_materialize: bool = True,
     restrict_spans: bool = True,
+    mode: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> RunResult:
     """Optimize and execute ``query``, returning answer + diagnostics."""
     optimization = optimize(
@@ -88,7 +127,11 @@ def run_query_detailed(
     )
     counters = ExecutionCounters()
     output = execute_plan(
-        optimization.plan.plan, optimization.plan.output_span, counters
+        optimization.plan.plan,
+        optimization.plan.output_span,
+        counters,
+        mode=mode,
+        batch_size=batch_size,
     )
     return RunResult(output=output, optimization=optimization, counters=counters)
 
@@ -101,6 +144,8 @@ def run_query(
     rewrite: bool = True,
     consider_materialize: bool = True,
     restrict_spans: bool = True,
+    mode: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> BaseSequence:
     """Optimize and execute ``query``, returning just the answer."""
     return run_query_detailed(
@@ -111,4 +156,6 @@ def run_query(
         rewrite=rewrite,
         consider_materialize=consider_materialize,
         restrict_spans=restrict_spans,
+        mode=mode,
+        batch_size=batch_size,
     ).output

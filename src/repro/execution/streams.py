@@ -18,10 +18,11 @@ from repro.model.record import NULL, Record
 from repro.model.span import Span
 from repro.model.types import AtomType
 from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
+from repro.algebra.expressions import compile_rowwise
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.offsets import ValueOffset
 from repro.execution.counters import ExecutionCounters
-from repro.execution.probers import build_prober
+from repro.execution.probers import ProberSequence, build_prober
 from repro.execution.sliding import CumulativeAggregator, make_sliding
 from repro.optimizer.plans import PhysicalPlan
 
@@ -71,24 +72,45 @@ def _chain(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Ite
     shift = sum(step.offset for step in plan.steps if step.kind == "shift")
     child_plan = plan.children[0]
     child_window = window.shift(shift).intersect(child_plan.span)
+    # Pre-compile the unit operations once per chain: selects become
+    # fused closures over the value tuple (tracking the schema flowing
+    # at each step), renames a trusted re-type of already-valid values.
+    ops: list[tuple[str, object]] = []
+    schema = child_plan.schema
+    for step in plan.steps:
+        if step.kind == "select":
+            ops.append(("select", compile_rowwise(step.predicate, schema)))
+        elif step.kind == "project":
+            ops.append(("project", step.names))
+            schema = schema.project(step.names)
+        elif step.kind == "rename":
+            ops.append(("rename", step.schema))
+            schema = step.schema
     for position, record in build_stream(child_plan, child_window, counters):
         out_position = position - shift
         if out_position not in window:
             continue
         keep = True
-        for step in plan.steps:
-            if step.kind == "select":
+        for kind, payload in ops:
+            if kind == "select":
                 counters.predicate_evals += 1
-                if not step.predicate.eval(record):
+                if not payload(record.values):
                     keep = False
                     break
-            elif step.kind == "project":
-                record = record.project(step.names)
-            elif step.kind == "rename":
-                record = Record(step.schema, record.values)
+            elif kind == "project":
+                record = record.project(payload)
+            else:
+                record = Record.unchecked(payload, record.values)
         if keep:
             counters.operator_records += 1
             yield out_position, record
+
+
+def _join_predicate(plan: PhysicalPlan):
+    """Compile a join's predicate to a closure over the combined values."""
+    if plan.predicate is None:
+        return None
+    return compile_rowwise(plan.predicate, plan.schema)
 
 
 def _combine(
@@ -96,19 +118,23 @@ def _combine(
     position: int,
     left: Record,
     right: Record,
+    predicate,
     counters: ExecutionCounters,
 ) -> Iterator[StreamItem]:
-    combined = Record(plan.schema, left.values + right.values)
-    if plan.predicate is not None:
+    # The concatenated values come from two already-validated records,
+    # so the composed record skips per-value revalidation.
+    values = left.values + right.values
+    if predicate is not None:
         counters.predicate_evals += 1
-        if not plan.predicate.eval(combined):
+        if not predicate(values):
             return
     counters.operator_records += 1
-    yield position, combined
+    yield position, Record.unchecked(plan.schema, values)
 
 
 def _lockstep(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
     """Join-Strategy-B: merge both input streams in lock step."""
+    predicate = _join_predicate(plan)
     left_iter = build_stream(plan.children[0], plan.children[0].span, counters)
     right_iter = build_stream(plan.children[1], plan.children[1].span, counters)
     left = next(left_iter, None)
@@ -120,13 +146,14 @@ def _lockstep(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> 
             right = next(right_iter, None)
         else:
             if left[0] in window:
-                yield from _combine(plan, left[0], left[1], right[1], counters)
+                yield from _combine(plan, left[0], left[1], right[1], predicate, counters)
             left = next(left_iter, None)
             right = next(right_iter, None)
 
 
 def _stream_probe(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
     """Join-Strategy-A: stream the left input, probe the right."""
+    predicate = _join_predicate(plan)
     prober = build_prober(plan.children[1], counters)
     driver = plan.children[0]
     for position, left in build_stream(driver, driver.span, counters):
@@ -135,11 +162,12 @@ def _stream_probe(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
         right = prober.get(position)
         if right is NULL:
             continue
-        yield from _combine(plan, position, left, right, counters)
+        yield from _combine(plan, position, left, right, predicate, counters)
 
 
 def _probe_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
+    predicate = _join_predicate(plan)
     prober = build_prober(plan.children[0], counters)
     driver = plan.children[1]
     for position, right in build_stream(driver, driver.span, counters):
@@ -148,7 +176,7 @@ def _probe_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
         left = prober.get(position)
         if left is NULL:
             continue
-        yield from _combine(plan, position, left, right, counters)
+        yield from _combine(plan, position, left, right, predicate, counters)
 
 
 def _cast(plan: PhysicalPlan, value: object) -> object:
@@ -164,8 +192,6 @@ def _window_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -
     if plan.strategy == "naive":
         # Probe the child w times per output position (no cache).
         prober = build_prober(plan.children[0], counters)
-        from repro.execution.probers import ProberSequence
-
         source = ProberSequence(prober)
         for position in window.positions():
             record = op.value_at([source], position)
@@ -197,8 +223,6 @@ def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
         raise ExecutionError("value-offset plan without a ValueOffset node")
     if plan.strategy == "naive":
         prober = build_prober(plan.children[0], counters)
-        from repro.execution.probers import ProberSequence
-
         source = ProberSequence(prober)
         for position in window.positions():
             record = op.value_at([source], position)
@@ -255,8 +279,6 @@ def _cumulative(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -
         raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
     if plan.strategy == "naive":
         prober = build_prober(plan.children[0], counters)
-        from repro.execution.probers import ProberSequence
-
         source = ProberSequence(prober)
         for position in window.positions():
             record = op.value_at([source], position)

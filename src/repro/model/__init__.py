@@ -1,6 +1,7 @@
 """The positional sequence data model (paper Section 2)."""
 
 from repro.model.base import BaseSequence
+from repro.model.batch import ColumnBatch
 from repro.model.constant import ConstantSequence
 from repro.model.info import SequenceInfo
 from repro.model.record import NULL, Record, RecordOrNull, is_null, record_from
@@ -13,6 +14,7 @@ __all__ = [
     "AtomType",
     "Attribute",
     "BaseSequence",
+    "ColumnBatch",
     "ConstantSequence",
     "NULL",
     "Record",

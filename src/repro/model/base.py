@@ -109,6 +109,28 @@ class BaseSequence(Sequence):
         """A sequence with no non-Null positions."""
         return cls(schema, (), span=span)
 
+    @classmethod
+    def unchecked(
+        cls,
+        schema: RecordSchema,
+        pairs: PySequence[tuple[int, Record]],
+        span: Span,
+    ) -> "BaseSequence":
+        """Build without re-validating items (trusted engine path).
+
+        ``pairs`` must hold unique, ascending positions inside ``span``
+        with records conforming to ``schema`` — exactly what a stream
+        evaluation produces.  The counterpart of
+        :meth:`~repro.model.record.Record.unchecked` at the sequence
+        level.
+        """
+        sequence = object.__new__(cls)
+        sequence._schema = schema
+        sequence._span = span
+        sequence._positions = [position for position, _record in pairs]
+        sequence._records = dict(pairs)
+        return sequence
+
     # -- Sequence interface --------------------------------------------------
 
     @property
@@ -134,6 +156,28 @@ class BaseSequence(Sequence):
         )
         for position in self._positions[lo:hi]:
             yield position, self._records[position]
+
+    def nonnull_items(
+        self, within: Optional[Span] = None
+    ) -> tuple[list[int], list[Record]]:
+        """All items in ``within`` as parallel position/record lists.
+
+        The bulk counterpart of :meth:`iter_nonnull` for batch scans:
+        one index slice and one lookup pass instead of a per-record
+        generator hop.
+        """
+        window = self._span if within is None else self._span.intersect(within)
+        if window.is_empty:
+            return [], []
+        lo = 0 if window.start is None else bisect.bisect_left(self._positions, window.start)
+        hi = (
+            len(self._positions)
+            if window.end is None
+            else bisect.bisect_right(self._positions, window.end)
+        )
+        positions = self._positions[lo:hi]
+        records = self._records
+        return positions, [records[position] for position in positions]
 
     # -- extras ---------------------------------------------------------------
 

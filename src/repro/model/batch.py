@@ -1,0 +1,197 @@
+"""Columnar record batches for the batch execution mode.
+
+A :class:`ColumnBatch` holds a *contiguous* range of positions in
+columnar layout: one Python list per schema attribute plus a validity
+mask marking which positions carry a real record (the rest map to the
+Null record, exactly as empty sequence positions do in the paper's
+model).  Batches are the unit of work of the batch executor
+(:mod:`repro.execution.batch_streams`): operators amortize interpreter
+overhead by processing one batch — not one record — per Python-level
+step, while compiled expressions (:func:`repro.algebra.expressions.compile_filter`)
+run fused loops directly over the column lists.
+
+Invariants:
+
+* ``len(valid) == len(columns[i])`` for every column; the batch covers
+  positions ``start .. start + len(valid) - 1``.
+* Column cells at invalid positions are unspecified (``None`` by
+  convention) and must never be read by consumers.
+* Batches are treated as immutable once built: operators derive new
+  column/validity lists instead of mutating them, so column lists may
+  be shared between batches (projection and renaming are O(columns),
+  not O(rows)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError, SpanError
+from repro.model.record import NULL, Record, RecordOrNull
+from repro.model.schema import RecordSchema
+from repro.model.span import Span
+
+
+class ColumnBatch:
+    """A contiguous position range in columnar layout with a validity mask.
+
+    Attributes:
+        schema: the record schema of the batched sequence.
+        start: the position of index 0; index ``i`` holds position
+            ``start + i``.
+        columns: one value list per schema attribute, in schema order.
+        valid: the validity mask; ``valid[i]`` is truthy iff position
+            ``start + i`` holds a real record.
+    """
+
+    __slots__ = ("schema", "start", "columns", "valid")
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        start: int,
+        columns: list[list],
+        valid: list[bool],
+    ):
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"batch has {len(columns)} columns but schema {schema!r} "
+                f"has {len(schema)} attributes"
+            )
+        for column in columns:
+            if len(column) != len(valid):
+                raise SchemaError(
+                    f"batch column length {len(column)} does not match "
+                    f"validity mask length {len(valid)}"
+                )
+        self.schema = schema
+        self.start = start
+        self.columns = columns
+        self.valid = valid
+
+    @classmethod
+    def from_items(
+        cls,
+        schema: RecordSchema,
+        start: int,
+        length: int,
+        items: Iterable[tuple[int, Record]],
+    ) -> "ColumnBatch":
+        """Build a batch from ``(position, record)`` pairs.
+
+        Args:
+            schema: the batch schema; records must conform to it.
+            start: first position covered by the batch.
+            length: number of positions covered.
+            items: pairs with ``start <= position < start + length``;
+                positions not mentioned are invalid (Null).
+        """
+        valid = [False] * length
+        columns: list[list] = [[None] * length for _ in range(len(schema))]
+        for position, record in items:
+            index = position - start
+            if not 0 <= index < length:
+                raise SpanError(
+                    f"position {position} outside batch range "
+                    f"[{start}, {start + length - 1}]"
+                )
+            valid[index] = True
+            for c, value in enumerate(record.values):
+                columns[c][index] = value
+        return cls(schema, start, columns, valid)
+
+    # -- geometry ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.valid)
+
+    @property
+    def end(self) -> int:
+        """The last position covered (``start - 1`` for an empty batch)."""
+        return self.start + len(self.valid) - 1
+
+    @property
+    def span(self) -> Span:
+        """The covered position range as a span."""
+        if not self.valid:
+            return Span.EMPTY
+        return Span(self.start, self.end)
+
+    def count_valid(self) -> int:
+        """Number of real (non-Null) records in the batch."""
+        return self.valid.count(True)
+
+    # -- access -----------------------------------------------------------
+
+    def values_at_index(self, index: int) -> tuple:
+        """The attribute values at batch index ``index`` as a tuple."""
+        return tuple(column[index] for column in self.columns)
+
+    def record_at(self, position: int) -> RecordOrNull:
+        """The record at an absolute position (NULL outside/invalid)."""
+        index = position - self.start
+        if not 0 <= index < len(self.valid) or not self.valid[index]:
+            return NULL
+        return Record.unchecked(self.schema, self.values_at_index(index))
+
+    def iter_items(self) -> Iterator[tuple[int, Record]]:
+        """Yield ``(position, record)`` for valid positions, in order.
+
+        Records are built through the trusted
+        :meth:`~repro.model.record.Record.unchecked` path: batch cells
+        were filled from already-validated records.
+        """
+        schema = self.schema
+        columns = self.columns
+        start = self.start
+        unchecked = Record.unchecked
+        for index, ok in enumerate(self.valid):
+            if ok:
+                yield (
+                    start + index,
+                    unchecked(schema, tuple(column[index] for column in columns)),
+                )
+
+    def iter_values(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(position, values_tuple)`` for valid positions, in order."""
+        columns = self.columns
+        start = self.start
+        for index, ok in enumerate(self.valid):
+            if ok:
+                yield start + index, tuple(column[index] for column in columns)
+
+    # -- derivation --------------------------------------------------------
+
+    def sliced(self, lo: int, hi: int) -> "ColumnBatch":
+        """The sub-batch covering absolute positions ``[lo, hi]``.
+
+        ``[lo, hi]`` must lie within the batch's covered range.
+        """
+        a = lo - self.start
+        b = hi - self.start + 1
+        if a < 0 or b > len(self.valid) or a > b:
+            raise SpanError(
+                f"slice [{lo}, {hi}] outside batch range "
+                f"[{self.start}, {self.end}]"
+            )
+        return ColumnBatch(
+            self.schema,
+            lo,
+            [column[a:b] for column in self.columns],
+            self.valid[a:b],
+        )
+
+    def with_schema(self, schema: RecordSchema) -> "ColumnBatch":
+        """This batch re-typed under an equal-shape schema (rename)."""
+        if len(schema) != len(self.schema):
+            raise SchemaError(
+                f"cannot re-type batch of {len(self.schema)} columns "
+                f"under schema {schema!r}"
+            )
+        return ColumnBatch(schema, self.start, self.columns, self.valid)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnBatch(schema={self.schema!r}, span={self.span!r}, "
+            f"valid={self.count_valid()}/{len(self.valid)})"
+        )

@@ -67,6 +67,23 @@ class Record:
         self._values = values
 
     @classmethod
+    def unchecked(cls, schema: RecordSchema, values: tuple) -> "Record":
+        """Build a record without re-validating its values.
+
+        Trusted constructor for engine-internal paths: ``values`` must
+        already be a tuple whose length and types match ``schema``
+        (e.g. values lifted out of an existing record, or columns the
+        executor filled from validated records).  Skipping
+        :func:`~repro.model.types.check_value` here is what makes
+        per-record renames and batch materialization cheap; external
+        inputs must keep using :class:`Record` directly.
+        """
+        record = object.__new__(cls)
+        record._schema = schema
+        record._values = values
+        return record
+
+    @classmethod
     def of(cls, schema: RecordSchema, **values: object) -> "Record":
         """Build a record from keyword arguments matching the schema names."""
         missing = set(schema.names) - set(values)
