@@ -1,0 +1,198 @@
+"""E-guard — what per-query governance costs when nothing goes wrong.
+
+The query guard is checked at batch boundaries in batch mode and at
+stride-counted record ticks in row mode; with faults disabled and loose
+budgets, an attached guard must stay within a few percent of unguarded
+wall clock.  The budget this baseline enforces is <5% mean overhead
+across the shapes (per-shape noise on CI machines makes a per-shape
+bound flaky; the mean is stable).
+
+Run as a script to (re)generate the committed perf baseline::
+
+    PYTHONPATH=src python benchmarks/bench_guard_overhead.py --out BENCH_guard.json
+    PYTHONPATH=src python benchmarks/bench_guard_overhead.py --smoke   # CI-sized
+
+or under pytest-benchmark like the other files here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Optional
+
+import pytest
+
+from repro.bench import print_table
+from repro.algebra import base, col, lit
+from repro.execution import ExecutionCounters, QueryGuard, execute_plan
+from repro.model import Span
+from repro.optimizer import optimize
+from repro.workloads import StockSpec, generate_stock
+
+#: Positions in the generated stock walks (full vs --smoke runs).
+FULL_POSITIONS = 40_000
+SMOKE_POSITIONS = 4_000
+DENSITY = 0.95
+
+#: Maximum acceptable mean guarded/unguarded slowdown.
+OVERHEAD_BUDGET = 0.05
+
+
+def _shapes(positions: int) -> dict[str, object]:
+    """Benchmark queries over a freshly generated walk."""
+    span = Span(0, positions - 1)
+    stock = generate_stock(StockSpec("s", span, DENSITY, seed=5))
+    return {
+        "scan-select-project": (
+            base(stock, "s")
+            .select(col("volume") > lit(3000))
+            .project("close", "volume")
+            .query()
+        ),
+        "window-agg": base(stock, "s").window("avg", "close", 16, "ma16").query(),
+    }
+
+
+def _loose_guard() -> QueryGuard:
+    """A guard attached but never tripping: pure bookkeeping overhead."""
+    return QueryGuard(
+        timeout=3600.0,
+        max_pages=10**9,
+        max_records=10**9,
+        max_cache_entries=10**9,
+    )
+
+
+def _best_of(fn: Callable[[], object], repetitions: int) -> float:
+    """Minimum wall-clock seconds over ``repetitions`` runs."""
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_overhead(positions: int, repetitions: int = 5) -> dict:
+    """Time every shape in both modes with and without a guard."""
+    rows = []
+    for name, query in _shapes(positions).items():
+        result = optimize(query)
+        plan = result.plan.plan
+        window = result.plan.output_span
+        for mode in ("batch", "row"):
+
+            def bare():
+                return execute_plan(plan, window, ExecutionCounters(), mode=mode)
+
+            def guarded():
+                return execute_plan(
+                    plan,
+                    window,
+                    ExecutionCounters(),
+                    mode=mode,
+                    guard=_loose_guard(),
+                )
+
+            assert guarded().to_pairs() == bare().to_pairs(), name
+            bare_seconds = _best_of(bare, repetitions)
+            guarded_seconds = _best_of(guarded, repetitions)
+            rows.append(
+                {
+                    "shape": name,
+                    "mode": mode,
+                    "bare_seconds": round(bare_seconds, 6),
+                    "guarded_seconds": round(guarded_seconds, 6),
+                    "overhead": round(guarded_seconds / bare_seconds - 1.0, 4),
+                }
+            )
+    mean = sum(r["overhead"] for r in rows) / len(rows)
+    return {
+        "benchmark": "bench_guard_overhead",
+        "config": {
+            "positions": positions,
+            "density": DENSITY,
+            "repetitions": repetitions,
+            "budget": OVERHEAD_BUDGET,
+        },
+        "shapes": rows,
+        "mean_overhead": round(mean, 4),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Script entry point: print the table, optionally write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run ({SMOKE_POSITIONS} positions instead of "
+        f"{FULL_POSITIONS})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the measurements as JSON (e.g. BENCH_guard.json)",
+    )
+    args = parser.parse_args(argv)
+    positions = SMOKE_POSITIONS if args.smoke else FULL_POSITIONS
+    payload = measure_overhead(positions)
+    print_table(
+        ["shape", "mode", "bare s", "guarded s", "overhead"],
+        [
+            [r["shape"], r["mode"], r["bare_seconds"], r["guarded_seconds"],
+             f'{r["overhead"] * 100:+.1f}%']
+            for r in payload["shapes"]
+        ],
+        title=f"Guard overhead, {positions} positions "
+        "(identical answers asserted, faults disabled)",
+    )
+    mean = payload["mean_overhead"]
+    print(f"mean overhead: {mean * 100:+.2f}% (budget {OVERHEAD_BUDGET * 100:.0f}%)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if mean > OVERHEAD_BUDGET:
+        print(f"FAIL: mean guard overhead {mean * 100:.2f}% over budget")
+        return 1
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def planned():
+    """Optimized plans for the shapes at smoke size."""
+    plans = {}
+    for name, query in _shapes(SMOKE_POSITIONS).items():
+        result = optimize(query)
+        plans[name] = (result.plan.plan, result.plan.output_span)
+    return plans
+
+
+@pytest.mark.parametrize("shape", ["scan-select-project", "window-agg"])
+@pytest.mark.parametrize("guarded", [False, True], ids=["bare", "guarded"])
+def test_guard_overhead(benchmark, planned, shape, guarded):
+    plan, window = planned[shape]
+    guard_of = _loose_guard if guarded else lambda: None
+    output = benchmark(
+        lambda: execute_plan(
+            plan, window, ExecutionCounters(), mode="row", guard=guard_of()
+        )
+    )
+    benchmark.extra_info["records"] = len(output)
+
+
+def test_guard_overhead_report(benchmark):
+    payload = measure_overhead(SMOKE_POSITIONS, repetitions=3)
+    assert payload["mean_overhead"] <= OVERHEAD_BUDGET
+    benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

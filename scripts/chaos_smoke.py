@@ -1,0 +1,109 @@
+"""Chaos smoke job: the fault matrix must never produce a wrong answer.
+
+Runs every fault class (transient, permanent, corrupt, latency, and a
+mixed schedule) against both executors over a handful of seeds, and
+checks the chaos contract from DESIGN §9: each run either returns the
+exact fault-free answer or fails with a typed storage error.  A wrong
+answer — or an untyped exception — fails the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import (
+    CorruptPageError,
+    PermanentStorageError,
+    TransientStorageError,
+)
+from repro.algebra import base, col
+from repro.catalog import Catalog
+from repro.execution import run_query
+from repro.model import Span
+from repro.storage import FaultPlan, StoredSequence
+from repro.workloads import StockSpec, generate_stock
+
+SPAN = Span(0, 499)
+SEEDS = (1, 2, 3)
+
+FAULT_CLASSES = {
+    "clean": {},
+    "transient": dict(transient_rate=0.15),
+    "permanent": dict(permanent_rate=0.05),
+    "corrupt": dict(corrupt_rate=0.05),
+    "latency": dict(latency_rate=0.3, latency_ticks=2),
+    "mixed": dict(
+        transient_rate=0.1,
+        permanent_rate=0.02,
+        corrupt_rate=0.02,
+        latency_rate=0.1,
+    ),
+}
+
+TYPED_FAILURES = (TransientStorageError, PermanentStorageError, CorruptPageError)
+
+
+def make_query(fault_plan=None):
+    source = generate_stock(StockSpec("s", SPAN, 1.0, seed=5))
+    stored = StoredSequence.from_sequence(
+        "s", source, fault_plan=fault_plan, page_capacity=16, buffer_pages=8
+    )
+    catalog = Catalog()
+    catalog.register("s", stored)
+    query = base(stored, "s").window("avg", "close", 7).query()
+    return query, catalog, stored
+
+
+def main() -> int:
+    query, catalog, _ = make_query()
+    reference = run_query(query, catalog=catalog).to_pairs()
+    violations = 0
+    print(f"{'fault class':<12} {'mode':<6} {'exact':>6} {'typed-fail':>10}")
+    for name, rates in FAULT_CLASSES.items():
+        for mode in ("batch", "row"):
+            exact = failed = 0
+            for seed in SEEDS:
+                plan = FaultPlan(seed, **rates) if rates else None
+                try:
+                    # Registration scans the stored sequence for stats,
+                    # so the faulty disk is live from this point on.
+                    query, catalog, stored = make_query(plan)
+                    answer = run_query(query, catalog=catalog, mode=mode)
+                except TYPED_FAILURES:
+                    failed += 1
+                    continue
+                except Exception as error:  # noqa: BLE001 — the contract check
+                    print(
+                        f"CONTRACT VIOLATION: {name}/{mode} seed {seed} "
+                        f"raised untyped {type(error).__name__}: {error}"
+                    )
+                    violations += 1
+                    continue
+                if answer.to_pairs() == reference:
+                    exact += 1
+                else:
+                    print(
+                        f"CONTRACT VIOLATION: {name}/{mode} seed {seed} "
+                        "returned a WRONG ANSWER"
+                    )
+                    violations += 1
+            print(f"{name:<12} {mode:<6} {exact:>6} {failed:>10}")
+            if name in ("clean", "latency") and exact != len(SEEDS):
+                print(
+                    f"CONTRACT VIOLATION: {name}/{mode} must always "
+                    "produce the exact answer"
+                )
+                violations += 1
+    if violations:
+        print(f"{violations} chaos contract violation(s)")
+        return 1
+    print("chaos contract holds: exact answer or typed error, every run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,9 +8,15 @@
 #      even when the optional linters are absent)
 #   4. the query lint: semantic analysis of every query text shipped
 #      in examples/ and workloads/ (scripts/check_queries.py)
-#   5. the tier-1 test suite
+#   5. the tier-1 test suite (with per-test timeouts when the
+#      pytest-timeout plugin is installed; a SIGALRM watchdog in
+#      tests/conftest.py covers minimal containers without it)
 #   6. a smoke-sized run of the batch-vs-row execution benchmark
 #      (asserts identical answers and a minimum batch speedup)
+#   7. the chaos smoke job: every storage fault class x both executors
+#      must yield the exact answer or a typed error, never a wrong one
+#   8. a smoke-sized run of the guard-overhead benchmark (an attached
+#      but idle QueryGuard must cost <5% mean wall clock)
 #
 # Missing optional tools are skipped with a notice, not an error, so
 # the script works in minimal containers.
@@ -48,10 +54,25 @@ run_step "compileall" python -m compileall -q src
 
 run_step "query lint" python scripts/check_queries.py
 
-run_step "tier-1 tests" env PYTHONPATH=src python -m pytest -x -q
+# Per-test timeouts guard against hangs in the chaos suite; only pass
+# the flag when the plugin is importable (pip install .[test]).
+timeout_args=()
+if python -c "import pytest_timeout" >/dev/null 2>&1; then
+    timeout_args=(--timeout=120)
+else
+    echo "==> pytest-timeout not installed; using the conftest SIGALRM watchdog"
+fi
+
+run_step "tier-1 tests" env PYTHONPATH=src \
+    python -m pytest -x -q "${timeout_args[@]}"
 
 run_step "batch speedup smoke" env PYTHONPATH=src \
     python benchmarks/bench_batch_speedup.py --smoke
+
+run_step "chaos smoke" env PYTHONPATH=src python scripts/chaos_smoke.py
+
+run_step "guard overhead smoke" env PYTHONPATH=src \
+    python benchmarks/bench_guard_overhead.py --smoke
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} check(s) failed"

@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import Optional, Sequence as PySequence
 
-from repro.errors import ParseError, ReproError, SemanticError
+from repro.errors import ParseError, ReproError, SemanticError, StorageError
 from repro.analysis import (
     Severity,
     SourceDiagnostic,
@@ -38,11 +38,17 @@ from repro.analysis import (
     verify_query,
 )
 from repro.catalog import Catalog
-from repro.execution import DEFAULT_BATCH_SIZE, EXECUTION_MODES, run_query_detailed
+from repro.execution import (
+    DEFAULT_BATCH_SIZE,
+    EXECUTION_MODES,
+    QueryGuard,
+    run_query_detailed,
+)
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
 from repro.optimizer import optimize
+from repro.storage import FAULT_KINDS, FaultPlan, StoredSequence
 
 #: --help epilog shared by every static-analysis subcommand.
 _EXIT_CODE_HELP = (
@@ -110,6 +116,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=20,
         help="print at most this many answer rows (default 20; 0 = all)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="abort the query after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--max-pages",
+        type=int,
+        metavar="N",
+        help="abort the query after reading more than N disk pages",
+    )
+    parser.add_argument(
+        "--max-records",
+        type=int,
+        metavar="N",
+        help="abort the query after emitting more than N records",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="store loaded sequences on a fault-injecting disk, e.g. "
+        "'seed=7,transient=0.05,corrupt=0.01' "
+        f"(rates for {', '.join(FAULT_KINDS)}; plus latency_ticks)",
+    )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="on a batch-path internal failure, re-run the query on the "
+        "row-path oracle instead of failing",
     )
     return parser
 
@@ -303,14 +340,39 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
 
     try:
         catalog = Catalog()
+        stored: list[StoredSequence] = []
         for spec in args.load:
             name, path, poscol = _parse_load(spec)
             sequence = read_csv(path, position_column=poscol)
+            if args.fault_plan is not None:
+                # Every sequence gets its own plan so fault traces stay
+                # per-disk; the shared spec keeps them one-seed-reproducible.
+                try:
+                    plan = FaultPlan.parse(args.fault_plan)
+                except StorageError as error:
+                    raise _UsageError(f"--fault-plan: {error}") from error
+                faulty = StoredSequence.from_sequence(
+                    name, sequence, fault_plan=plan
+                )
+                stored.append(faulty)
+                sequence = faulty
             catalog.register(name, sequence)
             info = catalog.get(name).info
             print(
                 f"loaded {name}: span {info.span}, density {info.density:.3f}",
                 file=out,
+            )
+
+        guard = None
+        if (
+            args.timeout is not None
+            or args.max_pages is not None
+            or args.max_records is not None
+        ):
+            guard = QueryGuard(
+                timeout=args.timeout,
+                max_pages=args.max_pages,
+                max_records=args.max_records,
             )
 
         query = compile_query(args.query, catalog)
@@ -321,6 +383,8 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             catalog=catalog,
             mode=args.mode,
             batch_size=args.batch_size,
+            guard=guard,
+            fallback=args.fallback,
         )
 
         if args.explain:
@@ -334,6 +398,25 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             else:
                 mode_line = "execution mode: row (record-at-a-time)"
             print(mode_line, file=out)
+            if guard is not None:
+                print(f"guard: {guard!r}", file=out)
+            if result.counters.fallbacks_taken:
+                print(
+                    f"fallbacks taken: {result.counters.fallbacks_taken} "
+                    "(batch path failed; answer from the row-path oracle)",
+                    file=out,
+                )
+            for seq in stored:
+                c = seq.counters
+                print(
+                    f"storage[{seq.name}]: {c.page_reads} page reads, "
+                    f"{c.buffer_evictions} evictions, "
+                    f"{c.faults_injected} faults injected, "
+                    f"{c.retries_attempted} retries "
+                    f"({c.retries_exhausted} exhausted), "
+                    f"{c.corrupt_pages_detected} corrupt pages detected",
+                    file=out,
+                )
 
         if args.naive:
             reference = query.run_naive(result.optimization.plan.output_span)

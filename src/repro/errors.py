@@ -40,8 +40,108 @@ class ExecutionError(ReproError):
     """A physical plan failed during evaluation."""
 
 
+class QueryGuardError(ExecutionError):
+    """A query was stopped by its :class:`~repro.execution.guard.QueryGuard`.
+
+    Base class for the three guard verdicts.  Guard errors are not
+    internal failures — they are the governor doing its job — so the
+    batch→row fallback never swallows them.
+
+    Attributes:
+        records_emitted: records the root had produced when the guard
+            stopped the query (work completed so far).
+    """
+
+    def __init__(self, message: str, records_emitted: int = 0):
+        super().__init__(message)
+        self.records_emitted = records_emitted
+
+
+class QueryTimeoutError(QueryGuardError):
+    """The query exceeded its wall-clock deadline.
+
+    Attributes:
+        timeout_seconds: the configured deadline.
+        elapsed_seconds: wall-clock time when the guard tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        timeout_seconds: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        records_emitted: int = 0,
+    ):
+        super().__init__(message, records_emitted=records_emitted)
+        self.timeout_seconds = timeout_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class QueryCancelledError(QueryGuardError):
+    """The query's cooperative cancellation token was triggered."""
+
+
+class ResourceBudgetExceededError(QueryGuardError):
+    """The query exceeded one of its hard resource budgets.
+
+    Attributes:
+        budget: which budget was violated — ``"records_emitted"``,
+            ``"pages_read"`` or ``"cache_entries"``.
+        limit: the configured budget.
+        used: the observed value that exceeded it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: str = "",
+        limit: int = 0,
+        used: int = 0,
+        records_emitted: int = 0,
+    ):
+        super().__init__(message, records_emitted=records_emitted)
+        self.budget = budget
+        self.limit = limit
+        self.used = used
+
+
 class StorageError(ReproError):
     """A failure in the paged storage substrate."""
+
+
+class TransientStorageError(StorageError):
+    """A storage fault that may succeed if the access is retried.
+
+    Raised by the fault-injection layer (:mod:`repro.storage.faults`)
+    for flaky-read faults; the buffer pool's
+    :class:`~repro.storage.faults.RetryPolicy` retries these before
+    giving up and re-raising.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A storage fault that no number of retries can clear.
+
+    E.g. a lost page.  Never retried: the error surfaces to the query
+    immediately.
+    """
+
+
+class CorruptPageError(PermanentStorageError):
+    """A page's content no longer matches its checksum.
+
+    Corruption is *detected*, never silently returned: every disk read
+    re-validates the page checksum (:meth:`repro.storage.page.Page.verify`)
+    and raises this error on mismatch.  A corrupt page stays corrupt, so
+    the error is permanent and is not retried.
+
+    Attributes:
+        page_id: the id of the corrupt page, or -1 if unknown.
+    """
+
+    def __init__(self, message: str, page_id: int = -1):
+        super().__init__(message)
+        self.page_id = page_id
 
 
 class CatalogError(ReproError):

@@ -9,6 +9,12 @@ from repro.execution.engine import (
     execute_plan,
     run_query,
     run_query_detailed,
+    validate_execution_args,
+)
+from repro.execution.guard import (
+    DEFAULT_CHECK_STRIDE,
+    CancellationToken,
+    QueryGuard,
 )
 from repro.execution.naive import OperatorView, build_views, evaluate_naive
 from repro.execution.probers import Prober, ProberSequence, build_prober
@@ -22,11 +28,14 @@ from repro.execution.sliding import (
 from repro.execution.streams import build_stream
 
 __all__ = [
+    "CancellationToken",
     "CumulativeAggregator",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CHECK_STRIDE",
     "EXECUTION_MODES",
     "ExecutionCounters",
     "FifoCache",
+    "QueryGuard",
     "MonotonicAggregator",
     "OperatorView",
     "Prober",
@@ -43,4 +52,5 @@ __all__ = [
     "make_sliding",
     "run_query",
     "run_query_detailed",
+    "validate_execution_args",
 ]

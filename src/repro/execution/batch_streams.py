@@ -49,6 +49,7 @@ from repro.algebra.expressions import compile_filter
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.offsets import ValueOffset
 from repro.execution.counters import ExecutionCounters
+from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
 from repro.execution.sliding import CumulativeAggregator, make_sliding
 from repro.optimizer.plans import PhysicalPlan
@@ -64,6 +65,7 @@ def build_batch_stream(
     window: Span,
     counters: ExecutionCounters,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """Construct the batch iterator for a stream-mode plan node.
 
@@ -73,6 +75,10 @@ def build_batch_stream(
             intersected with the plan's own span.
         counters: execution counters charged as work happens.
         batch_size: maximum positions covered per emitted batch.
+        guard: optional per-query resource governor, checked at every
+            batch boundary (and per tile in the position-looping
+            operators) so deadline, cancellation, and budgets are
+            observed between batches.
 
     The same top-down span discipline as row mode applies: child
     streams are opened over the *children's plan spans* (the optimizer's
@@ -87,15 +93,21 @@ def build_batch_stream(
     builder = _BUILDERS.get(plan.kind)
     if builder is None:
         raise ExecutionError(f"plan kind {plan.kind!r} cannot run in batch mode")
-    return builder(plan, window, counters, batch_size)
+    return builder(plan, window, counters, batch_size, guard)
 
 
-def _finish(counters: ExecutionCounters, batch: ColumnBatch) -> ColumnBatch:
-    """Charge per-batch counters for an emitted batch."""
+def _finish(
+    counters: ExecutionCounters,
+    batch: ColumnBatch,
+    guard: Optional[QueryGuard] = None,
+) -> ColumnBatch:
+    """Charge per-batch counters for an emitted batch (a guard checkpoint)."""
     rows = batch.count_valid()
     counters.operator_records += rows
     counters.batches_built += 1
     counters.batch_rows += rows
+    if guard is not None:
+        guard.checkpoint()
     return batch
 
 
@@ -212,7 +224,11 @@ class _BatchCursor:
 
 
 def _scan(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     leaf = plan.node
     if isinstance(leaf, SequenceLeaf):
@@ -249,7 +265,7 @@ def _scan(
                     for c in range(ncols):
                         columns[c][index] = values[c]
             i = j
-            yield _finish(counters, ColumnBatch(schema, start, columns, valid))
+            yield _finish(counters, ColumnBatch(schema, start, columns, valid), guard)
         return
     items = source.iter_nonnull(window)
     item = next(items, None)
@@ -277,14 +293,18 @@ def _scan(
                 valid[index] = True
                 for c in range(ncols):
                     columns[c][index] = values[c]
-        yield _finish(counters, ColumnBatch(schema, start, columns, valid))
+        yield _finish(counters, ColumnBatch(schema, start, columns, valid), guard)
 
 
 # -- unit-operation chains ---------------------------------------------------
 
 
 def _chain(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     shift = sum(step.offset for step in plan.steps if step.kind == "shift")
     child_plan = plan.children[0]
@@ -303,7 +323,7 @@ def _chain(
         elif step.kind == "rename":
             schema = step.schema
     out_schema = plan.schema
-    for batch in build_batch_stream(child_plan, child_window, counters, batch_size):
+    for batch in build_batch_stream(child_plan, child_window, counters, batch_size, guard):
         columns = batch.columns
         valid = batch.valid
         for kind, payload in ops:
@@ -314,7 +334,9 @@ def _chain(
                 columns = [columns[i] for i in payload]
         if True in valid:
             yield _finish(
-                counters, ColumnBatch(out_schema, batch.start - shift, columns, valid)
+                counters,
+                ColumnBatch(out_schema, batch.start - shift, columns, valid),
+                guard,
             )
 
 
@@ -322,13 +344,17 @@ def _chain(
 
 
 def _lockstep(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """Join-Strategy-B: merge both inputs in lock step, batch-aligned."""
     left_plan, right_plan = plan.children
-    left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size)
+    left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size, guard)
     right_cursor = _BatchCursor(
-        build_batch_stream(right_plan, right_plan.span, counters, batch_size),
+        build_batch_stream(right_plan, right_plan.span, counters, batch_size, guard),
         len(right_plan.schema),
     )
     predicate = (
@@ -353,6 +379,7 @@ def _lockstep(
                 yield _finish(
                     counters,
                     ColumnBatch(plan.schema, batch.start, batch.columns, valid),
+                    guard,
                 )
         if right_cursor.exhausted:
             # The merge ends when either input does, as in row mode.
@@ -364,11 +391,12 @@ def _probe_side(
     window: Span,
     counters: ExecutionCounters,
     batch_size: int,
+    guard: Optional[QueryGuard],
     driver_index: int,
 ) -> BatchStream:
     """Join-Strategy-A: stream one input in batches, probe the other."""
     probed_index = 1 - driver_index
-    prober = build_prober(plan.children[probed_index], counters)
+    prober = build_prober(plan.children[probed_index], counters, guard)
     driver_plan = plan.children[driver_index]
     probed_ncols = len(plan.children[probed_index].schema)
     predicate = (
@@ -377,7 +405,7 @@ def _probe_side(
         else None
     )
     driver_stream = build_batch_stream(
-        driver_plan, driver_plan.span, counters, batch_size
+        driver_plan, driver_plan.span, counters, batch_size, guard
     )
     for raw in driver_stream:
         # Probe only in-window driver positions, exactly as row mode
@@ -406,36 +434,50 @@ def _probe_side(
             counters.predicate_evals += valid.count(True)
             valid = predicate(columns, valid)
         if True in valid:
-            yield _finish(counters, ColumnBatch(plan.schema, start, columns, valid))
+            yield _finish(counters, ColumnBatch(plan.schema, start, columns, valid), guard)
 
 
 def _stream_probe(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """Join-Strategy-A: stream the left input, probe the right."""
-    return _probe_side(plan, window, counters, batch_size, driver_index=0)
+    return _probe_side(plan, window, counters, batch_size, guard, driver_index=0)
 
 
 def _probe_stream(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
-    return _probe_side(plan, window, counters, batch_size, driver_index=1)
+    return _probe_side(plan, window, counters, batch_size, guard, driver_index=1)
 
 
 # -- non-unit-scope unary operators ------------------------------------------
 
 
 def _naive_unary(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """Forced-naive strategy: the operator's ``value_at`` over a prober."""
-    prober = build_prober(plan.children[0], counters)
+    prober = build_prober(plan.children[0], counters, guard)
     source = ProberSequence(prober)
     op = plan.node
     schema = plan.schema
     ncols = len(schema)
     for lo, hi in _tiles(window, batch_size):
+        if guard is not None:
+            guard.checkpoint()
         n = hi - lo + 1
         columns: list[list] = [[None] * n for _ in range(ncols)]
         valid = [False] * n
@@ -449,11 +491,15 @@ def _naive_unary(
             for c in range(ncols):
                 columns[c][index] = values[c]
         if True in valid:
-            yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+            yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
 
 
 def _window_agg(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, WindowAggregate):
@@ -466,7 +512,7 @@ def _window_agg(
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     items = _iter_column(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size),
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard),
         attr_index,
     )
     pending = next(items, None)
@@ -474,6 +520,8 @@ def _window_agg(
     as_float = plan.schema.attributes[0].atype is AtomType.FLOAT
     width = op.width
     for lo, hi in _tiles(window, batch_size):
+        if guard is not None:
+            guard.checkpoint()
         n = hi - lo + 1
         out: list = [None] * n
         valid = [False] * n
@@ -488,11 +536,15 @@ def _window_agg(
                 out[index] = float(value) if as_float else value
                 valid[index] = True
         if True in valid:
-            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid))
+            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid), guard)
 
 
 def _value_offset(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, ValueOffset):
@@ -509,11 +561,13 @@ def _value_offset(
 
     if op.looks_back:
         items = _iter_values(
-            build_batch_stream(child_plan, child_plan.span, counters, batch_size)
+            build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard)
         )
         pending = next(items, None)
         buffer: deque[tuple[int, tuple]] = deque()
         for lo, hi in _tiles(window, batch_size):
+            if guard is not None:
+                guard.checkpoint()
             n = hi - lo + 1
             columns: list[list] = [[None] * n for _ in range(ncols)]
             valid = [False] * n
@@ -532,16 +586,18 @@ def _value_offset(
                     for c in range(ncols):
                         columns[c][index] = values[c]
             if True in valid:
-                yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+                yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
         return
 
     # Looking forward (Next and +k offsets): a reach-sized lookahead.
     items = _iter_values(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size)
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard)
     )
     buffer = deque()
     exhausted = False
     for lo, hi in _tiles(window, batch_size):
+        if guard is not None:
+            guard.checkpoint()
         n = hi - lo + 1
         columns = [[None] * n for _ in range(ncols)]
         valid = [False] * n
@@ -565,11 +621,15 @@ def _value_offset(
                 for c in range(ncols):
                     columns[c][index] = values[c]
         if True in valid:
-            yield _finish(counters, ColumnBatch(schema, lo, columns, valid))
+            yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
 
 
 def _cumulative(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, CumulativeAggregate):
@@ -580,13 +640,15 @@ def _cumulative(
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     items = _iter_column(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size),
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard),
         attr_index,
     )
     pending = next(items, None)
     running = CumulativeAggregator(op.func)
     as_float = plan.schema.attributes[0].atype is AtomType.FLOAT
     for lo, hi in _tiles(window, batch_size):
+        if guard is not None:
+            guard.checkpoint()
         n = hi - lo + 1
         out: list = [None] * n
         valid = [False] * n
@@ -601,11 +663,15 @@ def _cumulative(
                 out[index] = float(value) if as_float else value
                 valid[index] = True
         if True in valid:
-            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid))
+            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid), guard)
 
 
 def _global_agg(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, GlobalAggregate):
@@ -613,7 +679,7 @@ def _global_agg(
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     values: list = []
-    for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size):
+    for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard):
         column = batch.columns[attr_index]
         for i, ok in enumerate(batch.valid):
             if ok:
@@ -624,17 +690,23 @@ def _global_agg(
     if plan.schema.attributes[0].atype is AtomType.FLOAT:
         result = float(result)
     for lo, hi in _tiles(window, batch_size):
+        if guard is not None:
+            guard.checkpoint()
         n = hi - lo + 1
         yield _finish(
-            counters, ColumnBatch(plan.schema, lo, [[result] * n], [True] * n)
+            counters, ColumnBatch(plan.schema, lo, [[result] * n], [True] * n), guard
         )
 
 
 def _materialize(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters, batch_size: int
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard] = None,
 ) -> BatchStream:
     """A materialize node in a stream context simply forwards its child."""
-    yield from build_batch_stream(plan.children[0], window, counters, batch_size)
+    yield from build_batch_stream(plan.children[0], window, counters, batch_size, guard)
 
 
 _BUILDERS = {

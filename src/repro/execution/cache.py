@@ -15,6 +15,7 @@ from typing import Optional
 from repro.errors import ExecutionError
 from repro.model.record import Record
 from repro.execution.counters import ExecutionCounters
+from repro.execution.guard import QueryGuard
 
 
 class FifoCache:
@@ -24,12 +25,16 @@ class FifoCache:
         capacity: maximum entries; None means unbounded (used only by
             non-cache-finite strategies such as materialization).
         counters: execution counters charged for each operation.
+        guard: optional per-query governor; every operation is a loop
+            checkpoint, and occupancy is charged against the guard's
+            cache-entries budget.
     """
 
     def __init__(
         self,
         capacity: Optional[int] = None,
         counters: Optional[ExecutionCounters] = None,
+        guard: Optional[QueryGuard] = None,
     ):
         if capacity is not None and capacity < 1:
             raise ExecutionError(f"cache capacity must be >= 1, got {capacity}")
@@ -37,11 +42,15 @@ class FifoCache:
         self._entries: deque[tuple[int, Record]] = deque()
         self._by_position: dict[int, Record] = {}
         self._counters = counters
+        self._guard = guard
 
     def _charge(self) -> None:
         if self._counters is not None:
             self._counters.cache_ops += 1
             self._counters.note_occupancy(len(self._entries))
+        if self._guard is not None:
+            self._guard.note_cache(len(self._entries))
+            self._guard.tick()
 
     @property
     def capacity(self) -> Optional[int]:

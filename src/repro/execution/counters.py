@@ -31,6 +31,9 @@ class ExecutionCounters:
         batch_rows: valid records carried by those batches; the mean
             ``batch_rows / batches_built`` is the realized batch
             density.
+        fallbacks_taken: batch-path internal failures recovered by
+            re-running the query on the row-path oracle (the engine's
+            opt-in graceful degradation).
     """
 
     scans_opened: int = 0
@@ -42,11 +45,23 @@ class ExecutionCounters:
     operator_records: int = 0
     batches_built: int = 0
     batch_rows: int = 0
+    fallbacks_taken: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         for f in fields(self):
             setattr(self, f.name, 0)
+
+    def snapshot(self) -> "ExecutionCounters":
+        """An immutable copy of the current counts."""
+        return ExecutionCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def restore(self, snapshot: "ExecutionCounters") -> None:
+        """Reset every counter to a snapshot's values."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(snapshot, f.name))
 
     def note_occupancy(self, occupancy: int) -> None:
         """Record a cache occupancy observation."""

@@ -5,6 +5,13 @@ induces a stream access on the root of a physical plan and materializes
 the answer.  ``run_query`` is the one-call entry point: optimize, then
 execute, optionally returning the optimizer output and the execution
 counters alongside the answer.
+
+Robustness hooks (DESIGN §9): both entry points validate their knobs
+before any work or counter mutation happens, accept a
+:class:`~repro.execution.guard.QueryGuard` for per-query deadlines,
+cancellation, and resource budgets, and offer an opt-in graceful
+degradation — a batch-path internal failure re-runs the query on the
+row-path oracle, counted in ``ExecutionCounters.fallbacks_taken``.
 """
 
 from __future__ import annotations
@@ -13,11 +20,12 @@ from dataclasses import dataclass
 from itertools import compress, repeat
 from typing import Optional
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryGuardError, StorageError
 from repro.model.base import BaseSequence
 from repro.model.record import Record
 from repro.model.span import Span
 from repro.algebra.graph import Query
+from repro.algebra.leaves import SequenceLeaf
 from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
 from repro.optimizer.costmodel import CostParams
@@ -25,10 +33,97 @@ from repro.optimizer.optimizer import OptimizationResult, optimize
 from repro.optimizer.plans import PhysicalPlan
 from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
 from repro.execution.counters import ExecutionCounters
+from repro.execution.guard import QueryGuard
 from repro.execution.streams import build_stream
+from repro.storage.counters import StorageCounters
 
 #: Execution modes understood by :func:`execute_plan`.
 EXECUTION_MODES = ("batch", "row")
+
+
+def validate_execution_args(
+    mode: str, batch_size: int, guard: Optional[QueryGuard]
+) -> None:
+    """Reject bad execution knobs at the entry-point boundary.
+
+    Called by :func:`execute_plan` and :func:`run_query_detailed`
+    *before* any optimization, work, or counter mutation, so a bad knob
+    can never leave partial state behind.
+
+    Raises:
+        ExecutionError: for an unknown mode, a non-positive or
+            non-integer batch size, or a guard with nonsensical budgets.
+    """
+    if mode not in EXECUTION_MODES:
+        raise ExecutionError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise ExecutionError(
+            f"batch size must be a positive integer, got {batch_size!r}"
+        )
+    if batch_size < 1:
+        raise ExecutionError(f"batch size must be >= 1, got {batch_size}")
+    if guard is not None:
+        guard.validate()
+
+
+def _watch_plan_storage(plan: PhysicalPlan, guard: QueryGuard) -> None:
+    """Register every stored base sequence's disk counters with the guard."""
+    leaf = plan.node
+    if isinstance(leaf, SequenceLeaf):
+        counters = getattr(leaf.sequence, "counters", None)
+        if isinstance(counters, StorageCounters):
+            guard.watch_storage(counters)
+    for child in plan.children:
+        _watch_plan_storage(child, guard)
+
+
+def _run_batch(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard],
+) -> list:
+    """Materialize the batch-mode answer as ``(position, record)`` pairs."""
+    schema = plan.schema
+    unchecked = Record.unchecked
+    pairs: list = []
+    for batch in build_batch_stream(plan, window, counters, batch_size, guard):
+        emitted = batch.count_valid()
+        counters.records_emitted += emitted
+        if guard is not None:
+            guard.note_records(emitted)
+        if not batch.columns:
+            pairs.extend(batch.iter_items())
+            continue
+        # Transpose whole columns back to value tuples and pair them
+        # with their positions entirely in C (zip/map/compress).
+        valid = batch.valid
+        rows = zip(*batch.columns)
+        positions = range(batch.start, batch.start + len(valid))
+        if emitted != len(valid):
+            rows = compress(rows, valid)
+            positions = compress(positions, valid)
+        pairs.extend(zip(positions, map(unchecked, repeat(schema), rows)))
+    return pairs
+
+
+def _run_row(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard],
+) -> list:
+    """Materialize the row-mode answer as ``(position, record)`` pairs."""
+    pairs: list = []
+    for position, record in build_stream(plan, window, counters, guard):
+        counters.records_emitted += 1
+        if guard is not None:
+            guard.note_records(1)
+        pairs.append((position, record))
+    return pairs
 
 
 def execute_plan(
@@ -38,6 +133,8 @@ def execute_plan(
     *,
     mode: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    guard: Optional[QueryGuard] = None,
+    fallback: bool = False,
 ) -> BaseSequence:
     """Run a stream-mode plan and materialize its output.
 
@@ -49,11 +146,16 @@ def execute_plan(
             ``"row"`` runs the record-at-a-time executor, kept as the
             semantics oracle.  Both produce identical answers.
         batch_size: positions covered per batch in batch mode.
+        guard: per-query governor (deadline, cancellation, budgets);
+            checked at batch boundaries and row-loop checkpoints.
+        fallback: opt-in graceful degradation — if the batch path fails
+            with an internal :class:`~repro.errors.ExecutionError` or a
+            :class:`~repro.errors.StorageError`, restore the execution
+            counters, charge one ``fallbacks_taken``, and re-run on the
+            row-path oracle.  Guard verdicts are never swallowed, and
+            the guard's clock keeps running across the rerun.
     """
-    if mode not in EXECUTION_MODES:
-        raise ExecutionError(
-            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
-        )
+    validate_execution_args(mode, batch_size, guard)
     window = plan.span if span is None else span.intersect(plan.span)
     if not window.is_bounded:
         raise ExecutionError(f"cannot execute over unbounded span {window}")
@@ -61,31 +163,33 @@ def execute_plan(
     # violates the cache-finiteness or cost-sanity invariants.
     hooks.verify_plan_hook(plan)
     counters = counters if counters is not None else ExecutionCounters()
-    schema = plan.schema
-    pairs: list = []
+    if guard is not None:
+        guard.start()
+        guard.watch_execution(counters)
+        _watch_plan_storage(plan, guard)
     if mode == "batch":
-        unchecked = Record.unchecked
-        for batch in build_batch_stream(plan, window, counters, batch_size):
-            counters.records_emitted += batch.count_valid()
-            if not batch.columns:
-                pairs.extend(batch.iter_items())
-                continue
-            # Transpose whole columns back to value tuples and pair them
-            # with their positions entirely in C (zip/map/compress).
-            valid = batch.valid
-            rows = zip(*batch.columns)
-            positions = range(batch.start, batch.start + len(valid))
-            if batch.count_valid() != len(valid):
-                rows = compress(rows, valid)
-                positions = compress(positions, valid)
-            pairs.extend(zip(positions, map(unchecked, repeat(schema), rows)))
+        snapshot = counters.snapshot()
+        guard_records = guard.records_emitted if guard is not None else 0
+        try:
+            pairs = _run_batch(plan, window, counters, batch_size, guard)
+        except QueryGuardError:
+            raise
+        except (ExecutionError, StorageError):
+            if not fallback:
+                raise
+            # Graceful degradation: forget the failed attempt's engine
+            # accounting (the storage counters keep their real I/O) and
+            # re-run on the row-path oracle.
+            counters.restore(snapshot)
+            counters.fallbacks_taken += 1
+            if guard is not None:
+                guard.rewind_records(guard_records)
+            pairs = _run_row(plan, window, counters, guard)
     else:
-        for position, record in build_stream(plan, window, counters):
-            counters.records_emitted += 1
-            pairs.append((position, record))
+        pairs = _run_row(plan, window, counters, guard)
     # Stream evaluations emit unique ascending positions with records of
     # the plan's schema, so the output skips per-item revalidation.
-    return BaseSequence.unchecked(schema, pairs, span=window)
+    return BaseSequence.unchecked(plan.schema, pairs, span=window)
 
 
 @dataclass
@@ -114,8 +218,13 @@ def run_query_detailed(
     restrict_spans: bool = True,
     mode: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    guard: Optional[QueryGuard] = None,
+    fallback: bool = False,
 ) -> RunResult:
     """Optimize and execute ``query``, returning answer + diagnostics."""
+    # Fail on bad knobs before the optimizer runs: no plan, no counters,
+    # no storage access happen for a query that could never execute.
+    validate_execution_args(mode, batch_size, guard)
     optimization = optimize(
         query,
         catalog=catalog,
@@ -132,6 +241,8 @@ def run_query_detailed(
         counters,
         mode=mode,
         batch_size=batch_size,
+        guard=guard,
+        fallback=fallback,
     )
     return RunResult(output=output, optimization=optimization, counters=counters)
 
@@ -146,6 +257,8 @@ def run_query(
     restrict_spans: bool = True,
     mode: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    guard: Optional[QueryGuard] = None,
+    fallback: bool = False,
 ) -> BaseSequence:
     """Optimize and execute ``query``, returning just the answer."""
     return run_query_detailed(
@@ -158,4 +271,6 @@ def run_query(
         restrict_spans=restrict_spans,
         mode=mode,
         batch_size=batch_size,
+        guard=guard,
+        fallback=fallback,
     ).output

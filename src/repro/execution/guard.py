@@ -1,0 +1,275 @@
+"""Per-query resource governance.
+
+A :class:`QueryGuard` carries everything the engine needs to stop a
+query that misbehaves: a wall-clock deadline, a cooperative
+:class:`CancellationToken`, and hard budgets on cache entries, pages
+read, and records emitted.  The executors call back into the guard at
+natural pause points — batch boundaries in batch mode, stride-counted
+record ticks in row mode, cache operations in the operator caches — and
+the guard raises a typed error naming the violated limit and the work
+completed so far.
+
+The guard complements the static cache-finiteness verifier (Theorem
+3.1): the verifier proves a plan's caches are bounded *before* running
+it; the guard enforces hard ceilings *while* running it, so even a plan
+the verifier could not see through (or a storage layer misbehaving
+under faults) cannot run forever or allocate without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import (
+    ExecutionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceBudgetExceededError,
+)
+from repro.execution.counters import ExecutionCounters
+from repro.storage.counters import StorageCounters
+
+#: Row-mode records between two full guard checkpoints (amortizes the
+#: checkpoint cost to well under the <5% overhead budget).
+DEFAULT_CHECK_STRIDE = 256
+
+
+class CancellationToken:
+    """A cooperative, thread-safe cancellation flag.
+
+    Another thread (or a signal handler) calls :meth:`cancel`; the
+    executing query observes it at its next guard checkpoint and stops
+    with a :class:`~repro.errors.QueryCancelledError`.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+class QueryGuard:
+    """Deadline, cancellation, and hard resource budgets for one query.
+
+    Args:
+        timeout: wall-clock budget in seconds (None = no deadline).
+            The clock starts at :meth:`start`, which the engine calls
+            once per query — a batch→row fallback rerun does *not*
+            restart it.
+        cancellation: cooperative cancellation token, observed at every
+            checkpoint.
+        max_cache_entries: ceiling on the peak occupancy of any single
+            operator cache (Theorem 3.1's quantity, observed via the
+            execution counters).
+        max_pages: ceiling on pages read from the simulated disks of
+            the base sequences the plan scans or probes.
+        max_records: ceiling on records the root may emit.
+        check_stride: row-mode ticks between full checkpoints.
+        clock: time source (injectable for deterministic tests).
+
+    A guard is single-query state: create a fresh one per run (reusing
+    one across queries keeps the first query's clock and record count).
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        cancellation: Optional[CancellationToken] = None,
+        max_cache_entries: Optional[int] = None,
+        max_pages: Optional[int] = None,
+        max_records: Optional[int] = None,
+        check_stride: int = DEFAULT_CHECK_STRIDE,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.timeout = timeout
+        self.cancellation = cancellation
+        self.max_cache_entries = max_cache_entries
+        self.max_pages = max_pages
+        self.max_records = max_records
+        self.check_stride = check_stride
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._deadline: Optional[float] = None
+        self._ticks = 0
+        self._records = 0
+        self._watched_storage: list[tuple[StorageCounters, int]] = []
+        self._watched_execution: Optional[ExecutionCounters] = None
+
+    # -- validation (the execute_plan/run_query boundary) --------------------
+
+    def validate(self) -> None:
+        """Reject nonsensical budgets before any work happens.
+
+        Raises:
+            ExecutionError: for a non-positive timeout, budget, or
+                stride.
+        """
+        if self.timeout is not None and not self.timeout > 0:
+            raise ExecutionError(
+                f"guard timeout must be > 0 seconds, got {self.timeout!r}"
+            )
+        for label, value in (
+            ("max_cache_entries", self.max_cache_entries),
+            ("max_pages", self.max_pages),
+            ("max_records", self.max_records),
+        ):
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ExecutionError(
+                    f"guard {label} must be a positive integer, got {value!r}"
+                )
+        if self.check_stride < 1:
+            raise ExecutionError(
+                f"guard check_stride must be >= 1, got {self.check_stride!r}"
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the wall clock (idempotent: fallback reruns share it)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+            if self.timeout is not None:
+                self._deadline = self._started_at + self.timeout
+
+    def watch_storage(self, counters: StorageCounters) -> None:
+        """Charge this disk's future page reads against ``max_pages``."""
+        if all(existing is not counters for existing, _ in self._watched_storage):
+            self._watched_storage.append((counters, counters.page_reads))
+
+    def watch_execution(self, counters: ExecutionCounters) -> None:
+        """Observe cache occupancy through these execution counters."""
+        self._watched_execution = counters
+
+    @property
+    def records_emitted(self) -> int:
+        """Records the root has emitted so far."""
+        return self._records
+
+    def rewind_records(self, count: int) -> None:
+        """Reset emitted-record progress (batch→row fallback rerun)."""
+        self._records = count
+
+    def pages_read(self) -> int:
+        """Pages read by watched disks since the guard started watching."""
+        return sum(
+            counters.page_reads - baseline
+            for counters, baseline in self._watched_storage
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Full check: cancellation, deadline, pages and cache budgets.
+
+        Raises:
+            QueryCancelledError: the token was cancelled.
+            QueryTimeoutError: the deadline has passed.
+            ResourceBudgetExceededError: a watched budget is exceeded.
+        """
+        if self.cancellation is not None and self.cancellation.cancelled:
+            raise QueryCancelledError(
+                f"query cancelled after {self._records} records",
+                records_emitted=self._records,
+            )
+        if self._deadline is not None:
+            now = self._clock()
+            if now > self._deadline:
+                assert self.timeout is not None and self._started_at is not None
+                raise QueryTimeoutError(
+                    f"query exceeded its {self.timeout:g}s timeout "
+                    f"({now - self._started_at:.3f}s elapsed, "
+                    f"{self._records} records emitted)",
+                    timeout_seconds=self.timeout,
+                    elapsed_seconds=now - self._started_at,
+                    records_emitted=self._records,
+                )
+        if self.max_pages is not None and self._watched_storage:
+            used = self.pages_read()
+            if used > self.max_pages:
+                raise ResourceBudgetExceededError(
+                    f"query read {used} pages, over its budget of "
+                    f"{self.max_pages} ({self._records} records emitted)",
+                    budget="pages_read",
+                    limit=self.max_pages,
+                    used=used,
+                    records_emitted=self._records,
+                )
+        if self.max_cache_entries is not None and self._watched_execution is not None:
+            occupancy = self._watched_execution.max_cache_occupancy
+            if occupancy > self.max_cache_entries:
+                self._cache_budget_error(occupancy)
+
+    def tick(self) -> None:
+        """Cheap per-record checkpoint: full check every ``check_stride``."""
+        self._ticks += 1
+        if self._ticks >= self.check_stride:
+            self._ticks = 0
+            self.checkpoint()
+
+    def note_records(self, count: int) -> None:
+        """Charge ``count`` root emissions against ``max_records``.
+
+        Raises:
+            ResourceBudgetExceededError: the record budget is exceeded.
+        """
+        self._records += count
+        if self.max_records is not None and self._records > self.max_records:
+            raise ResourceBudgetExceededError(
+                f"query emitted {self._records} records, over its budget "
+                f"of {self.max_records}",
+                budget="records_emitted",
+                limit=self.max_records,
+                used=self._records,
+                records_emitted=self._records,
+            )
+
+    def note_cache(self, occupancy: int) -> None:
+        """Immediate cache-budget check (called by operator caches).
+
+        Raises:
+            ResourceBudgetExceededError: the cache budget is exceeded.
+        """
+        if self.max_cache_entries is not None and occupancy > self.max_cache_entries:
+            self._cache_budget_error(occupancy)
+
+    def _cache_budget_error(self, occupancy: int) -> None:
+        raise ResourceBudgetExceededError(
+            f"an operator cache held {occupancy} entries, over the budget "
+            f"of {self.max_cache_entries} ({self._records} records emitted)",
+            budget="cache_entries",
+            limit=self.max_cache_entries or 0,
+            used=occupancy,
+            records_emitted=self._records,
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout:g}s")
+        if self.cancellation is not None:
+            parts.append("cancellable")
+        if self.max_cache_entries is not None:
+            parts.append(f"max_cache_entries={self.max_cache_entries}")
+        if self.max_pages is not None:
+            parts.append(f"max_pages={self.max_pages}")
+        if self.max_records is not None:
+            parts.append(f"max_records={self.max_records}")
+        return f"QueryGuard({', '.join(parts) or 'unlimited'})"

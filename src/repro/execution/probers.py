@@ -20,6 +20,7 @@ from repro.model.sequence import Sequence
 from repro.model.span import Span
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.execution.counters import ExecutionCounters
+from repro.execution.guard import QueryGuard
 from repro.optimizer.plans import PROBE, ChainStep, PhysicalPlan
 
 
@@ -67,7 +68,12 @@ class ProberSequence(Sequence):
 class SourceProber(Prober):
     """Probe a base or constant sequence directly."""
 
-    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        counters: ExecutionCounters,
+        guard: Optional[QueryGuard] = None,
+    ):
         super().__init__(plan.schema, plan.span)
         leaf = plan.node
         if isinstance(leaf, SequenceLeaf):
@@ -77,8 +83,11 @@ class SourceProber(Prober):
         else:
             raise ExecutionError(f"probe-source plan without a leaf node: {plan.kind}")
         self._counters = counters
+        self._guard = guard
 
     def get(self, position: int) -> RecordOrNull:
+        if self._guard is not None:
+            self._guard.tick()
         self._counters.probes_issued += 1
         return self._sequence.get(position)
 
@@ -173,10 +182,16 @@ class NaiveUnaryProber(Prober):
 class GlobalAggProber(Prober):
     """Whole-sequence aggregate: computed once on first probe."""
 
-    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        counters: ExecutionCounters,
+        guard: Optional[QueryGuard] = None,
+    ):
         super().__init__(plan.schema, plan.span)
         self._plan = plan
         self._counters = counters
+        self._guard = guard
         self._computed = False
         self._value: RecordOrNull = NULL
 
@@ -189,7 +204,9 @@ class GlobalAggProber(Prober):
         child_plan = self._plan.children[0]
         records = [
             record
-            for _pos, record in build_stream(child_plan, child_plan.span, self._counters)
+            for _pos, record in build_stream(
+                child_plan, child_plan.span, self._counters, self._guard
+            )
         ]
         self._value = node._aggregate(records)  # noqa: SLF001 - engine-internal
         self._computed = True
@@ -209,10 +226,16 @@ class MaterializeProber(Prober):
     is a dictionary lookup (charged as a cache operation).
     """
 
-    def __init__(self, plan: PhysicalPlan, counters: ExecutionCounters):
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        counters: ExecutionCounters,
+        guard: Optional[QueryGuard] = None,
+    ):
         super().__init__(plan.schema, plan.span)
         self._plan = plan
         self._counters = counters
+        self._guard = guard
         self._table: Optional[dict[int, Record]] = None
 
     def _build(self) -> None:
@@ -220,9 +243,16 @@ class MaterializeProber(Prober):
 
         child_plan = self._plan.children[0]
         self._table = {}
-        for position, record in build_stream(child_plan, child_plan.span, self._counters):
+        guard = self._guard
+        for position, record in build_stream(
+            child_plan, child_plan.span, self._counters, guard
+        ):
             self._table[position] = record
             self._counters.cache_ops += 1
+            if guard is not None:
+                # The materialization table is an operator cache: its
+                # growth is charged against the cache-entries budget.
+                guard.note_cache(len(self._table))
 
     def get(self, position: int) -> RecordOrNull:
         if self._table is None:
@@ -233,25 +263,36 @@ class MaterializeProber(Prober):
         return self._table.get(position, NULL)
 
 
-def build_prober(plan: PhysicalPlan, counters: ExecutionCounters) -> Prober:
-    """Construct the prober for a probe-mode plan node."""
+def build_prober(
+    plan: PhysicalPlan,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Prober:
+    """Construct the prober for a probe-mode plan node.
+
+    The guard (when given) is observed at the probe sites: source
+    probes tick it, and the materialize prober charges its table
+    against the cache-entries budget.
+    """
     if plan.kind == "probe-source":
-        return SourceProber(plan, counters)
+        return SourceProber(plan, counters, guard)
     if plan.kind == "chain":
-        return ChainProber(plan, build_prober(plan.children[0], counters), counters)
+        return ChainProber(
+            plan, build_prober(plan.children[0], counters, guard), counters
+        )
     if plan.kind == "probe-join":
         return JoinProber(
             plan,
-            build_prober(plan.children[0], counters),
-            build_prober(plan.children[1], counters),
+            build_prober(plan.children[0], counters, guard),
+            build_prober(plan.children[1], counters, guard),
             counters,
         )
     if plan.kind in ("window-agg", "value-offset", "cumulative-agg"):
         return NaiveUnaryProber(
-            plan, build_prober(plan.children[0], counters), counters
+            plan, build_prober(plan.children[0], counters, guard), counters
         )
     if plan.kind == "global-agg":
-        return GlobalAggProber(plan, counters)
+        return GlobalAggProber(plan, counters, guard)
     if plan.kind == "materialize":
-        return MaterializeProber(plan, counters)
+        return MaterializeProber(plan, counters, guard)
     raise ExecutionError(f"plan kind {plan.kind!r} cannot run in probe mode")

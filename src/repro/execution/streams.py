@@ -11,7 +11,7 @@ incremental value-offset caches (Cache-Strategy-B).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.errors import ExecutionError
 from repro.model.record import NULL, Record
@@ -22,6 +22,7 @@ from repro.algebra.expressions import compile_rowwise
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.offsets import ValueOffset
 from repro.execution.counters import ExecutionCounters
+from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
 from repro.execution.sliding import CumulativeAggregator, make_sliding
 from repro.optimizer.plans import PhysicalPlan
@@ -30,7 +31,10 @@ StreamItem = tuple[int, Record]
 
 
 def build_stream(
-    plan: PhysicalPlan, window: Span, counters: ExecutionCounters
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
 ) -> Iterator[StreamItem]:
     """Construct the stream iterator for a stream-mode plan node.
 
@@ -39,6 +43,9 @@ def build_stream(
         window: the output window this node must emit within;
             intersected with the plan's own span.
         counters: execution counters charged as work happens.
+        guard: optional per-query resource governor; ticked at loop
+            checkpoints so a guarded query observes its deadline,
+            cancellation, and budgets mid-stream.
 
     Child streams are opened over the *children's plan spans* — the
     optimizer's top-down span restriction (Step 2.b) is the only
@@ -51,10 +58,15 @@ def build_stream(
     builder = _BUILDERS.get(plan.kind)
     if builder is None:
         raise ExecutionError(f"plan kind {plan.kind!r} cannot run in stream mode")
-    return builder(plan, window, counters)
+    return builder(plan, window, counters, guard)
 
 
-def _scan(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _scan(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     leaf = plan.node
     if isinstance(leaf, SequenceLeaf):
         source = leaf.sequence
@@ -63,12 +75,20 @@ def _scan(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iter
     else:
         raise ExecutionError(f"scan plan without a leaf node: {plan.kind}")
     counters.scans_opened += 1
+    tick = guard.tick if guard is not None else None
     for position, record in source.iter_nonnull(window):
+        if tick is not None:
+            tick()
         counters.operator_records += 1
         yield position, record
 
 
-def _chain(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _chain(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     shift = sum(step.offset for step in plan.steps if step.kind == "shift")
     child_plan = plan.children[0]
     child_window = window.shift(shift).intersect(child_plan.span)
@@ -86,7 +106,7 @@ def _chain(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Ite
         elif step.kind == "rename":
             ops.append(("rename", step.schema))
             schema = step.schema
-    for position, record in build_stream(child_plan, child_window, counters):
+    for position, record in build_stream(child_plan, child_window, counters, guard):
         out_position = position - shift
         if out_position not in window:
             continue
@@ -132,11 +152,16 @@ def _combine(
     yield position, Record.unchecked(plan.schema, values)
 
 
-def _lockstep(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _lockstep(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     """Join-Strategy-B: merge both input streams in lock step."""
     predicate = _join_predicate(plan)
-    left_iter = build_stream(plan.children[0], plan.children[0].span, counters)
-    right_iter = build_stream(plan.children[1], plan.children[1].span, counters)
+    left_iter = build_stream(plan.children[0], plan.children[0].span, counters, guard)
+    right_iter = build_stream(plan.children[1], plan.children[1].span, counters, guard)
     left = next(left_iter, None)
     right = next(right_iter, None)
     while left is not None and right is not None:
@@ -151,12 +176,17 @@ def _lockstep(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> 
             right = next(right_iter, None)
 
 
-def _stream_probe(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _stream_probe(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     """Join-Strategy-A: stream the left input, probe the right."""
     predicate = _join_predicate(plan)
-    prober = build_prober(plan.children[1], counters)
+    prober = build_prober(plan.children[1], counters, guard)
     driver = plan.children[0]
-    for position, left in build_stream(driver, driver.span, counters):
+    for position, left in build_stream(driver, driver.span, counters, guard):
         if position not in window:
             continue
         right = prober.get(position)
@@ -165,12 +195,17 @@ def _stream_probe(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
         yield from _combine(plan, position, left, right, predicate, counters)
 
 
-def _probe_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _probe_stream(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
     predicate = _join_predicate(plan)
-    prober = build_prober(plan.children[0], counters)
+    prober = build_prober(plan.children[0], counters, guard)
     driver = plan.children[1]
-    for position, right in build_stream(driver, driver.span, counters):
+    for position, right in build_stream(driver, driver.span, counters, guard):
         if position not in window:
             continue
         left = prober.get(position)
@@ -185,15 +220,22 @@ def _cast(plan: PhysicalPlan, value: object) -> object:
     return value
 
 
-def _window_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _window_agg(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, WindowAggregate):
         raise ExecutionError("window-agg plan without a WindowAggregate node")
     if plan.strategy == "naive":
         # Probe the child w times per output position (no cache).
-        prober = build_prober(plan.children[0], counters)
+        prober = build_prober(plan.children[0], counters, guard)
         source = ProberSequence(prober)
         for position in window.positions():
+            if guard is not None:
+                guard.tick()
             record = op.value_at([source], position)
             if record is not NULL:
                 counters.operator_records += 1
@@ -202,10 +244,12 @@ def _window_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -
 
     # Cache-Strategy-A: one pass over the input with a scope-sized cache.
     child_plan = plan.children[0]
-    child_iter = build_stream(child_plan, child_plan.span, counters)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
     pending = next(child_iter, None)
     aggregator = make_sliding(op.func, counters)
     for position in window.positions():
+        if guard is not None:
+            guard.tick()
         # Evict before filling so the cache never holds more than the
         # scope size (Theorem 3.1's scope-sized cache).
         aggregator.evict_below(position - op.width + 1)
@@ -217,14 +261,21 @@ def _window_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -
             yield position, Record(plan.schema, (_cast(plan, aggregator.result()),))
 
 
-def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _value_offset(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, ValueOffset):
         raise ExecutionError("value-offset plan without a ValueOffset node")
     if plan.strategy == "naive":
-        prober = build_prober(plan.children[0], counters)
+        prober = build_prober(plan.children[0], counters, guard)
         source = ProberSequence(prober)
         for position in window.positions():
+            if guard is not None:
+                guard.tick()
             record = op.value_at([source], position)
             if record is not NULL:
                 counters.operator_records += 1
@@ -235,10 +286,12 @@ def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
     child_plan = plan.children[0]
     reach = op.reach
     if op.looks_back:
-        child_iter = build_stream(child_plan, child_plan.span, counters)
+        child_iter = build_stream(child_plan, child_plan.span, counters, guard)
         pending = next(child_iter, None)
         buffer: deque[StreamItem] = deque()
         for position in window.positions():
+            if guard is not None:
+                guard.tick()
             while pending is not None and pending[0] < position:
                 buffer.append(pending)
                 if len(buffer) > reach:
@@ -252,10 +305,12 @@ def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
         return
 
     # Looking forward (Next and +k offsets): a reach-sized lookahead.
-    child_iter = build_stream(child_plan, child_plan.span, counters)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
     buffer = deque()
     exhausted = False
     for position in window.positions():
+        if guard is not None:
+            guard.tick()
         while buffer and buffer[0][0] <= position:
             buffer.popleft()
             counters.cache_ops += 1
@@ -273,24 +328,33 @@ def _value_offset(plan: PhysicalPlan, window: Span, counters: ExecutionCounters)
             yield position, buffer[reach - 1][1]
 
 
-def _cumulative(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _cumulative(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, CumulativeAggregate):
         raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
     if plan.strategy == "naive":
-        prober = build_prober(plan.children[0], counters)
+        prober = build_prober(plan.children[0], counters, guard)
         source = ProberSequence(prober)
         for position in window.positions():
+            if guard is not None:
+                guard.tick()
             record = op.value_at([source], position)
             if record is not NULL:
                 counters.operator_records += 1
                 yield position, record
         return
     child_plan = plan.children[0]
-    child_iter = build_stream(child_plan, child_plan.span, counters)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
     pending = next(child_iter, None)
     running = CumulativeAggregator(op.func)
     for position in window.positions():
+        if guard is not None:
+            guard.tick()
         while pending is not None and pending[0] <= position:
             running.add(pending[1].get(op.attr))
             counters.cache_ops += 1
@@ -300,25 +364,37 @@ def _cumulative(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -
             yield position, Record(plan.schema, (_cast(plan, running.result()),))
 
 
-def _global_agg(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _global_agg(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, GlobalAggregate):
         raise ExecutionError("global-agg plan without a GlobalAggregate node")
     child_plan = plan.children[0]
     records = [
-        record for _pos, record in build_stream(child_plan, child_plan.span, counters)
+        record for _pos, record in build_stream(child_plan, child_plan.span, counters, guard)
     ]
     value = op._aggregate(records)  # noqa: SLF001 - engine-internal
     if value is NULL:
         return
     for position in window.positions():
+        if guard is not None:
+            guard.tick()
         counters.operator_records += 1
         yield position, value
 
 
-def _materialize_stream(plan: PhysicalPlan, window: Span, counters: ExecutionCounters) -> Iterator[StreamItem]:
+def _materialize_stream(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard] = None,
+) -> Iterator[StreamItem]:
     # A materialize node in a stream context simply forwards its child.
-    yield from build_stream(plan.children[0], window, counters)
+    yield from build_stream(plan.children[0], window, counters, guard)
 
 
 _BUILDERS = {

@@ -3,6 +3,14 @@
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import StorageCounters
 from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import (
+    DEFAULT_RETRY_POLICY,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultyDisk,
+    RetryPolicy,
+)
 from repro.storage.organizations import (
     ORGANIZATION_KINDS,
     AccessProfile,
@@ -16,14 +24,20 @@ from repro.storage.page import Page
 from repro.storage.stored import StoredSequence
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAULT_KINDS",
     "ORGANIZATION_KINDS",
     "AccessProfile",
     "AppendLogOrganization",
     "BufferPool",
     "ClusteredOrganization",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyDisk",
     "IndexedOrganization",
     "Page",
     "PhysicalOrganization",
+    "RetryPolicy",
     "SimulatedDisk",
     "StorageCounters",
     "StoredSequence",

@@ -3,25 +3,42 @@
 The pool bounds how many pages are memory-resident; repeated accesses to
 hot pages (e.g. consecutive probes into the same page during a
 lock-step join) are buffer hits and cost nothing at the disk.
+
+The pool is also where transient storage faults are absorbed: every
+miss goes to the disk through a bounded-backoff
+:class:`~repro.storage.faults.RetryPolicy`, so a flaky read surfaces to
+the query only after the policy's final attempt (counted in
+``retries_exhausted``).  Permanent and corrupt-page errors pass through
+unretried.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Optional
 
 from repro.errors import StorageError
 from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.storage.page import Page
 
 
 class BufferPool:
-    """A fixed-capacity LRU cache of pages."""
+    """A fixed-capacity LRU cache of pages with transient-fault retry."""
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = 16):
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int = 16,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         if capacity < 1:
             raise StorageError(f"buffer capacity must be >= 1, got {capacity}")
         self._disk = disk
         self._capacity = capacity
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
         self._frames: OrderedDict[int, Page] = OrderedDict()
 
     @property
@@ -34,17 +51,33 @@ class BufferPool:
         """Number of currently resident pages."""
         return len(self._frames)
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The transient-fault retry policy applied to disk reads."""
+        return self._retry_policy
+
     def get(self, page_id: int) -> Page:
-        """Fetch a page, from the pool if resident, else from disk."""
+        """Fetch a page, from the pool if resident, else from disk.
+
+        Raises:
+            TransientStorageError: if the retry policy's final attempt
+                still hit a transient fault.
+            PermanentStorageError: for a missing page or an injected
+                permanent fault (never retried).
+            CorruptPageError: if the page failed its checksum.
+        """
         frame = self._frames.get(page_id)
         if frame is not None:
             self._frames.move_to_end(page_id)
             self._disk.counters.buffer_hits += 1
             return frame
-        page = self._disk.read(page_id)
+        page = self._retry_policy.run(
+            lambda: self._disk.read(page_id), self._disk.counters
+        )
         self._frames[page_id] = page
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
+            self._disk.counters.buffer_evictions += 1
         return page
 
     def flush(self) -> None:

@@ -23,6 +23,21 @@ class StorageCounters:
         probes: point lookups of a record at a given position.
         index_node_reads: index pages traversed during probes (subset of
             ``page_reads`` when the index misses the buffer).
+        buffer_evictions: resident pages dropped by the buffer pool to
+            make room for a newly read page.
+        faults_injected: storage faults injected by a
+            :class:`~repro.storage.faults.FaultyDisk` (transient +
+            permanent errors; latency and corruption are counted by
+            their own counters).
+        latency_events: reads the fault plan slowed down (simulated —
+            counted, not slept).
+        retries_attempted: re-reads issued by the buffer pool's
+            :class:`~repro.storage.faults.RetryPolicy` after a
+            transient fault.
+        retries_exhausted: reads that still failed after the retry
+            policy's final attempt.
+        corrupt_pages_detected: reads rejected because the page
+            checksum no longer matched its contents.
     """
 
     page_reads: int = 0
@@ -31,6 +46,12 @@ class StorageCounters:
     records_streamed: int = 0
     probes: int = 0
     index_node_reads: int = 0
+    buffer_evictions: int = 0
+    faults_injected: int = 0
+    latency_events: int = 0
+    retries_attempted: int = 0
+    retries_exhausted: int = 0
+    corrupt_pages_detected: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""

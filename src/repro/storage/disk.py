@@ -8,7 +8,7 @@ system would perform.
 
 from __future__ import annotations
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, PermanentStorageError, StorageError
 from repro.storage.counters import StorageCounters
 from repro.storage.page import Page
 
@@ -33,18 +33,25 @@ class SimulatedDisk:
         return page
 
     def read(self, page_id: int) -> Page:
-        """Fetch a page from disk (counted).
+        """Fetch a page from disk (counted), validating its checksum.
 
         Raises:
-            StorageError: if the page does not exist.
+            PermanentStorageError: if the page does not exist.
+            CorruptPageError: if the page content no longer matches its
+                checksum (corruption is detected, not returned).
         """
         try:
             page = self._pages[page_id]
         except KeyError:
-            raise StorageError(f"no such page {page_id}") from None
+            raise PermanentStorageError(f"no such page {page_id}") from None
         self.counters.page_reads += 1
         if page.kind == Page.INDEX:
             self.counters.index_node_reads += 1
+        if not page.verify():
+            self.counters.corrupt_pages_detected += 1
+            raise CorruptPageError(
+                f"page {page_id} failed its checksum", page_id=page_id
+            )
         return page
 
     def peek(self, page_id: int) -> Page:

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
 from repro.model.span import Span
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import SimulatedDisk
@@ -268,7 +268,14 @@ class IndexedOrganization(PhysicalOrganization):
                     continue
                 page = self._pool.get(data_page)
                 entry = page.get(slot)
-                assert entry is not None and entry[0] == position
+                if entry is None or entry[0] != position:
+                    # The index points at a slot that no longer holds
+                    # this position: damage the checksum cannot see.
+                    raise CorruptPageError(
+                        f"index entry for position {position} does not match "
+                        f"page {data_page} slot {slot}",
+                        page_id=data_page,
+                    )
                 yield position, entry[1]
 
     def probe(self, position: int) -> Optional[tuple]:

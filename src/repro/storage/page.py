@@ -4,19 +4,31 @@ A page holds either data entries (``(position, values)`` tuples) or
 index entries (``(key, payload)`` tuples); both are slot lists bounded
 by the page capacity.  Pages are plain containers — all accounting
 happens in the disk and buffer pool.
+
+Every page carries a running CRC-32 checksum, maintained on append and
+re-validated by the disk on every read (:meth:`Page.verify`), so page
+corruption — e.g. injected by :class:`repro.storage.faults.FaultyDisk`
+— is *detected* and raised as a typed
+:class:`~repro.errors.CorruptPageError`, never silently returned.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
 from repro.errors import StorageError
 
 
+def _entry_crc(entry: tuple, crc: int) -> int:
+    """Fold one slot entry into a running CRC-32."""
+    return zlib.crc32(repr(entry).encode(), crc)
+
+
 class Page:
     """A fixed-capacity slotted page."""
 
-    __slots__ = ("page_id", "capacity", "slots", "kind")
+    __slots__ = ("page_id", "capacity", "slots", "kind", "checksum")
 
     DATA = "data"
     INDEX = "index"
@@ -28,6 +40,8 @@ class Page:
         self.capacity = capacity
         self.kind = kind
         self.slots: list[tuple] = []
+        #: Running CRC-32 of the appended entries, in order.
+        self.checksum = 0
 
     @property
     def is_full(self) -> bool:
@@ -43,7 +57,19 @@ class Page:
         if self.is_full:
             raise StorageError(f"page {self.page_id} is full")
         self.slots.append(entry)
+        self.checksum = _entry_crc(entry, self.checksum)
         return len(self.slots) - 1
+
+    def compute_checksum(self) -> int:
+        """Recompute the CRC-32 of the current slot contents."""
+        crc = 0
+        for entry in self.slots:
+            crc = _entry_crc(entry, crc)
+        return crc
+
+    def verify(self) -> bool:
+        """Whether the slot contents still match the stored checksum."""
+        return self.compute_checksum() == self.checksum
 
     def get(self, slot: int) -> Optional[tuple]:
         """The entry at ``slot``, or None if the slot is out of range."""

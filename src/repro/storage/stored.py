@@ -20,6 +20,7 @@ from repro.model.span import Span
 from repro.storage.buffer import BufferPool
 from repro.storage.counters import StorageCounters
 from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultPlan, FaultyDisk, RetryPolicy
 from repro.storage.organizations import (
     AccessProfile,
     PhysicalOrganization,
@@ -38,6 +39,7 @@ class StoredSequence(Sequence):
         span: Span,
         counters: StorageCounters,
         pool: BufferPool,
+        disk: Optional[SimulatedDisk] = None,
     ):
         self._name = name
         self._schema = schema
@@ -45,6 +47,7 @@ class StoredSequence(Sequence):
         self._span = span
         self._counters = counters
         self._pool = pool
+        self._disk = disk
 
     # -- construction -------------------------------------------------------
 
@@ -61,6 +64,8 @@ class StoredSequence(Sequence):
         buffer_pages: int = 16,
         index_fanout: int = 64,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "StoredSequence":
         """Bulk-load a stored sequence.
 
@@ -74,6 +79,11 @@ class StoredSequence(Sequence):
             buffer_pages: LRU buffer pool size in pages.
             index_fanout: B-tree fanout for the indexed organization.
             seed: shuffle seed for the indexed organization's placement.
+            fault_plan: when given, back the sequence with a
+                :class:`~repro.storage.faults.FaultyDisk` injecting the
+                plan's faults on every page read (loading is fault-free).
+            retry_policy: transient-fault retry policy for the buffer
+                pool (defaults to the pool's bounded-backoff default).
         """
         pairs = sorted(((pos, rec) for pos, rec in items), key=lambda p: p[0])
         seen: set[int] = set()
@@ -95,13 +105,21 @@ class StoredSequence(Sequence):
                     )
 
         counters = StorageCounters()
-        disk = SimulatedDisk(page_capacity=page_capacity, counters=counters)
-        pool = BufferPool(disk, capacity=buffer_pages)
+        if fault_plan is not None:
+            disk: SimulatedDisk = FaultyDisk(
+                fault_plan,
+                page_capacity=page_capacity,
+                counters=counters,
+                label=name,
+            )
+        else:
+            disk = SimulatedDisk(page_capacity=page_capacity, counters=counters)
+        pool = BufferPool(disk, capacity=buffer_pages, retry_policy=retry_policy)
         org = make_organization(
             organization, disk, pool, fanout=index_fanout, seed=seed
         )
         org.load((pos, rec.values) for pos, rec in pairs)
-        return cls(name, schema, org, span, counters, pool)
+        return cls(name, schema, org, span, counters, pool, disk=disk)
 
     @classmethod
     def from_sequence(
@@ -114,6 +132,8 @@ class StoredSequence(Sequence):
         buffer_pages: int = 16,
         index_fanout: int = 64,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "StoredSequence":
         """Materialize any sequence onto the simulated disk."""
         return cls.create(
@@ -126,6 +146,8 @@ class StoredSequence(Sequence):
             buffer_pages=buffer_pages,
             index_fanout=index_fanout,
             seed=seed,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
 
     # -- Sequence interface ---------------------------------------------------
@@ -152,6 +174,18 @@ class StoredSequence(Sequence):
     def organization_kind(self) -> str:
         """The physical organization name."""
         return self._organization.kind
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan driving this sequence's disk, if any."""
+        if isinstance(self._disk, FaultyDisk):
+            return self._disk.plan
+        return None
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The buffer pool's transient-fault retry policy."""
+        return self._pool.retry_policy
 
     def at(self, position: int) -> RecordOrNull:
         if position not in self._span:

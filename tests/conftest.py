@@ -51,6 +51,53 @@ def pytest_configure(config) -> None:
     Query._analysis_verified = True
 
 
+def _have_pytest_timeout() -> bool:
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+#: Per-test watchdog budget (seconds) when pytest-timeout is unavailable.
+_FALLBACK_TIMEOUT = 120
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog():
+    """A SIGALRM per-test timeout when the pytest-timeout plugin is absent.
+
+    The chaos suite's contract is "typed error or exact answer, never a
+    hang"; a hung test should fail loudly rather than stall the run.
+    When pytest-timeout is installed it owns the job (see check.sh);
+    this fallback only arms itself when the plugin is missing and the
+    platform has SIGALRM (i.e. not on Windows, not in a worker thread).
+    """
+    import signal
+    import threading
+
+    if (
+        _have_pytest_timeout()
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_FALLBACK_TIMEOUT}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_FALLBACK_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def price_sequence(
     span: Span, values: dict[int, float], schema: RecordSchema = PRICE_SCHEMA
 ) -> BaseSequence:

@@ -1,0 +1,545 @@
+"""Fault injection, retry, resource governance, and degradation tests.
+
+The chaos contract (DESIGN §9): under any injected fault schedule the
+engine returns either the exact fault-free answer or a typed error — it
+never hangs and never returns a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.execution.engine as engine_module
+from repro.errors import (
+    CorruptPageError,
+    ExecutionError,
+    PermanentStorageError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceBudgetExceededError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.algebra import base, col
+from repro.catalog import Catalog
+from repro.execution import (
+    CancellationToken,
+    ExecutionCounters,
+    QueryGuard,
+    run_query,
+    run_query_detailed,
+    validate_execution_args,
+)
+from repro.model import Span
+from repro.storage import (
+    BufferPool,
+    FaultPlan,
+    FaultyDisk,
+    Page,
+    RetryPolicy,
+    SimulatedDisk,
+    StoredSequence,
+)
+from repro.workloads import StockSpec, generate_stock
+
+SPAN = Span(0, 399)
+
+
+def make_stored(name="stock", fault_plan=None, retry_policy=None, **kwargs):
+    """A stored stock walk, optionally on a faulty disk."""
+    source = generate_stock(StockSpec(name, SPAN, 1.0, seed=5))
+    return StoredSequence.from_sequence(
+        name,
+        source,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        page_capacity=kwargs.pop("page_capacity", 16),
+        buffer_pages=kwargs.pop("buffer_pages", 8),
+        **kwargs,
+    )
+
+
+def select_query(stored):
+    return base(stored, stored.name).select(col("close") > 50.0).query()
+
+
+def window_query(stored):
+    return base(stored, stored.name).window("avg", "close", 7).query()
+
+
+def run_on(stored, query_of=select_query, **kwargs):
+    catalog = Catalog()
+    catalog.register(stored.name, stored)
+    return run_query(query_of(stored), catalog=catalog, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def reference_answers():
+    """Fault-free answers for both query shapes (the chaos oracle)."""
+    stored = make_stored()
+    return {
+        "select": run_on(stored, select_query).to_pairs(),
+        "window": run_on(stored, window_query).to_pairs(),
+    }
+
+
+class TestPageChecksum:
+    def test_running_checksum_matches_recompute(self):
+        page = Page(0, 4)
+        for entry in [(1, (1.0,)), (2, (2.0,)), (3, (3.0,))]:
+            page.append(entry)
+        assert page.checksum == page.compute_checksum()
+        assert page.verify()
+
+    def test_tampering_is_detected(self):
+        page = Page(0, 4)
+        page.append((1, (1.0,)))
+        page.slots[0] = (1, (99.0,))
+        assert not page.verify()
+
+    def test_disk_rejects_corrupted_page(self):
+        disk = SimulatedDisk(page_capacity=4)
+        page = disk.allocate()
+        page.append((0, (1.0,)))
+        assert disk.read(page.page_id) is page
+        page.slots[0] = (0, (666.0,))
+        with pytest.raises(CorruptPageError) as info:
+            disk.read(page.page_id)
+        assert info.value.page_id == page.page_id
+        assert disk.counters.corrupt_pages_detected == 1
+
+    def test_missing_page_is_permanent(self):
+        with pytest.raises(PermanentStorageError):
+            SimulatedDisk().read(404)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=1.0, backoff_multiplier=2.0, max_backoff=5.0
+        )
+        assert policy.backoff_delays() == [1.0, 2.0, 4.0, 5.0]
+
+    def test_succeeds_after_transient_faults(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientStorageError("flaky")
+            return "ok"
+
+        counters = SimulatedDisk().counters
+        assert RetryPolicy(max_attempts=4).run(flaky, counters) == "ok"
+        assert len(attempts) == 3
+        assert counters.retries_attempted == 2
+        assert counters.retries_exhausted == 0
+
+    def test_exhaustion_reraises_and_counts(self):
+        def always():
+            raise TransientStorageError("always")
+
+        counters = SimulatedDisk().counters
+        with pytest.raises(TransientStorageError):
+            RetryPolicy(max_attempts=3).run(always, counters)
+        assert counters.retries_attempted == 2
+        assert counters.retries_exhausted == 1
+
+    def test_permanent_faults_pass_through_unretried(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise PermanentStorageError("broken")
+
+        with pytest.raises(PermanentStorageError):
+            RetryPolicy(max_attempts=4).run(broken)
+        assert len(attempts) == 1
+
+    def test_sleep_callable_sees_capped_delays(self):
+        slept = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise TransientStorageError("flaky")
+            return "ok"
+
+        policy = RetryPolicy(
+            max_attempts=4,
+            backoff_base=1.0,
+            backoff_multiplier=10.0,
+            max_backoff=3.0,
+            sleep=slept.append,
+        )
+        assert policy.run(flaky) == "ok"
+        assert slept == [1.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(StorageError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestFaultPlan:
+    def test_decide_is_pure_in_seed_page_and_read_index(self):
+        plan_a = FaultPlan(7, transient_rate=0.3, corrupt_rate=0.1)
+        plan_b = FaultPlan(7, transient_rate=0.3, corrupt_rate=0.1)
+        decisions_a = [plan_a.decide(p, r) for p in range(50) for r in (1, 2, 3)]
+        decisions_b = [plan_b.decide(p, r) for p in range(50) for r in (1, 2, 3)]
+        assert decisions_a == decisions_b
+        assert any(kind is not None for kind in decisions_a)
+
+    def test_decide_independent_of_call_order(self):
+        plan = FaultPlan(3, transient_rate=0.5)
+        forward = {(p, r): plan.decide(p, r) for p in range(20) for r in (1, 2)}
+        backward = {
+            (p, r): plan.decide(p, r)
+            for p in reversed(range(20))
+            for r in (2, 1)
+        }
+        assert forward == backward
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan(1, transient_rate=0.5).decide(p, 1) for p in range(100)]
+        b = [FaultPlan(2, transient_rate=0.5).decide(p, 1) for p in range(100)]
+        assert a != b
+
+    def test_scripted_overrides_win(self):
+        plan = FaultPlan(0, scripted={(4, 1): "permanent"})
+        assert plan.decide(4, 1) == "permanent"
+        assert plan.decide(4, 2) is None
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "seed=7, transient=0.1, permanent=0.01, corrupt=0.005,"
+            "latency=0.2, latency_ticks=3"
+        )
+        assert plan.seed == 7
+        assert plan.transient_rate == 0.1
+        assert plan.permanent_rate == 0.01
+        assert plan.corrupt_rate == 0.005
+        assert plan.latency_rate == 0.2
+        assert plan.latency_ticks == 3
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus=1", "transient", "transient=lots", "seed=x"]
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(StorageError):
+            FaultPlan.parse(spec)
+
+    def test_rates_validated(self):
+        with pytest.raises(StorageError):
+            FaultPlan(0, transient_rate=1.5)
+        with pytest.raises(StorageError):
+            FaultPlan(0, transient_rate=0.6, permanent_rate=0.6)
+
+
+class TestFaultyDisk:
+    def _disk(self, plan):
+        disk = FaultyDisk(plan, page_capacity=4, label="t")
+        page = disk.allocate()
+        page.append((0, (1.0,)))
+        page.append((1, (2.0,)))
+        return disk, page.page_id
+
+    def test_transient_fault_raised_and_traced(self):
+        plan = FaultPlan(0, scripted={(0, 1): "transient"})
+        disk, page_id = self._disk(plan)
+        with pytest.raises(TransientStorageError):
+            disk.read(page_id)
+        assert disk.read(page_id) is not None  # read #2 is clean
+        assert [(e.kind, e.page_id, e.read_index) for e in plan.trace] == [
+            ("transient", 0, 1)
+        ]
+        assert disk.counters.faults_injected == 1
+
+    def test_latency_is_counted_not_raised(self):
+        plan = FaultPlan(0, scripted={(0, 1): "latency"}, latency_ticks=5)
+        disk, page_id = self._disk(plan)
+        disk.read(page_id)
+        assert disk.counters.latency_events == 5
+
+    def test_corruption_is_sticky_and_detected(self):
+        plan = FaultPlan(0, scripted={(0, 2): "corrupt"})
+        disk, page_id = self._disk(plan)
+        disk.read(page_id)  # read #1: clean
+        with pytest.raises(CorruptPageError):
+            disk.read(page_id)  # read #2: corrupted, detected
+        with pytest.raises(CorruptPageError):
+            disk.read(page_id)  # read #3: still corrupt (sticky)
+        assert disk.counters.corrupt_pages_detected == 2
+        # only the original tampering lands in the trace
+        assert [e.kind for e in plan.trace] == ["corrupt"]
+
+
+class TestBufferPool:
+    def test_retry_absorbs_transient_faults(self):
+        plan = FaultPlan(0, scripted={(0, 1): "transient", (0, 2): "transient"})
+        disk = FaultyDisk(plan, page_capacity=4)
+        page = disk.allocate()
+        page.append((0, (1.0,)))
+        pool = BufferPool(disk, capacity=2, retry_policy=RetryPolicy(max_attempts=4))
+        assert pool.get(0) is page
+        assert disk.counters.retries_attempted == 2
+        assert disk.counters.retries_exhausted == 0
+
+    def test_retry_exhaustion_surfaces(self):
+        plan = FaultPlan(0, scripted={(0, r): "transient" for r in range(1, 10)})
+        disk = FaultyDisk(plan, page_capacity=4)
+        disk.allocate().append((0, (1.0,)))
+        pool = BufferPool(disk, capacity=2, retry_policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(TransientStorageError):
+            pool.get(0)
+        assert disk.counters.retries_exhausted == 1
+
+    def test_evictions_are_counted(self):
+        disk = SimulatedDisk(page_capacity=4)
+        for _ in range(4):
+            disk.allocate()
+        pool = BufferPool(disk, capacity=2)
+        for page_id in range(4):
+            pool.get(page_id)
+        assert disk.counters.buffer_evictions == 2
+
+    def test_stored_sequence_scan_counts_evictions(self):
+        stored = make_stored(page_capacity=8, buffer_pages=2)
+        run_on(stored)
+        assert stored.counters.buffer_evictions > 0
+
+
+class TestChaosMatrix:
+    """Every fault class x both executors: exact answer or typed error."""
+
+    KINDS = {
+        "transient": dict(transient_rate=0.2),
+        "permanent": dict(permanent_rate=0.05),
+        "corrupt": dict(corrupt_rate=0.05),
+        "latency": dict(latency_rate=0.3, latency_ticks=2),
+        "mixed": dict(
+            transient_rate=0.1, permanent_rate=0.02, corrupt_rate=0.02,
+            latency_rate=0.1,
+        ),
+    }
+
+    @pytest.mark.parametrize("mode", ["batch", "row"])
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    @pytest.mark.parametrize("shape", ["select", "window"])
+    def test_exact_answer_or_typed_error(
+        self, kind, mode, shape, reference_answers
+    ):
+        queries = {"select": select_query, "window": window_query}
+        for seed in range(3):
+            plan = FaultPlan(seed, **self.KINDS[kind])
+            stored = make_stored(fault_plan=plan)
+            try:
+                answer = run_on(stored, queries[shape], mode=mode)
+            except (TransientStorageError, PermanentStorageError, CorruptPageError):
+                continue  # a typed failure is an acceptable outcome
+            assert answer.to_pairs() == reference_answers[shape]
+
+    def test_latency_never_fails(self, reference_answers):
+        for mode in ("batch", "row"):
+            plan = FaultPlan(1, latency_rate=0.5, latency_ticks=2)
+            stored = make_stored(fault_plan=plan)
+            answer = run_on(stored, mode=mode)
+            assert answer.to_pairs() == reference_answers["select"]
+            assert stored.counters.latency_events > 0
+
+
+class TestDeterminism:
+    def _trace(self, plan):
+        return [(e.kind, e.page_id, e.read_index) for e in plan.trace]
+
+    @pytest.mark.parametrize("mode", ["batch", "row"])
+    def test_same_seed_same_trace_and_counters(self, mode):
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan(11, transient_rate=0.15, latency_rate=0.1)
+            stored = make_stored(fault_plan=plan)
+            try:
+                pairs = run_on(stored, window_query, mode=mode).to_pairs()
+            except StorageError as error:
+                pairs = type(error).__name__
+            outcomes.append(
+                (pairs, self._trace(plan), stored.counters.as_dict())
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_modes_see_identical_traces_on_scans(self):
+        """Row and batch scans issue the same page reads, so the same faults."""
+        results = {}
+        for mode in ("batch", "row"):
+            plan = FaultPlan(11, transient_rate=0.15, latency_rate=0.1)
+            stored = make_stored(fault_plan=plan)
+            pairs = run_on(stored, mode=mode).to_pairs()
+            results[mode] = (pairs, self._trace(plan))
+        assert results["batch"] == results["row"]
+
+
+class TestQueryGuard:
+    def test_timeout_with_injected_clock(self):
+        ticks = iter(x * 0.25 for x in range(10_000))
+        guard = QueryGuard(timeout=1.0, clock=lambda: next(ticks), check_stride=4)
+        stored = make_stored()
+        with pytest.raises(QueryTimeoutError) as info:
+            run_on(stored, mode="row", guard=guard)
+        assert info.value.timeout_seconds == 1.0
+        assert info.value.elapsed_seconds > 1.0
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            run_on(make_stored(), guard=QueryGuard(cancellation=token))
+
+    def test_record_budget(self):
+        with pytest.raises(ResourceBudgetExceededError) as info:
+            run_on(make_stored(), guard=QueryGuard(max_records=10))
+        assert info.value.budget == "records_emitted"
+        assert info.value.limit == 10
+        assert info.value.used > 10
+
+    @pytest.mark.parametrize("mode", ["batch", "row"])
+    def test_page_budget(self, mode):
+        guard = QueryGuard(max_pages=2, check_stride=1)
+        with pytest.raises(ResourceBudgetExceededError) as info:
+            run_on(make_stored(), mode=mode, guard=guard)
+        assert info.value.budget == "pages_read"
+
+    @pytest.mark.parametrize("mode", ["batch", "row"])
+    def test_cache_budget(self, mode):
+        guard = QueryGuard(max_cache_entries=2, check_stride=1)
+        with pytest.raises(ResourceBudgetExceededError) as info:
+            run_on(make_stored(), window_query, mode=mode, guard=guard)
+        assert info.value.budget == "cache_entries"
+
+    def test_guarded_answer_equals_unguarded(self):
+        stored = make_stored()
+        loose = QueryGuard(
+            timeout=60, max_pages=10_000, max_records=10_000,
+            max_cache_entries=1_000,
+        )
+        assert (
+            run_on(stored, window_query, guard=loose).to_pairs()
+            == run_on(make_stored(), window_query).to_pairs()
+        )
+
+    def test_guard_reports_progress(self):
+        guard = QueryGuard(max_records=10)
+        with pytest.raises(ResourceBudgetExceededError) as info:
+            run_on(make_stored(), guard=guard)
+        assert info.value.records_emitted == guard.records_emitted > 0
+
+
+class TestBoundaryValidation:
+    """Bad knobs fail fast, before the optimizer or executor runs."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="turbo"),
+            dict(batch_size=0),
+            dict(batch_size=-3),
+            dict(batch_size=True),
+            dict(batch_size=2.5),
+        ],
+    )
+    def test_bad_mode_or_batch_size(self, kwargs):
+        merged = dict(mode="batch", batch_size=64, guard=None)
+        merged.update(kwargs)
+        with pytest.raises(ExecutionError):
+            validate_execution_args(**merged)
+
+    @pytest.mark.parametrize(
+        "guard_kwargs",
+        [
+            dict(timeout=0),
+            dict(timeout=-1.0),
+            dict(max_pages=0),
+            dict(max_records=-5),
+            dict(max_cache_entries=True),
+            dict(check_stride=0),
+        ],
+    )
+    def test_bad_guard_budgets(self, guard_kwargs):
+        guard = QueryGuard(**guard_kwargs)
+        with pytest.raises(ExecutionError):
+            validate_execution_args("batch", 64, guard)
+
+    def test_run_query_rejects_before_any_work(self):
+        stored = make_stored()
+        catalog = Catalog()
+        catalog.register(stored.name, stored)
+        query = select_query(stored)
+        before = stored.counters.snapshot()
+        with pytest.raises(ExecutionError):
+            run_query(query, catalog=catalog, batch_size=0)
+        # nothing touched the disk: validation beat the optimizer
+        assert stored.counters.as_dict() == before.as_dict()
+
+
+class TestFallback:
+    def _broken_batch(self, monkeypatch, error):
+        def explode(*args, **kwargs):
+            raise error
+
+        monkeypatch.setattr(engine_module, "build_batch_stream", explode)
+
+    def test_falls_back_to_row_oracle(self, monkeypatch, reference_answers):
+        self._broken_batch(monkeypatch, ExecutionError("synthetic batch bug"))
+        stored = make_stored()
+        catalog = Catalog()
+        catalog.register(stored.name, stored)
+        result = run_query_detailed(
+            select_query(stored), catalog=catalog, mode="batch", fallback=True
+        )
+        assert result.output.to_pairs() == reference_answers["select"]
+        assert result.counters.fallbacks_taken == 1
+        assert result.counters.batches_built == 0  # attempt was rolled back
+
+    def test_no_fallback_without_opt_in(self, monkeypatch):
+        self._broken_batch(monkeypatch, ExecutionError("synthetic batch bug"))
+        with pytest.raises(ExecutionError):
+            run_on(make_stored(), mode="batch")
+
+    def test_guard_verdicts_are_never_swallowed(self, monkeypatch):
+        self._broken_batch(
+            monkeypatch,
+            QueryTimeoutError(
+                "synthetic timeout", timeout_seconds=1.0, elapsed_seconds=2.0
+            ),
+        )
+        with pytest.raises(QueryTimeoutError):
+            run_on(make_stored(), mode="batch", fallback=True)
+
+    def test_guard_still_enforced_on_the_rerun(self, monkeypatch):
+        self._broken_batch(monkeypatch, ExecutionError("synthetic batch bug"))
+        with pytest.raises(ResourceBudgetExceededError):
+            run_on(
+                make_stored(),
+                mode="batch",
+                fallback=True,
+                guard=QueryGuard(max_records=10),
+            )
+
+    def test_counters_restored_before_rerun(self, monkeypatch):
+        snapshots = ExecutionCounters()
+        snapshots.probes_issued = 3
+
+        def partial_failure(plan, window, counters, batch_size, guard=None):
+            counters.batches_built += 7
+            counters.operator_records += 100
+            raise ExecutionError("mid-flight batch bug")
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(engine_module, "build_batch_stream", partial_failure)
+        stored = make_stored()
+        catalog = Catalog()
+        catalog.register(stored.name, stored)
+        result = run_query_detailed(
+            select_query(stored), catalog=catalog, mode="batch", fallback=True
+        )
+        assert result.counters.fallbacks_taken == 1
+        assert result.counters.batches_built == 0
