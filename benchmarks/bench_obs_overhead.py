@@ -1,0 +1,227 @@
+"""E-obs — what tracing costs, and that *disabled* tracing costs nothing.
+
+The observability layer has two budgets:
+
+* **disabled**: passing ``Tracer(enabled=False)`` (or no tracer at all)
+  must stay within 2% of bare wall clock — the executors check
+  ``active(tracer)`` once per operator and then run the untraced code
+  path, so a disabled tracer is a couple of branches per query;
+* **tracing**: a live tracer — one span per operator, stride-sampled
+  timing in row mode, full timing in batch mode — must stay within 10%
+  mean overhead across the shapes.
+
+Both bounds are on the mean across shapes/modes (per-shape noise on CI
+machines makes per-shape bounds flaky; the mean is stable).
+
+Run as a script to (re)generate the committed perf baseline::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --out BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke   # CI-sized
+
+or under pytest-benchmark like the other files here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Optional
+
+import pytest
+
+from repro.bench import print_table
+from repro.algebra import base, col, lit
+from repro.execution import ExecutionCounters, execute_plan
+from repro.model import Span
+from repro.obs import Tracer
+from repro.optimizer import optimize
+from repro.workloads import StockSpec, generate_stock
+
+#: Positions in the generated stock walks (full vs --smoke runs).
+FULL_POSITIONS = 40_000
+SMOKE_POSITIONS = 4_000
+DENSITY = 0.95
+
+#: Maximum acceptable mean slowdown with a *disabled* tracer attached.
+DISABLED_BUDGET = 0.02
+#: Maximum acceptable mean slowdown with tracing on.
+TRACING_BUDGET = 0.10
+
+
+def _shapes(positions: int) -> dict[str, object]:
+    """Benchmark queries over a freshly generated walk."""
+    span = Span(0, positions - 1)
+    stock = generate_stock(StockSpec("s", span, DENSITY, seed=5))
+    return {
+        "scan-select-project": (
+            base(stock, "s")
+            .select(col("volume") > lit(3000))
+            .project("close", "volume")
+            .query()
+        ),
+        "window-agg": base(stock, "s").window("avg", "close", 16, "ma16").query(),
+    }
+
+
+def _best_of(fn: Callable[[], object], repetitions: int) -> float:
+    """Minimum wall-clock seconds over ``repetitions`` runs."""
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_overhead(positions: int, repetitions: int = 5) -> dict:
+    """Time every shape in both modes bare, tracer-disabled, and traced."""
+    rows = []
+    for name, query in _shapes(positions).items():
+        result = optimize(query)
+        plan = result.plan.plan
+        window = result.plan.output_span
+
+        def run(mode: str, tracer: Optional[Tracer]):
+            return execute_plan(
+                plan, window, ExecutionCounters(), mode=mode, tracer=tracer
+            )
+
+        for mode in ("batch", "row"):
+            # Identical answers in all three configurations, asserted
+            # before timing anything.
+            reference = run(mode, None).to_pairs()
+            assert run(mode, Tracer(enabled=False)).to_pairs() == reference, name
+            assert run(mode, Tracer()).to_pairs() == reference, name
+            bare_s = _best_of(lambda: run(mode, None), repetitions)
+            disabled_s = _best_of(
+                lambda: run(mode, Tracer(enabled=False)), repetitions
+            )
+            traced_s = _best_of(lambda: run(mode, Tracer()), repetitions)
+            rows.append(
+                {
+                    "shape": name,
+                    "mode": mode,
+                    "bare_seconds": round(bare_s, 6),
+                    "disabled_seconds": round(disabled_s, 6),
+                    "traced_seconds": round(traced_s, 6),
+                    "disabled_overhead": round(disabled_s / bare_s - 1.0, 4),
+                    "tracing_overhead": round(traced_s / bare_s - 1.0, 4),
+                }
+            )
+    disabled_mean = sum(r["disabled_overhead"] for r in rows) / len(rows)
+    tracing_mean = sum(r["tracing_overhead"] for r in rows) / len(rows)
+    return {
+        "benchmark": "bench_obs_overhead",
+        "config": {
+            "positions": positions,
+            "density": DENSITY,
+            "repetitions": repetitions,
+            "disabled_budget": DISABLED_BUDGET,
+            "tracing_budget": TRACING_BUDGET,
+        },
+        "shapes": rows,
+        "disabled_mean_overhead": round(disabled_mean, 4),
+        "tracing_mean_overhead": round(tracing_mean, 4),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Script entry point: print the table, optionally write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run ({SMOKE_POSITIONS} positions instead of "
+        f"{FULL_POSITIONS})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the measurements as JSON (e.g. BENCH_obs.json)",
+    )
+    args = parser.parse_args(argv)
+    positions = SMOKE_POSITIONS if args.smoke else FULL_POSITIONS
+    payload = measure_overhead(positions)
+    print_table(
+        ["shape", "mode", "bare s", "disabled s", "traced s",
+         "disabled", "tracing"],
+        [
+            [r["shape"], r["mode"], r["bare_seconds"], r["disabled_seconds"],
+             r["traced_seconds"],
+             f'{r["disabled_overhead"] * 100:+.1f}%',
+             f'{r["tracing_overhead"] * 100:+.1f}%']
+            for r in payload["shapes"]
+        ],
+        title=f"Tracer overhead, {positions} positions "
+        "(identical answers asserted in all configurations)",
+    )
+    disabled_mean = payload["disabled_mean_overhead"]
+    tracing_mean = payload["tracing_mean_overhead"]
+    print(
+        f"mean overhead: disabled {disabled_mean * 100:+.2f}% "
+        f"(budget {DISABLED_BUDGET * 100:.0f}%), "
+        f"tracing {tracing_mean * 100:+.2f}% "
+        f"(budget {TRACING_BUDGET * 100:.0f}%)"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    status = 0
+    if disabled_mean > DISABLED_BUDGET:
+        print(
+            f"FAIL: mean disabled-tracer overhead "
+            f"{disabled_mean * 100:.2f}% over budget"
+        )
+        status = 1
+    if tracing_mean > TRACING_BUDGET:
+        print(
+            f"FAIL: mean tracing overhead {tracing_mean * 100:.2f}% over budget"
+        )
+        status = 1
+    return status
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def planned():
+    """Optimized plans for the shapes at smoke size."""
+    plans = {}
+    for name, query in _shapes(SMOKE_POSITIONS).items():
+        result = optimize(query)
+        plans[name] = (result.plan.plan, result.plan.output_span)
+    return plans
+
+
+@pytest.mark.parametrize("shape", ["scan-select-project", "window-agg"])
+@pytest.mark.parametrize(
+    "variant", ["bare", "disabled", "traced"], ids=["bare", "disabled", "traced"]
+)
+def test_obs_overhead(benchmark, planned, shape, variant):
+    plan, window = planned[shape]
+    tracer_of = {
+        "bare": lambda: None,
+        "disabled": lambda: Tracer(enabled=False),
+        "traced": Tracer,
+    }[variant]
+    output = benchmark(
+        lambda: execute_plan(
+            plan, window, ExecutionCounters(), mode="row", tracer=tracer_of()
+        )
+    )
+    benchmark.extra_info["records"] = len(output)
+
+
+def test_obs_overhead_report(benchmark):
+    payload = measure_overhead(SMOKE_POSITIONS, repetitions=3)
+    assert payload["disabled_mean_overhead"] <= DISABLED_BUDGET
+    assert payload["tracing_mean_overhead"] <= TRACING_BUDGET
+    benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,11 @@
 #      must yield the exact answer or a typed error, never a wrong one
 #   8. a smoke-sized run of the guard-overhead benchmark (an attached
 #      but idle QueryGuard must cost <5% mean wall clock)
+#   9. a smoke-sized run of the tracer-overhead benchmark (a disabled
+#      tracer must cost <2% mean wall clock, an active one <10%)
+#  10. the trace round-trip check: traced runs exported as JSON Lines
+#      and Chrome trace_event must re-parse and validate against the
+#      pinned schemas in src/repro/obs/schema.py
 #
 # Missing optional tools are skipped with a notice, not an error, so
 # the script works in minimal containers.
@@ -73,6 +78,12 @@ run_step "chaos smoke" env PYTHONPATH=src python scripts/chaos_smoke.py
 
 run_step "guard overhead smoke" env PYTHONPATH=src \
     python benchmarks/bench_guard_overhead.py --smoke
+
+run_step "tracer overhead smoke" env PYTHONPATH=src \
+    python benchmarks/bench_obs_overhead.py --smoke
+
+run_step "trace round-trip" env PYTHONPATH=src \
+    python scripts/trace_roundtrip.py
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} check(s) failed"

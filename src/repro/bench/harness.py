@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence as PySequence
 
 from repro.catalog.catalog import Catalog
+from repro.obs.tracer import Tracer, active, trace_summary
 from repro.storage.stored import StoredSequence
 
 
@@ -77,8 +78,18 @@ def reset_catalog_counters(catalog: Catalog) -> None:
             sequence.flush_buffer()
 
 
-def measure(fn: Callable[[], object], catalog: Optional[Catalog] = None) -> Measurement:
-    """Run ``fn`` once, measuring wall time and catalog storage counters."""
+def measure(
+    fn: Callable[[], object],
+    catalog: Optional[Catalog] = None,
+    tracer: Optional[Tracer] = None,
+) -> Measurement:
+    """Run ``fn`` once, measuring wall time and catalog storage counters.
+
+    When an active ``tracer`` is passed (and ``fn`` executes through
+    it), a :func:`~repro.obs.tracer.trace_summary` digest is attached
+    under ``Measurement.extra["trace"]`` so benchmark reports can say
+    where the time went, not only how much there was.
+    """
     if catalog is not None:
         reset_catalog_counters(catalog)
     start = time.perf_counter()
@@ -93,12 +104,15 @@ def measure(fn: Callable[[], object], catalog: Optional[Catalog] = None) -> Meas
                 page_reads += counters.page_reads
                 probes += counters.probes
                 streamed += counters.records_streamed
-    return Measurement(
+    measurement = Measurement(
         seconds=seconds,
         page_reads=page_reads,
         probes=probes,
         records_streamed=streamed,
     )
+    if active(tracer):
+        measurement.extra["trace"] = trace_summary(tracer)
+    return measurement
 
 
 def speedup(baseline: float, improved: float) -> float:

@@ -1,12 +1,25 @@
 """Command-line interface: run sequence queries over CSV files.
 
-Examples::
+Examples (a leading ``run`` is accepted and ignored)::
 
     python -m repro --load prices=prices.csv \\
         "window(select(prices, volume > 4000), avg, close, 3)"
 
-    python -m repro --load v=volcanos.csv --load e=quakes.csv --explain \\
+    python -m repro run --load v=volcanos.csv --load e=quakes.csv --analyze \\
         "project(select(compose(v as v, previous(e) as e), e_strength > 7.0), v_name)"
+
+``--analyze`` runs the query with the span tracer on and prints the
+EXPLAIN ANALYZE tree: each operator's estimated cost next to its actual
+time, rows, and pages, plus the estimate/actual error factor.
+
+Tracing subcommand::
+
+    python -m repro trace --load prices=prices.csv --out t.json \\
+        "window(prices, avg, close, 6)"
+
+writes a Chrome ``trace_event`` file loadable in Perfetto
+(https://ui.perfetto.dev) or ``about://tracing``; ``--format jsonl``
+writes the JSON Lines span format instead.
 
 Static-analysis subcommands::
 
@@ -47,6 +60,7 @@ from repro.execution import (
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
+from repro.obs import TRACE_FORMATS, MetricsRegistry, Tracer, write_trace
 from repro.optimizer import optimize
 from repro.storage import FAULT_KINDS, FaultPlan, StoredSequence
 
@@ -90,7 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain",
         action="store_true",
-        help="print the optimizer's plan before the answer",
+        help="print the optimizer's plan and the full metrics block "
+        "before the answer",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="trace the run and print the EXPLAIN ANALYZE tree: "
+        "estimated cost vs actual time/rows/pages per operator",
     )
     parser.add_argument(
         "--naive",
@@ -263,6 +284,100 @@ def build_verify_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run a query with the span tracer on and export the trace: "
+            "optimizer steps, one span per physical operator with "
+            "attributed rows/time/pages, and fault/retry/guard events."
+        ),
+        epilog=(
+            "The chrome format loads directly in Perfetto "
+            "(https://ui.perfetto.dev) or about://tracing; jsonl is the "
+            "line-oriented span format for scripts."
+        ),
+    )
+    parser.add_argument("query", help="query text to run under the tracer")
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable)",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span (default: the query's own)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default="batch",
+        help="execution mode to trace (default batch)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        metavar="N",
+        help="positions per column batch in batch mode",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="write the trace to this file",
+    )
+    parser.add_argument(
+        "--format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace serialization (default chrome)",
+    )
+    return parser
+
+
+def _trace_main(argv: PySequence[str], out) -> int:
+    """Run ``repro trace``: execute under the tracer and export."""
+    args = build_trace_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+        span = _parse_span(args.span)
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+        tracer = Tracer()
+        result = run_query_detailed(
+            query,
+            span=span,
+            catalog=catalog,
+            mode=args.mode,
+            batch_size=args.batch_size,
+            tracer=tracer,
+        )
+        write_trace(tracer, args.out, fmt=args.format)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    operators = len(tracer.operator_spans())
+    print(
+        f"traced {len(result.output)} records: {len(tracer.spans)} spans "
+        f"({operators} operator spans) -> {args.out} [{args.format}]",
+        file=out,
+    )
+    if args.format == "chrome":
+        print(
+            "load it in Perfetto (https://ui.perfetto.dev) or about://tracing",
+            file=out,
+        )
+    return 0
+
+
 def _check_main(argv: PySequence[str], out) -> int:
     """Run ``repro check``: the front-end semantic analyzer."""
     from repro.lang import analyze, render_diagnostics
@@ -335,6 +450,11 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
         return _check_main(arguments[1:], out)
     if arguments and arguments[0] in ("lint", "verify-plan"):
         return _verify_main(arguments[0], arguments[1:], out)
+    if arguments and arguments[0] == "trace":
+        return _trace_main(arguments[1:], out)
+    if arguments and arguments[0] == "run":
+        # "repro run ..." is an explicit alias for the default command.
+        arguments = arguments[1:]
     parser = build_parser()
     args = parser.parse_args(arguments)
 
@@ -385,10 +505,14 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             batch_size=args.batch_size,
             guard=guard,
             fallback=args.fallback,
+            analyze=args.analyze,
         )
 
-        if args.explain:
+        if args.analyze:
+            print("\n" + result.render_analyze(), file=out)
+        elif args.explain:
             print("\n" + result.optimization.explain(), file=out)
+        if args.explain:
             if args.mode == "batch":
                 mode_line = (
                     f"execution mode: batch (columnar, "
@@ -400,23 +524,17 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             print(mode_line, file=out)
             if guard is not None:
                 print(f"guard: {guard!r}", file=out)
-            if result.counters.fallbacks_taken:
-                print(
-                    f"fallbacks taken: {result.counters.fallbacks_taken} "
-                    "(batch path failed; answer from the row-path oracle)",
-                    file=out,
-                )
+            # One source of truth for every counter: the metrics
+            # registry renders the execution, storage, and guard numbers
+            # as a stable-ordered, golden-test-diffable block.
+            registry = MetricsRegistry()
+            registry.attach("execution", result.counters)
             for seq in stored:
-                c = seq.counters
-                print(
-                    f"storage[{seq.name}]: {c.page_reads} page reads, "
-                    f"{c.buffer_evictions} evictions, "
-                    f"{c.faults_injected} faults injected, "
-                    f"{c.retries_attempted} retries "
-                    f"({c.retries_exhausted} exhausted), "
-                    f"{c.corrupt_pages_detected} corrupt pages detected",
-                    file=out,
-                )
+                registry.attach(f"storage.{seq.name}", seq.counters)
+            if guard is not None:
+                registry.attach_gauges("guard", guard.metrics)
+            print("metrics:", file=out)
+            print(registry.render(indent="  "), file=out)
 
         if args.naive:
             reference = query.run_naive(result.optimization.plan.output_span)

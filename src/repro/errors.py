@@ -148,6 +148,14 @@ class CatalogError(ReproError):
     """A catalog lookup or registration failed."""
 
 
+class TraceFormatError(ReproError):
+    """A serialized trace does not conform to the pinned trace schema.
+
+    Raised by :mod:`repro.obs.schema` validation, naming the offending
+    JSON path, so downstream tools can rely on the format contract.
+    """
+
+
 class VerificationError(ReproError):
     """A static verification pass found error-severity diagnostics.
 

@@ -52,6 +52,8 @@ from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
 from repro.execution.sliding import CumulativeAggregator, make_sliding
+from repro.obs.instrument import traced_batches
+from repro.obs.tracer import Tracer, active
 from repro.optimizer.plans import PhysicalPlan
 
 #: Positions covered by one batch (the vectorization granularity).
@@ -66,6 +68,7 @@ def build_batch_stream(
     counters: ExecutionCounters,
     batch_size: int = DEFAULT_BATCH_SIZE,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """Construct the batch iterator for a stream-mode plan node.
 
@@ -79,6 +82,9 @@ def build_batch_stream(
             batch boundary (and per tile in the position-looping
             operators) so deadline, cancellation, and budgets are
             observed between batches.
+        tracer: optional span tracer; when active every node of the
+            plan tree is wrapped in an operator span with per-batch
+            time and counter attribution (:mod:`repro.obs.instrument`).
 
     The same top-down span discipline as row mode applies: child
     streams are opened over the *children's plan spans* (the optimizer's
@@ -93,7 +99,10 @@ def build_batch_stream(
     builder = _BUILDERS.get(plan.kind)
     if builder is None:
         raise ExecutionError(f"plan kind {plan.kind!r} cannot run in batch mode")
-    return builder(plan, window, counters, batch_size, guard)
+    stream = builder(plan, window, counters, batch_size, guard, tracer)
+    if active(tracer):
+        return traced_batches(tracer, plan, counters, stream)
+    return stream
 
 
 def _finish(
@@ -229,6 +238,7 @@ def _scan(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     leaf = plan.node
     if isinstance(leaf, SequenceLeaf):
@@ -305,6 +315,7 @@ def _chain(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     shift = sum(step.offset for step in plan.steps if step.kind == "shift")
     child_plan = plan.children[0]
@@ -323,7 +334,7 @@ def _chain(
         elif step.kind == "rename":
             schema = step.schema
     out_schema = plan.schema
-    for batch in build_batch_stream(child_plan, child_window, counters, batch_size, guard):
+    for batch in build_batch_stream(child_plan, child_window, counters, batch_size, guard, tracer):
         columns = batch.columns
         valid = batch.valid
         for kind, payload in ops:
@@ -349,12 +360,13 @@ def _lockstep(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """Join-Strategy-B: merge both inputs in lock step, batch-aligned."""
     left_plan, right_plan = plan.children
-    left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size, guard)
+    left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size, guard, tracer)
     right_cursor = _BatchCursor(
-        build_batch_stream(right_plan, right_plan.span, counters, batch_size, guard),
+        build_batch_stream(right_plan, right_plan.span, counters, batch_size, guard, tracer),
         len(right_plan.schema),
     )
     predicate = (
@@ -392,11 +404,12 @@ def _probe_side(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard],
+    tracer: Optional[Tracer],
     driver_index: int,
 ) -> BatchStream:
     """Join-Strategy-A: stream one input in batches, probe the other."""
     probed_index = 1 - driver_index
-    prober = build_prober(plan.children[probed_index], counters, guard)
+    prober = build_prober(plan.children[probed_index], counters, guard, tracer)
     driver_plan = plan.children[driver_index]
     probed_ncols = len(plan.children[probed_index].schema)
     predicate = (
@@ -443,9 +456,12 @@ def _stream_probe(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """Join-Strategy-A: stream the left input, probe the right."""
-    return _probe_side(plan, window, counters, batch_size, guard, driver_index=0)
+    return _probe_side(
+        plan, window, counters, batch_size, guard, tracer, driver_index=0
+    )
 
 
 def _probe_stream(
@@ -454,9 +470,12 @@ def _probe_stream(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
-    return _probe_side(plan, window, counters, batch_size, guard, driver_index=1)
+    return _probe_side(
+        plan, window, counters, batch_size, guard, tracer, driver_index=1
+    )
 
 
 # -- non-unit-scope unary operators ------------------------------------------
@@ -468,9 +487,10 @@ def _naive_unary(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """Forced-naive strategy: the operator's ``value_at`` over a prober."""
-    prober = build_prober(plan.children[0], counters, guard)
+    prober = build_prober(plan.children[0], counters, guard, tracer)
     source = ProberSequence(prober)
     op = plan.node
     schema = plan.schema
@@ -500,19 +520,20 @@ def _window_agg(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, WindowAggregate):
         raise ExecutionError("window-agg plan without a WindowAggregate node")
     if plan.strategy == "naive":
-        yield from _naive_unary(plan, window, counters, batch_size)
+        yield from _naive_unary(plan, window, counters, batch_size, guard, tracer)
         return
     # Cache-Strategy-A per batch: one pass over the input column with a
     # scope-sized cache; only the aggregated attribute is flattened.
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     items = _iter_column(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard),
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer),
         attr_index,
     )
     pending = next(items, None)
@@ -545,12 +566,13 @@ def _value_offset(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, ValueOffset):
         raise ExecutionError("value-offset plan without a ValueOffset node")
     if plan.strategy == "naive":
-        yield from _naive_unary(plan, window, counters, batch_size)
+        yield from _naive_unary(plan, window, counters, batch_size, guard, tracer)
         return
     # Cache-Strategy-B per batch: the reach-sized deque slides over
     # flattened value tuples instead of records.
@@ -561,7 +583,7 @@ def _value_offset(
 
     if op.looks_back:
         items = _iter_values(
-            build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard)
+            build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer)
         )
         pending = next(items, None)
         buffer: deque[tuple[int, tuple]] = deque()
@@ -591,7 +613,7 @@ def _value_offset(
 
     # Looking forward (Next and +k offsets): a reach-sized lookahead.
     items = _iter_values(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard)
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer)
     )
     buffer = deque()
     exhausted = False
@@ -630,17 +652,18 @@ def _cumulative(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, CumulativeAggregate):
         raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
     if plan.strategy == "naive":
-        yield from _naive_unary(plan, window, counters, batch_size)
+        yield from _naive_unary(plan, window, counters, batch_size, guard, tracer)
         return
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     items = _iter_column(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard),
+        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer),
         attr_index,
     )
     pending = next(items, None)
@@ -672,6 +695,7 @@ def _global_agg(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     op = plan.node
     if not isinstance(op, GlobalAggregate):
@@ -679,7 +703,7 @@ def _global_agg(
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
     values: list = []
-    for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard):
+    for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer):
         column = batch.columns[attr_index]
         for i, ok in enumerate(batch.valid):
             if ok:
@@ -704,9 +728,10 @@ def _materialize(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchStream:
     """A materialize node in a stream context simply forwards its child."""
-    yield from build_batch_stream(plan.children[0], window, counters, batch_size, guard)
+    yield from build_batch_stream(plan.children[0], window, counters, batch_size, guard, tracer)
 
 
 _BUILDERS = {

@@ -53,15 +53,15 @@ class ExecutionCounters:
             setattr(self, f.name, 0)
 
     def snapshot(self) -> "ExecutionCounters":
-        """An immutable copy of the current counts."""
-        return ExecutionCounters(
-            **{f.name: getattr(self, f.name) for f in fields(self)}
-        )
+        """An immutable copy of the current counts.
 
-    def restore(self, snapshot: "ExecutionCounters") -> None:
-        """Reset every counter to a snapshot's values."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(snapshot, f.name))
+        Restoring a snapshot goes through the one generic implementation
+        in :func:`repro.obs.metrics.counters_restore` — there is no
+        bespoke restore method here.
+        """
+        from repro.obs.metrics import counters_snapshot
+
+        return ExecutionCounters(**counters_snapshot(self))
 
     def note_occupancy(self, occupancy: int) -> None:
         """Record a cache occupancy observation."""

@@ -35,6 +35,8 @@ from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.streams import build_stream
+from repro.obs.metrics import counters_restore, counters_snapshot
+from repro.obs.tracer import CATEGORY_ENGINE, Tracer, active
 from repro.storage.counters import StorageCounters
 
 #: Execution modes understood by :func:`execute_plan`.
@@ -85,12 +87,13 @@ def _run_batch(
     counters: ExecutionCounters,
     batch_size: int,
     guard: Optional[QueryGuard],
+    tracer: Optional[Tracer] = None,
 ) -> list:
     """Materialize the batch-mode answer as ``(position, record)`` pairs."""
     schema = plan.schema
     unchecked = Record.unchecked
     pairs: list = []
-    for batch in build_batch_stream(plan, window, counters, batch_size, guard):
+    for batch in build_batch_stream(plan, window, counters, batch_size, guard, tracer):
         emitted = batch.count_valid()
         counters.records_emitted += emitted
         if guard is not None:
@@ -115,10 +118,11 @@ def _run_row(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard],
+    tracer: Optional[Tracer] = None,
 ) -> list:
     """Materialize the row-mode answer as ``(position, record)`` pairs."""
     pairs: list = []
-    for position, record in build_stream(plan, window, counters, guard):
+    for position, record in build_stream(plan, window, counters, guard, tracer):
         counters.records_emitted += 1
         if guard is not None:
             guard.note_records(1)
@@ -135,6 +139,7 @@ def execute_plan(
     batch_size: int = DEFAULT_BATCH_SIZE,
     guard: Optional[QueryGuard] = None,
     fallback: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> BaseSequence:
     """Run a stream-mode plan and materialize its output.
 
@@ -154,6 +159,11 @@ def execute_plan(
             counters, charge one ``fallbacks_taken``, and re-run on the
             row-path oracle.  Guard verdicts are never swallowed, and
             the guard's clock keeps running across the rerun.
+        tracer: optional span tracer.  When active the run is wrapped
+            in an ``execute`` span, every operator gets its own span
+            (:mod:`repro.obs.instrument`), a fallback rerun is recorded
+            as a ``fallback`` event, and the tracer is finalized when
+            the run ends so probe-side spans close.
     """
     validate_execution_args(mode, batch_size, guard)
     window = plan.span if span is None else span.intersect(plan.span)
@@ -167,26 +177,57 @@ def execute_plan(
         guard.start()
         guard.watch_execution(counters)
         _watch_plan_storage(plan, guard)
-    if mode == "batch":
-        snapshot = counters.snapshot()
-        guard_records = guard.records_emitted if guard is not None else 0
-        try:
-            pairs = _run_batch(plan, window, counters, batch_size, guard)
-        except QueryGuardError:
-            raise
-        except (ExecutionError, StorageError):
-            if not fallback:
+    if not active(tracer):
+        tracer = None
+    root_span = None
+    if tracer is not None:
+        root_span = tracer.begin(
+            "execute",
+            CATEGORY_ENGINE,
+            attrs={
+                "mode": mode,
+                "batch_size": batch_size if mode == "batch" else None,
+                "window": str(window),
+                "fallback_enabled": fallback,
+            },
+        )
+        tracer.push(root_span)
+    try:
+        if mode == "batch":
+            # The fallback rewind goes through the one generic
+            # snapshot/restore implementation in repro.obs.metrics.
+            snapshot = counters_snapshot(counters)
+            guard_records = guard.records_emitted if guard is not None else 0
+            try:
+                pairs = _run_batch(plan, window, counters, batch_size, guard, tracer)
+            except QueryGuardError:
                 raise
-            # Graceful degradation: forget the failed attempt's engine
-            # accounting (the storage counters keep their real I/O) and
-            # re-run on the row-path oracle.
-            counters.restore(snapshot)
-            counters.fallbacks_taken += 1
-            if guard is not None:
-                guard.rewind_records(guard_records)
-            pairs = _run_row(plan, window, counters, guard)
-    else:
-        pairs = _run_row(plan, window, counters, guard)
+            except (ExecutionError, StorageError) as error:
+                if not fallback:
+                    raise
+                # Graceful degradation: forget the failed attempt's engine
+                # accounting (the storage counters keep their real I/O) and
+                # re-run on the row-path oracle.
+                counters_restore(counters, snapshot)
+                counters.fallbacks_taken += 1
+                if guard is not None:
+                    guard.rewind_records(guard_records)
+                if tracer is not None and root_span is not None:
+                    tracer.event(
+                        root_span,
+                        "fallback",
+                        error=type(error).__name__,
+                        message=str(error)[:200],
+                    )
+                pairs = _run_row(plan, window, counters, guard, tracer)
+        else:
+            pairs = _run_row(plan, window, counters, guard, tracer)
+    finally:
+        if tracer is not None and root_span is not None:
+            root_span.attrs["records_emitted"] = counters.records_emitted
+            tracer.pop()
+            tracer.end(root_span)
+            tracer.finalize()
     # Stream evaluations emit unique ascending positions with records of
     # the plan's schema, so the output skips per-item revalidation.
     return BaseSequence.unchecked(plan.schema, pairs, span=window)
@@ -201,11 +242,30 @@ class RunResult:
         optimization: the full optimizer output (plan, annotations,
             Property 4.1 counters, rewrite trace).
         counters: execution-side work counters.
+        tracer: the span tracer the run recorded into, when one was
+            active (``analyze=True`` or an explicit ``tracer=``);
+            None otherwise.
     """
 
     output: BaseSequence
     optimization: OptimizationResult
     counters: ExecutionCounters
+    tracer: Optional[Tracer] = None
+
+    def render_analyze(self) -> str:
+        """The EXPLAIN ANALYZE text (requires a recorded trace).
+
+        Raises:
+            ExecutionError: when the run was not traced.
+        """
+        if self.tracer is None or not self.tracer.spans:
+            raise ExecutionError(
+                "no trace recorded: run the query with analyze=True "
+                "(or pass an enabled tracer) before rendering"
+            )
+        from repro.obs.analyze import render_analyze
+
+        return render_analyze(self.optimization.plan, self.tracer)
 
 
 def run_query_detailed(
@@ -220,11 +280,20 @@ def run_query_detailed(
     batch_size: int = DEFAULT_BATCH_SIZE,
     guard: Optional[QueryGuard] = None,
     fallback: bool = False,
+    tracer: Optional[Tracer] = None,
+    analyze: bool = False,
 ) -> RunResult:
-    """Optimize and execute ``query``, returning answer + diagnostics."""
+    """Optimize and execute ``query``, returning answer + diagnostics.
+
+    ``analyze=True`` records a full trace (creating a
+    :class:`~repro.obs.tracer.Tracer` if none was passed) so the result
+    supports :meth:`RunResult.render_analyze`.
+    """
     # Fail on bad knobs before the optimizer runs: no plan, no counters,
     # no storage access happen for a query that could never execute.
     validate_execution_args(mode, batch_size, guard)
+    if analyze and tracer is None:
+        tracer = Tracer()
     optimization = optimize(
         query,
         catalog=catalog,
@@ -233,6 +302,7 @@ def run_query_detailed(
         rewrite=rewrite,
         consider_materialize=consider_materialize,
         restrict_spans=restrict_spans,
+        tracer=tracer,
     )
     counters = ExecutionCounters()
     output = execute_plan(
@@ -243,8 +313,14 @@ def run_query_detailed(
         batch_size=batch_size,
         guard=guard,
         fallback=fallback,
+        tracer=tracer,
     )
-    return RunResult(output=output, optimization=optimization, counters=counters)
+    return RunResult(
+        output=output,
+        optimization=optimization,
+        counters=counters,
+        tracer=tracer if active(tracer) else None,
+    )
 
 
 def run_query(
@@ -259,9 +335,17 @@ def run_query(
     batch_size: int = DEFAULT_BATCH_SIZE,
     guard: Optional[QueryGuard] = None,
     fallback: bool = False,
-) -> BaseSequence:
-    """Optimize and execute ``query``, returning just the answer."""
-    return run_query_detailed(
+    tracer: Optional[Tracer] = None,
+    analyze: bool = False,
+):
+    """Optimize and execute ``query``, returning just the answer.
+
+    With ``analyze=True`` the run is traced and the full
+    :class:`RunResult` is returned instead, so the caller can render
+    the EXPLAIN ANALYZE tree (:meth:`RunResult.render_analyze`) or
+    export the trace alongside the answer (``result.output``).
+    """
+    result = run_query_detailed(
         query,
         span=span,
         catalog=catalog,
@@ -273,4 +357,9 @@ def run_query(
         batch_size=batch_size,
         guard=guard,
         fallback=fallback,
-    ).output
+        tracer=tracer,
+        analyze=analyze,
+    )
+    if analyze:
+        return result
+    return result.output

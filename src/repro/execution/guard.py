@@ -174,6 +174,19 @@ class QueryGuard:
             return 0.0
         return self._clock() - self._started_at
 
+    def metrics(self) -> dict[str, float]:
+        """The guard's progress numbers as a gauge mapping.
+
+        Shaped for :meth:`repro.obs.metrics.MetricsRegistry.attach_gauges`,
+        so ``--explain`` and benchmarks read guard progress from the
+        same registry as every other counter.
+        """
+        return {
+            "elapsed_seconds": round(self.elapsed(), 6),
+            "records_emitted": self._records,
+            "pages_read": self.pages_read(),
+        }
+
     # -- checkpoints ---------------------------------------------------------
 
     def checkpoint(self) -> None:

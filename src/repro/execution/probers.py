@@ -21,6 +21,8 @@ from repro.model.span import Span
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
+from repro.obs.instrument import TracedProber
+from repro.obs.tracer import Tracer, active
 from repro.optimizer.plans import PROBE, ChainStep, PhysicalPlan
 
 
@@ -187,11 +189,13 @@ class GlobalAggProber(Prober):
         plan: PhysicalPlan,
         counters: ExecutionCounters,
         guard: Optional[QueryGuard] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(plan.schema, plan.span)
         self._plan = plan
         self._counters = counters
         self._guard = guard
+        self._tracer = tracer
         self._computed = False
         self._value: RecordOrNull = NULL
 
@@ -205,7 +209,8 @@ class GlobalAggProber(Prober):
         records = [
             record
             for _pos, record in build_stream(
-                child_plan, child_plan.span, self._counters, self._guard
+                child_plan, child_plan.span, self._counters, self._guard,
+                self._tracer,
             )
         ]
         self._value = node._aggregate(records)  # noqa: SLF001 - engine-internal
@@ -231,11 +236,13 @@ class MaterializeProber(Prober):
         plan: PhysicalPlan,
         counters: ExecutionCounters,
         guard: Optional[QueryGuard] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(plan.schema, plan.span)
         self._plan = plan
         self._counters = counters
         self._guard = guard
+        self._tracer = tracer
         self._table: Optional[dict[int, Record]] = None
 
     def _build(self) -> None:
@@ -245,7 +252,7 @@ class MaterializeProber(Prober):
         self._table = {}
         guard = self._guard
         for position, record in build_stream(
-            child_plan, child_plan.span, self._counters, guard
+            child_plan, child_plan.span, self._counters, guard, self._tracer
         ):
             self._table[position] = record
             self._counters.cache_ops += 1
@@ -267,32 +274,47 @@ def build_prober(
     plan: PhysicalPlan,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Prober:
     """Construct the prober for a probe-mode plan node.
 
     The guard (when given) is observed at the probe sites: source
     probes tick it, and the materialize prober charges its table
-    against the cache-entries budget.
+    against the cache-entries budget.  When the tracer is active every
+    prober is wrapped in an operator span; probe-side spans are closed
+    by the tracer's finalizers when execution ends.
     """
+    prober = _build_prober(plan, counters, guard, tracer)
+    if active(tracer):
+        return TracedProber(tracer, plan, counters, prober)
+    return prober
+
+
+def _build_prober(
+    plan: PhysicalPlan,
+    counters: ExecutionCounters,
+    guard: Optional[QueryGuard],
+    tracer: Optional[Tracer],
+) -> Prober:
     if plan.kind == "probe-source":
         return SourceProber(plan, counters, guard)
     if plan.kind == "chain":
         return ChainProber(
-            plan, build_prober(plan.children[0], counters, guard), counters
+            plan, build_prober(plan.children[0], counters, guard, tracer), counters
         )
     if plan.kind == "probe-join":
         return JoinProber(
             plan,
-            build_prober(plan.children[0], counters, guard),
-            build_prober(plan.children[1], counters, guard),
+            build_prober(plan.children[0], counters, guard, tracer),
+            build_prober(plan.children[1], counters, guard, tracer),
             counters,
         )
     if plan.kind in ("window-agg", "value-offset", "cumulative-agg"):
         return NaiveUnaryProber(
-            plan, build_prober(plan.children[0], counters, guard), counters
+            plan, build_prober(plan.children[0], counters, guard, tracer), counters
         )
     if plan.kind == "global-agg":
-        return GlobalAggProber(plan, counters, guard)
+        return GlobalAggProber(plan, counters, guard, tracer)
     if plan.kind == "materialize":
-        return MaterializeProber(plan, counters, guard)
+        return MaterializeProber(plan, counters, guard, tracer)
     raise ExecutionError(f"plan kind {plan.kind!r} cannot run in probe mode")

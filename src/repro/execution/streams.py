@@ -25,6 +25,8 @@ from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
 from repro.execution.sliding import CumulativeAggregator, make_sliding
+from repro.obs.instrument import traced_stream
+from repro.obs.tracer import Tracer, active
 from repro.optimizer.plans import PhysicalPlan
 
 StreamItem = tuple[int, Record]
@@ -35,6 +37,7 @@ def build_stream(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Construct the stream iterator for a stream-mode plan node.
 
@@ -46,6 +49,10 @@ def build_stream(
         guard: optional per-query resource governor; ticked at loop
             checkpoints so a guarded query observes its deadline,
             cancellation, and budgets mid-stream.
+        tracer: optional span tracer; when active every node of the
+            plan tree is wrapped in an operator span that attributes
+            rows, time, and counter deltas to it (row-mode timing is
+            stride-sampled, see :mod:`repro.obs.instrument`).
 
     Child streams are opened over the *children's plan spans* — the
     optimizer's top-down span restriction (Step 2.b) is the only
@@ -58,7 +65,10 @@ def build_stream(
     builder = _BUILDERS.get(plan.kind)
     if builder is None:
         raise ExecutionError(f"plan kind {plan.kind!r} cannot run in stream mode")
-    return builder(plan, window, counters, guard)
+    stream = builder(plan, window, counters, guard, tracer)
+    if active(tracer):
+        return traced_stream(tracer, plan, counters, stream)
+    return stream
 
 
 def _scan(
@@ -66,6 +76,7 @@ def _scan(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     leaf = plan.node
     if isinstance(leaf, SequenceLeaf):
@@ -88,6 +99,7 @@ def _chain(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     shift = sum(step.offset for step in plan.steps if step.kind == "shift")
     child_plan = plan.children[0]
@@ -106,7 +118,7 @@ def _chain(
         elif step.kind == "rename":
             ops.append(("rename", step.schema))
             schema = step.schema
-    for position, record in build_stream(child_plan, child_window, counters, guard):
+    for position, record in build_stream(child_plan, child_window, counters, guard, tracer):
         out_position = position - shift
         if out_position not in window:
             continue
@@ -157,11 +169,12 @@ def _lockstep(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-B: merge both input streams in lock step."""
     predicate = _join_predicate(plan)
-    left_iter = build_stream(plan.children[0], plan.children[0].span, counters, guard)
-    right_iter = build_stream(plan.children[1], plan.children[1].span, counters, guard)
+    left_iter = build_stream(plan.children[0], plan.children[0].span, counters, guard, tracer)
+    right_iter = build_stream(plan.children[1], plan.children[1].span, counters, guard, tracer)
     left = next(left_iter, None)
     right = next(right_iter, None)
     while left is not None and right is not None:
@@ -181,12 +194,13 @@ def _stream_probe(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-A: stream the left input, probe the right."""
     predicate = _join_predicate(plan)
-    prober = build_prober(plan.children[1], counters, guard)
+    prober = build_prober(plan.children[1], counters, guard, tracer)
     driver = plan.children[0]
-    for position, left in build_stream(driver, driver.span, counters, guard):
+    for position, left in build_stream(driver, driver.span, counters, guard, tracer):
         if position not in window:
             continue
         right = prober.get(position)
@@ -200,12 +214,13 @@ def _probe_stream(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
     predicate = _join_predicate(plan)
-    prober = build_prober(plan.children[0], counters, guard)
+    prober = build_prober(plan.children[0], counters, guard, tracer)
     driver = plan.children[1]
-    for position, right in build_stream(driver, driver.span, counters, guard):
+    for position, right in build_stream(driver, driver.span, counters, guard, tracer):
         if position not in window:
             continue
         left = prober.get(position)
@@ -225,13 +240,14 @@ def _window_agg(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, WindowAggregate):
         raise ExecutionError("window-agg plan without a WindowAggregate node")
     if plan.strategy == "naive":
         # Probe the child w times per output position (no cache).
-        prober = build_prober(plan.children[0], counters, guard)
+        prober = build_prober(plan.children[0], counters, guard, tracer)
         source = ProberSequence(prober)
         for position in window.positions():
             if guard is not None:
@@ -244,7 +260,7 @@ def _window_agg(
 
     # Cache-Strategy-A: one pass over the input with a scope-sized cache.
     child_plan = plan.children[0]
-    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard, tracer)
     pending = next(child_iter, None)
     aggregator = make_sliding(op.func, counters)
     for position in window.positions():
@@ -266,12 +282,13 @@ def _value_offset(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, ValueOffset):
         raise ExecutionError("value-offset plan without a ValueOffset node")
     if plan.strategy == "naive":
-        prober = build_prober(plan.children[0], counters, guard)
+        prober = build_prober(plan.children[0], counters, guard, tracer)
         source = ProberSequence(prober)
         for position in window.positions():
             if guard is not None:
@@ -286,7 +303,7 @@ def _value_offset(
     child_plan = plan.children[0]
     reach = op.reach
     if op.looks_back:
-        child_iter = build_stream(child_plan, child_plan.span, counters, guard)
+        child_iter = build_stream(child_plan, child_plan.span, counters, guard, tracer)
         pending = next(child_iter, None)
         buffer: deque[StreamItem] = deque()
         for position in window.positions():
@@ -305,7 +322,7 @@ def _value_offset(
         return
 
     # Looking forward (Next and +k offsets): a reach-sized lookahead.
-    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard, tracer)
     buffer = deque()
     exhausted = False
     for position in window.positions():
@@ -333,12 +350,13 @@ def _cumulative(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, CumulativeAggregate):
         raise ExecutionError("cumulative-agg plan without a CumulativeAggregate node")
     if plan.strategy == "naive":
-        prober = build_prober(plan.children[0], counters, guard)
+        prober = build_prober(plan.children[0], counters, guard, tracer)
         source = ProberSequence(prober)
         for position in window.positions():
             if guard is not None:
@@ -349,7 +367,7 @@ def _cumulative(
                 yield position, record
         return
     child_plan = plan.children[0]
-    child_iter = build_stream(child_plan, child_plan.span, counters, guard)
+    child_iter = build_stream(child_plan, child_plan.span, counters, guard, tracer)
     pending = next(child_iter, None)
     running = CumulativeAggregator(op.func)
     for position in window.positions():
@@ -369,13 +387,14 @@ def _global_agg(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     op = plan.node
     if not isinstance(op, GlobalAggregate):
         raise ExecutionError("global-agg plan without a GlobalAggregate node")
     child_plan = plan.children[0]
     records = [
-        record for _pos, record in build_stream(child_plan, child_plan.span, counters, guard)
+        record for _pos, record in build_stream(child_plan, child_plan.span, counters, guard, tracer)
     ]
     value = op._aggregate(records)  # noqa: SLF001 - engine-internal
     if value is NULL:
@@ -392,9 +411,10 @@ def _materialize_stream(
     window: Span,
     counters: ExecutionCounters,
     guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     # A materialize node in a stream context simply forwards its child.
-    yield from build_stream(plan.children[0], window, counters, guard)
+    yield from build_stream(plan.children[0], window, counters, guard, tracer)
 
 
 _BUILDERS = {

@@ -1,0 +1,92 @@
+"""Observability: span tracing, unified metrics, EXPLAIN ANALYZE, exporters.
+
+The subsystem has four layers, each usable on its own:
+
+* :mod:`repro.obs.tracer` — the span tracer the optimizer and both
+  executors thread through themselves;
+* :mod:`repro.obs.metrics` — the unified counter/gauge/histogram
+  registry (and the generic counter snapshot/restore/delta helpers);
+* :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: the plan tree joined
+  with per-operator actuals and estimate/actual error factors;
+* :mod:`repro.obs.export` / :mod:`repro.obs.schema` — JSON Lines and
+  Chrome ``trace_event`` serializations with a pinned, validated
+  schema.
+"""
+
+from repro.obs.analyze import (
+    FACTOR_EPSILON,
+    OperatorReport,
+    actual_cost_units,
+    operator_reports,
+    render_analyze,
+)
+from repro.obs.export import (
+    TRACE_FORMATS,
+    parse_jsonl,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    counters_delta,
+    counters_restore,
+    counters_snapshot,
+)
+from repro.obs.schema import (
+    CHROME_SCHEMA,
+    JSONL_SCHEMA,
+    TRACE_FORMAT_VERSION,
+    validate_chrome_trace,
+    validate_jsonl_record,
+)
+from repro.obs.tracer import (
+    CATEGORY_ENGINE,
+    CATEGORY_OPERATOR,
+    CATEGORY_OPTIMIZER,
+    DEFAULT_ROW_STRIDE,
+    TraceEvent,
+    TraceSpan,
+    Tracer,
+    active,
+    maybe_span,
+    trace_summary,
+)
+
+__all__ = [
+    "CATEGORY_ENGINE",
+    "CATEGORY_OPERATOR",
+    "CATEGORY_OPTIMIZER",
+    "CHROME_SCHEMA",
+    "Counter",
+    "DEFAULT_ROW_STRIDE",
+    "FACTOR_EPSILON",
+    "Histogram",
+    "JSONL_SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "OperatorReport",
+    "TRACE_FORMATS",
+    "TRACE_FORMAT_VERSION",
+    "TraceEvent",
+    "TraceSpan",
+    "Tracer",
+    "active",
+    "actual_cost_units",
+    "counters_delta",
+    "counters_restore",
+    "counters_snapshot",
+    "maybe_span",
+    "operator_reports",
+    "parse_jsonl",
+    "render_analyze",
+    "to_chrome",
+    "to_jsonl",
+    "trace_summary",
+    "validate_chrome_trace",
+    "validate_jsonl_record",
+    "write_trace",
+]

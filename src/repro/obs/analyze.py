@@ -1,0 +1,195 @@
+"""EXPLAIN ANALYZE — the estimated plan annotated with observed work.
+
+The optimizer's plan tree carries cost *estimates* in page-access
+units (:mod:`repro.optimizer.costmodel`); an executed trace carries
+the *actuals* each operator span attributed to itself.  This module
+joins the two by the ``plan_id`` attribute operator spans record
+(``id()`` of the plan node) and renders the familiar tree::
+
+    window-agg(cache-a) mode=stream span=[0, 749] cost=1143.60
+      actual: time=3.41ms rows=736 pages=0 hits=3 predicate_evals=0 cache_ops=2208 cost~4.94 factor=0.004
+
+``cost~`` is the operator's actuals converted back into the same
+page-access units the estimate uses (pages × page_cost + predicate
+evaluations × K + cache operations × cache_op_cost + rows ×
+record_cost), and ``factor`` is the ratio ``actual / estimate`` with a
+small epsilon on both sides so it is always finite — the per-operator
+estimation-error number the paper's cost formulas can be judged by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.tracer import Tracer, TraceSpan
+from repro.optimizer.costmodel import CostParams
+from repro.optimizer.plans import OptimizedPlan, PhysicalPlan
+
+#: Epsilon keeping estimate/actual factors finite when either side is 0.
+FACTOR_EPSILON = 1e-9
+
+
+@dataclass
+class OperatorReport:
+    """One operator's estimates joined with its observed actuals.
+
+    Attributes:
+        plan: the physical plan node.
+        depth: nesting depth in the plan tree (root = 0).
+        spans: operator spans recorded for this node (more than one
+            when the engine retried the tree, e.g. batch→row fallback;
+            the *last* span — the attempt that produced the answer —
+            supplies the actuals).
+        executed: whether any span was recorded for this node.
+        rows: actual rows emitted (exact).
+        busy_us: actual active time, inclusive of children (row-mode
+            values are stride-sampled estimates).
+        pages_read / buffer_hits: storage actuals (leaf nodes only;
+            0 elsewhere).
+        predicate_evals / cache_ops: attributed counter deltas.
+        est_cost: the optimizer's estimate in page-access units.
+        actual_cost: the actuals converted to the same units.
+        factor: ``(actual_cost + eps) / (est_cost + eps)`` — always
+            finite; 1.0 means the estimate was spot on.
+    """
+
+    plan: PhysicalPlan
+    depth: int
+    spans: list[TraceSpan] = field(default_factory=list)
+    executed: bool = False
+    rows: int = 0
+    busy_us: float = 0.0
+    pages_read: int = 0
+    buffer_hits: int = 0
+    predicate_evals: int = 0
+    cache_ops: int = 0
+    est_cost: float = 0.0
+    actual_cost: float = 0.0
+    factor: float = 0.0
+
+
+def actual_cost_units(
+    *,
+    pages_read: int,
+    predicate_evals: int,
+    cache_ops: int,
+    rows: int,
+    params: Optional[CostParams] = None,
+) -> float:
+    """Convert observed work into the cost model's page-access units."""
+    params = params or CostParams()
+    return (
+        pages_read * params.page_cost
+        + predicate_evals * params.predicate_cost
+        + cache_ops * params.cache_op_cost
+        + rows * params.record_cost
+    )
+
+
+def _spans_by_plan(tracer: Tracer) -> dict[int, list[TraceSpan]]:
+    table: dict[int, list[TraceSpan]] = {}
+    for span in tracer.operator_spans():
+        plan_id = span.attrs.get("plan_id")
+        if isinstance(plan_id, int):
+            table.setdefault(plan_id, []).append(span)
+    return table
+
+
+def operator_reports(
+    plan: PhysicalPlan,
+    tracer: Tracer,
+    params: Optional[CostParams] = None,
+) -> list[OperatorReport]:
+    """Per-operator reports for a plan tree, in pre-order.
+
+    Every node of the tree gets a report; nodes the execution never
+    reached (e.g. a probe subtree a cache made redundant) have
+    ``executed=False`` and zero actuals.
+    """
+    params = params or CostParams()
+    table = _spans_by_plan(tracer)
+    reports: list[OperatorReport] = []
+
+    def visit(node: PhysicalPlan, depth: int) -> None:
+        report = OperatorReport(plan=node, depth=depth, est_cost=node.est_cost)
+        spans = table.get(id(node), [])
+        report.spans = spans
+        if spans:
+            last = spans[-1]
+            report.executed = True
+            report.rows = int(last.attrs.get("rows_emitted", 0))
+            report.busy_us = last.busy_us
+            report.pages_read = int(last.attrs.get("pages_read", 0))
+            report.buffer_hits = int(last.attrs.get("buffer_hits", 0))
+            report.predicate_evals = int(last.attrs.get("predicate_evals", 0))
+            report.cache_ops = int(last.attrs.get("cache_ops", 0))
+            report.actual_cost = actual_cost_units(
+                pages_read=report.pages_read,
+                predicate_evals=report.predicate_evals,
+                cache_ops=report.cache_ops,
+                rows=report.rows,
+                params=params,
+            )
+        report.factor = (report.actual_cost + FACTOR_EPSILON) / (
+            report.est_cost + FACTOR_EPSILON
+        )
+        reports.append(report)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return reports
+
+
+def _actual_line(report: OperatorReport) -> str:
+    if not report.executed:
+        return "actual: (never executed)"
+    bits = [
+        f"time={report.busy_us / 1000:.2f}ms",
+        f"rows={report.rows}",
+        f"pages={report.pages_read}",
+        f"hits={report.buffer_hits}",
+        f"predicate_evals={report.predicate_evals}",
+        f"cache_ops={report.cache_ops}",
+        f"cost~{report.actual_cost:.2f}",
+        f"factor={report.factor:.3g}",
+    ]
+    events = sum(len(span.events) for span in report.spans)
+    if events:
+        bits.append(f"events={events}")
+    if len(report.spans) > 1:
+        bits.append(f"attempts={len(report.spans)}")
+    return "actual: " + " ".join(bits)
+
+
+def render_analyze(
+    optimization: OptimizedPlan,
+    tracer: Tracer,
+    params: Optional[CostParams] = None,
+) -> str:
+    """The EXPLAIN ANALYZE text: plan tree with actuals under each node."""
+    reports = operator_reports(optimization.plan, tracer, params)
+    total_wall_us = 0.0
+    for span in tracer.find("execute"):
+        total_wall_us += span.duration_us
+    root = reports[0]
+    header = (
+        f"-- estimated cost {optimization.estimated_cost:.2f}, actual "
+        f"{total_wall_us / 1000:.2f}ms wall, {root.rows} row(s), span "
+        f"{optimization.output_span}"
+    )
+    lines = [header]
+    optimizer_spans = [
+        s for s in tracer.spans if s.category == "optimizer" and s.parent_id
+    ]
+    if optimizer_spans:
+        steps = ", ".join(
+            f"{s.name}={s.duration_us / 1000:.2f}ms" for s in optimizer_spans
+        )
+        lines.append(f"-- optimizer: {steps}")
+    for report in reports:
+        pad = "  " * report.depth
+        lines.append(pad + report.plan.describe())
+        lines.append(pad + "  " + _actual_line(report))
+    return "\n".join(lines)

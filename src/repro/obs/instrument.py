@@ -1,0 +1,352 @@
+"""Operator-level instrumentation for the executors.
+
+The stream dispatchers (:func:`repro.execution.streams.build_stream`,
+:func:`repro.execution.batch_streams.build_batch_stream`) and the
+prober dispatcher wrap every physical plan node with one of the
+adapters here when a tracer is active.  Each adapter owns exactly one
+span and attributes to it:
+
+* ``rows_emitted`` / ``batches_emitted`` — exact output counts;
+* ``busy_us`` — time spent inside the operator's pulls, *inclusive*
+  of its children (the convention EXPLAIN ANALYZE trees use);
+* ``predicate_evals`` / ``cache_ops`` — deltas of the shared
+  execution counters measured around each pull, i.e. work that
+  happened while this operator (and its subtree) was producing;
+* ``pages_read`` / ``buffer_hits`` — for leaf nodes over stored
+  sequences, the storage counter delta between span open and close;
+* fault injections, buffer-pool retries, and guard verdicts as span
+  events.
+
+Row mode pulls once per record, so its adapters sample: every
+``tracer.row_stride``-th pull is measured and the totals are scaled at
+span close (row counts stay exact; see DESIGN §10 for the accuracy
+contract).  Batch mode measures every pull — a pull is a whole batch,
+so full measurement is already cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import QueryGuardError
+from repro.obs.tracer import CATEGORY_OPERATOR, Tracer, TraceSpan
+from repro.optimizer.plans import PhysicalPlan
+
+_SENTINEL = object()
+
+
+def operator_name(plan: PhysicalPlan) -> str:
+    """The span name of a plan node (kind plus strategy refinement)."""
+    if plan.strategy:
+        return f"{plan.kind}({plan.strategy})"
+    return plan.kind
+
+
+def operator_attrs(plan: PhysicalPlan) -> dict:
+    """The static (pre-execution) attributes of an operator span."""
+    length = plan.span.length()
+    est_rows = plan.density * length if length is not None else None
+    return {
+        "plan_id": id(plan),
+        "kind": plan.kind,
+        "strategy": plan.strategy,
+        "mode": plan.mode,
+        "span": str(plan.span),
+        "est_cost": round(plan.est_cost, 6),
+        "est_rows": round(est_rows, 3) if est_rows is not None else None,
+    }
+
+
+def leaf_storage(plan: PhysicalPlan):
+    """The storage counters behind a leaf plan node, if it is stored."""
+    node = plan.node
+    sequence = getattr(node, "sequence", None)
+    counters = getattr(sequence, "counters", None)
+    if counters is not None and hasattr(counters, "page_reads"):
+        return counters
+    return None
+
+
+def _fault_trace(plan: PhysicalPlan):
+    """The leaf's fault-injection trace list, if it sits on a FaultyDisk."""
+    node = plan.node
+    sequence = getattr(node, "sequence", None)
+    fault_plan = getattr(sequence, "fault_plan", None)
+    return getattr(fault_plan, "trace", None)
+
+
+class _StorageWatch:
+    """Tracks a leaf's storage counters and emits retry/fault events."""
+
+    __slots__ = ("counters", "fault_trace", "_pages", "_hits", "_retries", "_faults")
+
+    def __init__(self, plan: PhysicalPlan):
+        self.counters = leaf_storage(plan)
+        self.fault_trace = _fault_trace(plan)
+        self._pages = self._hits = self._retries = 0
+        self._faults = 0
+
+    @property
+    def present(self) -> bool:
+        return self.counters is not None
+
+    def open(self) -> None:
+        counters = self.counters
+        if counters is None:
+            return
+        self._pages = counters.page_reads
+        self._hits = counters.buffer_hits
+        self._retries = counters.retries_attempted
+        self._faults = 0 if self.fault_trace is None else len(self.fault_trace)
+
+    def pulse(self, tracer: Tracer, span: TraceSpan) -> None:
+        """Turn new retries or fault injections into span events.
+
+        Called on sampled pulls and once at span close; the deltas are
+        cumulative, so sampling coarsens event timestamps without ever
+        dropping an event.
+        """
+        counters = self.counters
+        if counters is None:
+            return
+        retries = counters.retries_attempted
+        if retries > self._retries:
+            tracer.event(span, "retry", attempts=retries - self._retries)
+            self._retries = retries
+        trace = self.fault_trace
+        if trace is not None and len(trace) > self._faults:
+            for fault in trace[self._faults:]:
+                tracer.event(
+                    span,
+                    f"fault:{fault.kind}",
+                    page_id=fault.page_id,
+                    read_index=fault.read_index,
+                    label=fault.label,
+                )
+            self._faults = len(trace)
+
+    def close(self, span: TraceSpan) -> None:
+        counters = self.counters
+        if counters is None:
+            return
+        span.attrs["pages_read"] = counters.page_reads - self._pages
+        span.attrs["buffer_hits"] = counters.buffer_hits - self._hits
+
+
+def _guard_event(tracer: Tracer, span: TraceSpan, error: Exception) -> None:
+    prefix = "guard" if isinstance(error, QueryGuardError) else "error"
+    tracer.event(
+        span, f"{prefix}:{type(error).__name__}", message=str(error)[:200]
+    )
+
+
+def traced_stream(
+    tracer: Tracer,
+    plan: PhysicalPlan,
+    counters,
+    inner: Iterator,
+) -> Iterator:
+    """Wrap a row-mode operator stream in its span (sampled timing)."""
+    span: Optional[TraceSpan] = None
+    clock = tracer.clock
+    stride = tracer.row_stride
+    watch = _StorageWatch(plan)
+    watching = watch.present
+    # The per-row loop below is the tracing hot path; bind the stack's
+    # list methods once so an unmeasured pull costs two C-level list
+    # operations, not two Python method calls.
+    stack_push = tracer._stack.append
+    stack_pop = tracer._stack.pop
+    calls = sampled = rows = 0
+    busy = 0.0
+    d_pred = d_cache = 0
+    try:
+        span = tracer.begin(
+            operator_name(plan), CATEGORY_OPERATOR, attrs=operator_attrs(plan)
+        )
+        watch.open()
+        while True:
+            calls += 1
+            if stride == 1 or calls % stride == 1:
+                # Sampled pull: measured, and run with this span on the
+                # tracer stack so spans begun downstream (children begin
+                # lazily on *their* first pull, which happens inside our
+                # first pull — always sampled) parent correctly.
+                sampled += 1
+                stack_push(span)
+                try:
+                    pred0 = counters.predicate_evals
+                    cache0 = counters.cache_ops
+                    started = clock()
+                    try:
+                        item = next(inner, _SENTINEL)
+                    finally:
+                        busy += clock() - started
+                        d_pred += counters.predicate_evals - pred0
+                        d_cache += counters.cache_ops - cache0
+                finally:
+                    stack_pop()
+                if watching:
+                    watch.pulse(tracer, span)
+            else:
+                item = next(inner, _SENTINEL)
+            if item is _SENTINEL:
+                break
+            rows += 1
+            yield item
+    except Exception as error:
+        if span is not None:
+            _guard_event(tracer, span, error)
+        raise
+    finally:
+        if span is not None:
+            if watching:
+                # Catch retries/faults from unsampled tail pulls.
+                watch.pulse(tracer, span)
+            scale = calls / sampled if sampled else 1.0
+            span.attrs["rows_emitted"] = rows
+            span.attrs["pulls"] = calls
+            span.attrs["sampled_pulls"] = sampled
+            span.attrs["predicate_evals"] = int(round(d_pred * scale))
+            span.attrs["cache_ops"] = int(round(d_cache * scale))
+            watch.close(span)
+            tracer.end(span, busy_us=busy * 1e6 * scale)
+
+
+def traced_batches(
+    tracer: Tracer,
+    plan: PhysicalPlan,
+    counters,
+    inner: Iterator,
+) -> Iterator:
+    """Wrap a batch-mode operator stream in its span (full timing)."""
+    span: Optional[TraceSpan] = None
+    clock = tracer.clock
+    watch = _StorageWatch(plan)
+    batches = rows = 0
+    busy = 0.0
+    d_pred = d_cache = 0
+    try:
+        span = tracer.begin(
+            operator_name(plan), CATEGORY_OPERATOR, attrs=operator_attrs(plan)
+        )
+        watch.open()
+        while True:
+            tracer.push(span)
+            pred0 = counters.predicate_evals
+            cache0 = counters.cache_ops
+            started = clock()
+            try:
+                batch = next(inner, _SENTINEL)
+            finally:
+                busy += clock() - started
+                d_pred += counters.predicate_evals - pred0
+                d_cache += counters.cache_ops - cache0
+                tracer.pop()
+            if watch.present:
+                watch.pulse(tracer, span)
+            if batch is _SENTINEL:
+                break
+            batches += 1
+            rows += batch.count_valid()
+            yield batch
+    except Exception as error:
+        if span is not None:
+            _guard_event(tracer, span, error)
+        raise
+    finally:
+        if span is not None:
+            span.attrs["rows_emitted"] = rows
+            span.attrs["batches_emitted"] = batches
+            span.attrs["predicate_evals"] = d_pred
+            span.attrs["cache_ops"] = d_cache
+            watch.close(span)
+            tracer.end(span, busy_us=busy * 1e6)
+
+
+class TracedProber:
+    """Wrap a prober in its operator span.
+
+    Probers have no natural stream end, so the span stays open until
+    the tracer's :meth:`~repro.obs.tracer.Tracer.finalize` (called by
+    the engine when the execution root span closes).  Timing is
+    stride-sampled like the row wrapper; probe counts stay exact.
+    """
+
+    __slots__ = (
+        "schema",
+        "span",
+        "_inner",
+        "_tracer",
+        "_span",
+        "_counters",
+        "_watch",
+        "_calls",
+        "_sampled",
+        "_busy",
+        "_d_pred",
+        "_d_cache",
+    )
+
+    def __init__(self, tracer: Tracer, plan: PhysicalPlan, counters, inner):
+        self.schema = inner.schema
+        self.span = inner.span
+        self._inner = inner
+        self._tracer = tracer
+        self._counters = counters
+        self._span = tracer.begin(
+            operator_name(plan), CATEGORY_OPERATOR, attrs=operator_attrs(plan)
+        )
+        self._watch = _StorageWatch(plan)
+        self._watch.open()
+        self._calls = self._sampled = 0
+        self._busy = 0.0
+        self._d_pred = self._d_cache = 0
+        tracer.add_finalizer(self._finalize)
+
+    def get(self, position: int):
+        """Probe the wrapped prober, attributing the work to its span."""
+        tracer = self._tracer
+        span = self._span
+        self._calls += 1
+        stride = tracer.row_stride
+        if stride == 1 or self._calls % stride == 1:
+            tracer.push(span)
+            try:
+                self._sampled += 1
+                counters = self._counters
+                pred0 = counters.predicate_evals
+                cache0 = counters.cache_ops
+                started = tracer.clock()
+                try:
+                    record = self._inner.get(position)
+                finally:
+                    self._busy += tracer.clock() - started
+                    self._d_pred += counters.predicate_evals - pred0
+                    self._d_cache += counters.cache_ops - cache0
+            except Exception as error:
+                _guard_event(tracer, span, error)
+                raise
+            finally:
+                tracer.pop()
+            if self._watch.present:
+                self._watch.pulse(tracer, span)
+        else:
+            record = self._inner.get(position)
+        return record
+
+    def _finalize(self) -> None:
+        span = self._span
+        if span.end_us is not None:
+            return
+        if self._watch.present:
+            # Catch retries/faults from unsampled tail probes.
+            self._watch.pulse(self._tracer, span)
+        scale = self._calls / self._sampled if self._sampled else 1.0
+        span.attrs["probes"] = self._calls
+        span.attrs["rows_emitted"] = self._calls
+        span.attrs["sampled_pulls"] = self._sampled
+        span.attrs["predicate_evals"] = int(round(self._d_pred * scale))
+        span.attrs["cache_ops"] = int(round(self._d_cache * scale))
+        self._watch.close(span)
+        self._tracer.end(span, busy_us=self._busy * 1e6 * scale)

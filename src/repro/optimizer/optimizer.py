@@ -24,6 +24,7 @@ from repro.model.span import Span
 from repro.algebra.graph import Query
 from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
+from repro.obs.tracer import CATEGORY_OPTIMIZER, Tracer, maybe_span
 from repro.optimizer.annotate import AnnotatedQuery, annotate
 from repro.optimizer.blocks import block_tree, count_blocks
 from repro.optimizer.costmodel import CostModel, CostParams
@@ -63,6 +64,7 @@ def optimize(
     rewrite: bool = True,
     consider_materialize: bool = True,
     restrict_spans: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> OptimizationResult:
     """Produce the cheapest stream-access evaluation plan for ``query``.
 
@@ -79,40 +81,71 @@ def optimize(
             probe targets (the Section 5.3 extension).
         restrict_spans: apply the top-down global span optimization
             (Section 3.2); disable only to measure its benefit.
+        tracer: when active, the run records an ``optimize`` span with
+            one child per optimizer step (rewrite, annotate, blocks,
+            plan-gen, selection — Steps 3, 2, 4, 5, 6; Step 1 is the
+            caller's query specification).
     """
-    if rewrite:
-        rewritten, trace = apply_rewrites(query)
-    else:
-        rewritten, trace = query, RewriteTrace()
-    # Opt-in self-check (REPRO_VERIFY=1): every recorded rewrite step
-    # must replay as legal and equivalence-preserving.
-    hooks.verify_rewrites_hook(trace)
+    with maybe_span(tracer, "optimize", CATEGORY_OPTIMIZER):
+        with maybe_span(tracer, "rewrite", CATEGORY_OPTIMIZER) as rewrite_span:
+            if rewrite:
+                rewritten, trace = apply_rewrites(query)
+            else:
+                rewritten, trace = query, RewriteTrace()
+            # Opt-in self-check (REPRO_VERIFY=1): every recorded rewrite
+            # step must replay as legal and equivalence-preserving.
+            hooks.verify_rewrites_hook(trace)
+            if rewrite_span is not None:
+                rewrite_span.attrs["rules_fired"] = list(trace.applied)
 
-    annotated = annotate(rewritten, catalog, span, restrict_spans=restrict_spans)
-    # Opt-in self-check: scope closure, span propagation and schema
-    # flow of the annotated query.
-    hooks.verify_query_hook(rewritten, annotated)
-    blocks = block_tree(rewritten.root)
-    planner = BlockPlanner(
-        annotated,
-        catalog=catalog,
-        model=CostModel(params),
-        consider_materialize=consider_materialize,
-    )
-    output = planner.plan(blocks)
-    # Opt-in self-check: cache finiteness and cost sanity of the
-    # generated plan.
-    hooks.verify_plan_hook(output.stream_plan)
+        with maybe_span(tracer, "annotate", CATEGORY_OPTIMIZER) as annotate_span:
+            annotated = annotate(
+                rewritten, catalog, span, restrict_spans=restrict_spans
+            )
+            # Opt-in self-check: scope closure, span propagation and
+            # schema flow of the annotated query.
+            hooks.verify_query_hook(rewritten, annotated)
+            if annotate_span is not None:
+                annotate_span.attrs["output_span"] = str(annotated.output_span)
 
-    plan = OptimizedPlan(
-        plan=output.stream_plan,
-        output_span=annotated.output_span,
-        estimated_cost=output.costs.stream_total,
-        plans_considered=planner.stats.plans_considered,
-        peak_plans_stored=planner.stats.peak_plans_stored,
-        block_count=count_blocks(blocks),
-        rewrites=list(trace.applied),
-    )
+        with maybe_span(tracer, "blocks", CATEGORY_OPTIMIZER) as blocks_span:
+            blocks = block_tree(rewritten.root)
+            if blocks_span is not None:
+                blocks_span.attrs["block_count"] = count_blocks(blocks)
+
+        with maybe_span(tracer, "plan-gen", CATEGORY_OPTIMIZER) as plangen_span:
+            planner = BlockPlanner(
+                annotated,
+                catalog=catalog,
+                model=CostModel(params),
+                consider_materialize=consider_materialize,
+            )
+            output = planner.plan(blocks)
+            if plangen_span is not None:
+                plangen_span.attrs["plans_considered"] = (
+                    planner.stats.plans_considered
+                )
+                plangen_span.attrs["peak_plans_stored"] = (
+                    planner.stats.peak_plans_stored
+                )
+
+        with maybe_span(tracer, "selection", CATEGORY_OPTIMIZER) as select_span:
+            # Opt-in self-check: cache finiteness and cost sanity of the
+            # generated plan.
+            hooks.verify_plan_hook(output.stream_plan)
+            plan = OptimizedPlan(
+                plan=output.stream_plan,
+                output_span=annotated.output_span,
+                estimated_cost=output.costs.stream_total,
+                plans_considered=planner.stats.plans_considered,
+                peak_plans_stored=planner.stats.peak_plans_stored,
+                block_count=count_blocks(blocks),
+                rewrites=list(trace.applied),
+            )
+            if select_span is not None:
+                select_span.attrs["estimated_cost"] = round(
+                    plan.estimated_cost, 6
+                )
     return OptimizationResult(
         plan=plan,
         rewritten=rewritten,

@@ -60,9 +60,9 @@ class StorageCounters:
 
     def snapshot(self) -> "StorageCounters":
         """An immutable copy of the current counts."""
-        return StorageCounters(
-            **{f.name: getattr(self, f.name) for f in fields(self)}
-        )
+        from repro.obs.metrics import counters_snapshot
+
+        return StorageCounters(**counters_snapshot(self))
 
     def __sub__(self, other: "StorageCounters") -> "StorageCounters":
         return StorageCounters(

@@ -528,7 +528,7 @@ class TestFallback:
         snapshots = ExecutionCounters()
         snapshots.probes_issued = 3
 
-        def partial_failure(plan, window, counters, batch_size, guard=None):
+        def partial_failure(plan, window, counters, batch_size, guard=None, tracer=None):
             counters.batches_built += 7
             counters.operator_records += 100
             raise ExecutionError("mid-flight batch bug")
