@@ -7,7 +7,10 @@
 #   3. a byte-compilation pass over src/ (always; catches syntax errors
 #      even when the optional linters are absent)
 #   4. the query lint: semantic analysis of every query text shipped
-#      in examples/ and workloads/ (scripts/check_queries.py)
+#      in examples/ and workloads/ (scripts/check_queries.py), then
+#      the partition check: every shipped query either certifies as
+#      parallel-decomposable or is rejected with a typed PART* finding
+#      (scripts/check_partition.py)
 #   5. the tier-1 test suite (with per-test timeouts when the
 #      pytest-timeout plugin is installed; a SIGALRM watchdog in
 #      tests/conftest.py covers minimal containers without it)
@@ -19,7 +22,10 @@
 #      but idle QueryGuard must cost <5% mean wall clock)
 #   9. a smoke-sized run of the tracer-overhead benchmark (a disabled
 #      tracer must cost <2% mean wall clock, an active one <10%)
-#  10. the trace round-trip check: traced runs exported as JSON Lines
+#  10. a smoke-sized run of the partition-analysis benchmark (the
+#      contract derivation embedded in optimize() must cost <5% of
+#      mean optimize wall clock)
+#  11. the trace round-trip check: traced runs exported as JSON Lines
 #      and Chrome trace_event must re-parse and validate against the
 #      pinned schemas in src/repro/obs/schema.py
 #
@@ -59,6 +65,8 @@ run_step "compileall" python -m compileall -q src
 
 run_step "query lint" python scripts/check_queries.py
 
+run_step "partition check" python scripts/check_partition.py
+
 # Per-test timeouts guard against hangs in the chaos suite; only pass
 # the flag when the plugin is importable (pip install .[test]).
 timeout_args=()
@@ -81,6 +89,9 @@ run_step "guard overhead smoke" env PYTHONPATH=src \
 
 run_step "tracer overhead smoke" env PYTHONPATH=src \
     python benchmarks/bench_obs_overhead.py --smoke
+
+run_step "partition analysis smoke" env PYTHONPATH=src \
+    python benchmarks/bench_partition_analysis.py --smoke
 
 run_step "trace round-trip" env PYTHONPATH=src \
     python scripts/trace_roundtrip.py

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Partition-soundness check over every query text shipped in the repository.
+
+For each query in ``repro.workloads.STOCK_EXAMPLE_QUERIES`` (Table 1
+catalog) and ``repro.workloads.WEATHER_EXAMPLE_QUERIES`` (volcanos/
+earthquakes), optimize and run the partition analysis for partition
+counts {2, 3, 8}.  Every query must land in exactly one of two states:
+
+* **certified** — the prover issues a :class:`PartitionCertificate` for
+  every partition count and the *independent* checker re-verifies each
+  one cleanly; or
+* **rejected** — the prover refuses with at least one typed ``PART*``
+  error diagnostic (order-sensitive or blocking operators above a cut).
+
+Anything else — a certificate the checker rejects, or a refusal without
+a typed finding — fails the script.  The optimizer-attached partition
+metadata must also keep ``repro lint`` quiet on every plan.
+
+Exit status: 0 = corpus is partition-clean; 1 = violations.
+Invoked by ``scripts/check.sh`` as the "partition check" step.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import Catalog  # noqa: E402
+from repro.analysis import verify_plan  # noqa: E402
+from repro.analysis.partition import (  # noqa: E402
+    PART_RULES,
+    analyze_partition,
+    check_certificate,
+)
+from repro.lang import compile_query  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    STOCK_EXAMPLE_QUERIES,
+    WEATHER_EXAMPLE_QUERIES,
+    WeatherSpec,
+    generate_weather,
+    table1_catalog,
+)
+
+PARTS = (2, 3, 8)
+
+
+def weather_catalog() -> Catalog:
+    volcanos, quakes = generate_weather(WeatherSpec(horizon=2000, seed=7))
+    catalog = Catalog()
+    catalog.register("v", volcanos)
+    catalog.register("e", quakes)
+    return catalog
+
+
+def gather() -> list[tuple[str, str, Catalog]]:
+    """Every (label, source, environment) triple to check."""
+    table1, _ = table1_catalog()
+    weather = weather_catalog()
+    corpus: list[tuple[str, str, Catalog]] = []
+    for index, source in enumerate(STOCK_EXAMPLE_QUERIES):
+        corpus.append((f"stocks.EXAMPLE_QUERIES[{index}]", source, table1))
+    for index, source in enumerate(WEATHER_EXAMPLE_QUERIES):
+        corpus.append((f"weather.EXAMPLE_QUERIES[{index}]", source, weather))
+    return corpus
+
+
+def main() -> int:
+    from repro.optimizer import optimize
+
+    corpus = gather()
+    certified = rejected = dirty = 0
+    for label, source, catalog in corpus:
+        query = compile_query(source, catalog)
+        optimized = optimize(query, catalog=catalog).plan
+
+        lint = verify_plan(optimized)
+        if not lint.ok:
+            dirty += 1
+            print(f"{label}: {source}")
+            print("  optimizer-attached partition metadata fails lint:")
+            print("  " + "\n  ".join(d.render() for d in lint.errors))
+            continue
+
+        verdicts = []
+        for parts in PARTS:
+            certificate, report = analyze_partition(optimized, parts)
+            if certificate is not None:
+                check = check_certificate(optimized, certificate)
+                if not check.ok:
+                    verdicts.append(
+                        f"parts={parts}: prover issued a certificate the "
+                        "checker rejects:\n  "
+                        + "\n  ".join(d.render() for d in check.errors)
+                    )
+                continue
+            typed = [d for d in report.errors if d.rule in PART_RULES]
+            if not typed:
+                verdicts.append(
+                    f"parts={parts}: refused without a typed PART* finding"
+                )
+        if verdicts:
+            dirty += 1
+            print(f"{label}: {source}")
+            for verdict in verdicts:
+                print(f"  {verdict}")
+        else:
+            first, _ = analyze_partition(optimized, PARTS[0])
+            if first is not None:
+                certified += 1
+            else:
+                rejected += 1
+
+    if dirty:
+        print(f"{dirty} of {len(corpus)} shipped queries are partition-dirty")
+        return 1
+    print(
+        f"all {len(corpus)} shipped queries are partition-clean "
+        f"({certified} certified for parts {PARTS}, {rejected} rejected "
+        "with typed PART* findings)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

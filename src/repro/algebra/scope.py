@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import QueryError
+from repro.model.span import Span
 
 
 @dataclass(frozen=True)
@@ -167,6 +168,47 @@ class ScopeSpec:
         if self.kind in ("variable_past", "all_past"):
             return 0
         return None
+
+    # -- halo arithmetic (partition-soundness analysis) ---------------------
+
+    def halo(self) -> tuple[Optional[int], Optional[int]]:
+        """The ``(below, above)`` halo this scope imposes on a position cut.
+
+        Cutting a sequence at position ``c`` and evaluating the two
+        halves independently is sound only if the half starting at
+        ``c`` also reads ``below`` extra positions before ``c`` and the
+        half ending at ``c - 1`` reads ``above`` extra positions after
+        it — exactly the effective-scope width of Definition 3.3.
+        ``None`` means the requirement is unbounded (data-dependent
+        variable scopes, cumulative and whole-sequence aggregates), so
+        no finite halo makes a positional cut sound.
+        """
+        return self.lookback(), self.lookahead()
+
+    def required_window(self, window: Span) -> Span:
+        """The input span needed to produce every output in ``window``.
+
+        For a relative scope with offsets ``K`` the outputs ``[a, b]``
+        read exactly ``[a + min K, b + max K]`` — the span-restriction
+        arithmetic of Section 3.2 Step 2.b, reused here per physical
+        plan edge.  Unbounded scope kinds return half- or fully
+        unbounded spans; callers treat those as "no finite input span
+        suffices".
+        """
+        if window.is_empty:
+            return Span.EMPTY
+        if self.kind == "relative":
+            lo = min(self.offsets)
+            hi = max(self.offsets)
+            start = None if window.start is None else window.start + lo
+            end = None if window.end is None else window.end + hi
+            return Span(start, end)
+        if self.kind == "all":
+            return Span.ALL
+        if self.kind in ("all_past", "variable_past"):
+            return Span(None, window.end)
+        # variable_future: the current position plus unboundedly far ahead.
+        return Span(window.start, None)
 
     # -- composition (Proposition 2.1) ------------------------------------------
 

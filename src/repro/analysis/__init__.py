@@ -25,6 +25,9 @@ from typing import TYPE_CHECKING
 __all__ = [
     "Diagnostic",
     "PLAN_RULES",
+    "PartitionCertificate",
+    "PartitionContract",
+    "PartitionCounters",
     "PlanContext",
     "QUERY_RULES",
     "QueryContext",
@@ -32,9 +35,15 @@ __all__ = [
     "Severity",
     "SourceDiagnostic",
     "VerificationReport",
+    "analyze_partition",
     "audit_rewrites",
+    "certify",
+    "check_certificate",
+    "derive_contract",
+    "plan_fingerprint",
     "plan_rule",
     "query_rule",
+    "require_certificate",
     "verify_optimization",
     "verify_plan",
     "verify_query",
@@ -53,6 +62,15 @@ _EXPORTS = {
     "RuleInfo": "repro.analysis.base",
     "plan_rule": "repro.analysis.base",
     "query_rule": "repro.analysis.base",
+    "PartitionCertificate": "repro.analysis.partition",
+    "PartitionContract": "repro.analysis.partition",
+    "PartitionCounters": "repro.analysis.partition",
+    "analyze_partition": "repro.analysis.partition",
+    "certify": "repro.analysis.partition",
+    "check_certificate": "repro.analysis.partition",
+    "derive_contract": "repro.analysis.partition",
+    "plan_fingerprint": "repro.analysis.partition",
+    "require_certificate": "repro.analysis.partition",
     "audit_rewrites": "repro.analysis.rewrite_audit",
     "verify_optimization": "repro.analysis.verifier",
     "verify_plan": "repro.analysis.verifier",
@@ -75,6 +93,17 @@ if TYPE_CHECKING:  # pragma: no cover - static import surface for type checkers
         Severity,
         SourceDiagnostic,
         VerificationReport,
+    )
+    from repro.analysis.partition import (
+        PartitionCertificate,
+        PartitionContract,
+        PartitionCounters,
+        analyze_partition,
+        certify,
+        check_certificate,
+        derive_contract,
+        plan_fingerprint,
+        require_certificate,
     )
     from repro.analysis.rewrite_audit import audit_rewrites
     from repro.analysis.verifier import (

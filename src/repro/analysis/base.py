@@ -12,6 +12,7 @@ invariant cannot hide another.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
@@ -141,7 +142,7 @@ def run_rule(info: RuleInfo, context) -> list[Diagnostic]:
     on an unknown column), so the exception text becomes the finding.
     """
     try:
-        return list(info.check(context))
+        findings = list(info.check(context))
     except Exception as exc:  # noqa: BLE001 - findings must not be lost
         return [
             Diagnostic(
@@ -152,3 +153,11 @@ def run_rule(info: RuleInfo, context) -> list[Diagnostic]:
                 citation=info.citation,
             )
         ]
+    # Backfill the registry citation so every emitted finding carries
+    # one even when the rule body omitted it.
+    return [
+        dataclasses.replace(d, citation=info.citation)
+        if not d.citation and info.citation
+        else d
+        for d in findings
+    ]

@@ -59,9 +59,16 @@ class Diagnostic:
         return f"{self.severity.value:7s} [{self.rule}] {self.path}: {self.message}{cite}"
 
     def to_dict(self) -> dict:
-        """A JSON-serializable dict of this finding."""
+        """A JSON-serializable dict of this finding.
+
+        ``rule_id`` duplicates ``rule`` under the name downstream
+        tooling keys on (the registry's
+        :attr:`~repro.analysis.base.RuleInfo.rule_id`); ``rule`` is
+        kept for backward compatibility.
+        """
         return {
             "rule": self.rule,
+            "rule_id": self.rule,
             "severity": self.severity.value,
             "path": self.path,
             "message": self.message,

@@ -1,0 +1,1243 @@
+"""Partition-soundness analysis: certify plans as parallel-decomposable.
+
+The span algebra makes sharding provable: a sequence splits into
+disjoint position ranges, and the same scope arithmetic that drives the
+optimizer's span restriction (Section 3.2 Step 2.b) computes exactly
+which input span each range needs.  This module is the analysis-first
+half of partitioned parallel execution — an abstract interpreter over
+physical plans that
+
+* derives, per subtree, a **partitioning contract** — ``pointwise``
+  (every output reads exactly its own input position), ``windowed``
+  (a fixed-size relative scope; sound with a finite halo, Definition
+  3.3 / Lemma 3.2), ``order-sensitive`` (data-dependent variable
+  scopes, Section 2.3: the positions read depend on the null pattern,
+  so no positional cut is sound) or ``blocking`` (``all``/``all_past``
+  scopes — cumulative and whole-sequence aggregates need unbounded
+  prefixes);
+* computes the **exact halo width** each partition boundary needs from
+  :meth:`~repro.algebra.scope.ScopeSpec.halo` (window widths and
+  offset reaches, composed per Proposition 2.1);
+* emits a serializable :class:`PartitionCertificate` listing the cut
+  points, per-partition input spans for every plan node, per-boundary
+  halo obligations and a position-ordered merge proof.
+
+The analysis is split prover/checker: :func:`certify` produces a
+certificate, and the independent :func:`check_certificate` re-derives
+every obligation from the plan alone — no prover state is reused — so
+a parallel engine can trust certificates it did not produce.  Plans
+that cannot be certified are rejected with typed ``PART*`` diagnostics
+(:class:`~repro.errors.PartitionSoundnessError`), never silently
+partitioned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Union
+
+from repro.algebra.scope import ScopeSpec
+from repro.analysis.base import plan_paths
+from repro.analysis.diagnostics import Diagnostic, Severity, VerificationReport
+from repro.errors import PartitionSoundnessError, ReproError
+from repro.model.span import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+    from repro.optimizer.plans import OptimizedPlan, PhysicalPlan
+
+# -- rule identifiers ---------------------------------------------------------
+
+#: Contract metadata disagrees with the derived contract (or is malformed).
+PART_CONTRACT = "PART-CONTRACT"
+#: A declared halo is narrower than the composed scope requires.
+PART_HALO = "PART-HALO"
+#: An order-sensitive (variable-scope) operator sits above a cut.
+PART_ORDER = "PART-ORDER"
+#: A blocking (``all``/``all_past``-scope) aggregate sits above a cut.
+PART_BLOCKING = "PART-BLOCKING"
+#: Cut points / partition windows do not tile the output span.
+PART_COVER = "PART-COVER"
+
+#: All partition rule identifiers, in severity-triage order.
+PART_RULES = (PART_CONTRACT, PART_HALO, PART_ORDER, PART_BLOCKING, PART_COVER)
+
+# -- contract kinds -----------------------------------------------------------
+
+POINTWISE = "pointwise"
+WINDOWED = "windowed"
+ORDER_SENSITIVE = "order-sensitive"
+BLOCKING = "blocking"
+
+#: Every contract kind, from most to least decomposable.
+CONTRACT_KINDS = (POINTWISE, WINDOWED, ORDER_SENSITIVE, BLOCKING)
+
+
+@dataclass
+class PartitionCounters:
+    """Counters of partition-analysis work, for the metrics registry.
+
+    Attributes:
+        certificates_issued: certificates the prover produced.
+        certificates_rejected: prover runs that ended in ``PART*``
+            error findings instead of a certificate.
+        partitions_certified: partition ranges covered by issued
+            certificates (sum of partition counts).
+        checks_run: independent certificate re-verifications.
+        checks_failed: re-verifications that produced error findings.
+    """
+
+    certificates_issued: int = 0
+    certificates_rejected: int = 0
+    partitions_certified: int = 0
+    checks_run: int = 0
+    checks_failed: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (the metrics-registry source shape)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+#: Module-level default counters; attach to a
+#: :class:`~repro.obs.metrics.MetricsRegistry` under a ``partition``
+#: prefix to surface certificate numbers in ``--explain`` blocks.
+PARTITION_COUNTERS = PartitionCounters()
+
+
+# -- span (de)serialization ---------------------------------------------------
+
+
+def span_to_json(span: Span) -> dict[str, object]:
+    """A JSON-friendly dict of one span (``None`` bounds stay ``null``)."""
+    if span.is_empty:
+        return {"empty": True}
+    return {"start": span.start, "end": span.end}
+
+
+def span_from_json(data: Mapping[str, object]) -> Span:
+    """Rebuild a span from :func:`span_to_json` output."""
+    if data.get("empty"):
+        return Span.EMPTY
+    start = data.get("start")
+    end = data.get("end")
+    if start is not None and not isinstance(start, int):
+        raise ReproError(f"span start must be int or null, got {start!r}")
+    if end is not None and not isinstance(end, int):
+        raise ReproError(f"span end must be int or null, got {end!r}")
+    return Span(start, end)
+
+
+# -- the partitioning contract ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionContract:
+    """The partitioning behaviour of one plan subtree.
+
+    Attributes:
+        kind: one of :data:`CONTRACT_KINDS`.
+        halo_below: positions before a cut the right-hand partition
+            must also read (``None`` when unbounded).
+        halo_above: positions after a cut the left-hand partition must
+            also read (``None`` when unbounded).
+    """
+
+    kind: str
+    halo_below: Optional[int] = 0
+    halo_above: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTRACT_KINDS:
+            raise ReproError(f"unknown partition contract kind {self.kind!r}")
+
+    @property
+    def is_decomposable(self) -> bool:
+        """Whether a finite halo makes positional cuts sound."""
+        return self.kind in (POINTWISE, WINDOWED)
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable dict of this contract."""
+        return {
+            "kind": self.kind,
+            "halo_below": self.halo_below,
+            "halo_above": self.halo_above,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "PartitionContract":
+        """Rebuild a contract from :meth:`to_dict` output."""
+        kind = data.get("kind")
+        if not isinstance(kind, str):
+            raise ReproError(f"contract kind must be a string, got {kind!r}")
+        below = data.get("halo_below")
+        above = data.get("halo_above")
+        if below is not None and not isinstance(below, int):
+            raise ReproError(f"halo_below must be int or null, got {below!r}")
+        if above is not None and not isinstance(above, int):
+            raise ReproError(f"halo_above must be int or null, got {above!r}")
+        return PartitionContract(kind, below, above)
+
+    @staticmethod
+    def of_scopes(scopes: "list[ScopeSpec]") -> "PartitionContract":
+        """Classify the composed leaf scopes of one subtree.
+
+        Any ``all``/``all_past`` participant makes the subtree
+        blocking; otherwise any variable scope makes it
+        order-sensitive; otherwise the halo is the componentwise
+        maximum of the relative scopes' lookback/lookahead, and the
+        subtree is pointwise exactly when that maximum is ``(0, 0)``.
+        """
+        kinds = {scope.kind for scope in scopes}
+        below: Optional[int] = 0
+        above: Optional[int] = 0
+        for scope in scopes:
+            below = _halo_max(below, scope.lookback())
+            above = _halo_max(above, scope.lookahead())
+        if kinds & {"all", "all_past"}:
+            return PartitionContract(BLOCKING, below, above)
+        if kinds & {"variable_past", "variable_future"}:
+            return PartitionContract(ORDER_SENSITIVE, below, above)
+        if below == 0 and above == 0:
+            return PartitionContract(POINTWISE, 0, 0)
+        return PartitionContract(WINDOWED, below, above)
+
+
+def _halo_max(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """The larger of two halo widths, where ``None`` means unbounded."""
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+# -- the physical scope table -------------------------------------------------
+
+
+def plan_scope_on(plan: "PhysicalPlan", index: int) -> Optional[ScopeSpec]:
+    """The scope of a physical plan node on its ``index``-th child.
+
+    This is the physical counterpart of
+    :meth:`~repro.algebra.node.Operator.scope_on`: it describes which
+    child positions each builder/prober actually reads per output
+    position, per plan kind.  ``None`` means the kind is unknown to the
+    analysis, which callers must treat as unanalyzable (conservatively
+    blocking).
+    """
+    from repro.algebra.aggregate import WindowAggregate
+    from repro.algebra.offsets import ValueOffset
+
+    kind = plan.kind
+    if kind in ("scan", "probe-source"):
+        raise ReproError("a leaf plan has no inputs and hence no scope")
+    if kind == "chain":
+        shift = sum(step.offset for step in plan.steps if step.kind == "shift")
+        return _UNIT_SCOPE if shift == 0 else ScopeSpec.shifted(shift)
+    if kind in ("lockstep", "stream-probe", "probe-stream", "probe-join"):
+        return _UNIT_SCOPE
+    if kind == "window-agg":
+        node = plan.node
+        if isinstance(node, WindowAggregate):
+            return ScopeSpec.window(node.width)
+        return None
+    if kind == "value-offset":
+        node = plan.node
+        if isinstance(node, ValueOffset):
+            return node.scope_on(0)
+        return None
+    if kind == "cumulative-agg":
+        return ScopeSpec.all_past()
+    if kind == "global-agg":
+        return ScopeSpec.everything()
+    if kind == "materialize":
+        return _UNIT_SCOPE
+    return None
+
+
+#: Shared unit scope — the hottest allocation on the analysis path.
+_UNIT_SCOPE = ScopeSpec.unit()
+
+#: Per-node child scopes, keyed by ``id(node)``.
+_EdgeScopes = dict[int, tuple[Optional[ScopeSpec], ...]]
+
+
+def _edge_scopes(root: "PhysicalPlan") -> _EdgeScopes:
+    """Every node's per-child scope, computed once per analysis.
+
+    The abstract interpretation walks the tree several times (contract
+    derivation, classification, one span-assignment pass per
+    partition); caching the edge scopes keeps the per-partition passes
+    to pure span arithmetic.
+    """
+    return {
+        id(node): tuple(
+            plan_scope_on(node, index) for index in range(len(node.children))
+        )
+        for node in root.walk()
+    }
+
+
+def leaf_scopes(
+    plan: "PhysicalPlan",
+    paths: Mapping[int, str],
+    edges: Optional[_EdgeScopes] = None,
+) -> dict[str, ScopeSpec]:
+    """The composed scope of ``plan``'s subtree on each leaf, by path.
+
+    The physical analogue of
+    :meth:`~repro.algebra.node.Operator.query_scope_on_leaves`:
+    Proposition 2.1 composition (Minkowski sums of relative offset
+    sets) applied along every root-to-leaf path of the plan tree.
+
+    Raises:
+        ReproError: when a plan kind is unknown to the scope table.
+    """
+    if not plan.children:
+        return {paths[id(plan)]: _UNIT_SCOPE}
+    composed: dict[str, ScopeSpec] = {}
+    node_edges = edges[id(plan)] if edges is not None else None
+    for index, child in enumerate(plan.children):
+        outer = (
+            node_edges[index]
+            if node_edges is not None
+            else plan_scope_on(plan, index)
+        )
+        if outer is None:
+            raise ReproError(
+                f"plan kind {plan.kind!r} is unknown to the partition "
+                "scope table"
+            )
+        for path, inner in leaf_scopes(child, paths, edges).items():
+            composed[path] = outer.compose(inner)
+    return composed
+
+
+def _leaf_scope_values(node: "PhysicalPlan", edges: _EdgeScopes) -> list[ScopeSpec]:
+    """Composed leaf scopes without path bookkeeping (contract fast path)."""
+    if not node.children:
+        return [_UNIT_SCOPE]
+    values: list[ScopeSpec] = []
+    node_edges = edges[id(node)]
+    for index, child in enumerate(node.children):
+        outer = node_edges[index]
+        if outer is None:
+            raise ReproError(
+                f"plan kind {node.kind!r} is unknown to the partition "
+                "scope table"
+            )
+        if outer.is_unit:
+            values.extend(_leaf_scope_values(child, edges))
+        else:
+            values.extend(
+                outer.compose(inner)
+                for inner in _leaf_scope_values(child, edges)
+            )
+    return values
+
+
+def derive_contract(plan: "Union[PhysicalPlan, OptimizedPlan]") -> PartitionContract:
+    """The partitioning contract of a whole plan tree.
+
+    Unknown plan kinds classify as blocking — the analysis never
+    certifies what it cannot model.
+    """
+    root = _root_of(plan)
+    try:
+        scopes = _leaf_scope_values(root, _edge_scopes(root))
+    except ReproError:
+        return PartitionContract(BLOCKING, None, None)
+    return PartitionContract.of_scopes(scopes)
+
+
+def node_contracts(
+    plan: "PhysicalPlan", paths: Optional[Mapping[int, str]] = None
+) -> dict[str, PartitionContract]:
+    """Per-subtree contracts, keyed by plan path (pre-order)."""
+    resolved_paths = plan_paths(plan) if paths is None else paths
+    contracts: dict[str, PartitionContract] = {}
+
+    def visit(node: "PhysicalPlan") -> None:
+        try:
+            scopes = leaf_scopes(node, resolved_paths)
+            contract = PartitionContract.of_scopes(list(scopes.values()))
+        except ReproError:
+            contract = PartitionContract(BLOCKING, None, None)
+        contracts[resolved_paths[id(node)]] = contract
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return contracts
+
+
+# -- certificates -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionRange:
+    """One certified partition: an output window plus its input spans.
+
+    Attributes:
+        index: 0-based partition number, in position order.
+        window: the output positions this partition produces.
+        node_spans: for every plan node (by path), the span the
+            narrowed per-partition subplan must carry — already halo
+            widened and clamped to the node's own span.
+        leaf_spans: the subset of ``node_spans`` for leaf access nodes
+            (``scan`` / ``probe-source``): the exact stored-sequence
+            ranges this partition reads.
+    """
+
+    index: int
+    window: Span
+    node_spans: dict[str, Span] = field(default_factory=dict)
+    leaf_spans: dict[str, Span] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable dict of this partition."""
+        return {
+            "index": self.index,
+            "window": span_to_json(self.window),
+            "node_spans": {
+                path: span_to_json(span) for path, span in self.node_spans.items()
+            },
+            "leaf_spans": {
+                path: span_to_json(span) for path, span in self.leaf_spans.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "PartitionRange":
+        """Rebuild a partition from :meth:`to_dict` output."""
+        index = data.get("index")
+        if not isinstance(index, int):
+            raise ReproError(f"partition index must be int, got {index!r}")
+        window = data.get("window")
+        node_spans = data.get("node_spans")
+        leaf_spans = data.get("leaf_spans")
+        if not isinstance(window, Mapping):
+            raise ReproError("partition window must be a span object")
+        if not isinstance(node_spans, Mapping) or not isinstance(leaf_spans, Mapping):
+            raise ReproError("partition spans must be path -> span mappings")
+        return PartitionRange(
+            index=index,
+            window=span_from_json(window),
+            node_spans={
+                str(path): span_from_json(span) for path, span in node_spans.items()
+            },
+            leaf_spans={
+                str(path): span_from_json(span) for path, span in leaf_spans.items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class HaloObligation:
+    """The overlap one partition boundary imposes on one leaf.
+
+    Attributes:
+        cut: the first output position of the right-hand partition.
+        path: the leaf plan node the obligation applies to.
+        below: leaf positions before the mapped cut the right partition
+            must also read (composed-scope lookback).
+        above: leaf positions at/after the mapped cut the left
+            partition must also read (composed-scope lookahead).
+        span: the exact overlap of the two adjacent partitions' leaf
+            spans (empty when the composed scope is a pure shift).
+    """
+
+    cut: int
+    path: str
+    below: int
+    above: int
+    span: Span
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable dict of this obligation."""
+        return {
+            "cut": self.cut,
+            "path": self.path,
+            "below": self.below,
+            "above": self.above,
+            "span": span_to_json(self.span),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "HaloObligation":
+        """Rebuild an obligation from :meth:`to_dict` output."""
+        cut = data.get("cut")
+        path = data.get("path")
+        below = data.get("below")
+        above = data.get("above")
+        span = data.get("span")
+        if not isinstance(cut, int) or not isinstance(path, str):
+            raise ReproError("halo obligation needs an int cut and a str path")
+        if not isinstance(below, int) or not isinstance(above, int):
+            raise ReproError("halo obligation widths must be ints")
+        if not isinstance(span, Mapping):
+            raise ReproError("halo obligation span must be a span object")
+        return HaloObligation(cut, path, below, above, span_from_json(span))
+
+
+@dataclass(frozen=True)
+class MergeProof:
+    """Why concatenating partition outputs in order is the exact answer.
+
+    The windows are pairwise disjoint, contiguous and in ascending
+    position order, and together cover exactly ``covers`` — so the
+    position-ordered concatenation of the per-partition answers equals
+    the unpartitioned answer over ``covers``.  The booleans are
+    *checked* facts, recomputed by :func:`check_certificate`.
+    """
+
+    windows: tuple[Span, ...]
+    ascending: bool
+    disjoint: bool
+    contiguous: bool
+    covers: Span
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable dict of this proof."""
+        return {
+            "order": "position",
+            "windows": [span_to_json(window) for window in self.windows],
+            "ascending": self.ascending,
+            "disjoint": self.disjoint,
+            "contiguous": self.contiguous,
+            "covers": span_to_json(self.covers),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "MergeProof":
+        """Rebuild a proof from :meth:`to_dict` output."""
+        windows = data.get("windows")
+        covers = data.get("covers")
+        if not isinstance(windows, list) or not isinstance(covers, Mapping):
+            raise ReproError("merge proof needs a windows list and a covers span")
+        return MergeProof(
+            windows=tuple(span_from_json(window) for window in windows),
+            ascending=bool(data.get("ascending")),
+            disjoint=bool(data.get("disjoint")),
+            contiguous=bool(data.get("contiguous")),
+            covers=span_from_json(covers),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionCertificate:
+    """A machine-checkable proof that a plan is parallel-decomposable.
+
+    Attributes:
+        fingerprint: structural hash of the plan the certificate was
+            issued for (:func:`plan_fingerprint`).
+        parts: number of partitions.
+        root_span: the output span the partitions tile.
+        cut_points: first output position of partitions ``1..P-1``.
+        contract: the derived root contract (kind + exact halo).
+        partitions: the per-partition windows and input spans.
+        halo_obligations: per cut x leaf overlap obligations.
+        merge: the position-ordered merge proof.
+    """
+
+    fingerprint: str
+    parts: int
+    root_span: Span
+    cut_points: tuple[int, ...]
+    contract: PartitionContract
+    partitions: tuple[PartitionRange, ...]
+    halo_obligations: tuple[HaloObligation, ...]
+    merge: MergeProof
+    version: int = 1
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable dict of the whole certificate."""
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "parts": self.parts,
+            "root_span": span_to_json(self.root_span),
+            "cut_points": list(self.cut_points),
+            "contract": self.contract.to_dict(),
+            "partitions": [partition.to_dict() for partition in self.partitions],
+            "halo_obligations": [ob.to_dict() for ob in self.halo_obligations],
+            "merge": self.merge.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "PartitionCertificate":
+        """Rebuild a certificate from :meth:`to_dict` output."""
+        fingerprint = data.get("fingerprint")
+        parts = data.get("parts")
+        root_span = data.get("root_span")
+        cut_points = data.get("cut_points")
+        contract = data.get("contract")
+        partitions = data.get("partitions")
+        obligations = data.get("halo_obligations")
+        merge = data.get("merge")
+        if not isinstance(fingerprint, str) or not isinstance(parts, int):
+            raise ReproError("certificate needs a str fingerprint and int parts")
+        if not isinstance(root_span, Mapping) or not isinstance(contract, Mapping):
+            raise ReproError("certificate needs root_span and contract objects")
+        if (
+            not isinstance(cut_points, list)
+            or not isinstance(partitions, list)
+            or not isinstance(obligations, list)
+            or not isinstance(merge, Mapping)
+        ):
+            raise ReproError("certificate lists/merge proof are malformed")
+        version = data.get("version")
+        return PartitionCertificate(
+            fingerprint=fingerprint,
+            parts=parts,
+            root_span=span_from_json(root_span),
+            cut_points=tuple(int(point) for point in cut_points),
+            contract=PartitionContract.from_dict(contract),
+            partitions=tuple(
+                PartitionRange.from_dict(partition)
+                for partition in partitions
+                if isinstance(partition, Mapping)
+            ),
+            halo_obligations=tuple(
+                HaloObligation.from_dict(ob)
+                for ob in obligations
+                if isinstance(ob, Mapping)
+            ),
+            merge=MergeProof.from_dict(merge),
+            version=version if isinstance(version, int) else 1,
+        )
+
+    def to_json(self) -> str:
+        """The certificate as pretty-printed JSON text."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "PartitionCertificate":
+        """Parse a certificate from :meth:`to_json` output."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ReproError("certificate JSON must be an object")
+        return PartitionCertificate.from_dict(data)
+
+
+def plan_fingerprint(plan: "Union[PhysicalPlan, OptimizedPlan]") -> str:
+    """A structural hash binding a certificate to one plan.
+
+    Covers everything partition soundness depends on: tree shape, plan
+    kinds, access modes, strategies, spans, chain steps, cache sizes
+    and output schemas.  Cost estimates and free-form extras are
+    deliberately excluded — re-costing a plan does not invalidate its
+    certificate.
+    """
+    root = _root_of(plan)
+    paths = plan_paths(root)
+    lines: list[str] = []
+    for node in root.walk():
+        steps = ";".join(step.describe() for step in node.steps)
+        lines.append(
+            "|".join(
+                (
+                    paths[id(node)],
+                    node.kind,
+                    node.mode,
+                    node.strategy,
+                    repr(node.span),
+                    repr(node.cache_size),
+                    steps,
+                    ",".join(node.schema.names),
+                    repr(node.predicate),
+                )
+            )
+        )
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def _root_of(plan: "Union[PhysicalPlan, OptimizedPlan]") -> "PhysicalPlan":
+    """The root physical plan of either accepted plan type."""
+    root = getattr(plan, "plan", None)
+    if root is not None:
+        return root  # type: ignore[no-any-return]
+    return plan  # type: ignore[return-value]
+
+
+# -- the prover ---------------------------------------------------------------
+
+
+def _classify_nodes(
+    root: "PhysicalPlan",
+    paths: Mapping[int, str],
+    report: VerificationReport,
+    edges: _EdgeScopes,
+) -> bool:
+    """Flag order-sensitive / blocking / unknown nodes; True when clean.
+
+    Every interior node sits above every cut (the cuts tile the whole
+    root output), so one variable-scope or unbounded-scope operator
+    anywhere already makes every positional cut unsound.
+    """
+    clean = True
+    for node in root.walk():
+        for index, scope in enumerate(edges[id(node)]):
+            path = paths[id(node)]
+            if scope is None:
+                clean = False
+                report.add(
+                    Diagnostic(
+                        PART_CONTRACT, Severity.ERROR, path,
+                        f"plan kind {node.kind!r} is unknown to the partition "
+                        "analysis; conservatively blocking",
+                        "Sec 2.3",
+                    )
+                )
+            elif scope.kind in ("all", "all_past"):
+                clean = False
+                report.add(
+                    Diagnostic(
+                        PART_BLOCKING, Severity.ERROR, path,
+                        f"blocking {node.kind} ({scope.kind} scope) above a "
+                        "partition cut: every output needs an unbounded input "
+                        "prefix, so no finite halo makes a positional cut sound",
+                        "Sec 2.3 / Sec 4.1.3",
+                    )
+                )
+            elif scope.kind in ("variable_past", "variable_future"):
+                clean = False
+                report.add(
+                    Diagnostic(
+                        PART_ORDER, Severity.ERROR, path,
+                        f"order-sensitive {node.kind} ({scope.kind} scope, "
+                        f"reach {scope.reach}) above a partition cut: the "
+                        "positions it reads depend on the data's null "
+                        "pattern, so no static halo bounds a cut",
+                        "Sec 2.3",
+                    )
+                )
+    return clean
+
+
+def _tile_windows(root_span: Span, parts: int) -> list[Span]:
+    """Split a bounded non-empty span into ``parts`` contiguous windows."""
+    length = root_span.length()
+    assert length is not None and root_span.start is not None
+    base, extra = divmod(length, parts)
+    windows: list[Span] = []
+    start = root_span.start
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        windows.append(Span(start, start + size - 1))
+        start += size
+    return windows
+
+
+def _assign_spans(
+    node: "PhysicalPlan",
+    window: Span,
+    paths: Mapping[int, str],
+    node_spans: dict[str, Span],
+    leaf_spans: dict[str, Span],
+    edges: _EdgeScopes,
+) -> None:
+    """Top-down needed-span propagation for one partition window.
+
+    The same restriction the optimizer's Step 2.b performs on the
+    logical graph, replayed over the physical tree: each node must
+    produce ``window`` clamped to its own span, and each child must
+    provide the scope-required input window for that.
+    """
+    mine = window.intersect(node.span)
+    node_spans[paths[id(node)]] = mine
+    if not node.children:
+        leaf_spans[paths[id(node)]] = mine
+        return
+    for child, scope in zip(node.children, edges[id(node)]):
+        assert scope is not None  # unknown kinds were rejected earlier
+        required = mine if scope.is_unit else scope.required_window(mine)
+        _assign_spans(child, required, paths, node_spans, leaf_spans, edges)
+
+
+def analyze_partition(
+    plan: "Union[PhysicalPlan, OptimizedPlan]",
+    parts: int,
+    span: Optional[Span] = None,
+    *,
+    counters: Optional[PartitionCounters] = None,
+    tracer: "Optional[Tracer]" = None,
+) -> tuple[Optional[PartitionCertificate], VerificationReport]:
+    """Derive a partition certificate, or the diagnostics refusing one.
+
+    Args:
+        plan: the stream-mode physical plan (or optimizer output).
+        parts: requested partition count.
+        span: output span to tile; defaults to the plan's own span.
+        counters: partition counters to charge (module default if
+            omitted).
+        tracer: optional span tracer; when active the analysis records
+            a ``partition-certify`` span.
+
+    Returns:
+        ``(certificate, report)`` — the certificate is ``None`` exactly
+        when the report carries error findings.
+    """
+    from repro.obs.tracer import CATEGORY_ANALYSIS, maybe_span
+
+    counters = counters if counters is not None else PARTITION_COUNTERS
+    root = _root_of(plan)
+    report = VerificationReport(subject="partition", rules_run=list(PART_RULES))
+    with maybe_span(tracer, "partition-certify", CATEGORY_ANALYSIS, parts=parts):
+        paths = plan_paths(root)
+        root_span = root.span if span is None else span.intersect(root.span)
+        if not root_span.is_bounded or root_span.is_empty:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, paths[id(root)],
+                    f"cannot partition output span {root_span}: cut points "
+                    "need a bounded, non-empty position range",
+                    "Sec 3.2",
+                )
+            )
+        length = root_span.length()
+        if not isinstance(parts, int) or isinstance(parts, bool) or parts < 1:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, paths[id(root)],
+                    f"partition count must be a positive integer, got {parts!r}",
+                    "Sec 3.2",
+                )
+            )
+        elif length is not None and length > 0 and parts > length:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, paths[id(root)],
+                    f"cannot cut {length} output position(s) into {parts} "
+                    "non-empty partitions",
+                    "Sec 3.2",
+                )
+            )
+        edges = _edge_scopes(root)
+        clean = _classify_nodes(root, paths, report, edges)
+        if not report.ok or not clean:
+            counters.certificates_rejected += 1
+            return None, report
+
+        composed = leaf_scopes(root, paths, edges)
+        contract = PartitionContract.of_scopes(list(composed.values()))
+        windows = _tile_windows(root_span, parts)
+        partitions: list[PartitionRange] = []
+        for index, window in enumerate(windows):
+            node_spans: dict[str, Span] = {}
+            leaf_span_map: dict[str, Span] = {}
+            _assign_spans(root, window, paths, node_spans, leaf_span_map, edges)
+            partitions.append(
+                PartitionRange(
+                    index=index,
+                    window=window,
+                    node_spans=node_spans,
+                    leaf_spans=leaf_span_map,
+                )
+            )
+
+        obligations: list[HaloObligation] = []
+        leaf_plan_spans = {
+            paths[id(node)]: node.span for node in root.walk() if not node.children
+        }
+        for window in windows[1:]:
+            assert window.start is not None
+            cut = window.start
+            for path, scope in sorted(composed.items()):
+                offsets = scope.offsets
+                lo = min(offsets)
+                hi = max(offsets)
+                overlap = Span(cut + lo, cut - 1 + hi).intersect(
+                    leaf_plan_spans.get(path, Span.ALL)
+                )
+                obligations.append(
+                    HaloObligation(
+                        cut=cut,
+                        path=path,
+                        below=max(0, -lo),
+                        above=max(0, hi),
+                        span=overlap,
+                    )
+                )
+
+        merge = MergeProof(
+            windows=tuple(windows),
+            ascending=True,
+            disjoint=True,
+            contiguous=True,
+            covers=root_span,
+        )
+        certificate = PartitionCertificate(
+            fingerprint=plan_fingerprint(root),
+            parts=parts,
+            root_span=root_span,
+            cut_points=tuple(
+                window.start for window in windows[1:] if window.start is not None
+            ),
+            contract=contract,
+            partitions=tuple(partitions),
+            halo_obligations=tuple(obligations),
+            merge=merge,
+        )
+        counters.certificates_issued += 1
+        counters.partitions_certified += parts
+    return certificate, report
+
+
+def certify(
+    plan: "Union[PhysicalPlan, OptimizedPlan]",
+    parts: int,
+    span: Optional[Span] = None,
+    *,
+    counters: Optional[PartitionCounters] = None,
+    tracer: "Optional[Tracer]" = None,
+) -> PartitionCertificate:
+    """Prove a plan parallel-decomposable into ``parts`` ranges.
+
+    Raises:
+        PartitionSoundnessError: when the plan cannot be certified; the
+            error's report carries the typed ``PART*`` findings.
+    """
+    certificate, report = analyze_partition(
+        plan, parts, span, counters=counters, tracer=tracer
+    )
+    if certificate is None:
+        first = report.errors[0]
+        extra = len(report.errors) - 1
+        suffix = f" (+{extra} more)" if extra else ""
+        raise PartitionSoundnessError(
+            f"plan is not parallel-decomposable: {first.render()}{suffix}",
+            report=report,
+        )
+    return certificate
+
+
+# -- the independent checker --------------------------------------------------
+
+
+def _check_cover(
+    cert: PartitionCertificate, root: "PhysicalPlan", report: VerificationReport
+) -> None:
+    """Re-verify the tiling and the merge proof (PART-COVER)."""
+    if not root.span.covers(cert.root_span):
+        report.add(
+            Diagnostic(
+                PART_COVER, Severity.ERROR, "root",
+                f"certificate root span {cert.root_span} is not contained "
+                f"in the plan span {root.span}",
+                "Sec 3.2",
+            )
+        )
+    if cert.parts != len(cert.partitions) or cert.parts < 1:
+        report.add(
+            Diagnostic(
+                PART_COVER, Severity.ERROR, "root",
+                f"certificate declares {cert.parts} partition(s) but lists "
+                f"{len(cert.partitions)}",
+                "Sec 3.2",
+            )
+        )
+        return
+    windows = [partition.window for partition in cert.partitions]
+    previous_end: Optional[int] = None
+    tiled = True
+    for index, window in enumerate(windows):
+        if window.is_empty or window.start is None or window.end is None:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, "root",
+                    f"partition {index} window {window} is empty or unbounded",
+                    "Sec 3.2",
+                )
+            )
+            tiled = False
+            continue
+        if previous_end is not None and window.start != previous_end + 1:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, "root",
+                    f"partition {index} starts at {window.start}, expected "
+                    f"{previous_end + 1}: windows must be ascending, disjoint "
+                    "and contiguous",
+                    "Sec 3.2",
+                )
+            )
+            tiled = False
+        previous_end = window.end
+    if tiled and windows:
+        first, last = windows[0], windows[-1]
+        if first.start != cert.root_span.start or last.end != cert.root_span.end:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, "root",
+                    f"partition windows cover [{first.start}, {last.end}] but "
+                    f"the certificate claims {cert.root_span}",
+                    "Sec 3.2",
+                )
+            )
+    expected_cuts = tuple(
+        window.start for window in windows[1:] if window.start is not None
+    )
+    if cert.cut_points != expected_cuts:
+        report.add(
+            Diagnostic(
+                PART_COVER, Severity.ERROR, "root",
+                f"cut points {list(cert.cut_points)} disagree with the "
+                f"partition windows (expected {list(expected_cuts)})",
+                "Sec 3.2",
+            )
+        )
+    if not (cert.merge.ascending and cert.merge.disjoint and cert.merge.contiguous):
+        report.add(
+            Diagnostic(
+                PART_COVER, Severity.ERROR, "root",
+                "merge proof does not assert ascending + disjoint + "
+                "contiguous windows",
+                "Sec 3.2",
+            )
+        )
+    if cert.merge.covers != cert.root_span or cert.merge.windows != tuple(windows):
+        report.add(
+            Diagnostic(
+                PART_COVER, Severity.ERROR, "root",
+                "merge proof windows/coverage disagree with the partition list",
+                "Sec 3.2",
+            )
+        )
+
+
+def _check_node_spans(
+    node: "PhysicalPlan",
+    granted: Span,
+    partition: PartitionRange,
+    paths: Mapping[int, str],
+    report: VerificationReport,
+    edges: _EdgeScopes,
+) -> None:
+    """Re-verify one partition's input spans bottom of one subtree.
+
+    ``granted`` is the span the certificate records for ``node``; the
+    certificate is sound if every child's recorded span covers what the
+    node's scope requires to produce ``granted``.
+    """
+    path = paths[id(node)]
+    for index, child in enumerate(node.children):
+        child_path = paths[id(child)]
+        recorded = partition.node_spans.get(child_path)
+        if recorded is None:
+            report.add(
+                Diagnostic(
+                    PART_COVER, Severity.ERROR, child_path,
+                    f"partition {partition.index}: certificate records no "
+                    "input span for this node",
+                    "Sec 3.2",
+                )
+            )
+            continue
+        scope = edges[id(node)][index]
+        if scope is None:
+            continue  # already reported by the classification pass
+        required = scope.required_window(granted).intersect(child.span)
+        if not recorded.covers(required):
+            report.add(
+                Diagnostic(
+                    PART_HALO, Severity.ERROR, path,
+                    f"partition {partition.index}: producing {granted} needs "
+                    f"input span {required} from child {index}, but the "
+                    f"certificate grants only {recorded} — the halo at the "
+                    "cut is understated",
+                    "Def 3.3 / Lem 3.2",
+                )
+            )
+        _check_node_spans(child, recorded, partition, paths, report, edges)
+
+
+def _check_halo_obligations(
+    cert: PartitionCertificate,
+    root: "PhysicalPlan",
+    paths: Mapping[int, str],
+    report: VerificationReport,
+    edges: _EdgeScopes,
+) -> None:
+    """Re-verify the per-cut leaf obligations against composed scopes."""
+    composed = leaf_scopes(root, paths, edges)
+    recorded: dict[tuple[int, str], HaloObligation] = {
+        (ob.cut, ob.path): ob for ob in cert.halo_obligations
+    }
+    for window in [partition.window for partition in cert.partitions][1:]:
+        if window.start is None:
+            continue
+        cut = window.start
+        for path, scope in composed.items():
+            below = scope.lookback()
+            above = scope.lookahead()
+            obligation = recorded.get((cut, path))
+            if obligation is None:
+                report.add(
+                    Diagnostic(
+                        PART_HALO, Severity.ERROR, path,
+                        f"certificate records no halo obligation for leaf at "
+                        f"cut {cut}",
+                        "Def 3.3 / Lem 3.2",
+                    )
+                )
+                continue
+            if (
+                below is None
+                or above is None
+                or obligation.below < below
+                or obligation.above < above
+            ):
+                report.add(
+                    Diagnostic(
+                        PART_HALO, Severity.ERROR, path,
+                        f"halo obligation at cut {cut} grants "
+                        f"(below={obligation.below}, above={obligation.above}) "
+                        f"but the composed scope needs (below={below}, "
+                        f"above={above}) — understated halo",
+                        "Def 3.3 / Lem 3.2",
+                    )
+                )
+            elif obligation.below > below or obligation.above > above:
+                report.add(
+                    Diagnostic(
+                        PART_HALO, Severity.WARNING, path,
+                        f"halo obligation at cut {cut} overstates the "
+                        f"composed requirement (below={below}, above={above}):"
+                        " sound, but the partitions read more overlap than "
+                        "the exact halo",
+                        "Def 3.3 / Lem 3.2",
+                    )
+                )
+
+
+def check_certificate(
+    plan: "Union[PhysicalPlan, OptimizedPlan]",
+    cert: PartitionCertificate,
+    *,
+    counters: Optional[PartitionCounters] = None,
+    tracer: "Optional[Tracer]" = None,
+) -> VerificationReport:
+    """Independently re-verify every certificate obligation.
+
+    Recomputes everything from ``plan`` and ``cert`` alone — contract
+    classification, scope-required input spans, halo widths, tiling and
+    merge proof — sharing no state with the prover, so certificates
+    from untrusted producers are safe to check before use.
+    """
+    from repro.obs.tracer import CATEGORY_ANALYSIS, maybe_span
+
+    counters = counters if counters is not None else PARTITION_COUNTERS
+    root = _root_of(plan)
+    report = VerificationReport(
+        subject="partition-certificate", rules_run=list(PART_RULES)
+    )
+    with maybe_span(tracer, "partition-check", CATEGORY_ANALYSIS, parts=cert.parts):
+        counters.checks_run += 1
+        expected = plan_fingerprint(root)
+        if cert.fingerprint != expected:
+            report.add(
+                Diagnostic(
+                    PART_CONTRACT, Severity.ERROR, "root",
+                    f"certificate fingerprint {cert.fingerprint[:23]}... was "
+                    "issued for a different plan (structural hash mismatch)",
+                    "Prop 2.1",
+                )
+            )
+            counters.checks_failed += 1
+            return report
+        paths = plan_paths(root)
+        edges = _edge_scopes(root)
+        clean = _classify_nodes(root, paths, report, edges)
+        if clean:
+            derived = PartitionContract.of_scopes(
+                list(leaf_scopes(root, paths, edges).values())
+            )
+            if cert.contract.kind != derived.kind:
+                report.add(
+                    Diagnostic(
+                        PART_CONTRACT, Severity.ERROR, "root",
+                        f"certificate claims a {cert.contract.kind!r} contract "
+                        f"but the plan derives {derived.kind!r}",
+                        "Prop 2.1",
+                    )
+                )
+            if _halo_understated(cert.contract.halo_below, derived.halo_below) or (
+                _halo_understated(cert.contract.halo_above, derived.halo_above)
+            ):
+                report.add(
+                    Diagnostic(
+                        PART_HALO, Severity.ERROR, "root",
+                        f"certificate contract halo (below="
+                        f"{cert.contract.halo_below}, above="
+                        f"{cert.contract.halo_above}) understates the derived "
+                        f"halo (below={derived.halo_below}, above="
+                        f"{derived.halo_above})",
+                        "Def 3.3 / Lem 3.2",
+                    )
+                )
+            _check_cover(cert, root, report)
+            for partition in cert.partitions:
+                granted_root = partition.node_spans.get(paths[id(root)])
+                required_root = partition.window.intersect(root.span)
+                if granted_root is None or not granted_root.covers(required_root):
+                    report.add(
+                        Diagnostic(
+                            PART_COVER, Severity.ERROR, paths[id(root)],
+                            f"partition {partition.index}: the root must "
+                            f"produce {required_root} but the certificate "
+                            f"records {granted_root}",
+                            "Sec 3.2",
+                        )
+                    )
+                    continue
+                _check_node_spans(
+                    root, granted_root, partition, paths, report, edges
+                )
+            _check_halo_obligations(cert, root, paths, report, edges)
+        if not report.ok:
+            counters.checks_failed += 1
+    return report
+
+
+def _halo_understated(claimed: Optional[int], derived: Optional[int]) -> bool:
+    """Whether a claimed halo width is below the derived requirement."""
+    if derived is None:
+        return claimed is not None
+    if claimed is None:
+        return False  # unbounded claim covers any finite requirement
+    return claimed < derived
+
+
+def require_certificate(
+    plan: "Union[PhysicalPlan, OptimizedPlan]",
+    cert: PartitionCertificate,
+    *,
+    counters: Optional[PartitionCounters] = None,
+    tracer: "Optional[Tracer]" = None,
+) -> PartitionCertificate:
+    """Check a certificate and raise on any error finding.
+
+    Raises:
+        PartitionSoundnessError: when re-verification fails.
+    """
+    report = check_certificate(plan, cert, counters=counters, tracer=tracer)
+    if not report.ok:
+        first = report.errors[0]
+        extra = len(report.errors) - 1
+        suffix = f" (+{extra} more)" if extra else ""
+        raise PartitionSoundnessError(
+            f"partition certificate rejected: {first.render()}{suffix}",
+            report=report,
+        )
+    return cert
+
+
+def iter_part_rule_ids() -> Iterator[str]:
+    """The registered ``PART*`` rule identifiers, in triage order."""
+    return iter(PART_RULES)

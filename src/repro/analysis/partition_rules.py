@@ -1,0 +1,237 @@
+"""``PART*`` plan rules: flag partition-unsound plans in the linter.
+
+These rules audit the *partition metadata* a plan carries in
+``extras["partition"]`` — the contract the optimizer (or any other
+producer) claims for the plan — against an independent re-derivation
+by :mod:`repro.analysis.partition`.  Plans without partition metadata
+produce no findings: a plan that makes no decomposability claim cannot
+be partition-*unsound*, and the ``REPRO_VERIFY=1`` hooks must stay
+quiet on ordinary sequential plans.
+
+The division of labour mirrors the prover/checker split: rules here
+are the lint-time surface (``repro lint``, ``repro verify-plan``,
+execution hooks) while :func:`repro.analysis.partition.check_certificate`
+is the deep re-verification a parallel engine runs on full
+certificates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.analysis.base import PlanContext, plan_rule
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.partition import (
+    BLOCKING,
+    ORDER_SENSITIVE,
+    PART_BLOCKING,
+    PART_CONTRACT,
+    PART_COVER,
+    PART_HALO,
+    PART_ORDER,
+    PartitionContract,
+    _halo_understated,
+    derive_contract,
+    plan_scope_on,
+)
+from repro.model.span import Span
+
+
+def _claimed_contract(context: PlanContext) -> Optional[PartitionContract]:
+    """The contract the plan's metadata claims, or None when well absent.
+
+    Raises:
+        ReproError: when metadata is present but malformed (the caller
+            rule converts that into its finding).
+    """
+    meta = context.plan.extras.get("partition")
+    if meta is None:
+        return None
+    if not isinstance(meta, dict) or "contract" not in meta:
+        from repro.errors import ReproError
+
+        raise ReproError(
+            "partition metadata must be a dict with a 'contract' entry"
+        )
+    return PartitionContract.from_dict(meta["contract"])
+
+
+@plan_rule(PART_CONTRACT, "Prop 2.1 / Sec 2.3")
+def check_partition_contract(context: PlanContext) -> Iterator[Diagnostic]:
+    """The claimed partitioning contract must match the derived one.
+
+    Mis-kinded claims toward order-sensitive/blocking ground truth are
+    left to the sharper :data:`PART_ORDER` / :data:`PART_BLOCKING`
+    rules; this rule covers malformed metadata and disagreements among
+    the decomposable kinds (e.g. a windowed subtree marked pointwise
+    when its halo is the whole point).
+    """
+    try:
+        claimed = _claimed_contract(context)
+    except Exception as exc:  # noqa: BLE001 - malformed metadata IS the finding
+        yield Diagnostic(
+            PART_CONTRACT, Severity.ERROR, context.path(context.plan),
+            f"malformed partition metadata: {exc}",
+            "Prop 2.1 / Sec 2.3",
+        )
+        return
+    if claimed is None:
+        return
+    derived = derive_contract(context.plan)
+    if claimed.kind == derived.kind:
+        return
+    if derived.kind in (ORDER_SENSITIVE, BLOCKING) and claimed.is_decomposable:
+        return  # PART-ORDER / PART-BLOCKING report these with the culprit node
+    yield Diagnostic(
+        PART_CONTRACT, Severity.ERROR, context.path(context.plan),
+        f"plan claims a {claimed.kind!r} partitioning contract but scope "
+        f"composition derives {derived.kind!r}",
+        "Prop 2.1 / Sec 2.3",
+    )
+
+
+@plan_rule(PART_HALO, "Def 3.3 / Lem 3.2")
+def check_partition_halo(context: PlanContext) -> Iterator[Diagnostic]:
+    """The claimed halo must cover the composed-scope requirement.
+
+    An understated halo is the quiet failure mode of partitioning: a
+    window crossing a cut silently reads nulls where its neighbours
+    should be, and every partition still *runs* — it just computes the
+    wrong answer near the boundary.
+    """
+    try:
+        claimed = _claimed_contract(context)
+    except Exception:  # noqa: BLE001 - PART-CONTRACT owns malformed metadata
+        return
+    if claimed is None:
+        return
+    derived = derive_contract(context.plan)
+    if not derived.is_decomposable:
+        return  # no finite halo exists; PART-ORDER / PART-BLOCKING report it
+    if _halo_understated(claimed.halo_below, derived.halo_below) or (
+        _halo_understated(claimed.halo_above, derived.halo_above)
+    ):
+        yield Diagnostic(
+            PART_HALO, Severity.ERROR, context.path(context.plan),
+            f"claimed halo (below={claimed.halo_below}, "
+            f"above={claimed.halo_above}) understates the derived requirement "
+            f"(below={derived.halo_below}, above={derived.halo_above}): a "
+            "window crossing a cut would read nulls instead of its "
+            "neighbours",
+            "Def 3.3 / Lem 3.2",
+        )
+
+
+def _nodes_with_scope_kinds(
+    context: PlanContext, kinds: tuple[str, ...]
+) -> Iterator[tuple[str, str, "object"]]:
+    """Yield ``(path, plan_kind, scope)`` for nodes whose scope kind matches."""
+    for node in context.plan.walk():
+        for index in range(len(node.children)):
+            try:
+                scope = plan_scope_on(node, index)
+            except Exception:  # noqa: BLE001 - leaf kinds have no scope
+                continue
+            if scope is not None and scope.kind in kinds:
+                yield context.path(node), node.kind, scope
+
+
+@plan_rule(PART_ORDER, "Sec 2.3")
+def check_partition_order(context: PlanContext) -> Iterator[Diagnostic]:
+    """No order-sensitive operator may sit above a claimed-sound cut.
+
+    Variable scopes (value offsets / Previous / Next) read a
+    data-dependent set of positions — the non-null pattern decides how
+    far they reach — so no static halo bounds what a cut severs.
+    """
+    try:
+        claimed = _claimed_contract(context)
+    except Exception:  # noqa: BLE001 - PART-CONTRACT owns malformed metadata
+        return
+    if claimed is None or not claimed.is_decomposable:
+        return
+    for path, plan_kind, scope in _nodes_with_scope_kinds(
+        context, ("variable_past", "variable_future")
+    ):
+        yield Diagnostic(
+            PART_ORDER, Severity.ERROR, path,
+            f"plan claims a {claimed.kind!r} contract but contains an "
+            f"order-sensitive {plan_kind} ({scope.kind} scope): the positions "
+            "it reads depend on the data, so no positional cut is sound",
+            "Sec 2.3",
+        )
+
+
+@plan_rule(PART_BLOCKING, "Sec 2.3 / Sec 4.1.3")
+def check_partition_blocking(context: PlanContext) -> Iterator[Diagnostic]:
+    """No blocking aggregate may be claimed pointwise/windowed.
+
+    ``all_past`` (cumulative) and ``all`` (whole-sequence) scopes need
+    unbounded input prefixes; partitioning them loses every record
+    before the cut.
+    """
+    try:
+        claimed = _claimed_contract(context)
+    except Exception:  # noqa: BLE001 - PART-CONTRACT owns malformed metadata
+        return
+    if claimed is None or not claimed.is_decomposable:
+        return
+    for path, plan_kind, scope in _nodes_with_scope_kinds(
+        context, ("all_past", "all")
+    ):
+        yield Diagnostic(
+            PART_BLOCKING, Severity.ERROR, path,
+            f"plan claims a {claimed.kind!r} contract but contains a "
+            f"blocking {plan_kind} ({scope.kind} scope): every output needs "
+            "an unbounded input prefix, so no finite halo makes a cut sound",
+            "Sec 2.3 / Sec 4.1.3",
+        )
+
+
+@plan_rule(PART_COVER, "Sec 3.2")
+def check_partition_cover(context: PlanContext) -> Iterator[Diagnostic]:
+    """Declared cut points must fall strictly inside the output span.
+
+    Producers that pre-commit to cut positions record them as
+    ``extras["partition"]["cut_points"]``; each must split the plan's
+    output span into two non-empty sides, and the list must be strictly
+    ascending (the position-ordered merge depends on it).
+    """
+    meta = context.plan.extras.get("partition")
+    if not isinstance(meta, dict):
+        return
+    cuts = meta.get("cut_points")
+    if cuts is None:
+        return
+    path = context.path(context.plan)
+    if not isinstance(cuts, (list, tuple)) or not all(
+        isinstance(cut, int) for cut in cuts
+    ):
+        yield Diagnostic(
+            PART_COVER, Severity.ERROR, path,
+            f"partition cut points must be a list of ints, got {cuts!r}",
+            "Sec 3.2",
+        )
+        return
+    span: Span = context.plan.span
+    previous: Optional[int] = None
+    for cut in cuts:
+        if previous is not None and cut <= previous:
+            yield Diagnostic(
+                PART_COVER, Severity.ERROR, path,
+                f"cut points must be strictly ascending, got {cut} after "
+                f"{previous}",
+                "Sec 3.2",
+            )
+        # A cut at position c puts [.., c-1] left and [c, ..] right; both
+        # sides must intersect the output span or a partition is empty.
+        if not span.contains(cut) or (
+            span.start is not None and cut <= span.start
+        ):
+            yield Diagnostic(
+                PART_COVER, Severity.ERROR, path,
+                f"cut point {cut} does not split the output span {span} "
+                "into two non-empty partitions",
+                "Sec 3.2",
+            )
+        previous = cut

@@ -39,6 +39,7 @@ All three share one exit-code contract and one JSON report shape:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence as PySequence
 
@@ -57,6 +58,7 @@ from repro.execution import (
     QueryGuard,
     run_query_detailed,
 )
+from repro.analysis.partition import PartitionCounters, analyze_partition
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
@@ -284,6 +286,156 @@ def build_verify_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
+def build_partition_check_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro partition-check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro partition-check",
+        description=(
+            "Certify a query's plan as parallel-decomposable: derive its "
+            "partitioning contract (pointwise / windowed / order-sensitive "
+            "/ blocking), compute exact halo widths per cut, and verify "
+            "the resulting certificate through the independent checker. "
+            "Uncertifiable plans are rejected with typed PART* findings."
+        ),
+        epilog=_EXIT_CODE_HELP,
+    )
+    parser.add_argument("query", help="query text to certify")
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable)",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span (default: the query's own)",
+    )
+    parser.add_argument(
+        "--parts",
+        default="2,3,8",
+        metavar="N[,N...]",
+        help="partition counts to certify (default 2,3,8)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report (plus contract and certificates) as JSON",
+    )
+    parser.add_argument(
+        "--cert-out",
+        metavar="FILE",
+        help="write the issued certificates to this file as a JSON array",
+    )
+    return parser
+
+
+def _parse_parts(spec: str) -> list[int]:
+    """Parse the ``--parts`` comma list; failures are usage errors."""
+    try:
+        parts = [int(piece) for piece in spec.split(",") if piece.strip()]
+    except ValueError:
+        raise _UsageError(
+            f"--parts needs comma-separated integers, got {spec!r}"
+        ) from None
+    if not parts or any(count < 1 for count in parts):
+        raise _UsageError(
+            f"--parts needs positive partition counts, got {spec!r}"
+        )
+    return parts
+
+
+def _partition_check_main(argv: PySequence[str], out) -> int:
+    """Run ``repro partition-check``: prove a plan parallel-decomposable."""
+    from repro.analysis.partition import check_certificate, derive_contract
+
+    args = build_partition_check_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+        span = _parse_span(args.span)
+        parts_list = _parse_parts(args.parts)
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+    except SemanticError as error:
+        report = VerificationReport(
+            subject="source", rules_run=["semantic-analysis"]
+        )
+        report.diagnostics.extend(error.diagnostics)
+        return _emit_report(report, args.json, out)
+    except ParseError as error:
+        return _emit_report(_parse_error_report(error), args.json, out)
+    try:
+        optimized = optimize(query, catalog=catalog, span=span).plan
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+    counters = PartitionCounters()
+    contract = derive_contract(optimized)
+    report = VerificationReport(subject="partition")
+    certificates = []
+    for parts in parts_list:
+        certificate, part_report = analyze_partition(
+            optimized, parts, counters=counters
+        )
+        for rule in part_report.rules_run:
+            if rule not in report.rules_run:
+                report.rules_run.append(rule)
+        for diagnostic in part_report.diagnostics:
+            if diagnostic not in report.diagnostics:
+                report.add(diagnostic)
+        if certificate is not None:
+            # The prover's output is only trusted after the independent
+            # checker re-verifies it — the same discipline the future
+            # parallel engine will follow.
+            check = check_certificate(optimized, certificate, counters=counters)
+            for diagnostic in check.diagnostics:
+                if diagnostic not in report.diagnostics:
+                    report.add(diagnostic)
+            certificates.append(certificate)
+
+    if args.cert_out:
+        try:
+            with open(args.cert_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    [certificate.to_dict() for certificate in certificates],
+                    handle,
+                    indent=2,
+                )
+        except OSError as error:
+            print(f"error: --cert-out {args.cert_out}: {error}", file=out)
+            return 2
+
+    if args.json:
+        payload = report.to_dict()
+        payload["contract"] = contract.to_dict()
+        payload["certificates"] = [
+            certificate.to_dict() for certificate in certificates
+        ]
+        print(json.dumps(payload, indent=2), file=out)
+        return 0 if report.ok else 1
+
+    print(report.render_text(), file=out)
+    halo = f"halo(below={contract.halo_below}, above={contract.halo_above})"
+    print(f"contract: {contract.kind} {halo}", file=out)
+    for certificate in certificates:
+        cuts = ", ".join(str(cut) for cut in certificate.cut_points)
+        print(
+            f"certified parts={certificate.parts} over "
+            f"{certificate.root_span}: cuts [{cuts}]",
+            file=out,
+        )
+    registry = MetricsRegistry()
+    registry.attach("partition", counters)
+    print("metrics:", file=out)
+    print(registry.render(indent="  "), file=out)
+    return 0 if report.ok else 1
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     """The argument parser for ``repro trace``."""
     parser = argparse.ArgumentParser(
@@ -452,6 +604,8 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
         return _verify_main(arguments[0], arguments[1:], out)
     if arguments and arguments[0] == "trace":
         return _trace_main(arguments[1:], out)
+    if arguments and arguments[0] == "partition-check":
+        return _partition_check_main(arguments[1:], out)
     if arguments and arguments[0] == "run":
         # "repro run ..." is an explicit alias for the default command.
         arguments = arguments[1:]

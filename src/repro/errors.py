@@ -173,6 +173,19 @@ class VerificationError(ReproError):
         self.report = report
 
 
+class PartitionSoundnessError(VerificationError):
+    """A plan could not be certified as parallel-decomposable.
+
+    Raised by :mod:`repro.analysis.partition` when the prover refuses
+    to issue a :class:`~repro.analysis.partition.PartitionCertificate`
+    (an order-sensitive or blocking operator sits above a cut, or the
+    requested cuts cannot tile the output span) and by the independent
+    checker when a presented certificate fails re-verification.  The
+    attached report carries the typed ``PART*`` diagnostics — a plan is
+    rejected with a reasoned finding, never silently partitioned.
+    """
+
+
 class ParseError(ReproError):
     """The query language text could not be parsed.
 

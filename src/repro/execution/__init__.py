@@ -17,6 +17,12 @@ from repro.execution.guard import (
     QueryGuard,
 )
 from repro.execution.naive import OperatorView, build_views, evaluate_naive
+from repro.execution.partition import (
+    execute_partitioned,
+    merge_partitions,
+    partition_plan,
+    slice_sequence,
+)
 from repro.execution.probers import Prober, ProberSequence, build_prober
 from repro.execution.sliding import (
     CumulativeAggregator,
@@ -48,8 +54,12 @@ __all__ = [
     "build_stream",
     "build_views",
     "evaluate_naive",
+    "execute_partitioned",
     "execute_plan",
     "make_sliding",
+    "merge_partitions",
+    "partition_plan",
+    "slice_sequence",
     "run_query",
     "run_query_detailed",
     "validate_execution_args",

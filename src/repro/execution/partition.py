@@ -1,0 +1,203 @@
+"""Certified partitioned execution: the differential harness's engine half.
+
+This module consumes :class:`~repro.analysis.partition.PartitionCertificate`
+artifacts and executes a plan partition by partition, *sequentially* —
+it exists to prove the analysis sound before any parallel runtime does,
+and to be the span-bounded subplan open path that runtime will reuse.
+
+The execution of one partition is deliberately hostile to unsound
+certificates:
+
+* every plan node of the per-partition subplan has its span narrowed to
+  exactly the certificate's recorded input span for that node (the
+  stream builders open children over the children's plan spans, so the
+  narrowing bounds what is actually read); and
+* every stored leaf sequence is **physically sliced** to the certified
+  leaf span — positions outside it are gone, not merely out of a
+  declared span.  Probe-mode access paths read the underlying sequence
+  directly, so without the slice an understated halo could silently
+  read its neighbour partition's data and mask the analysis bug the
+  harness exists to catch.
+
+If the certificate's halos are exact, the merged answer equals the
+unpartitioned answer; if they are understated, boundary outputs see
+nulls where records should be and the differential tests fail loudly.
+
+Uncertified plans are never silently partitioned:
+:func:`execute_partitioned` re-verifies the certificate through the
+independent checker before opening anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.algebra.leaves import SequenceLeaf
+from repro.analysis.base import plan_paths
+from repro.analysis.partition import (
+    PartitionCertificate,
+    PartitionCounters,
+    PartitionRange,
+    require_certificate,
+)
+from repro.errors import ExecutionError
+from repro.execution.counters import ExecutionCounters
+from repro.execution.engine import DEFAULT_BATCH_SIZE, execute_plan
+from repro.model.base import BaseSequence
+from repro.model.record import Record
+from repro.model.span import Span
+from repro.model.sequence import Sequence
+from repro.obs.tracer import CATEGORY_ENGINE, Tracer, maybe_span
+from repro.optimizer.plans import OptimizedPlan, PhysicalPlan
+
+
+def slice_sequence(sequence: Sequence, span: Span) -> BaseSequence:
+    """A physical copy of ``sequence`` holding only positions in ``span``.
+
+    The slice's span is the intersection — a position outside it maps
+    to Null exactly as if the rest of the sequence never existed, which
+    is the contract a partition's shard of a stored sequence must have.
+    """
+    window = sequence.span.intersect(span)
+    pairs: list[tuple[int, Record]] = list(sequence.iter_nonnull(window))
+    return BaseSequence.unchecked(sequence.schema, pairs, span=window)
+
+
+def partition_plan(
+    plan: PhysicalPlan,
+    partition: PartitionRange,
+    paths: Optional[dict[int, str]] = None,
+) -> PhysicalPlan:
+    """Clone ``plan`` narrowed to one certified partition's input spans.
+
+    Every node's span becomes the certificate's recorded span for that
+    node; every base-sequence leaf is rebuilt over a physical slice of
+    its stored sequence (see the module docstring for why slicing, not
+    just span narrowing, is required).
+
+    Raises:
+        ExecutionError: when the certificate records no span for some
+            plan node (a malformed or mismatched certificate).
+    """
+    resolved_paths = plan_paths(plan) if paths is None else paths
+
+    def clone(node: PhysicalPlan) -> PhysicalPlan:
+        path = resolved_paths[id(node)]
+        narrowed = partition.node_spans.get(path)
+        if narrowed is None:
+            raise ExecutionError(
+                f"partition {partition.index}: certificate records no input "
+                f"span for plan node {path}"
+            )
+        children = tuple(clone(child) for child in node.children)
+        operator = node.node
+        if not node.children and isinstance(operator, SequenceLeaf):
+            leaf_span = partition.leaf_spans.get(path, narrowed)
+            operator = SequenceLeaf(
+                slice_sequence(operator.sequence, leaf_span),
+                alias=operator.alias,
+            )
+        return dataclasses.replace(
+            node,
+            node=operator,
+            children=children,
+            span=narrowed,
+            extras=dict(node.extras),
+        )
+
+    return clone(plan)
+
+
+def merge_partitions(
+    outputs: "list[BaseSequence]",
+    certificate: PartitionCertificate,
+) -> BaseSequence:
+    """Concatenate per-partition answers in position order.
+
+    The certificate's merge proof guarantees the partition windows are
+    ascending, disjoint and contiguous, so concatenation *is* the
+    position-ordered merge; this function still re-checks ascending
+    positions as a cheap runtime tripwire.
+    """
+    if len(outputs) != len(certificate.partitions):
+        raise ExecutionError(
+            f"expected {len(certificate.partitions)} partition outputs, "
+            f"got {len(outputs)}"
+        )
+    pairs: list[tuple[int, Record]] = []
+    last: Optional[int] = None
+    schema = outputs[0].schema if outputs else None
+    for output in outputs:
+        for position, record in output.iter_nonnull():
+            if last is not None and position <= last:
+                raise ExecutionError(
+                    f"partition outputs are not position-ordered: {position} "
+                    f"after {last}"
+                )
+            pairs.append((position, record))
+            last = position
+    if schema is None:
+        raise ExecutionError("cannot merge zero partition outputs")
+    return BaseSequence.unchecked(schema, pairs, span=certificate.root_span)
+
+
+def execute_partitioned(
+    plan: "PhysicalPlan | OptimizedPlan",
+    certificate: PartitionCertificate,
+    *,
+    mode: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    counters: Optional[ExecutionCounters] = None,
+    partition_counters: Optional[PartitionCounters] = None,
+    tracer: Optional[Tracer] = None,
+    verify: bool = True,
+) -> BaseSequence:
+    """Execute a plan partition by partition and merge in position order.
+
+    Args:
+        plan: the stream-mode physical plan (or optimizer output) the
+            certificate was issued for.
+        certificate: a :class:`PartitionCertificate` for ``plan``.
+        mode: per-partition execution mode (``"batch"`` or ``"row"``).
+        batch_size: positions per batch in batch mode.
+        counters: execution counters shared across all partitions.
+        partition_counters: partition-analysis counters charged by the
+            certificate check.
+        tracer: optional span tracer; each partition runs under its own
+            ``partition`` span.
+        verify: re-verify the certificate through the independent
+            checker first (default).  Disable only when the caller has
+            already checked this exact (plan, certificate) pair.
+
+    Raises:
+        PartitionSoundnessError: when ``verify`` is set and the
+            certificate fails re-verification — the plan is rejected,
+            never silently partitioned.
+    """
+    root = plan.plan if isinstance(plan, OptimizedPlan) else plan
+    if verify:
+        require_certificate(root, certificate, counters=partition_counters)
+    counters = counters if counters is not None else ExecutionCounters()
+    paths = plan_paths(root)
+    outputs: list[BaseSequence] = []
+    for partition in certificate.partitions:
+        subplan = partition_plan(root, partition, paths)
+        with maybe_span(
+            tracer,
+            "partition",
+            CATEGORY_ENGINE,
+            index=partition.index,
+            window=str(partition.window),
+        ):
+            outputs.append(
+                execute_plan(
+                    subplan,
+                    partition.window,
+                    counters,
+                    mode=mode,
+                    batch_size=batch_size,
+                    tracer=tracer,
+                )
+            )
+    return merge_partitions(outputs, certificate)

@@ -40,6 +40,7 @@ from repro.errors import ReproError
 CATEGORY_OPTIMIZER = "optimizer"
 CATEGORY_ENGINE = "engine"
 CATEGORY_OPERATOR = "operator"
+CATEGORY_ANALYSIS = "analysis"
 
 #: Default row-mode sampling stride (see the module docstring).
 DEFAULT_ROW_STRIDE = 8

@@ -24,7 +24,8 @@ from repro.model.span import Span
 from repro.algebra.graph import Query
 from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
-from repro.obs.tracer import CATEGORY_OPTIMIZER, Tracer, maybe_span
+from repro.analysis.partition import derive_contract
+from repro.obs.tracer import CATEGORY_ANALYSIS, CATEGORY_OPTIMIZER, Tracer, maybe_span
 from repro.optimizer.annotate import AnnotatedQuery, annotate
 from repro.optimizer.blocks import block_tree, count_blocks
 from repro.optimizer.costmodel import CostModel, CostParams
@@ -128,6 +129,19 @@ def optimize(
                 plangen_span.attrs["peak_plans_stored"] = (
                     planner.stats.peak_plans_stored
                 )
+
+        with maybe_span(tracer, "partition-contract", CATEGORY_ANALYSIS) as part_span:
+            # Derive and attach the partitioning contract so downstream
+            # consumers (the PART* lint rules, `repro partition-check`,
+            # a future parallel engine) see the plan's decomposability
+            # claim.  Derived, not asserted: the metadata is correct by
+            # construction, so the lint rules stay quiet on our plans.
+            contract = derive_contract(output.stream_plan)
+            output.stream_plan.extras["partition"] = {
+                "contract": contract.to_dict()
+            }
+            if part_span is not None:
+                part_span.attrs["contract"] = contract.kind
 
         with maybe_span(tracer, "selection", CATEGORY_OPTIMIZER) as select_span:
             # Opt-in self-check: cache finiteness and cost sanity of the

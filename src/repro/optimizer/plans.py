@@ -10,7 +10,7 @@ root plan in stream mode over the plan's span.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.errors import OptimizerError
 from repro.model.schema import RecordSchema
@@ -128,7 +128,7 @@ class PhysicalPlan:
             lines.append(child.pretty(indent + 1))
         return "\n".join(lines)
 
-    def walk(self):
+    def walk(self) -> Iterator["PhysicalPlan"]:
         """Pre-order traversal."""
         yield self
         for child in self.children:

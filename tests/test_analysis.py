@@ -235,6 +235,100 @@ class TestCorruptedGraphs:
         assert excinfo.value.report is report
 
 
+class TestPartitionCorruptions:
+    """Partition-unsound plans trip exactly the PART* rule that owns them.
+
+    The optimizer attaches derived (hence self-consistent) partition
+    metadata to every plan; these fixtures corrupt that metadata the
+    way a buggy parallel scheduler would — claiming a cheaper contract
+    than scope composition supports — and the linter must refuse.
+    """
+
+    def optimized_plan(self, operator):
+        catalog, _ = make_catalog()
+        return optimize(Query(operator), catalog=catalog).plan
+
+    def test_window_with_understated_halo(self):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            WindowAggregate(SequenceLeaf(sequence, "prices"), "avg", "close", 5)
+        )
+        meta = plan.plan.extras["partition"]
+        assert meta["contract"]["kind"] == "windowed"
+        assert meta["contract"]["halo_below"] == 4
+        # Understate the halo: a window crossing a cut would read nulls
+        # where its left neighbours should be.
+        meta["contract"]["halo_below"] = 1
+        report = verify_plan(plan)
+        assert not report.ok
+        findings = rule_errors(report, "PART-HALO")
+        assert any("understates" in d.message for d in findings)
+
+    def test_order_sensitive_claimed_pointwise(self):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(ValueOffset(SequenceLeaf(sequence, "prices"), -2))
+        meta = plan.plan.extras["partition"]
+        assert meta["contract"]["kind"] == "order-sensitive"
+        meta["contract"] = {"kind": "pointwise", "halo_below": 0, "halo_above": 0}
+        report = verify_plan(plan)
+        assert not report.ok
+        findings = rule_errors(report, "PART-ORDER")
+        assert any("order-sensitive" in d.message for d in findings)
+
+    def test_blocking_aggregate_claimed_pointwise(self):
+        from repro.algebra.aggregate import CumulativeAggregate
+
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            CumulativeAggregate(SequenceLeaf(sequence, "prices"), "max", "close")
+        )
+        meta = plan.plan.extras["partition"]
+        assert meta["contract"]["kind"] == "blocking"
+        meta["contract"] = {"kind": "pointwise", "halo_below": 0, "halo_above": 0}
+        report = verify_plan(plan)
+        assert not report.ok
+        findings = rule_errors(report, "PART-BLOCKING")
+        assert any("blocking" in d.message for d in findings)
+
+    def test_malformed_partition_metadata(self):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            Select(SequenceLeaf(sequence, "prices"), Cmp(">", col("close"), lit(1.0)))
+        )
+        plan.plan.extras["partition"] = {"contract": {"kind": "sideways"}}
+        report = verify_plan(plan)
+        assert rule_errors(report, "PART-CONTRACT")
+
+    def test_cut_points_outside_span(self):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            Select(SequenceLeaf(sequence, "prices"), Cmp(">", col("close"), lit(1.0)))
+        )
+        plan.plan.extras["partition"]["cut_points"] = [30, 10, 999]
+        report = verify_plan(plan)
+        findings = rule_errors(report, "PART-COVER")
+        assert any("ascending" in d.message for d in findings)
+        assert any("999" in d.message for d in findings)
+
+    def test_optimizer_metadata_is_lint_clean(self):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            WindowAggregate(SequenceLeaf(sequence, "prices"), "avg", "close", 5)
+        )
+        report = verify_plan(plan)
+        assert report.ok, report.render_text()
+
+    def test_execute_hook_refuses_partition_unsound_plan(self, monkeypatch):
+        _, sequence = make_catalog()
+        plan = self.optimized_plan(
+            WindowAggregate(SequenceLeaf(sequence, "prices"), "avg", "close", 5)
+        )
+        plan.plan.extras["partition"]["contract"]["halo_below"] = 0
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        with pytest.raises(VerificationError):
+            execute_plan(plan.plan, plan.output_span)
+
+
 class TestHooks:
     """REPRO_VERIFY=1 turns verification on inside optimize/execute."""
 
@@ -288,6 +382,11 @@ class TestCleanPass:
                 "rewrite-legality",
                 "cache-finiteness",
                 "cost-sanity",
+                "PART-CONTRACT",
+                "PART-HALO",
+                "PART-ORDER",
+                "PART-BLOCKING",
+                "PART-COVER",
             }
 
     def test_weather_clean(self, weather):
@@ -366,6 +465,43 @@ class TestCliSubcommands:
         assert "error" in text
         assert "SEM002" in text
         assert "nosuch" in text
+
+    def test_lint_json_findings_carry_rule_id_and_citation(self, prices_csv):
+        """Every finding in --json output names its rule and citation.
+
+        Downstream tooling keys on ``rule_id``; the ``citation`` ties a
+        finding back to the paper section whose invariant it enforces.
+        The shape is pinned here so the emitter cannot silently drop
+        either field.
+        """
+        code, text = self.run_cli(
+            "lint", "--json", "--load", f"prices={prices_csv}",
+            "select(prices, nosuch > 1)",
+        )
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["ok"] is False
+        assert payload["diagnostics"], "expected at least one finding"
+        for finding in payload["diagnostics"]:
+            assert set(finding) >= {
+                "rule", "rule_id", "severity", "path", "message", "citation",
+            }
+            assert finding["rule_id"] == finding["rule"]
+            assert isinstance(finding["citation"], str)
+
+    def test_verify_plan_json_part_finding_cites_paper(self, table1):
+        """A PART* finding surfaces rule_id + citation through to_dict."""
+        catalog, _sequences = table1
+        from repro.lang import compile_query
+
+        query = compile_query("window(ibm, avg, close, 6, ma6)", catalog)
+        plan = optimize(query, catalog=catalog).plan
+        plan.plan.extras["partition"]["contract"]["halo_below"] = 0
+        report = verify_plan(plan)
+        payload = report.to_dict()
+        part = [d for d in payload["diagnostics"] if d["rule_id"] == "PART-HALO"]
+        assert part
+        assert all(d["citation"] == "Def 3.3 / Lem 3.2" for d in part)
 
     def test_lint_span_option(self, prices_csv):
         code, text = self.run_cli(
