@@ -10,7 +10,10 @@
 #      in examples/ and workloads/ (scripts/check_queries.py), then
 #      the partition check: every shipped query either certifies as
 #      parallel-decomposable or is rejected with a typed PART* finding
-#      (scripts/check_partition.py)
+#      (scripts/check_partition.py), then the effects check: every
+#      shipped query either receives an effect certificate the
+#      independent checker re-verifies or is rejected with a typed
+#      EFX* finding (scripts/check_effects.py)
 #   5. the tier-1 test suite (with per-test timeouts when the
 #      pytest-timeout plugin is installed; a SIGALRM watchdog in
 #      tests/conftest.py covers minimal containers without it)
@@ -25,7 +28,10 @@
 #  10. a smoke-sized run of the partition-analysis benchmark (the
 #      contract derivation embedded in optimize() must cost <5% of
 #      mean optimize wall clock)
-#  11. the trace round-trip check: traced runs exported as JSON Lines
+#  11. a smoke-sized run of the effect-analysis benchmark (the effects
+#      phase embedded in optimize() must cost <5% of mean optimize
+#      wall clock; dense codegen must not regress the guarded loop)
+#  12. the trace round-trip check: traced runs exported as JSON Lines
 #      and Chrome trace_event must re-parse and validate against the
 #      pinned schemas in src/repro/obs/schema.py
 #
@@ -67,6 +73,8 @@ run_step "query lint" python scripts/check_queries.py
 
 run_step "partition check" python scripts/check_partition.py
 
+run_step "effects check" python scripts/check_effects.py
+
 # Per-test timeouts guard against hangs in the chaos suite; only pass
 # the flag when the plugin is importable (pip install .[test]).
 timeout_args=()
@@ -92,6 +100,9 @@ run_step "tracer overhead smoke" env PYTHONPATH=src \
 
 run_step "partition analysis smoke" env PYTHONPATH=src \
     python benchmarks/bench_partition_analysis.py --smoke
+
+run_step "effects analysis smoke" env PYTHONPATH=src \
+    python benchmarks/bench_effects.py --smoke
 
 run_step "trace round-trip" env PYTHONPATH=src \
     python scripts/trace_roundtrip.py

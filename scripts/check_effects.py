@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Effect-safety check over every query text shipped in the repository.
+
+For each query in ``repro.workloads.STOCK_EXAMPLE_QUERIES`` (Table 1
+catalog) and ``repro.workloads.WEATHER_EXAMPLE_QUERIES`` (volcanos/
+earthquakes), optimize and run the effect analysis.  Every query must
+land in exactly one of two states:
+
+* **certified** — the prover issues an :class:`EffectCertificate`
+  covering every expression site and the *independent* checker
+  re-verifies it cleanly; or
+* **rejected** — the prover refuses with at least one typed ``EFX*``
+  error diagnostic (an expression outside the modeled language).
+
+Anything else — a certificate the checker rejects, or a refusal
+without a typed finding — fails the script.  The optimizer-attached
+effect metadata must also keep ``repro lint`` quiet on every plan.
+
+Exit status: 0 = corpus is effect-clean; 1 = violations.
+Invoked by ``scripts/check.sh`` as the "effects check" step.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import Catalog  # noqa: E402
+from repro.analysis import verify_plan  # noqa: E402
+from repro.analysis.effects import (  # noqa: E402
+    EFX_RULES,
+    analyze_effects,
+    check_effect_certificate,
+)
+from repro.lang import compile_query  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    STOCK_EXAMPLE_QUERIES,
+    WEATHER_EXAMPLE_QUERIES,
+    WeatherSpec,
+    generate_weather,
+    table1_catalog,
+)
+
+
+def weather_catalog() -> Catalog:
+    volcanos, quakes = generate_weather(WeatherSpec(horizon=2000, seed=7))
+    catalog = Catalog()
+    catalog.register("v", volcanos)
+    catalog.register("e", quakes)
+    return catalog
+
+
+def gather() -> list[tuple[str, str, Catalog]]:
+    """Every (label, source, environment) triple to check."""
+    table1, _ = table1_catalog()
+    weather = weather_catalog()
+    corpus: list[tuple[str, str, Catalog]] = []
+    for index, source in enumerate(STOCK_EXAMPLE_QUERIES):
+        corpus.append((f"stocks.EXAMPLE_QUERIES[{index}]", source, table1))
+    for index, source in enumerate(WEATHER_EXAMPLE_QUERIES):
+        corpus.append((f"weather.EXAMPLE_QUERIES[{index}]", source, weather))
+    return corpus
+
+
+def main() -> int:
+    from repro.optimizer import optimize
+
+    corpus = gather()
+    certified = rejected = dirty = sites = safe = 0
+    for label, source, catalog in corpus:
+        query = compile_query(source, catalog)
+        optimized = optimize(query, catalog=catalog).plan
+
+        lint = verify_plan(optimized)
+        if not lint.ok:
+            dirty += 1
+            print(f"{label}: {source}")
+            print("  optimizer-attached effect metadata fails lint:")
+            print("  " + "\n  ".join(d.render() for d in lint.errors))
+            continue
+
+        certificate, report = analyze_effects(optimized)
+        if certificate is not None:
+            check = check_effect_certificate(optimized, certificate)
+            if not check.ok:
+                dirty += 1
+                print(f"{label}: {source}")
+                print("  prover issued a certificate the checker rejects:")
+                print("  " + "\n  ".join(d.render() for d in check.errors))
+                continue
+            certified += 1
+            sites += len(certificate.sites)
+            safe += len(certificate.vectorization_safe_sites)
+            continue
+
+        typed = [d for d in report.errors if d.rule in EFX_RULES]
+        if not typed:
+            dirty += 1
+            print(f"{label}: {source}")
+            print("  refused without a typed EFX* finding")
+            continue
+        rejected += 1
+
+    if dirty:
+        print(f"{dirty} of {len(corpus)} shipped queries are effect-dirty")
+        return 1
+    print(
+        f"all {len(corpus)} shipped queries are effect-clean "
+        f"({certified} certified covering {sites} expression site(s), "
+        f"{safe} vectorization-safe; {rejected} rejected with typed "
+        "EFX* findings)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

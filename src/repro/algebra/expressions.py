@@ -16,15 +16,22 @@ Expressions compose with Python operators::
 from __future__ import annotations
 
 import abc
-from typing import Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, cast
 
 from repro.errors import ExpressionError
 from repro.model.record import Record
 from repro.model.schema import RecordSchema
 from repro.model.types import AtomType, common_type
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runtime cycle)
+    from repro.analysis.effects import EffectSpec
+
 # A hook resolving a column name to its catalog statistics (or None).
 StatsLookup = Callable[[str], Optional[object]]
+
+# A compile-time observer invoked when codegen cannot lower an
+# expression and interpreted evaluation will be used instead.
+FallbackObserver = Callable[["Expr"], None]
 
 # Selinger-style default selectivities when no statistics are available.
 DEFAULT_SELECTIVITY = {
@@ -34,6 +41,20 @@ DEFAULT_SELECTIVITY = {
     "<=": 1.0 / 3.0,
     ">": 1.0 / 3.0,
     ">=": 1.0 / 3.0,
+}
+
+# The total operator-flip table for estimating the swapped
+# ``Lit <op> Col`` shape against a histogram on the column: the
+# symmetric operators map to themselves, the orderings reverse.
+# Deliberately total (every comparison operator is a key) so a new
+# operator cannot silently fall through unflipped.
+CMP_SWAP = {
+    "==": "==",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
 }
 
 
@@ -180,7 +201,7 @@ class Lit(Expr):
         return repr(self.value)
 
 
-_ARITH_FUNCS = {
+_ARITH_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
@@ -229,7 +250,7 @@ class Arith(Expr):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
-_CMP_FUNCS = {
+_CMP_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
     "==": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
     "<": lambda a, b: a < b,
@@ -281,18 +302,20 @@ class Cmp(Expr):
         """Histogram-based estimate for ``col <op> literal`` shapes."""
         if stats is None:
             return None
-        col, lit, op = None, None, self.op
+        col: Optional[Col] = None
+        lit: Optional[Lit] = None
+        op = self.op
         if isinstance(self.left, Col) and isinstance(self.right, Lit):
             col, lit = self.left, self.right
         elif isinstance(self.right, Col) and isinstance(self.left, Lit):
             col, lit = self.right, self.left
-            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-        if col is None:
+            op = CMP_SWAP[op]
+        if col is None or lit is None:
             return None
         histogram = stats(col.name)
         if histogram is None:
             return None
-        return histogram.selectivity(op, lit.value)
+        return float(cast(Any, histogram).selectivity(op, lit.value))
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -466,25 +489,37 @@ class _Lowerer:
         raise _CannotLower(type(expr).__name__)
 
 
-def compile_rowwise(expr: Expr, schema: RecordSchema) -> Callable[[tuple], object]:
+def compile_rowwise(
+    expr: Expr,
+    schema: RecordSchema,
+    *,
+    on_fallback: Optional[FallbackObserver] = None,
+) -> Callable[[tuple[object, ...]], object]:
     """Compile ``expr`` to one fused closure over a record's values tuple.
 
     The returned function takes the ``values`` tuple of a record
     conforming to ``schema`` and returns the expression value — the
     row path's replacement for a per-record ``Expr.eval`` tree walk.
-    Unknown expression subclasses fall back to interpreted evaluation.
+    Unknown expression subclasses fall back to interpreted evaluation;
+    ``on_fallback`` (if given) is invoked once, at compile time, when
+    that happens, so degraded codegen is observable.
     """
     lowerer = _Lowerer(schema, lambda index: f"_v[{index}]")
     try:
         fragment = lowerer.lower(expr)
     except _CannotLower:
+        if on_fallback is not None:
+            on_fallback(expr)
         return lambda values: expr.eval(Record.unchecked(schema, tuple(values)))
-    return eval(f"lambda _v: {fragment}", lowerer.env)  # noqa: S307 - engine codegen
+    compiled = eval(  # noqa: S307 - engine codegen
+        f"lambda _v: {fragment}", lowerer.env
+    )
+    return cast(Callable[[tuple[object, ...]], object], compiled)
 
 
 def _compile_batch(
     expr: Expr, schema: RecordSchema, template: str
-) -> Optional[Callable]:
+) -> Optional[Callable[[list[list[object]], list[bool]], list[object]]]:
     """Shared column-wise codegen; None when ``expr`` cannot be lowered."""
     lowerer = _Lowerer(schema, lambda index: f"_c{index}[_i]")
     try:
@@ -497,7 +532,10 @@ def _compile_batch(
     source = template.format(preamble=preamble, fragment=fragment)
     namespace = dict(lowerer.env)
     exec(source, namespace)  # noqa: S102 - engine codegen
-    return namespace["_compiled"]
+    return cast(
+        Callable[[list[list[object]], list[bool]], list[object]],
+        namespace["_compiled"],
+    )
 
 
 _COLUMNWISE_TEMPLATE = """\
@@ -520,24 +558,75 @@ def _compiled(_columns, _valid):
     return _out
 """
 
+# Dense variants, emitted only under a certified vectorization-safe
+# EffectSpec (pure + deterministic + total + null-strict): on a fully
+# valid batch the per-row ``_ok`` guard is dropped entirely — one
+# branch-free comprehension instead of a test per row.  Safe exactly
+# because the certificate proves the expression cannot raise and masked
+# positions cannot influence outputs; sparse batches keep the guarded
+# loop (invalid cells hold None, which the expression must never see).
+
+_DENSE_COLUMNWISE_TEMPLATE = """\
+def _compiled(_columns, _valid):
+{preamble}\
+    if False not in _valid:
+        return [{fragment} for _i in range(len(_valid))]
+    _out = [None] * len(_valid)
+    for _i, _ok in enumerate(_valid):
+        if _ok:
+            _out[_i] = {fragment}
+    return _out
+"""
+
+_DENSE_FILTER_TEMPLATE = """\
+def _compiled(_columns, _valid):
+{preamble}\
+    if False not in _valid:
+        return [True if {fragment} else False for _i in range(len(_valid))]
+    _out = [False] * len(_valid)
+    for _i, _ok in enumerate(_valid):
+        if _ok and {fragment}:
+            _out[_i] = True
+    return _out
+"""
+
+
+def _vectorization_safe(spec: "Optional[EffectSpec]") -> bool:
+    """Whether ``spec`` certifies dropping the per-row validity guard."""
+    return spec is not None and spec.vectorization_safe
+
 
 def compile_columnwise(
-    expr: Expr, schema: RecordSchema
-) -> Callable[[list[list], list[bool]], list]:
+    expr: Expr,
+    schema: RecordSchema,
+    *,
+    spec: "Optional[EffectSpec]" = None,
+    on_fallback: Optional[FallbackObserver] = None,
+) -> Callable[[list[list[object]], list[bool]], list[object]]:
     """Compile ``expr`` to one fused loop over column lists.
 
     The returned function takes ``(columns, valid)`` — per-attribute
     value lists in ``schema`` order plus a validity mask — and returns
     the list of expression values, ``None`` at invalid positions.  The
-    whole batch is processed in a single Python call.
+    whole batch is processed in a single Python call.  A certified
+    vectorization-safe ``spec`` licenses the unguarded dense loop on
+    fully valid batches; ``on_fallback`` observes the interpreted
+    fallback, as in :func:`compile_rowwise`.
     """
-    compiled = _compile_batch(expr, schema, _COLUMNWISE_TEMPLATE)
+    template = (
+        _DENSE_COLUMNWISE_TEMPLATE
+        if _vectorization_safe(spec)
+        else _COLUMNWISE_TEMPLATE
+    )
+    compiled = _compile_batch(expr, schema, template)
     if compiled is not None:
         return compiled
+    if on_fallback is not None:
+        on_fallback(expr)
     rowwise = compile_rowwise(expr, schema)
 
-    def fallback(columns: list[list], valid: list[bool]) -> list:
-        out: list = [None] * len(valid)
+    def fallback(columns: list[list[object]], valid: list[bool]) -> list[object]:
+        out: list[object] = [None] * len(valid)
         for i, ok in enumerate(valid):
             if ok:
                 out[i] = rowwise(tuple(column[i] for column in columns))
@@ -547,21 +636,36 @@ def compile_columnwise(
 
 
 def compile_filter(
-    expr: Expr, schema: RecordSchema
-) -> Callable[[list[list], list[bool]], list[bool]]:
+    expr: Expr,
+    schema: RecordSchema,
+    *,
+    spec: "Optional[EffectSpec]" = None,
+    on_fallback: Optional[FallbackObserver] = None,
+) -> Callable[[list[list[object]], list[bool]], list[bool]]:
     """Compile predicate ``expr`` to a batch validity-mask refiner.
 
     The returned function takes ``(columns, valid)`` and returns the
     new validity mask: positions stay valid iff they were valid and the
     predicate is truthy there — the batch equivalent of a select step's
-    per-record ``if not predicate.eval(record)`` test.
+    per-record ``if not predicate.eval(record)`` test.  A certified
+    vectorization-safe ``spec`` licenses the unguarded dense loop on
+    fully valid batches; ``on_fallback`` observes the interpreted
+    fallback, as in :func:`compile_rowwise`.
     """
-    compiled = _compile_batch(expr, schema, _FILTER_TEMPLATE)
+    template = (
+        _DENSE_FILTER_TEMPLATE if _vectorization_safe(spec) else _FILTER_TEMPLATE
+    )
+    compiled = cast(
+        "Optional[Callable[[list[list[object]], list[bool]], list[bool]]]",
+        _compile_batch(expr, schema, template),
+    )
     if compiled is not None:
         return compiled
+    if on_fallback is not None:
+        on_fallback(expr)
     rowwise = compile_rowwise(expr, schema)
 
-    def fallback(columns: list[list], valid: list[bool]) -> list[bool]:
+    def fallback(columns: list[list[object]], valid: list[bool]) -> list[bool]:
         out = [False] * len(valid)
         for i, ok in enumerate(valid):
             if ok and rowwise(tuple(column[i] for column in columns)):

@@ -24,6 +24,10 @@ from typing import TYPE_CHECKING
 
 __all__ = [
     "Diagnostic",
+    "EffectCertificate",
+    "EffectCounters",
+    "EffectSpec",
+    "Interval",
     "PLAN_RULES",
     "PartitionCertificate",
     "PartitionContract",
@@ -35,15 +39,22 @@ __all__ = [
     "Severity",
     "SourceDiagnostic",
     "VerificationReport",
+    "analyze_effects",
+    "analyze_expr",
     "analyze_partition",
+    "annotate_effects",
     "audit_rewrites",
     "certify",
+    "certify_effects",
     "check_certificate",
+    "check_effect_certificate",
     "derive_contract",
     "plan_fingerprint",
     "plan_rule",
     "query_rule",
     "require_certificate",
+    "require_effect_certificate",
+    "require_spec",
     "verify_optimization",
     "verify_plan",
     "verify_query",
@@ -62,6 +73,17 @@ _EXPORTS = {
     "RuleInfo": "repro.analysis.base",
     "plan_rule": "repro.analysis.base",
     "query_rule": "repro.analysis.base",
+    "EffectCertificate": "repro.analysis.effects",
+    "EffectCounters": "repro.analysis.effects",
+    "EffectSpec": "repro.analysis.effects",
+    "Interval": "repro.analysis.effects",
+    "analyze_effects": "repro.analysis.effects",
+    "analyze_expr": "repro.analysis.effects",
+    "annotate_effects": "repro.analysis.effects",
+    "certify_effects": "repro.analysis.effects",
+    "check_effect_certificate": "repro.analysis.effects",
+    "require_effect_certificate": "repro.analysis.effects",
+    "require_spec": "repro.analysis.effects",
     "PartitionCertificate": "repro.analysis.partition",
     "PartitionContract": "repro.analysis.partition",
     "PartitionCounters": "repro.analysis.partition",
@@ -93,6 +115,19 @@ if TYPE_CHECKING:  # pragma: no cover - static import surface for type checkers
         Severity,
         SourceDiagnostic,
         VerificationReport,
+    )
+    from repro.analysis.effects import (
+        EffectCertificate,
+        EffectCounters,
+        EffectSpec,
+        Interval,
+        analyze_effects,
+        analyze_expr,
+        annotate_effects,
+        certify_effects,
+        check_effect_certificate,
+        require_effect_certificate,
+        require_spec,
     )
     from repro.analysis.partition import (
         PartitionCertificate,

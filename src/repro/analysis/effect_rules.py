@@ -1,0 +1,232 @@
+"""``EFX*`` plan rules: flag effect-unsound expression claims.
+
+These rules audit the *effect metadata* a plan node carries in
+``extras["effects"]`` — the per-site :class:`~repro.analysis.effects.
+EffectSpec` claims the optimizer (or any other producer) attached —
+against an independent re-derivation by
+:func:`repro.analysis.effects.analyze_expr`.  Nodes without effect
+metadata produce no findings: a plan that claims nothing about its
+expressions cannot over-claim, and the ``REPRO_VERIFY=1`` hooks must
+stay quiet on plans that never went through the effects phase.
+
+The soundness direction is one-way: a claim may *understate* what the
+analysis can derive (fewer guarantees, more escaping exceptions, a
+wider domain) without a finding — a consumer acting on an understated
+claim only forgoes an optimization.  Over-claiming is the error: a
+pure/total/null-strict claim the analysis cannot derive is exactly the
+license under which the codegen would emit an unguarded dense loop
+over an expression that can abort mid-batch.
+
+The division of labour mirrors the partition rules: these are the
+lint-time surface (``repro lint``, ``repro verify-plan``, execution
+hooks) while :func:`repro.analysis.effects.check_effect_certificate`
+is the deep re-verification run on full certificates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.base import PlanContext, plan_rule
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.effects import (
+    EFX_DOMAIN,
+    EFX_FALLBACK,
+    EFX_NULL,
+    EFX_PURE,
+    EFX_TOTAL,
+    EffectSpec,
+    analyze_expr,
+    node_expression_sites,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.plans import PhysicalPlan
+
+
+def _claimed_specs(node: "PhysicalPlan") -> Optional[dict[str, EffectSpec]]:
+    """The per-site specs a node's metadata claims, or None when absent.
+
+    Raises:
+        ReproError: when metadata is present but malformed (the
+            EFX-PURE rule converts that into its finding).
+    """
+    meta = node.extras.get("effects")
+    if meta is None:
+        return None
+    sites = meta.get("sites") if isinstance(meta, dict) else None
+    if not isinstance(sites, dict):
+        from repro.errors import ReproError
+
+        raise ReproError("effect metadata must be a dict with a 'sites' mapping")
+    return {str(key): EffectSpec.from_dict(spec) for key, spec in sites.items()}
+
+
+def _derived_specs(node: "PhysicalPlan") -> dict[str, EffectSpec]:
+    """Independently re-derived specs for a node's expression sites."""
+    return {
+        key: analyze_expr(expr, schema)
+        for key, expr, schema in node_expression_sites(node)
+    }
+
+
+def _audited_nodes(
+    context: PlanContext,
+) -> Iterator[tuple[str, dict[str, EffectSpec], dict[str, EffectSpec]]]:
+    """Yield ``(path, claimed, derived)`` for nodes with intact metadata.
+
+    Malformed metadata is skipped here — EFX-PURE owns reporting it —
+    as are claims with no matching derived site and claims over
+    expressions outside the modeled language (EFX-FALLBACK owns both).
+    """
+    for node in context.plan.walk():
+        try:
+            claimed = _claimed_specs(node)
+        except Exception:  # noqa: BLE001 - EFX-PURE owns malformed metadata
+            continue
+        if claimed is None:
+            continue
+        yield context.path(node), claimed, _derived_specs(node)
+
+
+@plan_rule(EFX_PURE, "Sec 3.1")
+def check_effect_purity(context: PlanContext) -> Iterator[Diagnostic]:
+    """Claimed purity/determinism must be derivable (metadata gatekeeper).
+
+    Also owns malformed effect metadata: a spec that cannot even be
+    parsed proves nothing, which is the same failure as an underivable
+    purity claim.
+    """
+    for node in context.plan.walk():
+        try:
+            claimed = _claimed_specs(node)
+        except Exception as exc:  # noqa: BLE001 - malformed metadata IS the finding
+            yield Diagnostic(
+                EFX_PURE, Severity.ERROR, context.path(node),
+                f"malformed effect metadata: {exc}",
+                "Sec 3.1",
+            )
+            continue
+        if claimed is None:
+            continue
+        derived = _derived_specs(node)
+        for key, spec in claimed.items():
+            truth = derived.get(key)
+            if truth is None or truth.is_unknown:
+                continue  # EFX-FALLBACK owns unknown/unmatched sites
+            if (spec.pure and not truth.pure) or (
+                spec.deterministic and not truth.deterministic
+            ):
+                yield Diagnostic(
+                    EFX_PURE, Severity.ERROR, f"{context.path(node)}#{key}",
+                    f"metadata claims purity/determinism "
+                    f"({spec.describe()}) the effect analysis cannot derive "
+                    f"({truth.describe()})",
+                    "Sec 3.1",
+                )
+
+
+@plan_rule(EFX_TOTAL, "Sec 3.1")
+def check_effect_totality(context: PlanContext) -> Iterator[Diagnostic]:
+    """Claimed exception sets must cover everything derivably escaping.
+
+    An understated exception set is the license under which codegen
+    drops per-row guards — and the expression then aborts an entire
+    batch the moment one row divides by zero.
+    """
+    for path, claimed, derived in _audited_nodes(context):
+        for key, spec in claimed.items():
+            truth = derived.get(key)
+            if truth is None or truth.is_unknown:
+                continue
+            if not spec.exceptions >= truth.exceptions:
+                missing = sorted(truth.exceptions - spec.exceptions)
+                yield Diagnostic(
+                    EFX_TOTAL, Severity.ERROR, f"{path}#{key}",
+                    f"metadata understates escaping exceptions: derived "
+                    f"{sorted(truth.exceptions)} but claimed "
+                    f"{sorted(spec.exceptions)} (missing {missing})",
+                    "Sec 3.1",
+                )
+
+
+@plan_rule(EFX_NULL, "Sec 3.1")
+def check_effect_null_strictness(context: PlanContext) -> Iterator[Diagnostic]:
+    """Claimed null-strictness must be derivable.
+
+    A non-strict expression evaluated densely and masked afterwards can
+    let masked-out (Null) positions influence surviving outputs — the
+    mask-after optimization is only sound under derived strictness.
+    """
+    for path, claimed, derived in _audited_nodes(context):
+        for key, spec in claimed.items():
+            truth = derived.get(key)
+            if truth is None or truth.is_unknown:
+                continue
+            if spec.null_strict and not truth.null_strict:
+                yield Diagnostic(
+                    EFX_NULL, Severity.ERROR, f"{path}#{key}",
+                    "metadata claims null-strictness the effect analysis "
+                    "cannot derive",
+                    "Sec 3.1",
+                )
+
+
+@plan_rule(EFX_DOMAIN, "Sec 3.1")
+def check_effect_domain(context: PlanContext) -> Iterator[Diagnostic]:
+    """A claimed value domain must cover every derivable value.
+
+    Domains feed division-safety proofs (a divisor interval excluding
+    zero discharges ``div-by-zero``), so a too-narrow claim can launder
+    a partial expression into a total one.
+    """
+    for path, claimed, derived in _audited_nodes(context):
+        for key, spec in claimed.items():
+            truth = derived.get(key)
+            if truth is None or truth.is_unknown or spec.domain is None:
+                continue
+            if truth.domain is None or not spec.domain.covers(truth.domain):
+                yield Diagnostic(
+                    EFX_DOMAIN, Severity.ERROR, f"{path}#{key}",
+                    f"metadata claims value domain {spec.domain!r} but the "
+                    f"derived domain is "
+                    f"{repr(truth.domain) if truth.domain else 'non-numeric'}",
+                    "Sec 3.1",
+                )
+
+
+@plan_rule(EFX_FALLBACK, "Sec 3.1")
+def check_effect_fallback(context: PlanContext) -> Iterator[Diagnostic]:
+    """Metadata must match the plan's actual expression sites.
+
+    Three ways to fail: a claim over an expression outside the modeled
+    language (the interpreted-fallback path, where any claim except the
+    top element over-claims), a claim for a site the node does not
+    have, and an expression site the metadata silently omits.
+    """
+    for path, claimed, derived in _audited_nodes(context):
+        for key, spec in claimed.items():
+            truth = derived.get(key)
+            if truth is None:
+                yield Diagnostic(
+                    EFX_FALLBACK, Severity.ERROR, f"{path}#{key}",
+                    "metadata claims a spec for an expression site the node "
+                    "does not have",
+                    "Sec 3.1",
+                )
+            elif truth.is_unknown and not spec.is_unknown:
+                yield Diagnostic(
+                    EFX_FALLBACK, Severity.ERROR, f"{path}#{key}",
+                    f"metadata claims {spec.describe()} for an expression "
+                    "outside the modeled language (interpreted fallback "
+                    "only) — nothing may be assumed about it",
+                    "Sec 3.1",
+                )
+        for key in sorted(set(derived) - set(claimed)):
+            yield Diagnostic(
+                EFX_FALLBACK, Severity.ERROR, f"{path}#{key}",
+                "expression site is missing from the node's effect "
+                "metadata: coverage must be total for the claims to mean "
+                "anything",
+                "Sec 3.1",
+            )

@@ -679,8 +679,46 @@ def _classify_nodes(
     Every interior node sits above every cut (the cuts tile the whole
     root output), so one variable-scope or unbounded-scope operator
     anywhere already makes every positional cut unsound.
+
+    Also cross-checks the effect analysis to discharge the certifier's
+    determinism assumption: re-running a partition's subplan must
+    recompute the same answer, so every predicate must be provably pure
+    and deterministic.  An expression outside the modeled effect
+    language (a custom ``Expr`` subclass) refuses the whole plan.
     """
+    # Local import: repro.analysis.effects imports this module for the
+    # shared plan fingerprint, so the dependency cannot be module-level.
+    from repro.analysis.effects import analyze_expr, node_expression_sites
+
     clean = True
+    for node in root.walk():
+        for key, expr, schema in node_expression_sites(node):
+            spec = analyze_expr(expr, schema)
+            if spec.is_unknown:
+                clean = False
+                report.add(
+                    Diagnostic(
+                        PART_CONTRACT, Severity.ERROR,
+                        f"{paths[id(node)]}#{key}",
+                        f"expression {expr!r} is outside the modeled effect "
+                        "language: its purity and determinism cannot be "
+                        "certified, so re-evaluating it per partition is "
+                        "not provably sound",
+                        "Sec 3.1",
+                    )
+                )
+            elif not (spec.pure and spec.deterministic):
+                clean = False
+                report.add(
+                    Diagnostic(
+                        PART_CONTRACT, Severity.ERROR,
+                        f"{paths[id(node)]}#{key}",
+                        f"expression {expr!r} is not certified pure and "
+                        "deterministic; partitions re-evaluating it could "
+                        "disagree with the sequential answer",
+                        "Sec 3.1",
+                    )
+                )
     for node in root.walk():
         for index, scope in enumerate(edges[id(node)]):
             path = paths[id(node)]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 # Importing the rule modules populates the registries.
+import repro.analysis.effect_rules  # noqa: F401 - registration side effect
 import repro.analysis.partition_rules  # noqa: F401 - registration side effect
 import repro.analysis.plan_rules  # noqa: F401 - registration side effect
 import repro.analysis.query_rules  # noqa: F401 - registration side effect

@@ -436,6 +436,128 @@ def _partition_check_main(argv: PySequence[str], out) -> int:
     return 0 if report.ok else 1
 
 
+def build_effects_check_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro effects-check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro effects-check",
+        description=(
+            "Certify a query's plan expressions as effect-safe: derive a "
+            "per-expression EffectSpec (purity, determinism, escaping "
+            "exceptions, null-strictness, value domain), emit an "
+            "EffectCertificate, and re-verify it through the independent "
+            "checker. Plans containing expressions outside the modeled "
+            "language are refused with typed EFX* findings."
+        ),
+        epilog=_EXIT_CODE_HELP,
+    )
+    parser.add_argument("query", help="query text to certify")
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable)",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span (default: the query's own)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report (plus the certificate) as JSON",
+    )
+    parser.add_argument(
+        "--cert-out",
+        metavar="FILE",
+        help="write the issued certificate to this file as JSON",
+    )
+    return parser
+
+
+def _effects_check_main(argv: PySequence[str], out) -> int:
+    """Run ``repro effects-check``: certify a plan's expression effects."""
+    from repro.analysis.effects import (
+        EffectCounters,
+        analyze_effects,
+        check_effect_certificate,
+    )
+
+    args = build_effects_check_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+        span = _parse_span(args.span)
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+    except SemanticError as error:
+        report = VerificationReport(
+            subject="source", rules_run=["semantic-analysis"]
+        )
+        report.diagnostics.extend(error.diagnostics)
+        return _emit_report(report, args.json, out)
+    except ParseError as error:
+        return _emit_report(_parse_error_report(error), args.json, out)
+    try:
+        optimized = optimize(query, catalog=catalog, span=span).plan
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+    counters = EffectCounters()
+    certificate, report = analyze_effects(optimized, counters=counters)
+    if certificate is not None:
+        # The prover's output is only trusted after the independent
+        # checker re-verifies it — the same discipline the batch
+        # codegen's metadata consumers follow.
+        check = check_effect_certificate(optimized, certificate, counters=counters)
+        for diagnostic in check.diagnostics:
+            if diagnostic not in report.diagnostics:
+                report.add(diagnostic)
+
+    if args.cert_out:
+        if certificate is None:
+            print(
+                f"error: --cert-out {args.cert_out}: no certificate was "
+                "issued (the plan was refused)",
+                file=out,
+            )
+            return 1
+        try:
+            with open(args.cert_out, "w", encoding="utf-8") as handle:
+                handle.write(certificate.to_json())
+        except OSError as error:
+            print(f"error: --cert-out {args.cert_out}: {error}", file=out)
+            return 2
+
+    if args.json:
+        payload = report.to_dict()
+        payload["certificate"] = (
+            certificate.to_dict() if certificate is not None else None
+        )
+        print(json.dumps(payload, indent=2), file=out)
+        return 0 if report.ok else 1
+
+    print(report.render_text(), file=out)
+    if certificate is not None:
+        safe = len(certificate.vectorization_safe_sites)
+        print(
+            f"certified {len(certificate.sites)} expression site(s); "
+            f"{safe} vectorization-safe",
+            file=out,
+        )
+        for site in certificate.sites:
+            print(f"  {site.path}: {site.expression} -> {site.spec.describe()}", file=out)
+    registry = MetricsRegistry()
+    registry.attach("effects", counters)
+    print("metrics:", file=out)
+    print(registry.render(indent="  "), file=out)
+    return 0 if report.ok else 1
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     """The argument parser for ``repro trace``."""
     parser = argparse.ArgumentParser(
@@ -606,6 +728,8 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
         return _trace_main(arguments[1:], out)
     if arguments and arguments[0] == "partition-check":
         return _partition_check_main(arguments[1:], out)
+    if arguments and arguments[0] == "effects-check":
+        return _effects_check_main(arguments[1:], out)
     if arguments and arguments[0] == "run":
         # "repro run ..." is an explicit alias for the default command.
         arguments = arguments[1:]

@@ -186,6 +186,38 @@ class PartitionSoundnessError(VerificationError):
     """
 
 
+class EffectSoundnessError(VerificationError):
+    """An expression (or plan) could not be certified as effect-safe.
+
+    Raised by :mod:`repro.analysis.effects` when the prover refuses to
+    issue an :class:`~repro.analysis.effects.EffectCertificate` (a plan
+    contains expressions whose effects cannot be modeled) and by the
+    independent checker when a presented certificate fails
+    re-verification.  The attached report carries the typed ``EFX*``
+    diagnostics — a plan is refused with a reasoned finding, never
+    silently assumed pure, total and null-strict.
+    """
+
+
+class UnknownEffectError(EffectSoundnessError):
+    """The effect analysis met an expression it cannot model.
+
+    The typed top element of the effect lattice: custom
+    :class:`~repro.algebra.expressions.Expr` subclasses may perform
+    arbitrary Python work in ``eval``, so nothing can be assumed about
+    their purity, determinism, totality or strictness.  Raised by
+    :func:`repro.analysis.effects.require_spec` (and the certifiers
+    built on it) instead of guessing.
+
+    Attributes:
+        expr_type: the offending expression class name.
+    """
+
+    def __init__(self, message: str, expr_type: str = "", report: object = None):
+        super().__init__(message, report=report)
+        self.expr_type = expr_type
+
+
 class ParseError(ReproError):
     """The query language text could not be parsed.
 

@@ -48,9 +48,11 @@ from repro.algebra.aggregate import (
 from repro.algebra.expressions import compile_filter
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.offsets import ValueOffset
+from repro.analysis.effects import node_effect_specs
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
+from repro.execution.streams import interpret_observer
 from repro.execution.sliding import CumulativeAggregator, make_sliding
 from repro.obs.instrument import traced_batches
 from repro.obs.tracer import Tracer, active
@@ -322,12 +324,26 @@ def _chain(
     child_window = window.shift(shift).intersect(child_plan.span)
     # Pre-compile the unit operations against the schema flowing at
     # each step: selects become fused mask refiners, projects become
-    # column index tuples, renames are purely a schema swap.
+    # column index tuples, renames are purely a schema swap.  A select
+    # whose optimizer-certified effect spec is vectorization-safe gets
+    # the unguarded dense loop on fully valid batches.
     ops: list[tuple[str, object]] = []
     schema = child_plan.schema
-    for step in plan.steps:
+    specs = node_effect_specs(plan)
+    observe = interpret_observer(counters, tracer)
+    for index, step in enumerate(plan.steps):
         if step.kind == "select":
-            ops.append(("select", compile_filter(step.predicate, schema)))
+            ops.append(
+                (
+                    "select",
+                    compile_filter(
+                        step.predicate,
+                        schema,
+                        spec=specs.get(f"step{index}"),
+                        on_fallback=observe,
+                    ),
+                )
+            )
         elif step.kind == "project":
             ops.append(("project", tuple(schema.index_of(n) for n in step.names)))
             schema = schema.project(step.names)
@@ -370,7 +386,12 @@ def _lockstep(
         len(right_plan.schema),
     )
     predicate = (
-        compile_filter(plan.predicate, plan.schema)
+        compile_filter(
+            plan.predicate,
+            plan.schema,
+            spec=node_effect_specs(plan).get("predicate"),
+            on_fallback=interpret_observer(counters, tracer),
+        )
         if plan.predicate is not None
         else None
     )
@@ -413,7 +434,12 @@ def _probe_side(
     driver_plan = plan.children[driver_index]
     probed_ncols = len(plan.children[probed_index].schema)
     predicate = (
-        compile_filter(plan.predicate, plan.schema)
+        compile_filter(
+            plan.predicate,
+            plan.schema,
+            spec=node_effect_specs(plan).get("predicate"),
+            on_fallback=interpret_observer(counters, tracer),
+        )
         if plan.predicate is not None
         else None
     )

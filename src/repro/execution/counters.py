@@ -34,6 +34,10 @@ class ExecutionCounters:
         fallbacks_taken: batch-path internal failures recovered by
             re-running the query on the row-path oracle (the engine's
             opt-in graceful degradation).
+        exprs_interpreted: expressions the codegen could not lower to a
+            fused closure (custom ``Expr`` subclasses), counted once
+            per compilation — interpreted tree-walk evaluation is the
+            silent slow path, and this makes it visible.
     """
 
     scans_opened: int = 0
@@ -46,6 +50,7 @@ class ExecutionCounters:
     batches_built: int = 0
     batch_rows: int = 0
     fallbacks_taken: int = 0
+    exprs_interpreted: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""

@@ -18,7 +18,7 @@ from repro.model.record import NULL, Record
 from repro.model.span import Span
 from repro.model.types import AtomType
 from repro.algebra.aggregate import CumulativeAggregate, GlobalAggregate, WindowAggregate
-from repro.algebra.expressions import compile_rowwise
+from repro.algebra.expressions import Expr, FallbackObserver, compile_rowwise
 from repro.algebra.leaves import ConstantLeaf, SequenceLeaf
 from repro.algebra.offsets import ValueOffset
 from repro.execution.counters import ExecutionCounters
@@ -30,6 +30,28 @@ from repro.obs.tracer import Tracer, active
 from repro.optimizer.plans import PhysicalPlan
 
 StreamItem = tuple[int, Record]
+
+
+def interpret_observer(
+    counters: ExecutionCounters, tracer: Optional[Tracer]
+) -> FallbackObserver:
+    """An observer making interpreted-eval codegen fallbacks visible.
+
+    Passed as ``on_fallback`` to the expression compilers by both
+    executors: each expression that cannot be lowered to a fused
+    closure bumps ``exprs_interpreted`` (surfaced in ``--explain``
+    metrics) and, when tracing, attaches an ``expr:interpreted`` event
+    to the innermost open span — degraded codegen can't hide.
+    """
+
+    def observe(expr: Expr) -> None:
+        counters.exprs_interpreted += 1
+        if active(tracer) and tracer is not None:
+            span = tracer.current
+            if span is not None:
+                tracer.event(span, "expr:interpreted", expr=repr(expr))
+
+    return observe
 
 
 def build_stream(
@@ -109,9 +131,12 @@ def _chain(
     # at each step), renames a trusted re-type of already-valid values.
     ops: list[tuple[str, object]] = []
     schema = child_plan.schema
+    observe = interpret_observer(counters, tracer)
     for step in plan.steps:
         if step.kind == "select":
-            ops.append(("select", compile_rowwise(step.predicate, schema)))
+            ops.append(
+                ("select", compile_rowwise(step.predicate, schema, on_fallback=observe))
+            )
         elif step.kind == "project":
             ops.append(("project", step.names))
             schema = schema.project(step.names)
@@ -138,11 +163,19 @@ def _chain(
             yield out_position, record
 
 
-def _join_predicate(plan: PhysicalPlan):
+def _join_predicate(
+    plan: PhysicalPlan,
+    counters: ExecutionCounters,
+    tracer: Optional[Tracer] = None,
+):
     """Compile a join's predicate to a closure over the combined values."""
     if plan.predicate is None:
         return None
-    return compile_rowwise(plan.predicate, plan.schema)
+    return compile_rowwise(
+        plan.predicate,
+        plan.schema,
+        on_fallback=interpret_observer(counters, tracer),
+    )
 
 
 def _combine(
@@ -172,7 +205,7 @@ def _lockstep(
     tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-B: merge both input streams in lock step."""
-    predicate = _join_predicate(plan)
+    predicate = _join_predicate(plan, counters, tracer)
     left_iter = build_stream(plan.children[0], plan.children[0].span, counters, guard, tracer)
     right_iter = build_stream(plan.children[1], plan.children[1].span, counters, guard, tracer)
     left = next(left_iter, None)
@@ -197,7 +230,7 @@ def _stream_probe(
     tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-A: stream the left input, probe the right."""
-    predicate = _join_predicate(plan)
+    predicate = _join_predicate(plan, counters, tracer)
     prober = build_prober(plan.children[1], counters, guard, tracer)
     driver = plan.children[0]
     for position, left in build_stream(driver, driver.span, counters, guard, tracer):
@@ -217,7 +250,7 @@ def _probe_stream(
     tracer: Optional[Tracer] = None,
 ) -> Iterator[StreamItem]:
     """Join-Strategy-A, converse: stream the right input, probe the left."""
-    predicate = _join_predicate(plan)
+    predicate = _join_predicate(plan, counters, tracer)
     prober = build_prober(plan.children[0], counters, guard, tracer)
     driver = plan.children[1]
     for position, right in build_stream(driver, driver.span, counters, guard, tracer):

@@ -24,6 +24,7 @@ from repro.model.span import Span
 from repro.algebra.graph import Query
 from repro.analysis import hooks
 from repro.catalog.catalog import Catalog
+from repro.analysis.effects import annotate_effects
 from repro.analysis.partition import derive_contract
 from repro.obs.tracer import CATEGORY_ANALYSIS, CATEGORY_OPTIMIZER, Tracer, maybe_span
 from repro.optimizer.annotate import AnnotatedQuery, annotate
@@ -142,6 +143,17 @@ def optimize(
             }
             if part_span is not None:
                 part_span.attrs["contract"] = contract.kind
+
+        with maybe_span(tracer, "effects", CATEGORY_ANALYSIS) as effects_span:
+            # Derive and attach per-node effect specs for every select
+            # and compose predicate, so the batch codegen can gate its
+            # unguarded dense loops and the EFX* lint rules have claims
+            # to audit.  Like the partition contract, the metadata is
+            # derived — never asserted — so it records unknown specs
+            # truthfully instead of over-claiming.
+            effect_summary = annotate_effects(output.stream_plan)
+            if effects_span is not None:
+                effects_span.attrs.update(effect_summary)
 
         with maybe_span(tracer, "selection", CATEGORY_OPTIMIZER) as select_span:
             # Opt-in self-check: cache finiteness and cost sanity of the

@@ -387,6 +387,11 @@ class TestCleanPass:
                 "PART-ORDER",
                 "PART-BLOCKING",
                 "PART-COVER",
+                "EFX-PURE",
+                "EFX-TOTAL",
+                "EFX-NULL",
+                "EFX-DOMAIN",
+                "EFX-FALLBACK",
             }
 
     def test_weather_clean(self, weather):

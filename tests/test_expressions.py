@@ -169,6 +169,53 @@ class TestSelectivity:
         assert expr.selectivity(lookup) == pytest.approx(0.25, abs=0.05)
 
 
+class TestCmpSwap:
+    """The operator-flip table used when a histogram sees ``Lit <op> Col``.
+
+    ``CMP_SWAP`` must be *total* over the comparison operators: a
+    partial table silently falls through unflipped and turns a
+    histogram estimate for ``25 > close`` into one for ``close > 25``.
+    """
+
+    def test_table_is_total_over_cmp_ops(self):
+        from repro.algebra.expressions import _CMP_FUNCS, CMP_SWAP
+
+        assert set(CMP_SWAP) == set(_CMP_FUNCS)
+
+    def test_table_contents(self):
+        from repro.algebra.expressions import CMP_SWAP
+
+        assert CMP_SWAP == {
+            "==": "==",
+            "!=": "!=",
+            "<": ">",
+            "<=": ">=",
+            ">": "<",
+            ">=": "<=",
+        }
+
+    def test_swap_is_an_involution(self):
+        from repro.algebra.expressions import CMP_SWAP
+
+        for op, flipped in CMP_SWAP.items():
+            assert CMP_SWAP[flipped] == op
+
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    def test_reversed_literal_matches_canonical_form(self, op):
+        """``Lit <op> Col`` must estimate exactly like the flipped
+        ``Col <op'> Lit`` for every operator, not just the orderings."""
+        from repro.algebra.expressions import CMP_SWAP
+        from repro.catalog.histogram import EquiWidthHistogram
+
+        histogram = EquiWidthHistogram.build(list(range(100)), buckets=10)
+        lookup = {"close": histogram}.get
+        reversed_form = Cmp(op, lit(25), col("close"))
+        canonical = Cmp(CMP_SWAP[op], col("close"), lit(25))
+        assert reversed_form.selectivity(lookup) == pytest.approx(
+            canonical.selectivity(lookup)
+        )
+
+
 class TestConjuncts:
     def test_split_and_rejoin(self):
         a, b, c = col("close") > 1.0, col("volume") > 1, col("sym").eq("x")
