@@ -16,9 +16,10 @@ Expressions compose with Python operators::
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, cast
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Union, cast
 
 from repro.errors import ExpressionError
+from repro.model.bitmask import Bitmask
 from repro.model.record import Record
 from repro.model.schema import RecordSchema
 from repro.model.types import AtomType, common_type
@@ -32,6 +33,15 @@ StatsLookup = Callable[[str], Optional[object]]
 # A compile-time observer invoked when codegen cannot lower an
 # expression and interpreted evaluation will be used instead.
 FallbackObserver = Callable[["Expr"], None]
+
+# A validity mask as the batch layer passes it: the packed Bitmask of
+# typed-buffer batches, or the plain bool list of the legacy contract.
+# Compiled batch functions answer in kind (mask in, same-shaped mask out).
+Mask = Union[list[bool], Bitmask]
+
+# A column buffer (list / array.array / numpy.ndarray — see
+# repro.model.batch.Column); Any because numpy is optional.
+ColumnArg = Any
 
 # Selinger-style default selectivities when no statistics are available.
 DEFAULT_SELECTIVITY = {
@@ -596,28 +606,13 @@ def _vectorization_safe(spec: "Optional[EffectSpec]") -> bool:
     return spec is not None and spec.vectorization_safe
 
 
-def compile_columnwise(
+def _scalar_columnwise(
     expr: Expr,
     schema: RecordSchema,
-    *,
-    spec: "Optional[EffectSpec]" = None,
-    on_fallback: Optional[FallbackObserver] = None,
-) -> Callable[[list[list[object]], list[bool]], list[object]]:
-    """Compile ``expr`` to one fused loop over column lists.
-
-    The returned function takes ``(columns, valid)`` — per-attribute
-    value lists in ``schema`` order plus a validity mask — and returns
-    the list of expression values, ``None`` at invalid positions.  The
-    whole batch is processed in a single Python call.  A certified
-    vectorization-safe ``spec`` licenses the unguarded dense loop on
-    fully valid batches; ``on_fallback`` observes the interpreted
-    fallback, as in :func:`compile_rowwise`.
-    """
-    template = (
-        _DENSE_COLUMNWISE_TEMPLATE
-        if _vectorization_safe(spec)
-        else _COLUMNWISE_TEMPLATE
-    )
+    template: str,
+    on_fallback: Optional[FallbackObserver],
+) -> Callable[[list[ColumnArg], list[bool]], list[Any]]:
+    """The fused-loop (scalar) column evaluator, with interpreted fallback."""
     compiled = _compile_batch(expr, schema, template)
     if compiled is not None:
         return compiled
@@ -625,8 +620,8 @@ def compile_columnwise(
         on_fallback(expr)
     rowwise = compile_rowwise(expr, schema)
 
-    def fallback(columns: list[list[object]], valid: list[bool]) -> list[object]:
-        out: list[object] = [None] * len(valid)
+    def fallback(columns: list[ColumnArg], valid: list[bool]) -> list[Any]:
+        out: list[Any] = [None] * len(valid)
         for i, ok in enumerate(valid):
             if ok:
                 out[i] = rowwise(tuple(column[i] for column in columns))
@@ -635,44 +630,120 @@ def compile_columnwise(
     return fallback
 
 
+def compile_columnwise(
+    expr: Expr,
+    schema: RecordSchema,
+    *,
+    spec: "Optional[EffectSpec]" = None,
+    on_fallback: Optional[FallbackObserver] = None,
+    on_kernel_fallback: Optional[FallbackObserver] = None,
+) -> Callable[[list[ColumnArg], Mask], list[Any]]:
+    """Compile ``expr`` to a whole-batch evaluator over column buffers.
+
+    The returned function takes ``(columns, valid)`` — per-attribute
+    buffers in ``schema`` order plus a validity mask (packed
+    :class:`~repro.model.bitmask.Bitmask` or legacy bool list) — and
+    returns the list of expression values, ``None`` at invalid
+    positions.  A certified vectorization-safe ``spec`` licenses the
+    whole-column numpy kernel (when the backend and dtypes allow) and,
+    failing that, the unguarded dense loop on fully valid batches.
+    ``on_fallback`` observes the interpreted fallback, as in
+    :func:`compile_rowwise`; ``on_kernel_fallback`` observes — once, at
+    compile time — that no vector kernel could be built (spec withheld
+    safety, no numpy, or a non-vectorizable dtype/operator).
+    """
+    vector = None
+    if _vectorization_safe(spec):
+        from repro.algebra.kernels import lower_vector_map
+
+        vector = lower_vector_map(expr, schema)
+    if vector is None and on_kernel_fallback is not None:
+        on_kernel_fallback(expr)
+    template = (
+        _DENSE_COLUMNWISE_TEMPLATE
+        if _vectorization_safe(spec)
+        else _COLUMNWISE_TEMPLATE
+    )
+    scalar = _scalar_columnwise(expr, schema, template, on_fallback)
+
+    def evaluate(columns: list[ColumnArg], valid: Mask) -> list[Any]:
+        if isinstance(valid, Bitmask):
+            if vector is not None:
+                values = vector(columns, valid)
+                if values is not None:
+                    return values
+            return scalar(columns, valid.tolist())
+        return scalar(columns, valid)
+
+    return evaluate
+
+
 def compile_filter(
     expr: Expr,
     schema: RecordSchema,
     *,
     spec: "Optional[EffectSpec]" = None,
     on_fallback: Optional[FallbackObserver] = None,
-) -> Callable[[list[list[object]], list[bool]], list[bool]]:
+    on_kernel_fallback: Optional[FallbackObserver] = None,
+) -> Callable[[list[ColumnArg], Mask], Mask]:
     """Compile predicate ``expr`` to a batch validity-mask refiner.
 
     The returned function takes ``(columns, valid)`` and returns the
-    new validity mask: positions stay valid iff they were valid and the
-    predicate is truthy there — the batch equivalent of a select step's
-    per-record ``if not predicate.eval(record)`` test.  A certified
-    vectorization-safe ``spec`` licenses the unguarded dense loop on
-    fully valid batches; ``on_fallback`` observes the interpreted
-    fallback, as in :func:`compile_rowwise`.
+    new validity mask, in kind (packed
+    :class:`~repro.model.bitmask.Bitmask` in → Bitmask out; legacy bool
+    list in → bool list out): positions stay valid iff they were valid
+    and the predicate is truthy there — the batch equivalent of a
+    select step's per-record ``if not predicate.eval(record)`` test.
+    A certified vectorization-safe ``spec`` licenses the whole-column
+    numpy kernel (when the backend and dtypes allow) and, failing that,
+    the unguarded dense loop on fully valid batches.  ``on_fallback``
+    observes the interpreted fallback, as in :func:`compile_rowwise`;
+    ``on_kernel_fallback`` observes — once, at compile time — that no
+    vector kernel could be built.  A built kernel can still decline
+    individual batches at runtime (non-vector buffers, int-magnitude
+    guard); those batches run the scalar path with identical answers.
     """
+    vector = None
+    if _vectorization_safe(spec):
+        from repro.algebra.kernels import lower_vector_filter
+
+        vector = lower_vector_filter(expr, schema)
+    if vector is None and on_kernel_fallback is not None:
+        on_kernel_fallback(expr)
     template = (
         _DENSE_FILTER_TEMPLATE if _vectorization_safe(spec) else _FILTER_TEMPLATE
     )
     compiled = cast(
-        "Optional[Callable[[list[list[object]], list[bool]], list[bool]]]",
+        "Optional[Callable[[list[ColumnArg], list[bool]], list[bool]]]",
         _compile_batch(expr, schema, template),
     )
+    scalar: Callable[[list[ColumnArg], list[bool]], list[bool]]
     if compiled is not None:
-        return compiled
-    if on_fallback is not None:
-        on_fallback(expr)
-    rowwise = compile_rowwise(expr, schema)
+        scalar = compiled
+    else:
+        if on_fallback is not None:
+            on_fallback(expr)
+        rowwise = compile_rowwise(expr, schema)
 
-    def fallback(columns: list[list[object]], valid: list[bool]) -> list[bool]:
-        out = [False] * len(valid)
-        for i, ok in enumerate(valid):
-            if ok and rowwise(tuple(column[i] for column in columns)):
-                out[i] = True
-        return out
+        def interpreted(columns: list[ColumnArg], valid: list[bool]) -> list[bool]:
+            out = [False] * len(valid)
+            for i, ok in enumerate(valid):
+                if ok and rowwise(tuple(column[i] for column in columns)):
+                    out[i] = True
+            return out
 
-    return fallback
+        scalar = interpreted
+
+    def refine(columns: list[ColumnArg], valid: Mask) -> Mask:
+        if isinstance(valid, Bitmask):
+            if vector is not None:
+                mask = vector(columns, valid)
+                if mask is not None:
+                    return mask
+            return Bitmask.from_bools(scalar(columns, valid.tolist()))
+        return scalar(columns, valid)
+
+    return refine
 
 
 def col(name: str) -> Col:

@@ -1,0 +1,319 @@
+"""Whole-column vector kernels for compiled expressions.
+
+This module lowers an expression tree to a single numpy evaluation over
+a batch's column buffers — the vector counterpart of the fused per-row
+loops in :mod:`repro.algebra.expressions`.  A kernel only exists under a
+certified vectorization-safe :class:`~repro.analysis.effects.EffectSpec`
+(pure + deterministic + total + null-strict): the certificate is what
+licenses evaluating the expression at *masked* positions (whose cells
+hold unspecified fill values) and replacing short-circuit ``and``/``or``
+with eager mask combination.
+
+Exactness discipline — a kernel must return bit-identical answers to
+the row oracle, so the lowering refuses (returns ``None`` / falls back
+at runtime) whenever float64/int64 evaluation could diverge from
+Python's arbitrary-precision semantics:
+
+* INT∘INT arithmetic runs in int64; every column operand is runtime
+  guarded to ``|v| <= 2**31`` and a compile-time bound propagation
+  proves no intermediate can exceed ``2**62`` (no wraparound), else the
+  expression is refused.
+* Any int value crossing into float context (division, mixed INT/FLOAT
+  arithmetic or comparison) must be exactly representable in float64:
+  literals are checked at compile time, columns are guarded at runtime,
+  and derived int expressions with bounds past ``2**53`` are refused.
+* Same-type comparisons (int64/int64, float64/float64, bool) are exact
+  at any magnitude and need no guard.
+* STR columns and unknown ``Expr`` subclasses are never vectorized.
+
+Masked positions may hold zero fills, so division warnings are
+suppressed (``errstate``) and the result is intersected with the
+incoming validity mask before anything can observe those lanes.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable, Optional
+
+from repro.algebra.expressions import And, Arith, Cmp, Col, Expr, Lit, Not, Or
+from repro.model.batch import Column, vector_backend
+from repro.model.bitmask import Bitmask
+from repro.model.schema import RecordSchema
+from repro.model.types import AtomType
+
+__all__ = ["VectorFilter", "VectorMap", "lower_vector_filter", "lower_vector_map"]
+
+#: Runtime magnitude guard on INT columns feeding arithmetic.  2**31
+#: keeps one int64 product of two columns below 2**62 (no wraparound)
+#: and every conversion to float64 exact.
+INT_ARITH_GUARD = float(2**31)
+
+#: Largest int magnitude exactly representable in float64.
+FLOAT64_EXACT = float(2**53)
+
+#: int64 results must stay strictly below this (headroom under 2**63).
+_INT64_SAFE = float(2**62)
+
+#: A vector predicate: ``(columns, valid) -> refined mask`` or ``None``
+#: when this batch cannot be handled (non-vector buffer, guard tripped).
+VectorFilter = Callable[[list[Column], Bitmask], Optional[Bitmask]]
+
+#: A vector evaluator: ``(columns, valid) -> value list`` (``None`` at
+#: invalid positions) or ``None`` when the batch cannot be handled.
+VectorMap = Callable[[list[Column], Bitmask], Optional[list[Any]]]
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+_CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NUMERIC = (AtomType.INT, AtomType.FLOAT)
+
+
+class _CannotVectorize(Exception):
+    """The expression cannot be lowered to an exact vector kernel."""
+
+
+class _VectorLowerer:
+    """Recursive lowering with exactness bound propagation.
+
+    Each node lowers to ``(fn, atype, bound, int_cols)`` where ``fn``
+    maps the batch's column list to an ndarray (or scalar), ``bound``
+    over-approximates ``|value|`` for INT-typed nodes (assuming every
+    guarded column obeys its runtime guard), and ``int_cols`` is the
+    set of INT column indices flowing into the node's value.
+    """
+
+    def __init__(self, schema: RecordSchema, np: Any):
+        self.schema = schema
+        self.np = np
+        self.used: set[int] = set()
+        self.guards: dict[int, float] = {}
+
+    def _guard(self, indices: frozenset[int], bound: float) -> None:
+        for index in indices:
+            current = self.guards.get(index, math.inf)
+            self.guards[index] = min(current, bound)
+
+    def lower(
+        self, expr: Expr
+    ) -> tuple[Callable[[list[Column]], Any], AtomType, float, frozenset[int]]:
+        if type(expr) is Col:
+            index = self.schema.index_of(expr.name)
+            atype = self.schema.attributes[index].atype
+            if atype is AtomType.STR:
+                raise _CannotVectorize("STR column")
+            self.used.add(index)
+
+            def read(columns: list[Column], _index: int = index) -> Any:
+                return columns[_index]
+
+            if atype is AtomType.INT:
+                return read, atype, INT_ARITH_GUARD, frozenset((index,))
+            return read, atype, math.inf, frozenset()
+
+        if type(expr) is Lit:
+            value = expr.value
+            atype = expr.infer_type(self.schema)
+            if atype is AtomType.STR:
+                raise _CannotVectorize("STR literal")
+            if atype is AtomType.INT and abs(value) >= 2**63:  # type: ignore[arg-type]
+                raise _CannotVectorize("literal beyond int64")
+            bound = float(abs(value)) if atype is AtomType.INT else math.inf  # type: ignore[arg-type]
+            return (lambda columns: value), atype, bound, frozenset()
+
+        if type(expr) is Arith:
+            return self._lower_arith(expr)
+
+        if type(expr) is Cmp:
+            return self._lower_cmp(expr)
+
+        if type(expr) is And or type(expr) is Or:
+            left_expr = expr.left
+            right_expr = expr.right
+            lf, lt, _, _ = self.lower(left_expr)
+            rf, rt, _, _ = self.lower(right_expr)
+            if lt is not AtomType.BOOL or rt is not AtomType.BOOL:
+                raise _CannotVectorize("non-boolean logic operand")
+            combine = self.np.logical_and if type(expr) is And else self.np.logical_or
+
+            def logic(columns: list[Column]) -> Any:
+                return combine(lf(columns), rf(columns))
+
+            return logic, AtomType.BOOL, math.inf, frozenset()
+
+        if type(expr) is Not:
+            of, ot, _, _ = self.lower(expr.operand)
+            if ot is not AtomType.BOOL:
+                raise _CannotVectorize("non-boolean NOT operand")
+            logical_not = self.np.logical_not
+
+            def negate(columns: list[Column]) -> Any:
+                return logical_not(of(columns))
+
+            return negate, AtomType.BOOL, math.inf, frozenset()
+
+        raise _CannotVectorize(type(expr).__name__)
+
+    def _require_float_exact(
+        self, atype: AtomType, bound: float, int_cols: frozenset[int]
+    ) -> None:
+        """Admit an operand into float64 context (conversion must be exact)."""
+        if atype is AtomType.INT:
+            if bound > FLOAT64_EXACT:
+                raise _CannotVectorize("int operand not float64-exact")
+            self._guard(int_cols, min(INT_ARITH_GUARD, FLOAT64_EXACT))
+
+    def _lower_arith(
+        self, expr: Arith
+    ) -> tuple[Callable[[list[Column]], Any], AtomType, float, frozenset[int]]:
+        lf, lt, lb, lcols = self.lower(expr.left)
+        rf, rt, rb, rcols = self.lower(expr.right)
+        if lt not in _NUMERIC or rt not in _NUMERIC:
+            raise _CannotVectorize("non-numeric arithmetic operand")
+        fn = _ARITH_OPS[expr.op]
+
+        def apply(columns: list[Column]) -> Any:
+            return fn(lf(columns), rf(columns))
+
+        if expr.op == "/" or lt is not rt or lt is AtomType.FLOAT:
+            # Float64 result: every int operand crosses into float context.
+            self._require_float_exact(lt, lb, lcols)
+            self._require_float_exact(rt, rb, rcols)
+            return apply, AtomType.FLOAT, math.inf, frozenset()
+        # INT ∘ INT in int64: prove no intermediate can wrap.
+        bound = lb * rb if expr.op == "*" else lb + rb
+        if bound >= _INT64_SAFE:
+            raise _CannotVectorize("int64 bound overflow")
+        self._guard(lcols | rcols, INT_ARITH_GUARD)
+        return apply, AtomType.INT, bound, lcols | rcols
+
+    def _lower_cmp(
+        self, expr: Cmp
+    ) -> tuple[Callable[[list[Column]], Any], AtomType, float, frozenset[int]]:
+        lf, lt, lb, lcols = self.lower(expr.left)
+        rf, rt, rb, rcols = self.lower(expr.right)
+        if lt is AtomType.BOOL or rt is AtomType.BOOL:
+            if lt is not rt or expr.op not in ("==", "!="):
+                raise _CannotVectorize("boolean comparison shape")
+        elif lt not in _NUMERIC or rt not in _NUMERIC:
+            raise _CannotVectorize("non-numeric comparison")
+        elif lt is not rt:
+            # Mixed INT/FLOAT comparison: the int side converts to
+            # float64, so its values must be exactly representable.
+            if lt is AtomType.INT:
+                self._require_float_exact(lt, lb, lcols)
+            else:
+                self._require_float_exact(rt, rb, rcols)
+        fn = _CMP_OPS[expr.op]
+
+        def compare(columns: list[Column]) -> Any:
+            return fn(lf(columns), rf(columns))
+
+        return compare, AtomType.BOOL, math.inf, frozenset()
+
+
+def _lower(
+    expr: Expr, schema: RecordSchema
+) -> Optional[tuple[Any, Callable[[list[Column]], Any], AtomType, list[int], list[tuple[int, float]]]]:
+    """Common lowering; None when no vector backend or not lowerable."""
+    np = vector_backend()
+    if np is None:
+        return None
+    lowerer = _VectorLowerer(schema, np)
+    try:
+        fn, atype, _bound, _cols = lowerer.lower(expr)
+    except _CannotVectorize:
+        return None
+    return np, fn, atype, sorted(lowerer.used), sorted(lowerer.guards.items())
+
+
+def _batch_ready(
+    np: Any,
+    columns: list[Column],
+    used: list[int],
+    guards: list[tuple[int, float]],
+) -> bool:
+    """Whether this batch's buffers admit the kernel (runtime dispatch)."""
+    for index in used:
+        if not isinstance(columns[index], np.ndarray):
+            return False
+    for index, bound in guards:
+        column = columns[index]
+        if len(column) and (column.min() < -bound or column.max() > bound):
+            return False
+    return True
+
+
+def lower_vector_filter(expr: Expr, schema: RecordSchema) -> Optional[VectorFilter]:
+    """A whole-column predicate kernel, or ``None`` if not lowerable.
+
+    The kernel refines a validity mask: positions stay valid iff valid
+    before *and* the predicate holds.  It returns ``None`` for batches
+    it cannot handle exactly (a used column is not a vector buffer, or
+    an int-magnitude guard trips); callers then run the scalar path on
+    that batch.
+    """
+    lowered = _lower(expr, schema)
+    if lowered is None:
+        return None
+    np, fn, atype, used, guards = lowered
+    if atype is not AtomType.BOOL:
+        return None
+
+    def kernel(columns: list[Column], valid: Bitmask) -> Optional[Bitmask]:
+        if not _batch_ready(np, columns, used, guards):
+            return None
+        with np.errstate(all="ignore"):
+            result = fn(columns)
+        if isinstance(result, np.ndarray):
+            if result.dtype != np.bool_:
+                result = result.astype(np.bool_)
+            return Bitmask.from_numpy(np, result) & valid
+        return valid if result else Bitmask.none(len(valid))
+
+    return kernel
+
+
+def lower_vector_map(expr: Expr, schema: RecordSchema) -> Optional[VectorMap]:
+    """A whole-column evaluation kernel, or ``None`` if not lowerable.
+
+    The kernel returns the expression's value list (``None`` at invalid
+    positions, matching :func:`~repro.algebra.expressions.compile_columnwise`)
+    or ``None`` for batches it cannot handle exactly.
+    """
+    lowered = _lower(expr, schema)
+    if lowered is None:
+        return None
+    np, fn, _atype, used, guards = lowered
+
+    def kernel(columns: list[Column], valid: Bitmask) -> Optional[list[Any]]:
+        if not _batch_ready(np, columns, used, guards):
+            return None
+        with np.errstate(all="ignore"):
+            result = fn(columns)
+        length = len(valid)
+        if isinstance(result, np.ndarray):
+            values: list[Any] = result.tolist()
+        else:
+            value = result.item() if hasattr(result, "item") else result
+            values = [value] * length
+        if not valid.all():
+            for index in (~valid).indices():
+                values[index] = None
+        return values
+
+    return kernel

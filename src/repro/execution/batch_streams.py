@@ -22,6 +22,19 @@ record wherever the work is per record; counts that depend on how far
 child streams are read (e.g. join inputs outside the requested window)
 may differ from row mode — see DESIGN §8.
 
+With typed column buffers (:mod:`repro.model.batch`) three shapes run
+as whole-column kernels instead of per-row Python loops: certified
+selects/join predicates evaluate as numpy expressions over the buffers
+(see :mod:`repro.algebra.kernels`), the lockstep join combines packed
+validity bitmasks instead of probing per row, and sum/avg/count window
+aggregates run as prefix-sum/shifted-add passes over the aggregated
+column (min/max keep the monotone deque, walking a fetched buffer).
+Every kernel that cannot run — no numpy, unsafe effect spec, untyped
+dtype, or an exactness guard refusing the batch — degrades to the
+existing scalar path with identical answers, observably: the
+``kernels_fallback`` counter and ``kernel:fallback`` trace event fire
+(see :func:`repro.execution.streams.kernel_observer`).
+
 Stream contract: ``build_batch_stream(plan, window, ...)`` yields
 batches whose covered ranges are ascending and disjoint and lie within
 ``window`` intersected with the plan's span.  Positions not covered by
@@ -32,11 +45,20 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
-from typing import Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, cast
 
 from repro.errors import ExecutionError
-from repro.model.batch import ColumnBatch
+from repro.model.batch import (
+    Column,
+    ColumnBatch,
+    NP_DTYPES,
+    column_to_list,
+    typed_column,
+    vector_backend,
+)
+from repro.model.bitmask import Bitmask
 from repro.model.record import NULL
+from repro.model.schema import RecordSchema
 from repro.model.span import Span
 from repro.model.types import AtomType
 from repro.algebra.aggregate import (
@@ -52,7 +74,7 @@ from repro.analysis.effects import node_effect_specs
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.probers import ProberSequence, build_prober
-from repro.execution.streams import interpret_observer
+from repro.execution.streams import interpret_observer, kernel_observer
 from repro.execution.sliding import CumulativeAggregator, make_sliding
 from repro.obs.instrument import traced_batches
 from repro.obs.tracer import Tracer, active
@@ -173,62 +195,99 @@ def _iter_values(stream: BatchStream) -> Iterator[tuple[int, tuple]]:
 def _iter_column(stream: BatchStream, index: int) -> Iterator[tuple[int, object]]:
     """Flatten one column of a batch stream into ``(position, value)`` items."""
     for batch in stream:
-        column = batch.columns[index]
+        column = batch.column_values(index)
         start = batch.start
-        for i, ok in enumerate(batch.valid):
-            if ok:
-                yield start + i, column[i]
+        for i in batch.valid.indices():
+            yield start + i, column[i]
 
 
 class _BatchCursor:
     """Re-chunk a batch stream to caller-aligned position ranges.
 
-    ``fetch(lo, hi)`` returns ``(columns, valid)`` lists aligned to the
+    ``fetch(lo, hi)`` returns ``(columns, valid)`` aligned to the
     absolute range ``[lo, hi]``; positions the underlying stream never
     covers come back invalid.  Requests must be ascending and
     non-overlapping, which lets the cursor walk the stream once.
+
+    Assembly is backend-preserving: when every contributing segment of
+    a column is a numpy buffer, the aligned column is a numpy buffer
+    too (zero fill at uncovered positions), so downstream vector
+    kernels keep running even when the two sides' batches are not
+    range-aligned.  Validity is assembled by shifting the segments'
+    packed bitmasks into place — no per-position Python work.
     """
 
-    def __init__(self, stream: BatchStream, width: int):
+    def __init__(
+        self,
+        stream: BatchStream,
+        schema: RecordSchema,
+        pick: Optional[tuple[int, ...]] = None,
+    ):
         self._stream = stream
-        self._width = width
+        self._schema = schema
+        self._pick = tuple(range(len(schema))) if pick is None else pick
         self._batch: Optional[ColumnBatch] = None
         #: True once the underlying stream has been read to its end.
         self.exhausted = False
 
-    def fetch(self, lo: int, hi: int) -> tuple[list[list], list[bool]]:
-        """Columns and validity for absolute positions ``[lo, hi]``."""
-        n = hi - lo + 1
-        columns: list[list] = [[None] * n for _ in range(self._width)]
-        valid: list[bool] = [False] * n
-        if n <= 0:
-            return columns, valid
-        while True:
-            batch = self._batch
-            if batch is None:
-                batch = next(self._stream, None)
+    def fetch(self, lo: int, hi: int) -> tuple[list[Column], Bitmask]:
+        """Columns (per picked index) and validity for positions ``[lo, hi]``."""
+        n = max(0, hi - lo + 1)
+        # (dst_offset, batch, src_lo, src_hi) overlaps, collected first
+        # so column assembly can choose one backend per column.
+        segments: list[tuple[int, ColumnBatch, int, int]] = []
+        if n > 0:
+            while True:
+                batch = self._batch
                 if batch is None:
-                    self.exhausted = True
-                    return columns, valid
-                self._batch = batch
-            end = batch.end
-            if end < lo:
+                    batch = next(self._stream, None)
+                    if batch is None:
+                        self.exhausted = True
+                        break
+                    self._batch = batch
+                end = batch.end
+                if end < lo:
+                    self._batch = None
+                    continue
+                if batch.start > hi:
+                    break
+                s = max(lo, batch.start)
+                e = min(hi, end)
+                segments.append((s - lo, batch, s - batch.start, e - batch.start + 1))
+                if end > hi:
+                    break
                 self._batch = None
-                continue
-            if batch.start > hi:
-                return columns, valid
-            s = max(lo, batch.start)
-            e = min(hi, end)
-            src_lo, src_hi = s - batch.start, e - batch.start + 1
-            dst_lo, dst_hi = s - lo, e - lo + 1
-            valid[dst_lo:dst_hi] = batch.valid[src_lo:src_hi]
-            for c in range(self._width):
-                columns[c][dst_lo:dst_hi] = batch.columns[c][src_lo:src_hi]
-            if end > hi:
-                return columns, valid
-            self._batch = None
-            if end == hi:
-                return columns, valid
+                if end == hi:
+                    break
+        bits = 0
+        for dst, batch, src_lo, src_hi in segments:
+            bits |= batch.valid[src_lo:src_hi].bits << dst
+        valid = Bitmask(bits, n)
+        np = vector_backend()
+        columns: list[Column] = []
+        for index in self._pick:
+            parts = [
+                (dst, batch.columns[index], src_lo, src_hi)
+                for dst, batch, src_lo, src_hi in segments
+            ]
+            dtype = None if np is None else NP_DTYPES.get(self._schema.attributes[index].atype)
+            if (
+                dtype is not None
+                and parts
+                and all(isinstance(part[1], np.ndarray) for part in parts)
+            ):
+                dest: Column = np.zeros(n, dtype=dtype)
+                for dst, column, src_lo, src_hi in parts:
+                    dest[dst : dst + (src_hi - src_lo)] = column[src_lo:src_hi]
+            else:
+                dest = [None] * n
+                for dst, column, src_lo, src_hi in parts:
+                    piece = column[src_lo:src_hi]
+                    if not isinstance(piece, list):
+                        piece = column_to_list(piece)
+                    dest[dst : dst + (src_hi - src_lo)] = piece
+            columns.append(dest)
+        return columns, valid
 
 
 # -- leaf access -------------------------------------------------------------
@@ -252,6 +311,16 @@ def _scan(
     counters.scans_opened += 1
     schema = plan.schema
     ncols = len(schema)
+    columnar = getattr(source, "nonnull_columns", None)
+    if columnar is not None:
+        # In-memory sequences expose cached typed column buffers; the
+        # scan answers every batch with O(columns) buffer slices (dense
+        # runs) or one vectorized scatter (sparse runs) — no per-record
+        # Python objects at all.
+        yield from _scan_columnar(
+            columnar, schema, window, counters, batch_size, guard
+        )
+        return
     bulk = getattr(source, "nonnull_items", None)
     if bulk is not None:
         # In-memory sequences expose their items as parallel lists; the
@@ -267,7 +336,10 @@ def _scan(
             rows = [record.values for record in records[i:j]]
             if j - i == n:
                 valid = [True] * n
-                columns = [list(column) for column in zip(*rows)]
+                columns = [
+                    typed_column(list(column), attribute.atype)
+                    for column, attribute in zip(zip(*rows), schema.attributes)
+                ]
             else:
                 valid = [False] * n
                 columns = [[None] * n for _ in range(ncols)]
@@ -296,7 +368,10 @@ def _scan(
         if len(positions) == n:
             # Dense run: transpose all value tuples in one C-level pass.
             valid = [True] * n
-            columns = [list(column) for column in zip(*rows)]
+            columns = [
+                typed_column(list(column), attribute.atype)
+                for column, attribute in zip(zip(*rows), schema.attributes)
+            ]
         else:
             valid = [False] * n
             columns = [[None] * n for _ in range(ncols)]
@@ -305,6 +380,53 @@ def _scan(
                 valid[index] = True
                 for c in range(ncols):
                     columns[c][index] = values[c]
+        yield _finish(counters, ColumnBatch(schema, start, columns, valid), guard)
+
+
+def _scan_columnar(
+    columnar: Callable[[Span], tuple[list[int], tuple[Column, ...]]],
+    schema: RecordSchema,
+    window: Span,
+    counters: ExecutionCounters,
+    batch_size: int,
+    guard: Optional[QueryGuard],
+) -> BatchStream:
+    """Carve a sequence's cached column buffers into aligned batches."""
+    np = vector_backend()
+    positions, source_columns = columnar(window)
+    total = len(positions)
+    i = 0
+    while i < total:
+        start = positions[i]
+        j = bisect_right(positions, start + batch_size - 1, i)
+        n = positions[j - 1] - start + 1
+        if j - i == n:
+            # Dense run: the batch columns are zero-copy buffer slices.
+            columns = [column[i:j] for column in source_columns]
+            valid: Bitmask = Bitmask.full(n)
+        else:
+            pos_slice = positions[i:j]
+            index_array = None
+            if np is not None:
+                index_array = np.asarray(pos_slice, dtype="int64") - start
+                flags = np.zeros(n, dtype=bool)
+                flags[index_array] = True
+                valid = Bitmask.from_numpy(np, flags)
+            else:
+                valid = Bitmask.from_indices((p - start for p in pos_slice), n)
+            columns = []
+            for column in source_columns:
+                piece = column[i:j]
+                if index_array is not None and isinstance(piece, np.ndarray):
+                    dest: Column = np.zeros(n, dtype=piece.dtype)
+                    dest[index_array] = piece
+                else:
+                    dest = [None] * n
+                    values = piece if isinstance(piece, list) else column_to_list(piece)
+                    for p, value in zip(pos_slice, values):
+                        dest[p - start] = value
+                columns.append(dest)
+        i = j
         yield _finish(counters, ColumnBatch(schema, start, columns, valid), guard)
 
 
@@ -323,14 +445,15 @@ def _chain(
     child_plan = plan.children[0]
     child_window = window.shift(shift).intersect(child_plan.span)
     # Pre-compile the unit operations against the schema flowing at
-    # each step: selects become fused mask refiners, projects become
-    # column index tuples, renames are purely a schema swap.  A select
-    # whose optimizer-certified effect spec is vectorization-safe gets
-    # the unguarded dense loop on fully valid batches.
-    ops: list[tuple[str, object]] = []
+    # each step: selects become mask refiners (a whole-column vector
+    # kernel under a vectorization-safe effect spec, a fused scalar
+    # loop otherwise), projects become column index tuples, renames are
+    # purely a schema swap.
+    ops: list[tuple[str, Any]] = []
     schema = child_plan.schema
     specs = node_effect_specs(plan)
     observe = interpret_observer(counters, tracer)
+    observe_kernel = kernel_observer(counters, tracer)
     for index, step in enumerate(plan.steps):
         if step.kind == "select":
             ops.append(
@@ -341,6 +464,7 @@ def _chain(
                         schema,
                         spec=specs.get(f"step{index}"),
                         on_fallback=observe,
+                        on_kernel_fallback=observe_kernel,
                     ),
                 )
             )
@@ -355,11 +479,11 @@ def _chain(
         valid = batch.valid
         for kind, payload in ops:
             if kind == "select":
-                counters.predicate_evals += valid.count(True)
-                valid = payload(columns, valid)
+                counters.predicate_evals += valid.count()
+                valid = cast(Bitmask, payload(columns, valid))
             else:
                 columns = [columns[i] for i in payload]
-        if True in valid:
+        if valid.any():
             yield _finish(
                 counters,
                 ColumnBatch(out_schema, batch.start - shift, columns, valid),
@@ -378,12 +502,18 @@ def _lockstep(
     guard: Optional[QueryGuard] = None,
     tracer: Optional[Tracer] = None,
 ) -> BatchStream:
-    """Join-Strategy-B: merge both inputs in lock step, batch-aligned."""
+    """Join-Strategy-B: merge both inputs in lock step, batch-aligned.
+
+    The pairing itself is one packed-bitmask AND per batch: the right
+    cursor re-aligns its stream to the left batch's range (preserving
+    numpy buffers across segment boundaries) and positions survive iff
+    both sides are valid — no per-row probe.
+    """
     left_plan, right_plan = plan.children
     left_stream = build_batch_stream(left_plan, left_plan.span, counters, batch_size, guard, tracer)
     right_cursor = _BatchCursor(
         build_batch_stream(right_plan, right_plan.span, counters, batch_size, guard, tracer),
-        len(right_plan.schema),
+        right_plan.schema,
     )
     predicate = (
         compile_filter(
@@ -391,24 +521,26 @@ def _lockstep(
             plan.schema,
             spec=node_effect_specs(plan).get("predicate"),
             on_fallback=interpret_observer(counters, tracer),
+            on_kernel_fallback=kernel_observer(counters, tracer),
         )
         if plan.predicate is not None
         else None
     )
     for left in left_stream:
         rcols, rvalid = right_cursor.fetch(left.start, left.end)
-        valid = [a and b for a, b in zip(left.valid, rvalid)]
+        valid = left.valid & rvalid
         # Clip to the output window before the predicate runs: row mode
         # only applies the join predicate to in-window pairs.
         batch = _clip(
-            ColumnBatch(plan.schema, left.start, left.columns + rcols, valid), window
+            ColumnBatch(plan.schema, left.start, list(left.columns) + rcols, valid),
+            window,
         )
         if batch is not None:
             valid = batch.valid
             if predicate is not None:
-                counters.predicate_evals += valid.count(True)
-                valid = predicate(batch.columns, valid)
-            if True in valid:
+                counters.predicate_evals += valid.count()
+                valid = cast(Bitmask, predicate(batch.columns, valid))
+            if valid.any():
                 yield _finish(
                     counters,
                     ColumnBatch(plan.schema, batch.start, batch.columns, valid),
@@ -439,6 +571,7 @@ def _probe_side(
             plan.schema,
             spec=node_effect_specs(plan).get("predicate"),
             on_fallback=interpret_observer(counters, tracer),
+            on_kernel_fallback=kernel_observer(counters, tracer),
         )
         if plan.predicate is not None
         else None
@@ -454,25 +587,28 @@ def _probe_side(
             continue
         n = len(batch)
         pcols: list[list] = [[None] * n for _ in range(probed_ncols)]
-        valid = list(batch.valid)
+        flags = batch.valid.tolist()
         start = batch.start
         get = prober.get
-        for i, ok in enumerate(batch.valid):
-            if not ok:
-                continue
+        for i in batch.valid.indices():
             record = get(start + i)
             if record is NULL:
-                valid[i] = False
+                flags[i] = False
                 continue
             values = record.values
             for c in range(probed_ncols):
                 pcols[c][i] = values[c]
         # Composed records are left.right regardless of which side drove.
-        columns = batch.columns + pcols if driver_index == 0 else pcols + batch.columns
+        columns: list[Column] = (
+            list(batch.columns) + pcols
+            if driver_index == 0
+            else pcols + list(batch.columns)
+        )
+        valid = Bitmask.from_bools(flags)
         if predicate is not None:
-            counters.predicate_evals += valid.count(True)
-            valid = predicate(columns, valid)
-        if True in valid:
+            counters.predicate_evals += valid.count()
+            valid = cast(Bitmask, predicate(columns, valid))
+        if valid.any():
             yield _finish(counters, ColumnBatch(plan.schema, start, columns, valid), guard)
 
 
@@ -536,7 +672,7 @@ def _naive_unary(
             values = record.values
             for c in range(ncols):
                 columns[c][index] = values[c]
-        if True in valid:
+        if any(valid):
             yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
 
 
@@ -554,23 +690,80 @@ def _window_agg(
     if plan.strategy == "naive":
         yield from _naive_unary(plan, window, counters, batch_size, guard, tracer)
         return
-    # Cache-Strategy-A per batch: one pass over the input column with a
-    # scope-sized cache; only the aggregated attribute is flattened.
     child_plan = plan.children[0]
     attr_index = child_plan.schema.index_of(op.attr)
-    items = _iter_column(
-        build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer),
-        attr_index,
-    )
-    pending = next(items, None)
-    aggregator = make_sliding(op.func, counters)
     as_float = plan.schema.attributes[0].atype is AtomType.FLOAT
     width = op.width
+    if window.is_empty:
+        return
+    child_start = child_plan.span.start
+    if window.is_bounded and child_start is not None:
+        # Batch-native path: fetch the aggregated column once, aligned
+        # over everything the window can see, then aggregate over the
+        # buffer — vectorized (prefix-sum/shifted-add) for
+        # sum/avg/count, monotone deque for min/max.
+        assert window.start is not None and window.end is not None
+        first, last = window.start, window.end
+        fetch_lo = min(child_start, first)
+        cursor = _BatchCursor(
+            build_batch_stream(
+                child_plan, child_plan.span, counters, batch_size, guard, tracer
+            ),
+            child_plan.schema,
+            pick=(attr_index,),
+        )
+        fetched, mask = cursor.fetch(fetch_lo, last)
+        column = fetched[0]
+        np = vector_backend()
+        vectorized = None
+        if np is not None and op.func in ("sum", "avg", "count"):
+            vectorized = _vector_window(
+                np, op.func, column, mask, fetch_lo, first, last, width, as_float
+            )
+        if vectorized is not None:
+            out, out_valid = vectorized
+            _charge_window_counters(np, counters, mask, fetch_lo, first, last, width)
+            for lo, hi in _tiles(window, batch_size):
+                if guard is not None:
+                    guard.checkpoint()
+                a, b = lo - first, hi - first + 1
+                tile_valid = out_valid[a:b]
+                if tile_valid.any():
+                    yield _finish(
+                        counters,
+                        ColumnBatch(plan.schema, lo, [out[a:b]], tile_valid),
+                        guard,
+                    )
+            return
+        # The buffer is fetched either way: min/max run their monotone
+        # deque over it; sum/avg/count land here only when the vector
+        # kernel is unavailable (no numpy, untyped buffer, exactness
+        # guard) — an observable degradation.
+        if op.func in ("sum", "avg", "count"):
+            kernel_observer(counters, tracer)(op)
+        values = column if isinstance(column, list) else column_to_list(column)
+        items = iter(
+            [(fetch_lo + i, values[i]) for i in mask.indices()]
+        )
+    else:
+        # Unbounded window or child span: the original streaming loop
+        # (an unbounded window still raises in _tiles, as in row mode).
+        kernel_observer(counters, tracer)(op)
+        items = _iter_column(
+            build_batch_stream(
+                child_plan, child_plan.span, counters, batch_size, guard, tracer
+            ),
+            attr_index,
+        )
+    # Cache-Strategy-A per batch: one pass over the input column with a
+    # scope-sized cache; only the aggregated attribute is flattened.
+    pending = next(items, None)
+    aggregator = make_sliding(op.func, counters)
     for lo, hi in _tiles(window, batch_size):
         if guard is not None:
             guard.checkpoint()
         n = hi - lo + 1
-        out: list = [None] * n
+        out_cells: list = [None] * n
         valid = [False] * n
         for position in range(lo, hi + 1):
             aggregator.evict_below(position - width + 1)
@@ -580,10 +773,165 @@ def _window_agg(
             if aggregator.count > 0:
                 value = aggregator.result()
                 index = position - lo
-                out[index] = float(value) if as_float else value
+                out_cells[index] = float(value) if as_float else value
                 valid[index] = True
-        if True in valid:
-            yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid), guard)
+        if any(valid):
+            yield _finish(counters, ColumnBatch(plan.schema, lo, [out_cells], valid), guard)
+
+
+def _vector_window(
+    np: Any,
+    func: str,
+    column: Column,
+    mask: Bitmask,
+    fetch_lo: int,
+    first: int,
+    last: int,
+    width: int,
+    as_float: bool,
+) -> Optional[tuple[Any, Bitmask]]:
+    """Whole-column sliding sum/avg/count over a fetched buffer.
+
+    Returns ``(values, validity)`` for output positions
+    ``first .. last``, or ``None`` when the buffer cannot be handled
+    exactly (untyped column, or int magnitudes that could overflow the
+    int64 prefix sums / round in float conversion).
+
+    Exactness: float windows are accumulated by left-associated
+    shifted adds in ascending position order — element for element the
+    same additions, in the same order, as the row oracle's sequential
+    ``sum()`` over its deque — NOT by prefix-sum differences, which
+    round differently.  Int windows use exact int64 prefix-sum
+    differences under a magnitude bound.  The first output position
+    aggregates everything the row aggregator has absorbed by then
+    (no eviction has happened yet), i.e. a plain prefix.
+    """
+    outputs = last - first + 1
+    offset = first - fetch_lo
+    flags = mask.to_numpy(np)
+    with np.errstate(all="ignore"):
+        return _vector_window_body(
+            np, func, column, flags, offset, outputs, width, as_float
+        )
+
+
+def _vector_window_body(
+    np: Any,
+    func: str,
+    column: Column,
+    flags: Any,
+    offset: int,
+    outputs: int,
+    width: int,
+    as_float: bool,
+) -> Optional[tuple[Any, Bitmask]]:
+    """The arithmetic of :func:`_vector_window` (errstate-suppressed).
+
+    Float windows may legitimately overflow to ``inf`` exactly like the
+    row oracle's Python additions do; the caller's ``errstate`` keeps
+    numpy from warning about it.
+    """
+    counts_prefix = np.cumsum(flags.astype(np.int64))
+    # Windowed valid counts per output position (post-add deque sizes).
+    high = counts_prefix[offset : offset + outputs]
+    low = np.zeros(outputs, dtype=np.int64)
+    j0 = max(0, width - offset)
+    if j0 < outputs:
+        low[j0:] = counts_prefix[offset + j0 - width : offset + outputs - width]
+    counts = high - low
+    # First output: the aggregator has absorbed *all* records <= first
+    # (eviction only starts at the next position).
+    counts[0] = counts_prefix[offset]
+    out_valid = Bitmask.from_numpy(np, counts > 0)
+    if func == "count":
+        out: Any = counts
+    else:
+        if not isinstance(column, np.ndarray):
+            return None
+        x = np.where(flags, column, 0)
+        if x.dtype.kind == "i":
+            # Bound the absolute prefix sum so int64 cumsums cannot
+            # wrap and (for avg) results convert to float64 exactly;
+            # under the bound, prefix-sum differences are exact.
+            magnitude = float(np.sum(np.abs(x, dtype=np.float64)))
+            limit = 2.0**52 if func == "avg" else 2.0**61
+            if magnitude >= limit:
+                return None
+            prefix = np.cumsum(x)
+            low_sums = np.zeros(outputs, dtype=x.dtype)
+            if j0 < outputs:
+                low_sums[j0:] = prefix[offset + j0 - width : offset + outputs - width]
+            sums = prefix[offset : offset + outputs] - low_sums
+        else:
+            # Float sums must replicate the row oracle's sequential
+            # left-to-right additions bit for bit, so windows are
+            # accumulated by shifted adds (one pass per window slot) —
+            # prefix differences round differently.  Very wide windows
+            # would make that quadratic; the deque path takes over.
+            if width > 4096:
+                return None
+            padded = np.concatenate([np.zeros(width - 1, dtype=x.dtype), x])
+            sums = padded[offset : offset + outputs] + _zero_of(x.dtype)
+            for k in range(1, width):
+                sums += padded[offset + k : offset + k + outputs]
+            prefix = np.cumsum(x)
+        # First output: a plain prefix, like the counts above.
+        sums[0] = prefix[offset]
+        out = sums / counts if func == "avg" else sums
+    if as_float and out.dtype.kind != "f":
+        out = out.astype(np.float64)
+    return out, out_valid
+
+
+def _zero_of(dtype: Any) -> Any:
+    """The additive identity matching the row oracle's ``sum()`` start.
+
+    Python's ``sum`` starts from int 0, so the first addition maps
+    ``-0.0`` to ``+0.0``; adding ``0.0`` to the seed element replicates
+    that (and is exact for every other float).
+    """
+    return dtype.type(0)
+
+
+def _charge_window_counters(
+    np: Any,
+    counters: ExecutionCounters,
+    mask: Bitmask,
+    fetch_lo: int,
+    first: int,
+    last: int,
+    width: int,
+) -> None:
+    """Closed-form Cache-Strategy-A accounting for the vector kernel.
+
+    Replicates the row aggregator's charges exactly: one cache op per
+    add (every valid fetched record is absorbed by some position
+    <= ``last``), one per eviction (a record at position ``p`` is
+    evicted once some later output position exceeds ``p + width - 1``),
+    and the occupancy peak is the largest post-add deque size — the
+    max windowed valid count, with the first output seeing everything
+    absorbed so far.
+    """
+    adds = mask.count()
+    if adds == 0:
+        return
+    flags = mask.to_numpy(np)
+    counts_prefix = np.cumsum(flags.astype(np.int64))
+    offset = first - fetch_lo
+    outputs = last - first + 1
+    evictions = 0
+    evict_index = offset + outputs - 1 - width
+    if outputs >= 2 and evict_index >= 0:
+        evictions = int(counts_prefix[evict_index])
+    counters.cache_ops += adds + evictions
+    high = counts_prefix[offset : offset + outputs]
+    low = np.zeros(outputs, dtype=np.int64)
+    j0 = max(0, width - offset)
+    if j0 < outputs:
+        low[j0:] = counts_prefix[offset + j0 - width : offset + outputs - width]
+    counts = high - low
+    counts[0] = counts_prefix[offset]
+    counters.note_occupancy(int(counts.max()))
 
 
 def _value_offset(
@@ -633,7 +981,7 @@ def _value_offset(
                     values = buffer[0][1]
                     for c in range(ncols):
                         columns[c][index] = values[c]
-            if True in valid:
+            if any(valid):
                 yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
         return
 
@@ -668,7 +1016,7 @@ def _value_offset(
                 values = buffer[reach - 1][1]
                 for c in range(ncols):
                     columns[c][index] = values[c]
-        if True in valid:
+        if any(valid):
             yield _finish(counters, ColumnBatch(schema, lo, columns, valid), guard)
 
 
@@ -711,7 +1059,7 @@ def _cumulative(
                 index = position - lo
                 out[index] = float(value) if as_float else value
                 valid[index] = True
-        if True in valid:
+        if any(valid):
             yield _finish(counters, ColumnBatch(plan.schema, lo, [out], valid), guard)
 
 
@@ -730,21 +1078,28 @@ def _global_agg(
     attr_index = child_plan.schema.index_of(op.attr)
     values: list = []
     for batch in build_batch_stream(child_plan, child_plan.span, counters, batch_size, guard, tracer):
-        column = batch.columns[attr_index]
-        for i, ok in enumerate(batch.valid):
-            if ok:
+        column = batch.column_values(attr_index)
+        if batch.valid.all():
+            values.extend(column)
+        else:
+            for i in batch.valid.indices():
                 values.append(column[i])
     if not values:
         return
     result = apply_aggregate(op.func, values)
     if plan.schema.attributes[0].atype is AtomType.FLOAT:
         result = float(result)
+    out_atype = plan.schema.attributes[0].atype
     for lo, hi in _tiles(window, batch_size):
         if guard is not None:
             guard.checkpoint()
         n = hi - lo + 1
         yield _finish(
-            counters, ColumnBatch(plan.schema, lo, [[result] * n], [True] * n), guard
+            counters,
+            ColumnBatch(
+                plan.schema, lo, [typed_column([result] * n, out_atype)], Bitmask.full(n)
+            ),
+            guard,
         )
 
 

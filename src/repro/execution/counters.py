@@ -38,6 +38,14 @@ class ExecutionCounters:
             fused closure (custom ``Expr`` subclasses), counted once
             per compilation — interpreted tree-walk evaluation is the
             silent slow path, and this makes it visible.
+        kernels_fallback: batch operators that could not run a
+            whole-column vector kernel — the effect spec withheld
+            vectorization safety, numpy is absent, a dtype is
+            non-numeric, or an exactness guard refused the lowering —
+            and degraded to the fused-closure/aggregator path instead.
+            The vector kernels are the fast path; this counter (and the
+            ``kernel:fallback`` trace event) makes the degradation
+            observable.
     """
 
     scans_opened: int = 0
@@ -51,6 +59,7 @@ class ExecutionCounters:
     batch_rows: int = 0
     fallbacks_taken: int = 0
     exprs_interpreted: int = 0
+    kernels_fallback: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""

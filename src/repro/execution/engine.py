@@ -17,12 +17,10 @@ row-path oracle, counted in ``ExecutionCounters.fallbacks_taken``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import compress, repeat
 from typing import Optional
 
 from repro.errors import ExecutionError, QueryGuardError, StorageError
-from repro.model.base import BaseSequence
-from repro.model.record import Record
+from repro.model.base import BaseSequence, ColumnarAnswer
 from repro.model.span import Span
 from repro.algebra.graph import Query
 from repro.algebra.leaves import SequenceLeaf
@@ -32,6 +30,7 @@ from repro.optimizer.costmodel import CostParams
 from repro.optimizer.optimizer import OptimizationResult, optimize
 from repro.optimizer.plans import PhysicalPlan
 from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
+from repro.model.batch import column_to_list, vector_backend
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.streams import build_stream
@@ -88,29 +87,60 @@ def _run_batch(
     batch_size: int,
     guard: Optional[QueryGuard],
     tracer: Optional[Tracer] = None,
-) -> list:
-    """Materialize the batch-mode answer as ``(position, record)`` pairs."""
+) -> ColumnarAnswer:
+    """Materialize the batch-mode answer, keeping it columnar.
+
+    Each batch's columns are compacted to the valid positions (a fancy
+    index on vector buffers, ``compress`` on lists) and concatenated;
+    the answer never transposes to per-record objects here — the
+    returned :class:`~repro.model.base.ColumnarAnswer` materializes
+    records lazily if and when a consumer asks for them row-wise.
+    """
     schema = plan.schema
-    unchecked = Record.unchecked
-    pairs: list = []
+    np = vector_backend()
+    positions: list[int] = []
+    parts: list[list] = []
     for batch in build_batch_stream(plan, window, counters, batch_size, guard, tracer):
         emitted = batch.count_valid()
         counters.records_emitted += emitted
         if guard is not None:
             guard.note_records(emitted)
-        if not batch.columns:
-            pairs.extend(batch.iter_items())
+        if not emitted:
             continue
-        # Transpose whole columns back to value tuples and pair them
-        # with their positions entirely in C (zip/map/compress).
         valid = batch.valid
-        rows = zip(*batch.columns)
-        positions = range(batch.start, batch.start + len(valid))
-        if emitted != len(valid):
-            rows = compress(rows, valid)
-            positions = compress(positions, valid)
-        pairs.extend(zip(positions, map(unchecked, repeat(schema), rows)))
-    return pairs
+        if valid.all():
+            positions.extend(range(batch.start, batch.start + len(valid)))
+            parts.append(list(batch.columns))
+            continue
+        selected = valid.indices()
+        index_array = None
+        compacted: list = []
+        for column in batch.columns:
+            if np is not None and isinstance(column, np.ndarray):
+                if index_array is None:
+                    index_array = np.asarray(selected, dtype="int64")
+                compacted.append(column[index_array])
+            else:
+                compacted.append([column[i] for i in selected])
+        start = batch.start
+        positions.extend(start + i for i in selected)
+        parts.append(compacted)
+    columns = [_concat_column(pieces, np) for pieces in zip(*parts)] if parts else [
+        [] for _ in schema.attributes
+    ]
+    return ColumnarAnswer(schema, window, positions, columns)
+
+
+def _concat_column(pieces: tuple, np) -> object:
+    """Concatenate per-batch column pieces into one answer buffer."""
+    if len(pieces) == 1:
+        return pieces[0]
+    if np is not None and all(isinstance(piece, np.ndarray) for piece in pieces):
+        return np.concatenate(pieces)
+    merged: list = []
+    for piece in pieces:
+        merged.extend(column_to_list(piece))
+    return merged
 
 
 def _run_row(
@@ -192,6 +222,8 @@ def execute_plan(
             },
         )
         tracer.push(root_span)
+    answer: Optional[BaseSequence] = None
+    pairs: Optional[list] = None
     try:
         if mode == "batch":
             # The fallback rewind goes through the one generic
@@ -199,7 +231,7 @@ def execute_plan(
             snapshot = counters_snapshot(counters)
             guard_records = guard.records_emitted if guard is not None else 0
             try:
-                pairs = _run_batch(plan, window, counters, batch_size, guard, tracer)
+                answer = _run_batch(plan, window, counters, batch_size, guard, tracer)
             except QueryGuardError:
                 raise
             except (ExecutionError, StorageError) as error:
@@ -228,9 +260,13 @@ def execute_plan(
             tracer.pop()
             tracer.end(root_span)
             tracer.finalize()
+    if answer is not None:
+        # The batch path finished columnar; keep it that way (records
+        # materialize lazily inside the ColumnarAnswer if needed).
+        return answer
     # Stream evaluations emit unique ascending positions with records of
     # the plan's schema, so the output skips per-item revalidation.
-    return BaseSequence.unchecked(plan.schema, pairs, span=window)
+    return BaseSequence.unchecked(plan.schema, pairs or [], span=window)
 
 
 @dataclass

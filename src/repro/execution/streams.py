@@ -11,7 +11,7 @@ incremental value-offset caches (Cache-Strategy-B).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.errors import ExecutionError
 from repro.model.record import NULL, Record
@@ -50,6 +50,31 @@ def interpret_observer(
             span = tracer.current
             if span is not None:
                 tracer.event(span, "expr:interpreted", expr=repr(expr))
+
+    return observe
+
+
+def kernel_observer(
+    counters: ExecutionCounters, tracer: Optional[Tracer]
+) -> Callable[[object], None]:
+    """An observer making vector-kernel fallbacks visible.
+
+    Passed as ``on_kernel_fallback`` to the expression compilers — and
+    invoked directly by batch operators with kernel shapes of their own
+    (window aggregate, lockstep join) — whenever whole-column execution
+    degrades to the fused-closure/aggregator path: the effect spec
+    withheld vectorization safety, numpy is absent, a dtype is
+    non-numeric, or an exactness guard refused the lowering.  Bumps
+    ``kernels_fallback`` and, when tracing, attaches a
+    ``kernel:fallback`` event to the innermost open span.
+    """
+
+    def observe(subject: object) -> None:
+        counters.kernels_fallback += 1
+        if active(tracer) and tracer is not None:
+            span = tracer.current
+            if span is not None:
+                tracer.event(span, "kernel:fallback", subject=repr(subject))
 
     return observe
 

@@ -179,6 +179,51 @@ class BaseSequence(Sequence):
         records = self._records
         return positions, [records[position] for position in positions]
 
+    def nonnull_columns(
+        self, within: Optional[Span] = None
+    ) -> tuple[list[int], tuple[object, ...]]:
+        """All items in ``within`` as positions plus per-attribute columns.
+
+        The columnar counterpart of :meth:`nonnull_items` for batch
+        scans: the full sequence is transposed into typed column
+        buffers once (cached — the sequence is immutable) and window
+        requests are answered with O(columns) buffer slices, so a scan
+        never touches per-record Python objects.
+
+        Returns:
+            ``(positions, columns)`` where ``columns`` has one buffer
+            per schema attribute, parallel to ``positions``.
+        """
+        cache = getattr(self, "_column_cache", None)
+        if cache is None:
+            from repro.model.batch import typed_column
+
+            attributes = self._schema.attributes
+            positions = self._positions
+            records = self._records
+            if positions:
+                rows = [records[position].values for position in positions]
+                raw = list(zip(*rows))
+            else:
+                raw = [() for _ in attributes]
+            cache = tuple(
+                typed_column(list(values), attribute.atype)
+                for values, attribute in zip(raw, attributes)
+            )
+            self._column_cache = cache
+        window = self._span if within is None else self._span.intersect(within)
+        if window.is_empty:
+            return [], tuple(column[0:0] for column in cache)
+        lo = 0 if window.start is None else bisect.bisect_left(self._positions, window.start)
+        hi = (
+            len(self._positions)
+            if window.end is None
+            else bisect.bisect_right(self._positions, window.end)
+        )
+        if lo == 0 and hi == len(self._positions):
+            return self._positions, cache
+        return self._positions[lo:hi], tuple(column[lo:hi] for column in cache)
+
     # -- extras ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -214,3 +259,60 @@ class BaseSequence(Sequence):
             f"BaseSequence(schema={self._schema!r}, span={self._span!r}, "
             f"records={len(self._positions)})"
         )
+
+
+class ColumnarAnswer(BaseSequence):
+    """A batch-mode query answer kept in columnar form.
+
+    The batch executor finishes with compacted per-attribute column
+    buffers; transposing them into one :class:`Record` per position
+    eagerly can cost more than the whole pipeline for large answers.
+    This subclass stores the columnar form instead: columnar consumers
+    (:meth:`BaseSequence.nonnull_columns` — and therefore a follow-up
+    batch query over the answer) are served O(columns) slices of the
+    stored buffers, while the position→record mapping that row-wise
+    access needs (``at``, ``iter_nonnull``, equality) is materialized
+    lazily, once, on first use.
+
+    Instances are built only by the engine; ``positions`` must be
+    unique and ascending inside ``span`` and ``columns`` must hold one
+    buffer per schema attribute, parallel to ``positions``.
+    """
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        span: Span,
+        positions: list[int],
+        columns: PySequence[object],
+    ):
+        self._schema = schema
+        self._span = span
+        self._positions = positions
+        self._columns = tuple(columns)
+        # BaseSequence.nonnull_columns reads this cache attribute:
+        # pre-seeding it means follow-up scans reuse the answer's
+        # buffers without ever re-transposing records.
+        self._column_cache = self._columns
+
+    @property
+    def _records(self) -> dict[int, Record]:
+        cache = self.__dict__.get("_materialized")
+        if cache is None:
+            from itertools import repeat
+
+            from repro.model.batch import column_to_list
+
+            rows: Iterable[tuple]
+            if self._columns:
+                rows = zip(*(column_to_list(column) for column in self._columns))
+            else:
+                rows = repeat((), len(self._positions))
+            cache = dict(
+                zip(
+                    self._positions,
+                    map(Record.unchecked, repeat(self._schema), rows),
+                )
+            )
+            self.__dict__["_materialized"] = cache
+        return cache

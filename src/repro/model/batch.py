@@ -1,35 +1,180 @@
 """Columnar record batches for the batch execution mode.
 
 A :class:`ColumnBatch` holds a *contiguous* range of positions in
-columnar layout: one Python list per schema attribute plus a validity
-mask marking which positions carry a real record (the rest map to the
-Null record, exactly as empty sequence positions do in the paper's
-model).  Batches are the unit of work of the batch executor
+columnar layout: one buffer per schema attribute plus a validity mask
+marking which positions carry a real record (the rest map to the Null
+record, exactly as empty sequence positions do in the paper's model).
+Batches are the unit of work of the batch executor
 (:mod:`repro.execution.batch_streams`): operators amortize interpreter
 overhead by processing one batch — not one record — per Python-level
 step, while compiled expressions (:func:`repro.algebra.expressions.compile_filter`)
-run fused loops directly over the column lists.
+run either whole-column vector kernels or fused loops directly over the
+column buffers.
+
+Column buffers are *typed* where the dtype allows it, selected by
+:func:`typed_column` from the attribute's static type:
+
+* with numpy importable (the ``[vector]`` extra), INT/FLOAT/BOOL
+  columns become ``numpy.ndarray`` buffers (``int64``/``float64``/
+  ``bool``) — the substrate of the vector kernels;
+* without numpy, INT/FLOAT columns become :class:`array.array`
+  (``'q'``/``'d'``) compact buffers;
+* STR columns — and any column whose values do not fit the typed
+  buffer exactly (e.g. an int beyond ``int64``) — stay plain Python
+  lists.
+
+The numpy probe lives in exactly one place, :func:`vector_backend`;
+nothing in the package imports numpy at module scope, and setting the
+``REPRO_NO_VECTOR`` environment variable forces the pure-Python path.
 
 Invariants:
 
 * ``len(valid) == len(columns[i])`` for every column; the batch covers
   positions ``start .. start + len(valid) - 1``.
-* Column cells at invalid positions are unspecified (``None`` by
-  convention) and must never be read by consumers.
+* Column cells at invalid positions are unspecified (``None`` or a
+  zero fill by convention) and must never be read by consumers.
 * Batches are treated as immutable once built: operators derive new
-  column/validity lists instead of mutating them, so column lists may
-  be shared between batches (projection and renaming are O(columns),
-  not O(rows)).
+  column/validity buffers instead of mutating them, so buffers may be
+  shared between batches (projection and renaming are O(columns), not
+  O(rows)).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import os
+from array import array
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.errors import SchemaError, SpanError
+from repro.model.bitmask import Bitmask, MaskLike
 from repro.model.record import NULL, Record, RecordOrNull
 from repro.model.schema import RecordSchema
 from repro.model.span import Span
+from repro.model.types import AtomType
+
+#: A column buffer: ``list`` | ``array.array`` | ``numpy.ndarray``.
+#: Typed as ``Any`` because numpy is an optional dependency.
+Column = Any
+
+# -- capability probe -------------------------------------------------
+
+_PROBE_UNSET: Any = object()
+_backend: Any = _PROBE_UNSET
+
+
+def vector_backend() -> Optional[Any]:
+    """The numpy module if importable and enabled, else ``None``.
+
+    This is the package's single numpy capability probe: the result is
+    cached after the first call, and the ``REPRO_NO_VECTOR`` environment
+    variable (any non-empty value) forces the pure-Python path.  Tests
+    monkeypatch the module-level ``_backend`` cache to simulate a
+    missing numpy without uninstalling it.
+    """
+    global _backend
+    if _backend is _PROBE_UNSET:
+        if os.environ.get("REPRO_NO_VECTOR"):
+            _backend = None
+        else:
+            try:
+                import numpy
+            except ImportError:
+                _backend = None
+            else:
+                _backend = numpy
+    return _backend
+
+
+# -- dtype inference and buffer construction --------------------------
+
+#: numpy dtype per atom type (STR has no typed buffer).
+NP_DTYPES: dict[AtomType, str] = {
+    AtomType.INT: "int64",
+    AtomType.FLOAT: "float64",
+    AtomType.BOOL: "bool",
+}
+
+#: array.array typecodes for the no-numpy fallback (no bool/str codes).
+_ARRAY_CODES: dict[AtomType, str] = {
+    AtomType.INT: "q",
+    AtomType.FLOAT: "d",
+}
+
+#: Largest integer magnitude exactly representable as a float64.
+FLOAT64_EXACT_INT = 2**53
+
+
+def _float64_exact(values: list[Any]) -> bool:
+    """Whether every value converts to float64 without rounding.
+
+    FLOAT attributes accept Python ints; an int beyond 2**53 would
+    silently round during buffer conversion, so such columns stay lists.
+    ``None`` holes (sparse columns) also refuse conversion here.
+    """
+    for value in values:
+        if type(value) is float:
+            continue
+        if type(value) is int and -FLOAT64_EXACT_INT <= value <= FLOAT64_EXACT_INT:
+            continue
+        return False
+    return True
+
+
+def typed_column(values: list[Any], atype: AtomType) -> Column:
+    """``values`` as the best available typed buffer, else the list itself.
+
+    The conversion is exact or refused: INT overflows past ``int64``
+    raise and fall back, FLOAT columns are pre-checked for ints beyond
+    the float64-exact range, and any ``None`` holes (sparse columns)
+    fail conversion.  Callers may therefore treat a typed result as
+    value-identical to the input list.
+    """
+    np = vector_backend()
+    if np is not None:
+        dtype = NP_DTYPES.get(atype)
+        if dtype is None:
+            return values
+        if atype is AtomType.FLOAT and not _float64_exact(values):
+            return values
+        try:
+            return np.asarray(values, dtype=dtype)
+        except (TypeError, ValueError, OverflowError):
+            return values
+    code = _ARRAY_CODES.get(atype)
+    if code is None:
+        return values
+    if atype is AtomType.FLOAT and not _float64_exact(values):
+        return values
+    try:
+        return array(code, values)
+    except (TypeError, ValueError, OverflowError):
+        return values
+
+
+def is_vector(column: Column) -> bool:
+    """Whether ``column`` is a numpy buffer (vector-kernel eligible)."""
+    np = vector_backend()
+    return np is not None and isinstance(column, np.ndarray)
+
+
+def column_to_list(column: Column) -> list[Any]:
+    """``column`` as a plain list of Python scalars (shared if already one)."""
+    if isinstance(column, list):
+        return column
+    if is_vector(column):
+        result: list[Any] = column.tolist()
+        return result
+    return list(column)
+
+
+def empty_column(length: int, atype: AtomType) -> Column:
+    """A zero/None-filled writable buffer for scatter assembly."""
+    np = vector_backend()
+    if np is not None:
+        dtype = NP_DTYPES.get(atype)
+        if dtype is not None:
+            return np.zeros(length, dtype=dtype)
+    return [None] * length
 
 
 class ColumnBatch:
@@ -39,35 +184,41 @@ class ColumnBatch:
         schema: the record schema of the batched sequence.
         start: the position of index 0; index ``i`` holds position
             ``start + i``.
-        columns: one value list per schema attribute, in schema order.
-        valid: the validity mask; ``valid[i]`` is truthy iff position
-            ``start + i`` holds a real record.
+        columns: one buffer per schema attribute, in schema order.
+        valid: the packed validity mask (:class:`Bitmask`); bit ``i``
+            is set iff position ``start + i`` holds a real record.
+            The constructor coerces ``list[bool]`` masks.
     """
 
-    __slots__ = ("schema", "start", "columns", "valid")
+    __slots__ = ("schema", "start", "columns", "valid", "_valid_count")
 
     def __init__(
         self,
         schema: RecordSchema,
         start: int,
-        columns: list[list],
-        valid: list[bool],
+        columns: list[Column],
+        valid: MaskLike,
     ):
+        mask = Bitmask.coerce(valid)
         if len(columns) != len(schema):
             raise SchemaError(
                 f"batch has {len(columns)} columns but schema {schema!r} "
                 f"has {len(schema)} attributes"
             )
         for column in columns:
-            if len(column) != len(valid):
+            if len(column) != len(mask):
                 raise SchemaError(
                     f"batch column length {len(column)} does not match "
-                    f"validity mask length {len(valid)}"
+                    f"validity mask length {len(mask)}"
                 )
         self.schema = schema
         self.start = start
         self.columns = columns
-        self.valid = valid
+        self.valid = mask
+        # Batches are immutable, so the valid-row count is computed once
+        # here instead of per consumer (count_valid used to be O(n) and
+        # was recomputed by every operator in the pipeline).
+        self._valid_count = mask.count()
 
     @classmethod
     def from_items(
@@ -85,9 +236,12 @@ class ColumnBatch:
             length: number of positions covered.
             items: pairs with ``start <= position < start + length``;
                 positions not mentioned are invalid (Null).
+
+        Fully-dense batches come back with typed column buffers; sparse
+        ones keep list columns (the ``None`` holes refuse conversion).
         """
         valid = [False] * length
-        columns: list[list] = [[None] * length for _ in range(len(schema))]
+        columns: list[list[Any]] = [[None] * length for _ in range(len(schema))]
         for position, record in items:
             index = position - start
             if not 0 <= index < length:
@@ -98,7 +252,11 @@ class ColumnBatch:
             valid[index] = True
             for c, value in enumerate(record.values):
                 columns[c][index] = value
-        return cls(schema, start, columns, valid)
+        typed: list[Column] = [
+            typed_column(column, attribute.atype)
+            for column, attribute in zip(columns, schema.attributes)
+        ]
+        return cls(schema, start, typed, valid)
 
     # -- geometry ---------------------------------------------------------
 
@@ -118,14 +276,28 @@ class ColumnBatch:
         return Span(self.start, self.end)
 
     def count_valid(self) -> int:
-        """Number of real (non-Null) records in the batch."""
-        return self.valid.count(True)
+        """Number of real (non-Null) records in the batch (cached)."""
+        return self._valid_count
 
     # -- access -----------------------------------------------------------
 
-    def values_at_index(self, index: int) -> tuple:
-        """The attribute values at batch index ``index`` as a tuple."""
-        return tuple(column[index] for column in self.columns)
+    def column_values(self, index: int) -> list[Any]:
+        """Column ``index`` as a plain list of Python scalars."""
+        return column_to_list(self.columns[index])
+
+    def values_at_index(self, index: int) -> tuple[Any, ...]:
+        """The attribute values at batch index ``index`` as a tuple.
+
+        Values come back as Python scalars regardless of the buffer
+        backend (numpy scalars are unwrapped).
+        """
+        values = []
+        for column in self.columns:
+            value = column[index]
+            if not isinstance(column, (list, array)):
+                value = value.item()
+            values.append(value)
+        return tuple(values)
 
     def record_at(self, position: int) -> RecordOrNull:
         """The record at an absolute position (NULL outside/invalid)."""
@@ -142,23 +314,21 @@ class ColumnBatch:
         were filled from already-validated records.
         """
         schema = self.schema
-        columns = self.columns
         start = self.start
         unchecked = Record.unchecked
-        for index, ok in enumerate(self.valid):
-            if ok:
-                yield (
-                    start + index,
-                    unchecked(schema, tuple(column[index] for column in columns)),
-                )
+        columns = [self.column_values(i) for i in range(len(self.columns))]
+        for index in self.valid.indices():
+            yield (
+                start + index,
+                unchecked(schema, tuple(column[index] for column in columns)),
+            )
 
-    def iter_values(self) -> Iterator[tuple[int, tuple]]:
+    def iter_values(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Yield ``(position, values_tuple)`` for valid positions, in order."""
-        columns = self.columns
         start = self.start
-        for index, ok in enumerate(self.valid):
-            if ok:
-                yield start + index, tuple(column[index] for column in columns)
+        columns = [self.column_values(i) for i in range(len(self.columns))]
+        for index in self.valid.indices():
+            yield start + index, tuple(column[index] for column in columns)
 
     # -- derivation --------------------------------------------------------
 

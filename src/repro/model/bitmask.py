@@ -1,0 +1,208 @@
+"""Packed validity bitmask for column batches.
+
+A :class:`Bitmask` stores one validity flag per batch-local index as a
+single Python ``int`` (bit ``i`` set ⇔ index ``i`` is valid).  The
+representation was chosen for the batch executor's three hot mask
+operations, all of which run at C speed on ints:
+
+* mask combination (``&`` / ``|``) — one big-int bitwise op, no Python
+  loop, regardless of batch size;
+* population count — :meth:`count` via :meth:`int.bit_count`;
+* bulk conversion to and from numpy boolean arrays — via little-endian
+  byte round-trips through :func:`numpy.packbits` /
+  :func:`numpy.unpackbits`, so the vector kernels can move between the
+  packed form and bool arrays without touching per-element Python code.
+
+Truthiness mirrors the ``list[bool]`` masks this class replaced: a
+mask is falsy iff it has **length** zero (not when all bits are clear),
+because batch code uses ``if not batch.valid`` to detect empty batches.
+Use :meth:`any` / :meth:`all` for bit-level questions.
+
+Instances are immutable value objects; every operation returns a new
+mask.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Union, overload
+
+__all__ = ["Bitmask", "MaskLike"]
+
+#: Anything the batch layer accepts as a validity mask.
+MaskLike = Union["Bitmask", Iterable[object]]
+
+
+class Bitmask:
+    """An immutable fixed-length bitmask backed by a Python int."""
+
+    __slots__ = ("_bits", "_length")
+
+    def __init__(self, bits: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"Bitmask length must be non-negative, got {length}")
+        self._bits = bits & ((1 << length) - 1)
+        self._length = length
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_bools(cls, flags: Iterable[object]) -> "Bitmask":
+        """Pack an iterable of truthy/falsy flags (index 0 = bit 0)."""
+        bits = 0
+        length = 0
+        for flag in flags:
+            if flag:
+                bits |= 1 << length
+            length += 1
+        return cls(bits, length)
+
+    @classmethod
+    def full(cls, length: int) -> "Bitmask":
+        """All ``length`` bits set."""
+        return cls((1 << length) - 1, length)
+
+    @classmethod
+    def none(cls, length: int) -> "Bitmask":
+        """All ``length`` bits clear."""
+        return cls(0, length)
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int], length: int) -> "Bitmask":
+        """Bits set exactly at ``indices`` (each in ``[0, length)``)."""
+        bits = 0
+        for index in indices:
+            bits |= 1 << index
+        return cls(bits, length)
+
+    @classmethod
+    def coerce(cls, mask: MaskLike) -> "Bitmask":
+        """Normalize a bool-sequence or Bitmask to a Bitmask."""
+        if isinstance(mask, Bitmask):
+            return mask
+        return cls.from_bools(mask)
+
+    @classmethod
+    def from_numpy(cls, np: Any, flags: Any) -> "Bitmask":
+        """Pack a numpy bool array via packbits (little-endian bit order)."""
+        length = int(flags.shape[0])
+        if length == 0:
+            return cls(0, 0)
+        packed = np.packbits(flags, bitorder="little")
+        return cls(int.from_bytes(packed.tobytes(), "little"), length)
+
+    # -- numpy interop ------------------------------------------------
+
+    def to_numpy(self, np: Any) -> Any:
+        """Unpack to a numpy bool array of ``len(self)`` elements."""
+        nbytes = (self._length + 7) // 8
+        raw = np.frombuffer(self._bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+        return np.unpackbits(raw, count=self._length, bitorder="little").astype(bool)
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw bit pattern (bit ``i`` ⇔ index ``i`` valid)."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        # list-compatible truthiness: empty *length*, not all-clear bits.
+        return self._length > 0
+
+    def count(self) -> int:
+        """Number of set (valid) bits."""
+        return self._bits.bit_count()
+
+    def any(self) -> bool:
+        """Whether at least one bit is set."""
+        return self._bits != 0
+
+    def all(self) -> bool:
+        """Whether every bit is set (vacuously true when empty)."""
+        return self._bits == (1 << self._length) - 1
+
+    @overload
+    def __getitem__(self, index: int) -> bool: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Bitmask": ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[bool, "Bitmask"]:
+        if isinstance(index, slice):
+            lo, hi, step = index.indices(self._length)
+            if step != 1:
+                raise ValueError("Bitmask slices must have step 1")
+            span = max(0, hi - lo)
+            return Bitmask(self._bits >> lo, span)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"Bitmask index {index} out of range for length {self._length}")
+        return bool(self._bits >> index & 1)
+
+    def __iter__(self) -> Iterator[bool]:
+        bits = self._bits
+        for _ in range(self._length):
+            yield bool(bits & 1)
+            bits >>= 1
+
+    def indices(self) -> list[int]:
+        """Sorted indices of the set bits.
+
+        Decodes via the binary string representation so the per-bit work
+        happens inside ``bin()``/``enumerate`` rather than a shift loop.
+        """
+        if self._bits == 0:
+            return []
+        rev = bin(self._bits)[2:][::-1]
+        return [i for i, ch in enumerate(rev) if ch == "1"]
+
+    def tolist(self) -> list[bool]:
+        """The mask as a plain ``list[bool]``."""
+        if self._length == 0:
+            return []
+        if self._bits == 0:
+            return [False] * self._length
+        rev = bin(self._bits)[2:][::-1]
+        flags = [ch == "1" for ch in rev]
+        flags.extend([False] * (self._length - len(flags)))
+        return flags
+
+    # -- combination --------------------------------------------------
+
+    def __and__(self, other: "Bitmask") -> "Bitmask":
+        self._check_length(other)
+        return Bitmask(self._bits & other._bits, self._length)
+
+    def __or__(self, other: "Bitmask") -> "Bitmask":
+        self._check_length(other)
+        return Bitmask(self._bits | other._bits, self._length)
+
+    def __invert__(self) -> "Bitmask":
+        return Bitmask(~self._bits, self._length)
+
+    def shifted(self, offset: int, length: int) -> "Bitmask":
+        """This mask's bits placed at ``offset`` inside a clear mask of ``length``."""
+        return Bitmask(self._bits << offset, length)
+
+    def _check_length(self, other: "Bitmask") -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"Bitmask length mismatch: {self._length} vs {other._length}"
+            )
+
+    # -- value semantics ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bitmask):
+            return self._bits == other._bits and self._length == other._length
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._length))
+
+    def __repr__(self) -> str:
+        return f"Bitmask(count={self.count()}, length={self._length})"

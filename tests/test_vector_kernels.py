@@ -1,0 +1,364 @@
+"""Vector kernels: three-way equivalence and fallback observability.
+
+The batch executor now runs whole-column kernels over typed buffers.
+This suite pins the contract that makes that safe to ship:
+
+* **Three-way equivalence** (hypothesis): for random data and every
+  kernel shape — select, computed comparisons, window aggregates,
+  lockstep join — the row-mode oracle, the vector-backed batch path
+  (numpy buffers + kernels), and the pure-Python batch path (the
+  ``_backend = None`` forced fallback: list/array buffers, fused
+  closures) produce *identical* answers, across dtypes (INT, FLOAT,
+  BOOL, STR), null densities (all-valid, all-null, mixed), and batch
+  sizes 1 / 7 / 1024.
+* **Exactness refusals**: columns whose values a typed buffer cannot
+  represent exactly (ints beyond float64's 2**53 in FLOAT columns,
+  ints beyond int64) stay list-backed, and kernels decline batches
+  whose magnitudes trip the runtime guards — equivalence holds there
+  too because the scalar path recomputes.
+* **Observability**: every degradation to the non-vector path is
+  visible via ``ExecutionCounters.kernels_fallback`` and the
+  ``kernel:fallback`` trace event, mirroring ``exprs_interpreted``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import repro.model.batch as batch_module
+from repro.algebra import base, col, lit
+from repro.algebra.expressions import And, Not, Or
+from repro.execution import ExecutionCounters, run_query, run_query_detailed
+from repro.execution.streams import kernel_observer
+from repro.model import AtomType, BaseSequence, Record, RecordSchema, Span
+from repro.model.batch import typed_column, vector_backend
+from repro.model.bitmask import Bitmask
+from repro.obs.tracer import Tracer
+
+BATCH_SIZES = (1, 7, 1024)
+
+HAS_NUMPY = vector_backend() is not None
+
+SCHEMA = RecordSchema.of(
+    f=AtomType.FLOAT, i=AtomType.INT, b=AtomType.BOOL, s=AtomType.STR
+)
+
+
+@contextmanager
+def forced_backend(backend):
+    """Temporarily pin the vector-backend probe (None = pure Python)."""
+    saved = batch_module._backend
+    batch_module._backend = backend
+    try:
+        yield
+    finally:
+        batch_module._backend = saved
+
+
+# -- data generation ----------------------------------------------------------
+
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_ints = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    # Magnitudes past the int-arith runtime guard (2**31) and past the
+    # float64-exact range (2**53): kernels must decline, not round.
+    st.integers(min_value=2**53, max_value=2**55),
+)
+_strings = st.sampled_from(["", "a", "b", "ab"])
+
+
+@st.composite
+def dataset(draw, start: int = 0):
+    """(span, rows) with an all-valid / all-null / mixed density regime."""
+    length = draw(st.integers(min_value=1, max_value=24))
+    span = Span(start, start + length - 1)
+    regime = draw(st.sampled_from(["all-valid", "all-null", "mixed"]))
+    if regime == "all-valid":
+        filled = list(range(start, start + length))
+    elif regime == "all-null":
+        filled = []
+    else:
+        filled = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=start, max_value=start + length - 1),
+                    max_size=length,
+                )
+            )
+        )
+    rows = {}
+    for position in filled:
+        rows[position] = (
+            draw(_floats),
+            draw(_ints),
+            draw(st.booleans()),
+            draw(_strings),
+        )
+    return span, rows
+
+
+def build_sequence(span: Span, rows: dict) -> BaseSequence:
+    """A fresh sequence (fresh column cache) from drawn data."""
+    items = [(p, Record(SCHEMA, values)) for p, values in sorted(rows.items())]
+    return BaseSequence(SCHEMA, items, span=span)
+
+
+# -- the query shapes under test ----------------------------------------------
+
+
+def _predicates():
+    return [
+        col("i") > lit(0),
+        col("i") * lit(3) - col("i") >= lit(10),
+        col("f") / lit(2.0) <= col("f"),
+        And(col("b").eq(lit(True)), Not(col("i").eq(lit(7)))),
+        Or(col("f") > lit(0.5), col("i") < lit(-5)),
+        col("s").eq(lit("a")),  # STR: never vectorized, scalar path
+        col("i") > col("f"),  # mixed compare: float64-exactness guard
+    ]
+
+
+def _answer(query, mode: str, batch_size: int):
+    return run_query(query, mode=mode, batch_size=batch_size).to_pairs()
+
+
+def _three_way(make_query, batch_size: int):
+    """Assert row ≡ vector-batch ≡ python-batch for one query shape."""
+    expected = _answer(make_query(), "row", batch_size)
+    if HAS_NUMPY:
+        assert _answer(make_query(), "batch", batch_size) == expected
+    with forced_backend(None):
+        assert _answer(make_query(), "batch", batch_size) == expected
+
+
+# -- equivalence properties ---------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=dataset(), batch_size=st.sampled_from(BATCH_SIZES))
+def test_select_project_equivalence(data, batch_size):
+    span, rows = data
+    for index, predicate in enumerate(_predicates()):
+
+        def make_query(_predicate=predicate):
+            sequence = build_sequence(span, rows)
+            return base(sequence, "s0").select(_predicate).project("f", "i").query()
+
+        _three_way(make_query, batch_size)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=dataset(),
+    batch_size=st.sampled_from(BATCH_SIZES),
+    func=st.sampled_from(["sum", "avg", "min", "max", "count"]),
+    width=st.integers(min_value=1, max_value=6),
+    attr=st.sampled_from(["f", "i"]),
+)
+def test_window_aggregate_equivalence(data, batch_size, func, width, attr):
+    span, rows = data
+
+    def make_query():
+        sequence = build_sequence(span, rows)
+        return base(sequence, "s0").window(func, attr, width, "out").query()
+
+    _three_way(make_query, batch_size)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    left=dataset(),
+    right=dataset(start=-3),
+    batch_size=st.sampled_from(BATCH_SIZES),
+)
+def test_lockstep_join_equivalence(left, right, batch_size):
+    lspan, lrows = left
+    rspan, rrows = right
+
+    def make_query():
+        s0 = build_sequence(lspan, lrows)
+        s1 = build_sequence(rspan, rrows)
+        return (
+            base(s0, "s0")
+            .compose(
+                base(s1, "s1"),
+                predicate=col("l_f") > col("r_f"),
+                prefixes=("l", "r"),
+            )
+            .query()
+        )
+
+    _three_way(make_query, batch_size)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=dataset(), batch_size=st.sampled_from(BATCH_SIZES))
+def test_cumulative_and_global_equivalence(data, batch_size):
+    span, rows = data
+
+    def make_cumulative():
+        return base(build_sequence(span, rows), "s0").cumulative("sum", "f", "c").query()
+
+    def make_global():
+        return base(build_sequence(span, rows), "s0").global_agg("max", "i", "m").query()
+
+    _three_way(make_cumulative, batch_size)
+    _three_way(make_global, batch_size)
+
+
+# -- typed-buffer exactness ---------------------------------------------------
+
+
+class TestTypedBuffers:
+    def test_float_column_with_huge_int_stays_list(self):
+        values = [1.5, 2**53 + 1, 2.5]
+        assert typed_column(values, AtomType.FLOAT) is values
+
+    def test_int_column_beyond_int64_stays_list(self):
+        values = [1, 2**70, 3]
+        assert typed_column(values, AtomType.INT) is values
+
+    def test_str_columns_never_typed(self):
+        values = ["a", "b"]
+        assert typed_column(values, AtomType.STR) is values
+
+    def test_none_holes_refuse_conversion(self):
+        values = [1.0, None, 2.0]
+        assert typed_column(values, AtomType.FLOAT) is values
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_numeric_columns_become_ndarrays(self):
+        np = vector_backend()
+        assert isinstance(typed_column([1, 2], AtomType.INT), np.ndarray)
+        assert isinstance(typed_column([1.0, 2.0], AtomType.FLOAT), np.ndarray)
+        assert isinstance(typed_column([True], AtomType.BOOL), np.ndarray)
+
+    def test_pure_python_numeric_columns_become_arrays(self):
+        from array import array
+
+        with forced_backend(None):
+            assert isinstance(typed_column([1, 2], AtomType.INT), array)
+            assert isinstance(typed_column([1.0], AtomType.FLOAT), array)
+            # no array.array code for bool: stays a list
+            assert typed_column([True], AtomType.BOOL) == [True]
+
+    def test_probe_honours_forced_backend(self):
+        with forced_backend(None):
+            assert vector_backend() is None
+
+
+# -- bitmask semantics --------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(flags=st.lists(st.booleans(), max_size=70))
+def test_bitmask_matches_list_reference(flags):
+    mask = Bitmask.from_bools(flags)
+    assert len(mask) == len(flags)
+    assert list(mask) == flags
+    assert mask.tolist() == flags
+    assert mask.count() == sum(flags)
+    assert mask.any() == any(flags)
+    assert mask.all() == all(flags)
+    assert mask.indices() == [i for i, f in enumerate(flags) if f]
+    inverted = ~mask
+    assert inverted.tolist() == [not f for f in flags]
+    if flags:
+        lo, hi = 1, max(1, len(flags) - 1)
+        assert mask[lo:hi].tolist() == flags[lo:hi]
+        assert mask[0] == flags[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pair=st.integers(min_value=0, max_value=40).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.booleans(), min_size=n, max_size=n),
+            st.lists(st.booleans(), min_size=n, max_size=n),
+        )
+    )
+)
+def test_bitmask_combination(pair):
+    a, b = pair
+    left, right = Bitmask.from_bools(a), Bitmask.from_bools(b)
+    assert (left & right).tolist() == [x and y for x, y in zip(a, b)]
+    assert (left | right).tolist() == [x or y for x, y in zip(a, b)]
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+@settings(max_examples=40, deadline=None)
+@given(flags=st.lists(st.booleans(), max_size=70))
+def test_bitmask_numpy_roundtrip(flags):
+    np = vector_backend()
+    mask = Bitmask.from_bools(flags)
+    array = mask.to_numpy(np)
+    assert array.tolist() == flags
+    assert Bitmask.from_numpy(np, array) == mask
+
+
+# -- fallback observability ---------------------------------------------------
+
+
+class TestKernelFallbackObservability:
+    def _sequence(self):
+        rows = {
+            p: (float(p), p, p % 2 == 0, "a" if p % 3 else "b") for p in range(12)
+        }
+        return build_sequence(Span(0, 11), rows)
+
+    def test_observer_counts_and_traces(self):
+        counters = ExecutionCounters()
+        tracer = Tracer()
+        observe = kernel_observer(counters, tracer)
+        with tracer.span("op:select") as span:
+            observe("subject")
+        assert counters.kernels_fallback == 1
+        assert [e.name for e in span.events] == ["kernel:fallback"]
+        assert "subject" in span.events[0].attrs["subject"]
+
+    def test_observer_without_tracer_still_counts(self):
+        counters = ExecutionCounters()
+        observe = kernel_observer(counters, None)
+        observe("x")
+        assert counters.kernels_fallback == 1
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_str_predicate_counts_fallback(self):
+        query = base(self._sequence(), "s0").select(col("s").eq(lit("a"))).query()
+        result = run_query_detailed(query, mode="batch")
+        assert result.counters.kernels_fallback >= 1
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_numeric_predicate_uses_kernel(self):
+        query = base(self._sequence(), "s0").select(col("i") > lit(4)).query()
+        result = run_query_detailed(query, mode="batch")
+        assert result.counters.kernels_fallback == 0
+
+    def test_no_backend_counts_fallback(self):
+        with forced_backend(None):
+            query = base(self._sequence(), "s0").select(col("i") > lit(4)).query()
+            result = run_query_detailed(query, mode="batch")
+            assert result.counters.kernels_fallback >= 1
+
+    def test_fallback_emits_trace_event(self):
+        with forced_backend(None):
+            query = base(self._sequence(), "s0").select(col("i") > lit(4)).query()
+            result = run_query_detailed(query, mode="batch", analyze=True)
+            events = [
+                event.name
+                for span in result.tracer.spans
+                for event in span.events
+            ]
+            assert "kernel:fallback" in events
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_window_sum_uses_vector_kernel(self):
+        # sum/avg/count windows over a bounded child run the prefix
+        # kernel; no fallback may be charged on this clean path.
+        query = base(self._sequence(), "s0").window("sum", "f", 3, "w").query()
+        result = run_query_detailed(query, mode="batch")
+        assert result.counters.kernels_fallback == 0
