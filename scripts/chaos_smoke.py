@@ -6,21 +6,28 @@ checks the chaos contract from DESIGN §9: each run either returns the
 exact fault-free answer or fails with a typed storage error.  A wrong
 answer — or an untyped exception — fails the job.
 
+The default run includes one parallel scenario (the batch executor
+under the parallel partitioned supervisor); ``--workers`` widens the
+whole matrix to that worker count, which is how CI exercises the
+DESIGN §14 contract at ``workers=4``.
+
 Usage::
 
     PYTHONPATH=src python scripts/chaos_smoke.py
+    PYTHONPATH=src python scripts/chaos_smoke.py --workers 4
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.errors import (
     CorruptPageError,
     PermanentStorageError,
+    QueryGuardError,
     TransientStorageError,
 )
-from repro.algebra import base, col
+from repro.algebra import base
 from repro.catalog import Catalog
 from repro.execution import run_query
 from repro.model import Span
@@ -48,6 +55,7 @@ TYPED_FAILURES = (TransientStorageError, PermanentStorageError, CorruptPageError
 
 
 def make_query(fault_plan=None):
+    """Build the smoke workload over a (possibly fault-injecting) disk."""
     source = generate_stock(StockSpec("s", SPAN, 1.0, seed=5))
     stored = StoredSequence.from_sequence(
         "s", source, fault_plan=fault_plan, page_capacity=16, buffer_pages=8
@@ -58,13 +66,49 @@ def make_query(fault_plan=None):
     return query, catalog, stored
 
 
-def main() -> int:
+def scenarios(workers: int):
+    """The (label, run_query kwargs) matrix for one smoke run.
+
+    Both sequential executors always run; parallel scenarios ride along
+    — one by default, every mode when ``--workers`` asks for a wider
+    sweep.
+    """
+    matrix = [
+        ("batch", dict(mode="batch")),
+        ("row", dict(mode="row")),
+        (
+            f"par/batch/w{workers}",
+            dict(mode="batch", parallel="force", workers=workers),
+        ),
+    ]
+    if workers > 1:
+        matrix.append(
+            (
+                f"par/row/w{workers}",
+                dict(mode="row", parallel="force", workers=workers),
+            )
+        )
+    return matrix
+
+
+def main(argv=None) -> int:
+    """Run the chaos matrix; exit 1 on any contract violation."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker lanes for the parallel scenarios (default 2)",
+    )
+    args = parser.parse_args(argv)
     query, catalog, _ = make_query()
     reference = run_query(query, catalog=catalog).to_pairs()
     violations = 0
-    print(f"{'fault class':<12} {'mode':<6} {'exact':>6} {'typed-fail':>10}")
+    matrix = scenarios(args.workers)
+    print(f"{'fault class':<12} {'scenario':<16} {'exact':>6} {'typed-fail':>10}")
     for name, rates in FAULT_CLASSES.items():
-        for mode in ("batch", "row"):
+        for label, kwargs in matrix:
             exact = failed = 0
             for seed in SEEDS:
                 plan = FaultPlan(seed, **rates) if rates else None
@@ -72,13 +116,23 @@ def main() -> int:
                     # Registration scans the stored sequence for stats,
                     # so the faulty disk is live from this point on.
                     query, catalog, stored = make_query(plan)
-                    answer = run_query(query, catalog=catalog, mode=mode)
+                    answer = run_query(query, catalog=catalog, **kwargs)
                 except TYPED_FAILURES:
                     failed += 1
                     continue
+                except QueryGuardError:
+                    # Typed guard verdicts are contract-clean too, but
+                    # nothing in this matrix sets budgets, so count one
+                    # as a violation rather than hiding a supervisor bug.
+                    print(
+                        f"CONTRACT VIOLATION: {name}/{label} seed {seed} "
+                        "raised a guard verdict with no guard configured"
+                    )
+                    violations += 1
+                    continue
                 except Exception as error:  # noqa: BLE001 — the contract check
                     print(
-                        f"CONTRACT VIOLATION: {name}/{mode} seed {seed} "
+                        f"CONTRACT VIOLATION: {name}/{label} seed {seed} "
                         f"raised untyped {type(error).__name__}: {error}"
                     )
                     violations += 1
@@ -87,14 +141,14 @@ def main() -> int:
                     exact += 1
                 else:
                     print(
-                        f"CONTRACT VIOLATION: {name}/{mode} seed {seed} "
+                        f"CONTRACT VIOLATION: {name}/{label} seed {seed} "
                         "returned a WRONG ANSWER"
                     )
                     violations += 1
-            print(f"{name:<12} {mode:<6} {exact:>6} {failed:>10}")
+            print(f"{name:<12} {label:<16} {exact:>6} {failed:>10}")
             if name in ("clean", "latency") and exact != len(SEEDS):
                 print(
-                    f"CONTRACT VIOLATION: {name}/{mode} must always "
+                    f"CONTRACT VIOLATION: {name}/{label} must always "
                     "produce the exact answer"
                 )
                 violations += 1

@@ -20,7 +20,9 @@
 #   6. a smoke-sized run of the batch-vs-row execution benchmark
 #      (asserts identical answers and a minimum batch speedup)
 #   7. the chaos smoke job: every storage fault class x both executors
-#      must yield the exact answer or a typed error, never a wrong one
+#      (plus the parallel supervisor) must yield the exact answer or a
+#      typed error, never a wrong one — run at the default 2 workers
+#      and again at 4 to exercise the DESIGN §14 contract
 #   8. a smoke-sized run of the guard-overhead benchmark (an attached
 #      but idle QueryGuard must cost <5% mean wall clock)
 #   9. a smoke-sized run of the tracer-overhead benchmark (a disabled
@@ -31,7 +33,10 @@
 #  11. a smoke-sized run of the effect-analysis benchmark (the effects
 #      phase embedded in optimize() must cost <5% of mean optimize
 #      wall clock; dense codegen must not regress the guarded loop)
-#  12. the trace round-trip check: traced runs exported as JSON Lines
+#  12. a smoke-sized run of the parallel-speedup benchmark (modeled
+#      critical-path speedup >=1.5x at 4 workers on the row-path
+#      shapes; supervisor overhead <=5% at workers=1)
+#  13. the trace round-trip check: traced runs exported as JSON Lines
 #      and Chrome trace_event must re-parse and validate against the
 #      pinned schemas in src/repro/obs/schema.py
 #
@@ -92,6 +97,9 @@ run_step "batch speedup smoke" env PYTHONPATH=src \
 
 run_step "chaos smoke" env PYTHONPATH=src python scripts/chaos_smoke.py
 
+run_step "chaos smoke (workers=4)" env PYTHONPATH=src \
+    python scripts/chaos_smoke.py --workers 4
+
 run_step "guard overhead smoke" env PYTHONPATH=src \
     python benchmarks/bench_guard_overhead.py --smoke
 
@@ -103,6 +111,9 @@ run_step "partition analysis smoke" env PYTHONPATH=src \
 
 run_step "effects analysis smoke" env PYTHONPATH=src \
     python benchmarks/bench_effects.py --smoke
+
+run_step "parallel speedup smoke" env PYTHONPATH=src \
+    python benchmarks/bench_parallel_speedup.py --smoke
 
 run_step "trace round-trip" env PYTHONPATH=src \
     python scripts/trace_roundtrip.py

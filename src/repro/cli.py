@@ -54,7 +54,10 @@ from repro.analysis import (
 from repro.catalog import Catalog
 from repro.execution import (
     DEFAULT_BATCH_SIZE,
+    DEFAULT_WORKERS,
     EXECUTION_MODES,
+    PARALLEL_MODES,
+    POOL_KINDS,
     QueryGuard,
     run_query_detailed,
 )
@@ -133,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BATCH_SIZE,
         metavar="N",
         help=f"positions per column batch in batch mode (default {DEFAULT_BATCH_SIZE})",
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=[m for m in PARALLEL_MODES if m != "off"],
+        help="run partition-certified plans on the parallel supervisor: "
+        "'auto' degrades to sequential execution on refusal or runtime "
+        "failure, 'force' raises the typed error instead",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help=f"parallel worker lanes (default {DEFAULT_WORKERS}: one per CPU)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=POOL_KINDS,
+        default="thread",
+        help="parallel worker pool kind (default thread)",
     )
     parser.add_argument(
         "--limit",
@@ -784,6 +806,9 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             guard=guard,
             fallback=args.fallback,
             analyze=args.analyze,
+            parallel=args.parallel or "off",
+            workers=args.workers,
+            pool=args.pool,
         )
 
         if args.analyze:
@@ -800,6 +825,15 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
             else:
                 mode_line = "execution mode: row (record-at-a-time)"
             print(mode_line, file=out)
+            if args.parallel:
+                lanes = args.workers if args.workers is not None else DEFAULT_WORKERS
+                print(
+                    f"parallel: {args.parallel} ({lanes} {args.pool} worker(s), "
+                    f"{result.counters.partitions_executed} partition(s) "
+                    f"executed, {result.counters.parallel_fallbacks} "
+                    f"fallback(s))",
+                    file=out,
+                )
             if guard is not None:
                 print(f"guard: {guard!r}", file=out)
             # One source of truth for every counter: the metrics

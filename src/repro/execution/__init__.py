@@ -4,7 +4,10 @@ from repro.execution.batch_streams import DEFAULT_BATCH_SIZE, build_batch_stream
 from repro.execution.cache import FifoCache
 from repro.execution.counters import ExecutionCounters
 from repro.execution.engine import (
+    DEFAULT_WORKERS,
     EXECUTION_MODES,
+    PARALLEL_MODES,
+    POOL_KINDS,
     RunResult,
     execute_plan,
     run_query,
@@ -17,6 +20,7 @@ from repro.execution.guard import (
     QueryGuard,
 )
 from repro.execution.naive import OperatorView, build_views, evaluate_naive
+from repro.execution.parallel import DEFAULT_PARTITION_RETRY, execute_parallel
 from repro.execution.partition import (
     execute_partitioned,
     merge_partitions,
@@ -38,7 +42,11 @@ __all__ = [
     "CumulativeAggregator",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_CHECK_STRIDE",
+    "DEFAULT_PARTITION_RETRY",
+    "DEFAULT_WORKERS",
     "EXECUTION_MODES",
+    "PARALLEL_MODES",
+    "POOL_KINDS",
     "ExecutionCounters",
     "FifoCache",
     "QueryGuard",
@@ -54,6 +62,7 @@ __all__ = [
     "build_stream",
     "build_views",
     "evaluate_naive",
+    "execute_parallel",
     "execute_partitioned",
     "execute_plan",
     "make_sliding",

@@ -46,6 +46,17 @@ class ExecutionCounters:
             The vector kernels are the fast path; this counter (and the
             ``kernel:fallback`` trace event) makes the degradation
             observable.
+        partitions_executed: certified partitions the parallel
+            supervisor completed (winning attempts only — a discarded
+            straggler duplicate is not an executed partition).
+        partition_retries: whole-partition re-dispatches after a
+            :class:`~repro.errors.TransientStorageError` escaped the
+            buffer pool's own read-level retries.
+        stragglers_redispatched: speculative duplicates dispatched for
+            partitions that exceeded their soft straggler timeout.
+        parallel_fallbacks: rungs taken down the parallel degradation
+            ladder (parallel → sequential-partitioned → row oracle),
+            mirrored by ``parallel:fallback`` trace events.
     """
 
     scans_opened: int = 0
@@ -60,6 +71,10 @@ class ExecutionCounters:
     fallbacks_taken: int = 0
     exprs_interpreted: int = 0
     kernels_fallback: int = 0
+    partitions_executed: int = 0
+    partition_retries: int = 0
+    stragglers_redispatched: int = 0
+    parallel_fallbacks: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -81,6 +96,23 @@ class ExecutionCounters:
         """Record a cache occupancy observation."""
         if occupancy > self.max_cache_occupancy:
             self.max_cache_occupancy = occupancy
+
+    def merge_from(self, other: "ExecutionCounters") -> None:
+        """Fold another counter set into this one (parallel workers).
+
+        Every worker of a parallel partitioned run charges its own
+        private counters — sharing one set across threads would race on
+        the unsynchronized ``+=`` hot paths — and the supervisor merges
+        them here when the partition completes.  All counters add,
+        except ``max_cache_occupancy``, which is a peak: the partitions
+        run disjoint operator caches, so the query-wide peak is the max
+        over partitions, not their sum.
+        """
+        for f in fields(self):
+            if f.name == "max_cache_occupancy":
+                self.note_occupancy(other.max_cache_occupancy)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain dictionary."""

@@ -16,6 +16,7 @@ row-path oracle, counted in ``ExecutionCounters.fallbacks_taken``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,9 +42,27 @@ from repro.storage.counters import StorageCounters
 #: Execution modes understood by :func:`execute_plan`.
 EXECUTION_MODES = ("batch", "row")
 
+#: Parallel-execution modes: ``"off"`` (default), ``"auto"`` (parallel
+#: when certifiable, degrading down the ladder on runtime failure), and
+#: ``"force"`` (parallel or a typed refusal/failure — no ladder).
+PARALLEL_MODES = ("off", "auto", "force")
+
+#: Worker-pool kinds the parallel supervisor can spawn.
+POOL_KINDS = ("thread", "process")
+
+#: Default worker count when ``parallel`` is requested without
+#: ``workers``: one lane per visible CPU.
+DEFAULT_WORKERS = max(1, os.cpu_count() or 1)
+
 
 def validate_execution_args(
-    mode: str, batch_size: int, guard: Optional[QueryGuard]
+    mode: str,
+    batch_size: int,
+    guard: Optional[QueryGuard],
+    parallel: str = "off",
+    workers: Optional[int] = None,
+    pool: str = "thread",
+    straggler_timeout: Optional[float] = None,
 ) -> None:
     """Reject bad execution knobs at the entry-point boundary.
 
@@ -53,7 +72,9 @@ def validate_execution_args(
 
     Raises:
         ExecutionError: for an unknown mode, a non-positive or
-            non-integer batch size, or a guard with nonsensical budgets.
+            non-integer batch size, a guard with nonsensical budgets,
+            or bad parallel knobs (unknown parallel mode or pool kind,
+            non-positive worker count or straggler timeout).
     """
     if mode not in EXECUTION_MODES:
         raise ExecutionError(
@@ -65,6 +86,28 @@ def validate_execution_args(
         )
     if batch_size < 1:
         raise ExecutionError(f"batch size must be >= 1, got {batch_size}")
+    if parallel not in PARALLEL_MODES:
+        raise ExecutionError(
+            f"unknown parallel mode {parallel!r}; expected one of {PARALLEL_MODES}"
+        )
+    if workers is not None and (
+        isinstance(workers, bool) or not isinstance(workers, int) or workers < 1
+    ):
+        raise ExecutionError(
+            f"parallel workers must be a positive integer, got {workers!r}"
+        )
+    if pool not in POOL_KINDS:
+        raise ExecutionError(
+            f"unknown worker pool {pool!r}; expected one of {POOL_KINDS}"
+        )
+    if straggler_timeout is not None and not (
+        isinstance(straggler_timeout, (int, float))
+        and not isinstance(straggler_timeout, bool)
+        and straggler_timeout > 0
+    ):
+        raise ExecutionError(
+            f"straggler timeout must be > 0 seconds, got {straggler_timeout!r}"
+        )
     if guard is not None:
         guard.validate()
 
@@ -160,6 +203,125 @@ def _run_row(
     return pairs
 
 
+def _parallel_ladder(
+    plan: PhysicalPlan,
+    window: Span,
+    counters: ExecutionCounters,
+    *,
+    mode: str,
+    batch_size: int,
+    guard: Optional[QueryGuard],
+    tracer: Optional[Tracer],
+    root_span,
+    parallel: str,
+    workers: Optional[int],
+    pool: str,
+    straggler_timeout: Optional[float],
+) -> Optional[BaseSequence]:
+    """The parallel degradation ladder (DESIGN §14).
+
+    Rung 0: certify the plan for ``workers`` partitions.  A refusal in
+    ``auto`` mode returns None — the caller runs the plain single-thread
+    path — while ``force`` raises the typed
+    :class:`~repro.errors.PartitionSoundnessError`.
+
+    Rung 1: the parallel supervisor
+    (:func:`repro.execution.parallel.execute_parallel`).  An
+    infrastructure failure (:class:`~repro.errors.ParallelExecutionError`)
+    or internal execution error in ``auto`` mode rewinds the counters
+    and guard accounting and drops to
+
+    Rung 2: sequential certified execution
+    (:func:`~repro.execution.partition.execute_partitioned`), and on a
+    further internal failure to
+
+    Rung 3: the row-path oracle.
+
+    Guard verdicts and typed storage faults are never swallowed at any
+    rung — they are answers, not infrastructure failures.  Every rung
+    taken charges ``parallel_fallbacks`` and records a
+    ``parallel:fallback`` event (the ``kernel:fallback`` pattern).
+    """
+    from repro.analysis.partition import analyze_partition, certify
+    from repro.errors import ParallelExecutionError, PartitionSoundnessError
+    from repro.execution.parallel import execute_parallel
+    from repro.execution.partition import execute_partitioned
+
+    lanes = workers if workers is not None else DEFAULT_WORKERS
+
+    def note_fallback(rung: str, error: Optional[BaseException]) -> None:
+        counters.parallel_fallbacks += 1
+        if tracer is not None and root_span is not None:
+            attrs = {"rung": rung}
+            if error is not None:
+                attrs["error"] = type(error).__name__
+                attrs["message"] = str(error)[:200]
+            tracer.event(root_span, "parallel:fallback", **attrs)
+
+    if parallel == "force":
+        certificate = certify(plan, lanes, window, tracer=tracer)
+    else:
+        certificate, _report = analyze_partition(plan, lanes, window, tracer=tracer)
+        if certificate is None:
+            note_fallback("single-thread", None)
+            return None
+    snapshot = counters_snapshot(counters)
+    guard_records = guard.records_emitted if guard is not None else 0
+
+    def rewind() -> None:
+        counters_restore(counters, snapshot)
+        if guard is not None:
+            guard.rewind_records(guard_records)
+
+    try:
+        return execute_parallel(
+            plan,
+            certificate,
+            workers=lanes,
+            pool=pool,
+            mode=mode,
+            batch_size=batch_size,
+            counters=counters,
+            guard=guard,
+            tracer=tracer,
+            straggler_timeout=straggler_timeout,
+            verify=False,
+        )
+    except QueryGuardError:
+        raise
+    except StorageError:
+        raise
+    except (ParallelExecutionError, PartitionSoundnessError, ExecutionError) as error:
+        if parallel == "force":
+            raise
+        rewind()
+        note_fallback("sequential-partitioned", error)
+        # Re-anchor the rewind point so a rung-2 failure forgets only
+        # rung 2's accounting, not the fallback charge just recorded.
+        snapshot = counters_snapshot(counters)
+        guard_records = guard.records_emitted if guard is not None else 0
+    try:
+        return execute_partitioned(
+            plan,
+            certificate,
+            mode=mode,
+            batch_size=batch_size,
+            counters=counters,
+            guard=guard,
+            tracer=tracer,
+            verify=False,
+        )
+    except QueryGuardError:
+        raise
+    except StorageError:
+        raise
+    except ExecutionError as error:
+        rewind()
+        note_fallback("row-oracle", error)
+    pairs = _run_row(plan, window, counters, guard, tracer)
+    return BaseSequence.unchecked(plan.schema, pairs, span=window)
+
+
 def execute_plan(
     plan: PhysicalPlan,
     span: Optional[Span] = None,
@@ -170,6 +332,10 @@ def execute_plan(
     guard: Optional[QueryGuard] = None,
     fallback: bool = False,
     tracer: Optional[Tracer] = None,
+    parallel: str = "off",
+    workers: Optional[int] = None,
+    pool: str = "thread",
+    straggler_timeout: Optional[float] = None,
 ) -> BaseSequence:
     """Run a stream-mode plan and materialize its output.
 
@@ -194,8 +360,21 @@ def execute_plan(
             (:mod:`repro.obs.instrument`), a fallback rerun is recorded
             as a ``fallback`` event, and the tracer is finalized when
             the run ends so probe-side spans close.
+        parallel: ``"off"`` (default) executes single-threaded;
+            ``"auto"`` runs partition-certified plans on the parallel
+            supervisor and degrades down the ladder (parallel →
+            sequential-partitioned → row oracle) on refusal or runtime
+            infrastructure failure; ``"force"`` demands parallel
+            execution and raises the typed refusal or failure instead
+            of degrading.
+        workers: parallel worker lanes (default: one per visible CPU).
+        pool: ``"thread"`` (default) or ``"process"`` worker pool.
+        straggler_timeout: soft per-partition seconds before the
+            supervisor speculatively re-dispatches a straggler.
     """
-    validate_execution_args(mode, batch_size, guard)
+    validate_execution_args(
+        mode, batch_size, guard, parallel, workers, pool, straggler_timeout
+    )
     window = plan.span if span is None else span.intersect(plan.span)
     if not window.is_bounded:
         raise ExecutionError(f"cannot execute over unbounded span {window}")
@@ -219,13 +398,31 @@ def execute_plan(
                 "batch_size": batch_size if mode == "batch" else None,
                 "window": str(window),
                 "fallback_enabled": fallback,
+                "parallel": parallel,
             },
         )
         tracer.push(root_span)
     answer: Optional[BaseSequence] = None
     pairs: Optional[list] = None
     try:
-        if mode == "batch":
+        if parallel != "off":
+            answer = _parallel_ladder(
+                plan,
+                window,
+                counters,
+                mode=mode,
+                batch_size=batch_size,
+                guard=guard,
+                tracer=tracer,
+                root_span=root_span,
+                parallel=parallel,
+                workers=workers,
+                pool=pool,
+                straggler_timeout=straggler_timeout,
+            )
+        if answer is not None:
+            pass
+        elif mode == "batch":
             # The fallback rewind goes through the one generic
             # snapshot/restore implementation in repro.obs.metrics.
             snapshot = counters_snapshot(counters)
@@ -318,16 +515,24 @@ def run_query_detailed(
     fallback: bool = False,
     tracer: Optional[Tracer] = None,
     analyze: bool = False,
+    parallel: str = "off",
+    workers: Optional[int] = None,
+    pool: str = "thread",
+    straggler_timeout: Optional[float] = None,
 ) -> RunResult:
     """Optimize and execute ``query``, returning answer + diagnostics.
 
     ``analyze=True`` records a full trace (creating a
     :class:`~repro.obs.tracer.Tracer` if none was passed) so the result
-    supports :meth:`RunResult.render_analyze`.
+    supports :meth:`RunResult.render_analyze`.  The ``parallel`` /
+    ``workers`` / ``pool`` / ``straggler_timeout`` knobs select the
+    parallel partitioned runtime (see :func:`execute_plan`).
     """
     # Fail on bad knobs before the optimizer runs: no plan, no counters,
     # no storage access happen for a query that could never execute.
-    validate_execution_args(mode, batch_size, guard)
+    validate_execution_args(
+        mode, batch_size, guard, parallel, workers, pool, straggler_timeout
+    )
     if analyze and tracer is None:
         tracer = Tracer()
     optimization = optimize(
@@ -350,6 +555,10 @@ def run_query_detailed(
         guard=guard,
         fallback=fallback,
         tracer=tracer,
+        parallel=parallel,
+        workers=workers,
+        pool=pool,
+        straggler_timeout=straggler_timeout,
     )
     return RunResult(
         output=output,
@@ -373,6 +582,10 @@ def run_query(
     fallback: bool = False,
     tracer: Optional[Tracer] = None,
     analyze: bool = False,
+    parallel: str = "off",
+    workers: Optional[int] = None,
+    pool: str = "thread",
+    straggler_timeout: Optional[float] = None,
 ):
     """Optimize and execute ``query``, returning just the answer.
 
@@ -395,6 +608,10 @@ def run_query(
         fallback=fallback,
         tracer=tracer,
         analyze=analyze,
+        parallel=parallel,
+        workers=workers,
+        pool=pool,
+        straggler_timeout=straggler_timeout,
     )
     if analyze:
         return result

@@ -42,19 +42,54 @@ class CancellationToken:
     Another thread (or a signal handler) calls :meth:`cancel`; the
     executing query observes it at its next guard checkpoint and stops
     with a :class:`~repro.errors.QueryCancelledError`.
+
+    Tokens form a tree: a token built with ``parent=`` reports
+    :attr:`cancelled` when *either* itself or any ancestor is
+    cancelled, while cancelling the child never marks the parent.  The
+    parallel supervisor uses this to fan out cancellation — each worker
+    observes a child of the caller's token, so one failed partition can
+    cancel its siblings without faking a caller-initiated cancel.
+
+    Memory model / propagation safety:
+
+    * :meth:`cancel` and :attr:`cancelled` delegate to a
+      :class:`threading.Event`, whose ``set``/``is_set`` pair is backed
+      by a lock-protected flag — under CPython this gives the
+      release/acquire ordering needed for a flag set in one thread to
+      become visible in every other thread at its next check, with no
+      external locking.  There is no platform on which a worker can
+      keep observing ``cancelled == False`` forever after ``cancel()``
+      returned.
+    * The ``parent`` link is immutable after construction, so the
+      ancestor walk in :attr:`cancelled` reads only frozen references
+      plus each ancestor's own Event — safe from any thread.
+    * Cancellation is *sticky* and idempotent: there is no "uncancel",
+      which is what makes check-then-act races harmless (a worker that
+      misses the flag at one checkpoint sees it at the next).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, parent: Optional["CancellationToken"] = None) -> None:
         self._event = threading.Event()
+        self._parent = parent
 
     def cancel(self) -> None:
-        """Request cancellation (idempotent)."""
+        """Request cancellation (idempotent, safe from any thread)."""
         self._event.set()
 
     @property
+    def parent(self) -> Optional["CancellationToken"]:
+        """The linked parent token, if this token is a child."""
+        return self._parent
+
+    @property
     def cancelled(self) -> bool:
-        """Whether cancellation has been requested."""
-        return self._event.is_set()
+        """Whether this token or any ancestor has been cancelled."""
+        token: Optional[CancellationToken] = self
+        while token is not None:
+            if token._event.is_set():
+                return True
+            token = token._parent
+        return False
 
 
 class QueryGuard:
@@ -78,6 +113,18 @@ class QueryGuard:
 
     A guard is single-query state: create a fresh one per run (reusing
     one across queries keeps the first query's clock and record count).
+
+    Thread safety: one guard may be shared by every worker of a
+    parallel partitioned run, so the mutating paths — record
+    accounting (:meth:`note_records`/:meth:`rewind_records`) and the
+    watched-counter registries — serialize on an internal lock; the
+    budget check happens inside the same critical section as the
+    increment, so concurrent partitions cannot interleave
+    check-then-increment and overdraw ``max_records``.  The row-mode
+    :meth:`tick` stride counter is deliberately left unlocked: a lost
+    increment only shifts *when* the next full checkpoint runs, never
+    how much budget is charged, and locking it would put a mutex
+    acquisition on the per-record hot path.
     """
 
     def __init__(
@@ -104,6 +151,9 @@ class QueryGuard:
         self._records = 0
         self._watched_storage: list[tuple[StorageCounters, int]] = []
         self._watched_execution: Optional[ExecutionCounters] = None
+        # Serializes record accounting and the watch registries when
+        # the guard is shared across parallel partition workers.
+        self._lock = threading.Lock()
 
     # -- validation (the execute_plan/run_query boundary) --------------------
 
@@ -138,19 +188,22 @@ class QueryGuard:
 
     def start(self) -> None:
         """Start the wall clock (idempotent: fallback reruns share it)."""
-        if self._started_at is None:
-            self._started_at = self._clock()
-            if self.timeout is not None:
-                self._deadline = self._started_at + self.timeout
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+                if self.timeout is not None:
+                    self._deadline = self._started_at + self.timeout
 
     def watch_storage(self, counters: StorageCounters) -> None:
         """Charge this disk's future page reads against ``max_pages``."""
-        if all(existing is not counters for existing, _ in self._watched_storage):
-            self._watched_storage.append((counters, counters.page_reads))
+        with self._lock:
+            if all(existing is not counters for existing, _ in self._watched_storage):
+                self._watched_storage.append((counters, counters.page_reads))
 
     def watch_execution(self, counters: ExecutionCounters) -> None:
         """Observe cache occupancy through these execution counters."""
-        self._watched_execution = counters
+        with self._lock:
+            self._watched_execution = counters
 
     @property
     def records_emitted(self) -> int:
@@ -159,14 +212,14 @@ class QueryGuard:
 
     def rewind_records(self, count: int) -> None:
         """Reset emitted-record progress (batch→row fallback rerun)."""
-        self._records = count
+        with self._lock:
+            self._records = count
 
     def pages_read(self) -> int:
         """Pages read by watched disks since the guard started watching."""
-        return sum(
-            counters.page_reads - baseline
-            for counters, baseline in self._watched_storage
-        )
+        with self._lock:
+            watched = list(self._watched_storage)
+        return sum(counters.page_reads - baseline for counters, baseline in watched)
 
     def elapsed(self) -> float:
         """Seconds since :meth:`start` (0.0 if never started)."""
@@ -243,15 +296,19 @@ class QueryGuard:
         Raises:
             ResourceBudgetExceededError: the record budget is exceeded.
         """
-        self._records += count
-        if self.max_records is not None and self._records > self.max_records:
+        # Increment and check under one lock: two partitions charging
+        # concurrently must not both pass a check the sum violates.
+        with self._lock:
+            self._records += count
+            total = self._records
+        if self.max_records is not None and total > self.max_records:
             raise ResourceBudgetExceededError(
-                f"query emitted {self._records} records, over its budget "
+                f"query emitted {total} records, over its budget "
                 f"of {self.max_records}",
                 budget="records_emitted",
                 limit=self.max_records,
-                used=self._records,
-                records_emitted=self._records,
+                used=total,
+                records_emitted=total,
             )
 
     def note_cache(self, occupancy: int) -> None:

@@ -1,0 +1,744 @@
+"""Fault-tolerant parallel partitioned execution (DESIGN §14).
+
+The supervisor half of the partitioned runtime: PR 6's analysis issues
+a :class:`~repro.analysis.partition.PartitionCertificate` and its
+sequential harness (:mod:`repro.execution.partition`) proved the
+per-partition subplans answer-equal to the row oracle;
+:func:`execute_parallel` executes those same certified subplans across
+a worker pool — threads by default, processes opt-in — and merges the
+outputs in position order exactly as :func:`merge_partitions` does.
+
+Robustness is the headline contract, not a bolt-on.  Under any fault
+the supervisor returns either the exact answer or a typed error:
+
+* **fault containment** — each partition is prepared and executed
+  under a bounded retry: a :class:`~repro.errors.TransientStorageError`
+  that escaped the buffer pool's own read-level retries re-runs just
+  that partition (``partition_retries``), while permanent and
+  corrupt-page faults fail the query fast with their typed error;
+* **cancellation fan-out** — thread workers observe a child
+  :class:`~repro.execution.guard.CancellationToken` linked to the
+  caller's, so the first failed partition cancels its siblings instead
+  of letting them run to completion, while a caller-initiated cancel
+  still reaches every worker through the parent link;
+* **shared budget** — all thread workers charge one (thread-safe)
+  :class:`~repro.execution.guard.QueryGuard`, so ``max_records`` /
+  ``max_pages`` / the deadline bound the *query*, not each partition;
+  process workers are charged by the supervisor at partition
+  completion (partition-granular enforcement).  Failed attempts and
+  discarded speculative duplicates keep their guard charges: the
+  budget is a safety ceiling, and over-counting aborts marginally
+  early rather than ever under-enforcing;
+* **straggler handling** — a partition whose youngest attempt exceeds
+  the soft ``straggler_timeout`` is speculatively re-dispatched once
+  (``stragglers_redispatched``); if the partition is still unanswered
+  one soft timeout after that, the supervisor declares a typed
+  :class:`~repro.errors.QueryTimeoutError`;
+* **typed infrastructure failures** — pool-spawn failures, worker
+  death outside the typed hierarchy, and broken process pools surface
+  as :class:`~repro.errors.ParallelExecutionError`, the exact class
+  the engine's degradation ladder (parallel → sequential-partitioned →
+  row oracle) catches.
+
+Determinism under faults is load-bearing for the chaos suite: partition
+*preparation* — the only phase that touches the shared simulated disk —
+runs serially in partition order on the supervisor thread, so a seeded
+:class:`~repro.storage.faults.FaultPlan` injects the identical fault
+trace regardless of worker count or thread interleaving.  (A single
+simulated disk serializes page reads anyway; the parallel win is
+operator execution over the in-memory slices, which is also why worker
+execution cannot race the buffer pool.)  Speculative duplicates and
+per-partition execution retries re-run pure in-memory subplans, so
+containment never perturbs the faults other partitions see.
+
+Counter and trace accounting: every worker charges a private
+:class:`~repro.execution.counters.ExecutionCounters` and records into a
+forked tracer; the supervisor merges the winning attempt's counters
+into the query totals (:meth:`ExecutionCounters.merge_from`) and grafts
+the fork's spans under that partition's ``partition`` span
+(:meth:`~repro.obs.tracer.Tracer.adopt`), so ``--explain`` metrics and
+EXPLAIN ANALYZE see one coherent query.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.base import plan_paths
+from repro.analysis.partition import (
+    PartitionCertificate,
+    PartitionCounters,
+    PartitionRange,
+    require_certificate,
+)
+from repro.errors import (
+    ExecutionError,
+    ParallelExecutionError,
+    QueryGuardError,
+    QueryTimeoutError,
+    ReproError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.execution.counters import ExecutionCounters
+from repro.execution.engine import (
+    DEFAULT_BATCH_SIZE,
+    POOL_KINDS,
+    _watch_plan_storage,
+    execute_plan,
+)
+from repro.execution.guard import CancellationToken, QueryGuard
+from repro.execution.partition import merge_partitions, partition_plan
+from repro.model.base import BaseSequence
+from repro.model.span import Span
+from repro.obs.tracer import CATEGORY_ENGINE, Tracer, TraceSpan, active
+from repro.optimizer.plans import OptimizedPlan, PhysicalPlan
+from repro.storage.faults import RetryPolicy
+
+#: Per-partition containment budget: the first dispatch plus one retry.
+#: Read-level transient faults are already retried inside the buffer
+#: pool, so a partition-level retry is a second line of defence, not
+#: the primary one.
+DEFAULT_PARTITION_RETRY = RetryPolicy(max_attempts=2)
+
+#: Supervisor poll interval while waiting on worker futures, seconds.
+#: Bounds how stale the straggler clock and the guard checkpoint can
+#: get between worker completions without busy-waiting.
+_WAIT_TICK = 0.02
+
+
+def _execute_partition(
+    subplan: PhysicalPlan,
+    window: Span,
+    mode: str,
+    batch_size: int,
+    guard: Optional[QueryGuard],
+    tracer: Optional[Tracer],
+) -> tuple[BaseSequence, ExecutionCounters]:
+    """One worker's unit of work: execute a prepared partition subplan.
+
+    Runs with private counters (merged by the supervisor on success)
+    and, in thread mode, the shared thread-safe guard plus a forked
+    tracer.  Module-level so the chaos tests can intercept it and so
+    the process pool can import it by reference.
+    """
+    counters = ExecutionCounters()
+    output = execute_plan(
+        subplan,
+        window,
+        counters,
+        mode=mode,
+        batch_size=batch_size,
+        guard=guard,
+        tracer=tracer,
+    )
+    return output, counters
+
+
+def _execute_partition_process(
+    subplan: PhysicalPlan, window: Span, mode: str, batch_size: int
+) -> tuple[BaseSequence, ExecutionCounters]:
+    """The process-pool entry point: guardless, tracerless execution.
+
+    A child process cannot share the supervisor's guard, token, or
+    tracer objects; the supervisor enforces budgets at partition
+    completion instead and records the partition span itself.
+    """
+    return _execute_partition(subplan, window, mode, batch_size, None, None)
+
+
+@dataclass
+class _Attempt:
+    """One dispatched execution attempt of one partition."""
+
+    index: int
+    number: int
+    dispatched_at: float
+    span: Optional[TraceSpan]
+    fork: Optional[Tracer]
+
+
+def _spawn_pool(pool: str, lanes: int) -> Executor:
+    """Create the worker pool, or raise the typed infrastructure error.
+
+    Raises:
+        ParallelExecutionError: the pool could not be created (e.g. the
+            platform refuses new threads/processes) — the degradation
+            ladder's cue to fall back to sequential execution.
+    """
+    try:
+        if pool == "process":
+            return ProcessPoolExecutor(max_workers=lanes)
+        return ThreadPoolExecutor(
+            max_workers=lanes, thread_name_prefix="repro-partition"
+        )
+    except (OSError, RuntimeError, ValueError) as error:
+        raise ParallelExecutionError(
+            f"could not spawn the {pool} worker pool ({lanes} lanes): {error}"
+        ) from error
+
+
+class _Supervisor:
+    """State machine for one parallel partitioned run.
+
+    Single-threaded by construction: only worker bodies run on pool
+    threads, and they touch nothing but their private counters, their
+    forked tracer, and the (thread-safe) shared guard.  Every other
+    mutation — dispatch, retry, straggler re-dispatch, counter merge,
+    span adoption — happens on the supervising thread.
+    """
+
+    def __init__(
+        self,
+        root: PhysicalPlan,
+        certificate: PartitionCertificate,
+        *,
+        workers: int,
+        pool: str,
+        mode: str,
+        batch_size: int,
+        counters: ExecutionCounters,
+        guard: Optional[QueryGuard],
+        tracer: Optional[Tracer],
+        retry: RetryPolicy,
+        straggler_timeout: Optional[float],
+        clock: Callable[[], float],
+    ):
+        self.root = root
+        self.certificate = certificate
+        self.workers = workers
+        self.pool = pool
+        self.mode = mode
+        self.batch_size = batch_size
+        self.counters = counters
+        self.guard = guard
+        self.tracer = tracer if active(tracer) else None
+        self.retry = retry
+        self.straggler_timeout = straggler_timeout
+        self.clock = clock
+        self.paths = plan_paths(root)
+        self.partitions = certificate.partitions
+        self.subplans: dict[int, PhysicalPlan] = {}
+        self.parallel_span: Optional[TraceSpan] = None
+
+    # -- tracing helpers -----------------------------------------------------
+
+    def _event(self, name: str, **attrs: object) -> None:
+        """Record a point event on the run's ``parallel`` span."""
+        if self.tracer is not None and self.parallel_span is not None:
+            self.tracer.event(self.parallel_span, name, **attrs)
+
+    def _begin_partition_span(
+        self, partition: PartitionRange, attempt: int
+    ) -> Optional[TraceSpan]:
+        """Open the ``partition`` span for one dispatch attempt."""
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(
+            "partition",
+            CATEGORY_ENGINE,
+            attrs={
+                "index": partition.index,
+                "window": str(partition.window),
+                "attempt": attempt,
+            },
+            parent=self.parallel_span,
+        )
+
+    def _close_span(
+        self, span: Optional[TraceSpan], fork: Optional[Tracer], **attrs: object
+    ) -> None:
+        """Adopt the attempt's forked spans and close its partition span."""
+        if self.tracer is None or span is None:
+            return
+        if fork is not None:
+            self.tracer.adopt(fork, under=span)
+        span.attrs.update(attrs)
+        self.tracer.end(span)
+
+    # -- the serial, deterministic preparation phase -------------------------
+
+    def prepare(self, index: int) -> PhysicalPlan:
+        """Build (or rebuild) one partition's subplan, with containment.
+
+        Slicing reads the stored leaves through the shared buffer pool,
+        so this is where injected storage faults surface.  Preparation
+        runs serially in partition order on the supervisor thread —
+        that is what makes seeded fault traces identical across worker
+        counts — and a transient fault that survived the buffer pool's
+        own retries earns this partition a bounded rebuild before the
+        typed error escapes to the query.
+
+        Raises:
+            TransientStorageError: the retry budget was exhausted.
+            PermanentStorageError: never retried; fails the query fast.
+            CorruptPageError: never retried; fails the query fast.
+        """
+        partition = self.partitions[index]
+        copy_leaves = len(self.partitions) > 1 or self.pool == "process"
+        last: Optional[TransientStorageError] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                self.counters.partition_retries += 1
+                self._event(
+                    "parallel:retry",
+                    partition=index,
+                    attempt=attempt,
+                    phase="prepare",
+                )
+            try:
+                subplan = partition_plan(
+                    self.root, partition, self.paths, copy_leaves=copy_leaves
+                )
+                self.subplans[index] = subplan
+                return subplan
+            except TransientStorageError as error:
+                last = error
+        assert last is not None
+        raise last
+
+    # -- inline execution (workers == 1: no pool, full containment) ----------
+
+    def run_inline(self) -> BaseSequence:
+        """Execute every partition on the supervising thread.
+
+        The degenerate lane count keeps the supervisor semantics —
+        per-partition spans, retry containment, counter merge — without
+        paying for a pool, which is what holds the ``workers=1``
+        overhead to the benchmark's ≤5% budget.
+        """
+        outputs: list[BaseSequence] = []
+        for index in range(len(self.partitions)):
+            subplan = self.prepare(index)
+            last: Optional[TransientStorageError] = None
+            output: Optional[BaseSequence] = None
+            for attempt in range(1, self.retry.max_attempts + 1):
+                if attempt > 1:
+                    self.counters.partition_retries += 1
+                    self._event(
+                        "parallel:retry",
+                        partition=index,
+                        attempt=attempt,
+                        phase="execute",
+                    )
+                    subplan = self.prepare(index)
+                span = self._begin_partition_span(self.partitions[index], attempt)
+                fork = self.tracer.fork() if self.tracer is not None else None
+                try:
+                    output, worker_counters = _execute_partition(
+                        subplan,
+                        self.partitions[index].window,
+                        self.mode,
+                        self.batch_size,
+                        self.guard,
+                        fork,
+                    )
+                except TransientStorageError as error:
+                    last = error
+                    self._close_span(span, fork, error=type(error).__name__)
+                    continue
+                except Exception as error:
+                    self._close_span(span, fork, error=type(error).__name__)
+                    raise
+                self.counters.merge_from(worker_counters)
+                self.counters.partitions_executed += 1
+                self._close_span(
+                    span, fork, records=worker_counters.records_emitted
+                )
+                break
+            if output is None:
+                assert last is not None
+                raise last
+            outputs.append(output)
+        return self._merge(outputs)
+
+    def _merge(self, outputs: list[BaseSequence]) -> BaseSequence:
+        """Position-order merge; a single partition is already merged.
+
+        For one partition the certificate's cover proof makes its
+        window the root span, so the output *is* the answer — skipping
+        the re-copy is what holds the ``workers=1`` inline path inside
+        the benchmark's overhead budget.
+        """
+        if len(outputs) == 1 and len(self.certificate.partitions) == 1:
+            return outputs[0]
+        return merge_partitions(outputs, self.certificate)
+
+    # -- pooled execution ----------------------------------------------------
+
+    def _submit(
+        self,
+        executor: Executor,
+        index: int,
+        attempt_number: int,
+        pending: dict[Future, _Attempt],
+    ) -> None:
+        """Dispatch one attempt of one partition onto the pool.
+
+        Raises:
+            ParallelExecutionError: the pool refused the submission
+                (e.g. a broken process pool) — an infrastructure
+                failure, so it wears the ladder's class.
+        """
+        partition = self.partitions[index]
+        subplan = self.subplans[index]
+        span = self._begin_partition_span(partition, attempt_number)
+        fork = None
+        try:
+            if self.pool == "process":
+                future = executor.submit(
+                    _execute_partition_process,
+                    subplan,
+                    partition.window,
+                    self.mode,
+                    self.batch_size,
+                )
+            else:
+                fork = self.tracer.fork() if self.tracer is not None else None
+                future = executor.submit(
+                    _execute_partition,
+                    subplan,
+                    partition.window,
+                    self.mode,
+                    self.batch_size,
+                    self.guard,
+                    fork,
+                )
+        except RuntimeError as error:
+            self._close_span(span, fork, error=type(error).__name__)
+            raise ParallelExecutionError(
+                f"worker pool rejected partition {index}: {error}",
+                partition_index=index,
+            ) from error
+        pending[future] = _Attempt(
+            index=index,
+            number=attempt_number,
+            dispatched_at=self.clock(),
+            span=span,
+            fork=fork,
+        )
+
+    def run_pooled(self, siblings: CancellationToken) -> BaseSequence:
+        """Execute the prepared partitions across the worker pool.
+
+        ``siblings`` is the child token every thread worker observes
+        (through the shared guard); the supervisor cancels it on the
+        first failure so surviving partitions stop at their next guard
+        checkpoint instead of running to completion.
+
+        Raises:
+            ParallelExecutionError: pool spawn/submit failure or worker
+                death outside the typed hierarchy (the ladder's cue).
+            QueryTimeoutError: a straggler stayed unanswered one soft
+                timeout past its speculative re-dispatch, or the shared
+                guard's deadline passed.
+            ReproError: any typed verdict a worker raised (guard
+                verdicts and storage faults pass through untouched).
+        """
+        parts = len(self.partitions)
+        lanes = min(self.workers, parts)
+        for index in range(parts):
+            self.prepare(index)
+        executor = _spawn_pool(self.pool, lanes)
+        pending: dict[Future, _Attempt] = {}
+        results: dict[int, tuple[BaseSequence, ExecutionCounters]] = {}
+        speculated: set[int] = set()
+        failure: Optional[BaseException] = None
+        try:
+            for index in range(parts):
+                self._submit(executor, index, 1, pending)
+            while pending and failure is None:
+                done, _ = wait(
+                    set(pending), timeout=_WAIT_TICK, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    attempt = pending.pop(future)
+                    failure = self._absorb(executor, future, attempt, pending, results)
+                    if failure is not None:
+                        break
+                if failure is None:
+                    failure = self._police(executor, pending, results, speculated)
+            if failure is not None:
+                raise failure
+        except BaseException:
+            # Fan-out: stop the surviving siblings at their next guard
+            # checkpoint.  Threads cannot be killed, so the shutdown
+            # below does not wait on them; they observe the cancelled
+            # token and die with a QueryCancelledError nobody reads.
+            siblings.cancel()
+            raise
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        outputs = [results[index][0] for index in range(parts)]
+        return self._merge(outputs)
+
+    def _absorb(
+        self,
+        executor: Executor,
+        future: Future,
+        attempt: _Attempt,
+        pending: dict[Future, _Attempt],
+        results: dict[int, tuple[BaseSequence, ExecutionCounters]],
+    ) -> Optional[BaseException]:
+        """Fold one completed attempt into the run; classify failures.
+
+        Returns the query-level failure this completion causes, or
+        None when the run should continue (success, a contained retry,
+        or a discarded speculative loser).  Exactly one attempt per
+        partition ever lands in ``results``, so counters merge once and
+        the position-order merge sees no duplicates.
+        """
+        index = attempt.index
+        if index in results:
+            # The loser of a speculative straggler race: its work is
+            # discarded, successful or not, so it must not double-merge
+            # counters or turn an already-answered partition into an
+            # error.
+            self._close_span(attempt.span, attempt.fork, discarded=True)
+            return None
+        error = future.exception()
+        if error is None:
+            output, worker_counters = future.result()
+            results[index] = (output, worker_counters)
+            self.counters.merge_from(worker_counters)
+            self.counters.partitions_executed += 1
+            if self.guard is not None and self.pool == "process":
+                # Process workers cannot share the guard object; charge
+                # their emissions at the partition boundary instead.
+                self.guard.note_records(worker_counters.records_emitted)
+            self._close_span(
+                attempt.span, attempt.fork, records=worker_counters.records_emitted
+            )
+            return None
+        self._close_span(attempt.span, attempt.fork, error=type(error).__name__)
+        if isinstance(error, TransientStorageError):
+            if attempt.number < self.retry.max_attempts:
+                self.counters.partition_retries += 1
+                self._event(
+                    "parallel:retry",
+                    partition=index,
+                    attempt=attempt.number + 1,
+                    phase="execute",
+                )
+                try:
+                    self.prepare(index)
+                    self._submit(executor, index, attempt.number + 1, pending)
+                    return None
+                except (StorageError, ParallelExecutionError) as rebuild_error:
+                    return rebuild_error
+            return error
+        if isinstance(error, ReproError):
+            # A typed verdict — guard verdict, storage fault, internal
+            # execution error — is the query's outcome; sibling
+            # cancellation echoes never reach here because the
+            # supervisor stops reading futures after the first failure.
+            return error
+        return ParallelExecutionError(
+            f"partition {index} worker died with untyped "
+            f"{type(error).__name__}: {error}",
+            partition_index=index,
+        )
+
+    def _police(
+        self,
+        executor: Executor,
+        pending: dict[Future, _Attempt],
+        results: dict[int, tuple[BaseSequence, ExecutionCounters]],
+        speculated: set[int],
+    ) -> Optional[BaseException]:
+        """Between completions: guard checkpoint + straggler watch.
+
+        The straggler clock for a partition restarts at its youngest
+        dispatch (retry or speculation), so a fresh attempt always
+        gets a full soft-timeout window before the next escalation.
+        """
+        if self.guard is not None:
+            try:
+                self.guard.checkpoint()
+            except QueryGuardError as verdict:
+                return verdict
+        if self.straggler_timeout is None:
+            return None
+        now = self.clock()
+        youngest: dict[int, float] = {}
+        for attempt in pending.values():
+            if attempt.index in results:
+                continue
+            known = youngest.get(attempt.index)
+            if known is None or attempt.dispatched_at > known:
+                youngest[attempt.index] = attempt.dispatched_at
+        for index, dispatched_at in sorted(youngest.items()):
+            if now - dispatched_at <= self.straggler_timeout:
+                continue
+            if index not in speculated:
+                speculated.add(index)
+                self.counters.stragglers_redispatched += 1
+                self._event(
+                    "parallel:straggler",
+                    partition=index,
+                    soft_timeout=self.straggler_timeout,
+                )
+                try:
+                    self._submit(executor, index, 2, pending)
+                except ParallelExecutionError as error:
+                    return error
+            else:
+                return QueryTimeoutError(
+                    f"partition {index} missed its {self.straggler_timeout:g}s "
+                    "straggler deadline twice (original and speculative "
+                    "re-dispatch); declaring the query timed out",
+                    timeout_seconds=self.straggler_timeout,
+                    elapsed_seconds=now - dispatched_at,
+                )
+        return None
+
+
+def execute_parallel(
+    plan: "PhysicalPlan | OptimizedPlan",
+    certificate: PartitionCertificate,
+    *,
+    workers: int,
+    pool: str = "thread",
+    mode: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    counters: Optional[ExecutionCounters] = None,
+    partition_counters: Optional[PartitionCounters] = None,
+    guard: Optional[QueryGuard] = None,
+    tracer: Optional[Tracer] = None,
+    retry: Optional[RetryPolicy] = None,
+    straggler_timeout: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+    verify: bool = True,
+) -> BaseSequence:
+    """Execute a certified plan across a worker pool, merging in order.
+
+    The parallel counterpart of
+    :func:`~repro.execution.partition.execute_partitioned`: identical
+    answers, identical refusal discipline (unchecked certificates are
+    re-verified first), plus the supervisor's fault containment,
+    cancellation fan-out, shared budgets, and straggler handling (see
+    the module docstring for the full contract).
+
+    Args:
+        plan: the stream-mode physical plan (or optimizer output) the
+            certificate was issued for.
+        certificate: a checked :class:`PartitionCertificate`; its
+            partition count is independent of ``workers`` (more
+            partitions than workers queue onto free lanes).
+        workers: worker-lane count; ``1`` executes inline on the
+            calling thread with the same supervisor semantics.
+        pool: ``"thread"`` (default) or ``"process"``.  Process workers
+            cannot share the guard, token, or tracer; budgets are
+            enforced at partition granularity and per-partition spans
+            carry no operator children.
+        mode: per-partition execution mode (``"batch"`` or ``"row"``).
+        batch_size: positions per batch in batch mode.
+        counters: execution counters; workers merge into them through
+            private per-attempt sets.
+        partition_counters: partition-analysis counters charged by the
+            certificate re-verification.
+        guard: shared query governor.  Thread workers observe it at
+            every checkpoint (it is thread-safe); for the parallel
+            section its cancellation token is *linked*, not replaced,
+            so caller cancellation reaches workers while sibling
+            fan-out never marks the caller's token.
+        tracer: optional span tracer; the run records a ``parallel``
+            span with one ``partition`` child span per attempt and
+            ``parallel:retry`` / ``parallel:straggler`` events.
+        retry: per-partition containment budget (default: the first
+            dispatch plus one retry).
+        straggler_timeout: soft per-partition seconds before one
+            speculative re-dispatch; a partition still unanswered one
+            soft timeout later raises
+            :class:`~repro.errors.QueryTimeoutError`.  None disables.
+        clock: injectable time source for the straggler watch.
+        verify: re-verify the certificate first (default).  Disable
+            only when the caller just checked this exact pair.
+
+    Raises:
+        ExecutionError: for invalid knobs (unknown pool, non-positive
+            workers or straggler timeout).
+        PartitionSoundnessError: when ``verify`` finds the certificate
+            unsound — never silently partitioned.
+        ParallelExecutionError: pool-spawn failure or untyped worker
+            death (the degradation ladder catches exactly this).
+        ReproError: any typed verdict from a worker, unchanged.
+    """
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise ExecutionError(
+            f"parallel workers must be a positive integer, got {workers!r}"
+        )
+    if pool not in POOL_KINDS:
+        raise ExecutionError(
+            f"unknown worker pool {pool!r}; expected one of {POOL_KINDS}"
+        )
+    if straggler_timeout is not None and not straggler_timeout > 0:
+        raise ExecutionError(
+            f"straggler timeout must be > 0 seconds, got {straggler_timeout!r}"
+        )
+    root = plan.plan if isinstance(plan, OptimizedPlan) else plan
+    if verify:
+        require_certificate(root, certificate, counters=partition_counters)
+    counters = counters if counters is not None else ExecutionCounters()
+    if not active(tracer):
+        tracer = None
+    if guard is not None:
+        guard.start()
+        _watch_plan_storage(root, guard)
+    supervisor = _Supervisor(
+        root,
+        certificate,
+        workers=workers,
+        pool=pool,
+        mode=mode,
+        batch_size=batch_size,
+        counters=counters,
+        guard=guard,
+        tracer=tracer,
+        retry=retry if retry is not None else DEFAULT_PARTITION_RETRY,
+        straggler_timeout=straggler_timeout,
+        clock=clock,
+    )
+    parallel_span = None
+    if tracer is not None:
+        parallel_span = tracer.begin(
+            "parallel",
+            CATEGORY_ENGINE,
+            attrs={
+                "workers": workers,
+                "parts": len(certificate.partitions),
+                "pool": pool,
+                "mode": mode,
+            },
+        )
+        supervisor.parallel_span = parallel_span
+    try:
+        if workers == 1 or len(certificate.partitions) == 1:
+            return supervisor.run_inline()
+        siblings = CancellationToken(
+            parent=guard.cancellation if guard is not None else None
+        )
+        if guard is not None:
+            original = guard.cancellation
+            guard.cancellation = siblings
+            try:
+                return supervisor.run_pooled(siblings)
+            finally:
+                guard.cancellation = original
+        supervisor.guard = QueryGuard(cancellation=siblings)
+        supervisor.guard.start()
+        return supervisor.run_pooled(siblings)
+    finally:
+        if tracer is not None and parallel_span is not None:
+            parallel_span.attrs["partitions_executed"] = counters.partitions_executed
+            tracer.end(parallel_span)

@@ -44,6 +44,7 @@ from repro.analysis.partition import (
 from repro.errors import ExecutionError
 from repro.execution.counters import ExecutionCounters
 from repro.execution.engine import DEFAULT_BATCH_SIZE, execute_plan
+from repro.execution.guard import QueryGuard
 from repro.model.base import BaseSequence
 from repro.model.record import Record
 from repro.model.span import Span
@@ -68,6 +69,8 @@ def partition_plan(
     plan: PhysicalPlan,
     partition: PartitionRange,
     paths: Optional[dict[int, str]] = None,
+    *,
+    copy_leaves: bool = True,
 ) -> PhysicalPlan:
     """Clone ``plan`` narrowed to one certified partition's input spans.
 
@@ -75,6 +78,19 @@ def partition_plan(
     node; every base-sequence leaf is rebuilt over a physical slice of
     its stored sequence (see the module docstring for why slicing, not
     just span narrowing, is required).
+
+    Args:
+        plan: the full physical plan the certificate covers.
+        partition: the certified partition to narrow to.
+        paths: precomputed :func:`plan_paths` of ``plan`` (recomputed
+            when omitted).
+        copy_leaves: physically slice leaf sequences (the default, and
+            the only sound choice when partitions execute
+            concurrently).  ``False`` keeps the original leaf
+            sequences and only narrows spans — valid solely for a
+            single-partition plan executed in one thread, where the
+            slice would be a full copy of the input for no isolation
+            gain.
 
     Raises:
         ExecutionError: when the certificate records no span for some
@@ -92,7 +108,7 @@ def partition_plan(
             )
         children = tuple(clone(child) for child in node.children)
         operator = node.node
-        if not node.children and isinstance(operator, SequenceLeaf):
+        if not node.children and isinstance(operator, SequenceLeaf) and copy_leaves:
             leaf_span = partition.leaf_spans.get(path, narrowed)
             operator = SequenceLeaf(
                 slice_sequence(operator.sequence, leaf_span),
@@ -150,6 +166,7 @@ def execute_partitioned(
     batch_size: int = DEFAULT_BATCH_SIZE,
     counters: Optional[ExecutionCounters] = None,
     partition_counters: Optional[PartitionCounters] = None,
+    guard: Optional[QueryGuard] = None,
     tracer: Optional[Tracer] = None,
     verify: bool = True,
 ) -> BaseSequence:
@@ -164,6 +181,9 @@ def execute_partitioned(
         counters: execution counters shared across all partitions.
         partition_counters: partition-analysis counters charged by the
             certificate check.
+        guard: per-query governor, enforced inside every partition's
+            execution (one budget for the whole query, not one per
+            partition).
         tracer: optional span tracer; each partition runs under its own
             ``partition`` span.
         verify: re-verify the certificate through the independent
@@ -197,6 +217,7 @@ def execute_partitioned(
                     counters,
                     mode=mode,
                     batch_size=batch_size,
+                    guard=guard,
                     tracer=tracer,
                 )
             )

@@ -208,6 +208,46 @@ class Tracer:
         span.events.append(event)
         return event
 
+    # -- parallel workers ----------------------------------------------------
+
+    def fork(self) -> "Tracer":
+        """A child tracer sharing this tracer's clock and epoch.
+
+        A tracer is single-threaded state (span ids, the parent stack,
+        the span list), so the parallel supervisor gives every worker a
+        fork instead of sharing itself: the worker records into its
+        private fork, and the supervisor — single-threaded again —
+        grafts the result back with :meth:`adopt` when the partition
+        completes.  Sharing the epoch keeps child timestamps on the
+        parent's timeline, so adopted spans land at their true offsets.
+        """
+        child = Tracer(
+            enabled=self.enabled, clock=self.clock, row_stride=self.row_stride
+        )
+        child._epoch = self._epoch
+        return child
+
+    def adopt(self, child: "Tracer", under: Optional[TraceSpan] = None) -> None:
+        """Graft a forked tracer's spans into this tracer.
+
+        Span ids are remapped into this tracer's id space (preserving
+        the child's internal parent/child structure); the child's root
+        spans are re-parented under ``under`` when given.  Call only
+        from the thread that owns this tracer, after the child's worker
+        has finished recording.
+        """
+        id_map: dict[int, int] = {}
+        for span in child.spans:
+            id_map[span.span_id] = self._next_id
+            span.span_id = self._next_id
+            self._next_id += 1
+            if span.parent_id is not None:
+                span.parent_id = id_map[span.parent_id]
+            elif under is not None:
+                span.parent_id = under.span_id
+            self.spans.append(span)
+        child.spans = []
+
     # -- finalization --------------------------------------------------------
 
     def add_finalizer(self, fn: Callable[[], None]) -> None:

@@ -1,0 +1,526 @@
+"""Tests for the fault-tolerant parallel partitioned runtime (DESIGN §14).
+
+Five halves:
+
+* **equivalence** — the parallel supervisor reproduces the row-oracle
+  answer across worker counts {1, 2, 4}, both execution modes, and
+  both pool kinds, with counters merged and per-partition spans
+  adopted into the caller's tracer;
+* **containment** — transient faults earn one bounded per-partition
+  retry (``partition_retries`` accounts for every one), permanent
+  faults fail fast, and untyped worker death surfaces as the typed
+  :class:`~repro.errors.ParallelExecutionError`;
+* **supervision** — stragglers get exactly one speculative re-dispatch
+  before a typed timeout, a failing partition cancels its siblings
+  without ever marking the caller's cancellation token, and a shared
+  guard bounds the whole query across workers;
+* **chaos** — the PR 4 fault matrix holds under parallel execution
+  (exact answer or typed error, never a wrong answer), and seeded
+  fault traces are identical across worker counts because partition
+  preparation is serial;
+* **the ladder** — ``parallel="auto"`` degrades parallel →
+  sequential-partitioned → row oracle on infrastructure failures,
+  charging ``parallel_fallbacks`` and tracing ``parallel:fallback``,
+  while ``force`` raises the typed refusal instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.execution.parallel as par
+import repro.execution.partition as part
+from repro.algebra import base
+from repro.analysis.partition import PartitionSoundnessError, certify
+from repro.catalog import Catalog
+from repro.errors import (
+    ExecutionError,
+    ParallelExecutionError,
+    PermanentStorageError,
+    QueryCancelledError,
+    QueryGuardError,
+    QueryTimeoutError,
+    TransientStorageError,
+)
+from repro.execution import (
+    CancellationToken,
+    ExecutionCounters,
+    QueryGuard,
+    execute_parallel,
+    execute_plan,
+    run_query,
+    validate_execution_args,
+)
+from repro.lang import compile_query
+from repro.model import Span
+from repro.obs.tracer import Tracer
+from repro.optimizer import optimize
+from repro.storage import FaultPlan, StoredSequence
+from repro.workloads import StockSpec, generate_stock
+
+WORKERS = (1, 2, 4)
+PARTS = 4
+
+
+def optimized(source: str, catalog):
+    """Compile and optimize one query source against ``catalog``."""
+    return optimize(compile_query(source, catalog), catalog=catalog).plan
+
+
+def row_oracle(plan):
+    """The unpartitioned row-mode answer, as (position, record) pairs."""
+    root = plan.plan
+    return list(
+        execute_plan(root, root.span, ExecutionCounters(), mode="row").iter_nonnull()
+    )
+
+
+@pytest.fixture(scope="module")
+def certified(table1):
+    """A windowed plan, its 4-way certificate, and the oracle answer."""
+    catalog, _sequences = table1
+    plan = optimized("window(ibm, avg, close, 6, ma6)", catalog)
+    return plan, certify(plan, PARTS), row_oracle(plan)
+
+
+def run_parallel(certified, **kwargs):
+    """Run the certified fixture plan under the supervisor."""
+    plan, certificate, _oracle = certified
+    counters = kwargs.pop("counters", ExecutionCounters())
+    answer = execute_parallel(plan, certificate, counters=counters, **kwargs)
+    return answer, counters
+
+
+class TestEquivalence:
+    """Parallel answers equal the row oracle, counters and all."""
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("mode", ("row", "batch"))
+    def test_matches_row_oracle(self, certified, workers, mode):
+        answer, counters = run_parallel(certified, workers=workers, mode=mode)
+        assert list(answer.iter_nonnull()) == certified[2]
+        assert counters.partitions_executed == PARTS
+        assert counters.partition_retries == 0
+        assert counters.stragglers_redispatched == 0
+
+    def test_process_pool_matches_row_oracle(self, certified):
+        answer, counters = run_parallel(certified, workers=2, pool="process")
+        assert list(answer.iter_nonnull()) == certified[2]
+        assert counters.partitions_executed == PARTS
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_partition_spans_adopted(self, certified, workers):
+        tracer = Tracer()
+        answer, _counters = run_parallel(certified, workers=workers, tracer=tracer)
+        assert list(answer.iter_nonnull()) == certified[2]
+        (parallel_span,) = tracer.find("parallel")
+        assert parallel_span.attrs["partitions_executed"] == PARTS
+        partition_spans = tracer.find("partition")
+        assert len(partition_spans) == PARTS
+        assert {s.attrs["index"] for s in partition_spans} == set(range(PARTS))
+        # Worker-side operator spans were grafted under partition spans.
+        partition_ids = {s.span_id for s in partition_spans}
+        adopted = [s for s in tracer.spans if s.parent_id in partition_ids]
+        assert adopted
+
+    def test_more_partitions_than_workers_queue(self, table1):
+        catalog, _sequences = table1
+        plan = optimized("select(ibm, close > 115.0)", catalog)
+        certificate = certify(plan, 8)
+        counters = ExecutionCounters()
+        answer = execute_parallel(plan, certificate, workers=2, counters=counters)
+        assert list(answer.iter_nonnull()) == row_oracle(plan)
+        assert counters.partitions_executed == 8
+
+    def test_verify_rejects_foreign_certificate(self, certified, table1):
+        catalog, _sequences = table1
+        _plan, certificate, _oracle = certified
+        other = optimized("select(ibm, close > 115.0)", catalog)
+        with pytest.raises(PartitionSoundnessError):
+            execute_parallel(other, certificate, workers=2)
+
+    def test_knob_validation(self, certified):
+        plan, certificate, _oracle = certified
+        for workers in (0, -1, True, 1.5):
+            with pytest.raises(ExecutionError):
+                execute_parallel(plan, certificate, workers=workers)
+        with pytest.raises(ExecutionError):
+            execute_parallel(plan, certificate, workers=2, pool="fiber")
+        with pytest.raises(ExecutionError):
+            execute_parallel(plan, certificate, workers=2, straggler_timeout=0)
+
+    def test_engine_knob_validation(self):
+        with pytest.raises(ExecutionError):
+            validate_execution_args("batch", 64, None, "sideways")
+        with pytest.raises(ExecutionError):
+            validate_execution_args("batch", 64, None, "auto", 0)
+        with pytest.raises(ExecutionError):
+            validate_execution_args("batch", 64, None, "auto", 2, "fiber")
+        with pytest.raises(ExecutionError):
+            validate_execution_args("batch", 64, None, "auto", 2, "thread", -1.0)
+
+
+class TestContainment:
+    """Per-partition fault containment and the retry accounting."""
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_transient_execution_fault_retried(self, certified, workers, monkeypatch):
+        real = par._execute_partition
+        lock = threading.Lock()
+        failed: list[int] = []
+
+        def flaky(subplan, window, mode, batch_size, guard, tracer):
+            with lock:
+                inject = not failed and window.start not in failed
+                if inject:
+                    failed.append(window.start)
+            if inject:
+                raise TransientStorageError("injected transient worker fault")
+            return real(subplan, window, mode, batch_size, guard, tracer)
+
+        monkeypatch.setattr(par, "_execute_partition", flaky)
+        answer, counters = run_parallel(certified, workers=workers)
+        assert list(answer.iter_nonnull()) == certified[2]
+        assert counters.partitions_executed == PARTS
+        assert counters.partition_retries == 1
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_transient_budget_exhausted_raises(self, certified, workers, monkeypatch):
+        def always(subplan, window, mode, batch_size, guard, tracer):
+            raise TransientStorageError("injected persistent transient fault")
+
+        monkeypatch.setattr(par, "_execute_partition", always)
+        counters = ExecutionCounters()
+        with pytest.raises(TransientStorageError):
+            run_parallel(certified, workers=workers, counters=counters)
+        # One retry per partition that reached its second attempt; at
+        # least the first-failing partition exhausted its budget.
+        assert counters.partition_retries >= 1
+        assert counters.partitions_executed == 0
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_permanent_fault_fails_fast(self, certified, workers, monkeypatch):
+        def doomed(subplan, window, mode, batch_size, guard, tracer):
+            raise PermanentStorageError("injected lost page")
+
+        monkeypatch.setattr(par, "_execute_partition", doomed)
+        counters = ExecutionCounters()
+        with pytest.raises(PermanentStorageError):
+            run_parallel(certified, workers=workers, counters=counters)
+        assert counters.partition_retries == 0
+
+    def test_untyped_worker_death_is_typed(self, certified, monkeypatch):
+        real = par._execute_partition
+
+        def dying(subplan, window, mode, batch_size, guard, tracer):
+            if window.start == certified[1].partitions[1].window.start:
+                raise ValueError("worker bug, not a typed fault")
+            return real(subplan, window, mode, batch_size, guard, tracer)
+
+        monkeypatch.setattr(par, "_execute_partition", dying)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_parallel(certified, workers=2)
+        assert excinfo.value.partition_index == 1
+        assert "ValueError" in str(excinfo.value)
+
+    def test_pool_spawn_failure_is_typed(self, certified, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("cannot allocate thread")
+
+        monkeypatch.setattr(par, "ThreadPoolExecutor", refuse)
+        with pytest.raises(ParallelExecutionError):
+            run_parallel(certified, workers=2)
+
+
+class TestSupervision:
+    """Stragglers, cancellation fan-out, and the shared budget."""
+
+    def test_straggler_speculation_rescues(self, certified, monkeypatch):
+        slow_start = certified[1].partitions[0].window.start
+        gate = threading.Event()
+        real = par._execute_partition
+        lock = threading.Lock()
+        attempts: list[int] = []
+
+        def stub(subplan, window, mode, batch_size, guard, tracer):
+            if window.start == slow_start:
+                with lock:
+                    attempts.append(window.start)
+                    first = len(attempts) == 1
+                if first:
+                    gate.wait(10.0)
+            return real(subplan, window, mode, batch_size, guard, tracer)
+
+        monkeypatch.setattr(par, "_execute_partition", stub)
+        try:
+            answer, counters = run_parallel(
+                certified, workers=2, straggler_timeout=0.05
+            )
+        finally:
+            gate.set()
+        assert list(answer.iter_nonnull()) == certified[2]
+        assert counters.stragglers_redispatched == 1
+        assert counters.partitions_executed == PARTS
+        assert len(attempts) == 2
+
+    def test_straggler_twice_times_out(self, certified, monkeypatch):
+        slow_start = certified[1].partitions[0].window.start
+        gate = threading.Event()
+        real = par._execute_partition
+
+        def stub(subplan, window, mode, batch_size, guard, tracer):
+            if window.start == slow_start:
+                gate.wait(10.0)
+            return real(subplan, window, mode, batch_size, guard, tracer)
+
+        monkeypatch.setattr(par, "_execute_partition", stub)
+        counters = ExecutionCounters()
+        try:
+            with pytest.raises(QueryTimeoutError) as excinfo:
+                run_parallel(
+                    certified,
+                    workers=2,
+                    counters=counters,
+                    straggler_timeout=0.05,
+                )
+        finally:
+            gate.set()
+        assert counters.stragglers_redispatched == 1
+        assert excinfo.value.timeout_seconds == 0.05
+
+    def test_failure_cancels_siblings_not_caller(self, certified, monkeypatch):
+        real = par._execute_partition
+        bad_start = certified[1].partitions[1].window.start
+
+        def dying(subplan, window, mode, batch_size, guard, tracer):
+            if window.start == bad_start:
+                raise ValueError("boom")
+            return real(subplan, window, mode, batch_size, guard, tracer)
+
+        monkeypatch.setattr(par, "_execute_partition", dying)
+        token = CancellationToken()
+        guard = QueryGuard(cancellation=token)
+        with pytest.raises(ParallelExecutionError):
+            run_parallel(certified, workers=2, guard=guard)
+        assert not token.cancelled
+        assert guard.cancellation is token
+
+    def test_caller_cancel_reaches_workers(self, certified):
+        token = CancellationToken()
+        token.cancel()
+        guard = QueryGuard(cancellation=token)
+        with pytest.raises(QueryCancelledError):
+            run_parallel(certified, workers=2, guard=guard)
+        assert guard.cancellation is token
+
+    def test_shared_record_budget_bounds_the_query(self, certified):
+        total = len(certified[2])
+        guard = QueryGuard(max_records=total // 2)
+        with pytest.raises(QueryGuardError):
+            run_parallel(certified, workers=2, guard=guard)
+        # The full budget admits the query across the same workers.
+        answer, _counters = run_parallel(
+            certified, workers=2, guard=QueryGuard(max_records=total)
+        )
+        assert list(answer.iter_nonnull()) == certified[2]
+
+    def test_guard_record_accounting_is_thread_safe(self):
+        guard = QueryGuard()
+        guard.start()
+        lanes, per_lane = 8, 2000
+
+        def hammer():
+            for _ in range(per_lane):
+                guard.note_records(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(lanes)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert guard.records_emitted == lanes * per_lane
+
+
+SPAN = Span(0, 299)
+
+FAULT_CLASSES = {
+    "transient": dict(transient_rate=0.15),
+    "permanent": dict(permanent_rate=0.05),
+    "corrupt": dict(corrupt_rate=0.05),
+    "mixed": dict(
+        transient_rate=0.1, permanent_rate=0.02, corrupt_rate=0.02, latency_rate=0.1
+    ),
+}
+
+
+def stored_query(fault_plan=None):
+    """The chaos workload over a (possibly fault-injecting) disk."""
+    source = generate_stock(StockSpec("s", SPAN, 1.0, seed=5))
+    stored = StoredSequence.from_sequence(
+        "s", source, fault_plan=fault_plan, page_capacity=16, buffer_pages=8
+    )
+    catalog = Catalog()
+    catalog.register("s", stored)
+    query = base(stored, "s").window("avg", "close", 7).query()
+    return query, catalog, stored
+
+
+class TestChaosParallel:
+    """The PR 4 chaos contract holds under parallel execution."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        query, catalog, _stored = stored_query()
+        return run_query(query, catalog=catalog).to_pairs()
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("fault_class", sorted(FAULT_CLASSES))
+    def test_exact_answer_or_typed_error(self, reference, workers, fault_class):
+        for seed in (1, 2):
+            plan = FaultPlan(seed, **FAULT_CLASSES[fault_class])
+            query, catalog, _stored = stored_query(plan)
+            try:
+                answer = run_query(
+                    query, catalog=catalog, parallel="force", workers=workers
+                )
+            except (TransientStorageError, PermanentStorageError):
+                continue
+            assert answer.to_pairs() == reference, (fault_class, seed, workers)
+
+    @pytest.mark.parametrize("fault_class", sorted(FAULT_CLASSES))
+    def test_seeded_faults_deterministic_across_workers(self, fault_class):
+        outcomes = []
+        for workers in WORKERS:
+            # Fresh disk per run, same seed, same fixed 4-way
+            # certificate: only the worker count varies.
+            fault_plan = FaultPlan(3, **FAULT_CLASSES[fault_class])
+            source = generate_stock(StockSpec("s", SPAN, 1.0, seed=5))
+            stored = StoredSequence.from_sequence(
+                "s", source, fault_plan=fault_plan, page_capacity=16, buffer_pages=8
+            )
+            plan = optimize(
+                base(stored, "s").window("avg", "close", 7).query()
+            ).plan
+            certificate = certify(plan, PARTS)
+            counters = ExecutionCounters()
+            try:
+                answer = execute_parallel(
+                    plan, certificate, workers=workers, counters=counters
+                ).to_pairs()
+                verdict = ("answer", answer)
+            except (TransientStorageError, PermanentStorageError) as error:
+                verdict = ("error", type(error).__name__)
+            storage = stored.counters
+            outcomes.append(
+                (
+                    verdict,
+                    storage.faults_injected,
+                    storage.retries_attempted,
+                    storage.retries_exhausted,
+                    counters.partition_retries,
+                )
+            )
+        # Serial preparation makes the fault trace — not just the
+        # outcome — identical no matter how many workers execute.
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestLadder:
+    """The engine's parallel degradation ladder (DESIGN §14)."""
+
+    def ladder_run(self, table1, source, **kwargs):
+        catalog, _sequences = table1
+        plan = optimized(source, catalog)
+        counters = ExecutionCounters()
+        tracer = Tracer()
+        answer = execute_plan(
+            plan.plan,
+            plan.output_span,
+            counters,
+            tracer=tracer,
+            workers=2,
+            **kwargs,
+        )
+        return plan, answer, counters, tracer
+
+    def fallback_events(self, tracer):
+        # Degraded rungs open nested per-partition "execute" spans;
+        # the ladder's events land on the parentless root.
+        root = next(s for s in tracer.find("execute") if s.parent_id is None)
+        return [e for e in root.events if e.name == "parallel:fallback"]
+
+    def test_auto_runs_parallel_when_certifiable(self, table1):
+        plan, answer, counters, _tracer = self.ladder_run(
+            table1, "window(ibm, avg, close, 6, ma6)", parallel="auto"
+        )
+        assert list(answer.iter_nonnull()) == row_oracle(plan)
+        assert counters.partitions_executed == 2
+        assert counters.parallel_fallbacks == 0
+
+    def test_auto_refusal_degrades_to_single_thread(self, table1):
+        plan, answer, counters, tracer = self.ladder_run(
+            table1, "cumulative(ibm, max, close)", parallel="auto"
+        )
+        assert list(answer.iter_nonnull()) == row_oracle(plan)
+        assert counters.partitions_executed == 0
+        assert counters.parallel_fallbacks == 1
+        events = self.fallback_events(tracer)
+        assert [e.attrs["rung"] for e in events] == ["single-thread"]
+
+    def test_force_refusal_raises_typed(self, table1):
+        with pytest.raises(PartitionSoundnessError) as excinfo:
+            self.ladder_run(table1, "cumulative(ibm, max, close)", parallel="force")
+        assert "not parallel-decomposable" in str(excinfo.value)
+
+    def test_infrastructure_failure_degrades_sequential(self, table1, monkeypatch):
+        def broken(*args, **kwargs):
+            raise ParallelExecutionError("pool lost")
+
+        monkeypatch.setattr(par, "execute_parallel", broken)
+        plan, answer, counters, tracer = self.ladder_run(
+            table1, "window(ibm, avg, close, 6, ma6)", parallel="auto"
+        )
+        assert list(answer.iter_nonnull()) == row_oracle(plan)
+        assert counters.parallel_fallbacks == 1
+        events = self.fallback_events(tracer)
+        assert [e.attrs["rung"] for e in events] == ["sequential-partitioned"]
+        assert events[0].attrs["error"] == "ParallelExecutionError"
+
+    def test_double_failure_degrades_to_row_oracle(self, table1, monkeypatch):
+        def broken(*args, **kwargs):
+            raise ParallelExecutionError("pool lost")
+
+        def also_broken(*args, **kwargs):
+            raise ExecutionError("sequential partitioning bug")
+
+        monkeypatch.setattr(par, "execute_parallel", broken)
+        monkeypatch.setattr(part, "execute_partitioned", also_broken)
+        plan, answer, counters, tracer = self.ladder_run(
+            table1, "window(ibm, avg, close, 6, ma6)", parallel="auto"
+        )
+        assert list(answer.iter_nonnull()) == row_oracle(plan)
+        assert counters.parallel_fallbacks == 2
+        rungs = [e.attrs["rung"] for e in self.fallback_events(tracer)]
+        assert rungs == ["sequential-partitioned", "row-oracle"]
+
+    def test_force_infrastructure_failure_raises(self, table1, monkeypatch):
+        def broken(*args, **kwargs):
+            raise ParallelExecutionError("pool lost")
+
+        monkeypatch.setattr(par, "execute_parallel", broken)
+        with pytest.raises(ParallelExecutionError):
+            self.ladder_run(
+                table1, "window(ibm, avg, close, 6, ma6)", parallel="force"
+            )
+
+    def test_ladder_never_swallows_guard_verdicts(self, table1, monkeypatch):
+        def verdict(*args, **kwargs):
+            raise QueryCancelledError("cancelled mid-flight")
+
+        monkeypatch.setattr(par, "execute_parallel", verdict)
+        with pytest.raises(QueryCancelledError):
+            self.ladder_run(
+                table1, "window(ibm, avg, close, 6, ma6)", parallel="auto"
+            )
