@@ -1,0 +1,250 @@
+"""E-profile — what continuous profiling costs when it is always on.
+
+The flight recorder is designed to run on *every* query, so its budget
+is far tighter than tracing's:
+
+* **recorder**: ``run_query_detailed(recorder=FlightRecorder(...))``
+  with operator sampling off — one fingerprint hash, one clock pair,
+  one profile append, and a handful of histogram observations per
+  query — must stay within 2% of a bare run;
+* **recorder + tracing**: the promoted/sampled path (full span
+  capture feeding top-K operator self-times into the profile) inherits
+  the §10 tracing budget: within 10% of bare.
+
+Both bounds are on the mean across shapes/modes (per-shape noise on CI
+machines makes per-shape bounds flaky; the mean is stable).
+
+Run as a script to (re)generate the committed perf baseline::
+
+    PYTHONPATH=src python benchmarks/bench_profile_overhead.py --out BENCH_profile.json
+    PYTHONPATH=src python benchmarks/bench_profile_overhead.py --smoke   # CI-sized
+
+or under pytest-benchmark like the other files here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Optional
+
+import pytest
+
+from repro.bench import print_table
+from repro.algebra import base, col, lit
+from repro.execution import run_query_detailed
+from repro.model import Span
+from repro.obs import FlightRecorder, Tracer
+from repro.workloads import StockSpec, generate_stock
+
+#: Positions in the generated stock walks (full vs --smoke runs).
+FULL_POSITIONS = 40_000
+SMOKE_POSITIONS = 4_000
+DENSITY = 0.95
+
+#: Maximum acceptable mean slowdown with the recorder attached.
+RECORDER_BUDGET = 0.02
+#: Maximum acceptable mean slowdown with recorder + full span capture.
+TRACED_BUDGET = 0.10
+
+#: Budgets by run size.  The full-size numbers are the contract the
+#: committed BENCH_profile.json is generated under; the smoke bounds
+#: are deliberately loose — a smoke batch run is ~2ms, where scheduler
+#: noise alone swings the ratio by tens of percent — so CI catches a
+#: recorder that got *expensive*, not one that got unlucky.
+BUDGETS = {
+    "full": {"recorder": RECORDER_BUDGET, "traced": TRACED_BUDGET},
+    "smoke": {"recorder": 0.10, "traced": 0.35},
+}
+
+
+def _shapes(positions: int) -> dict[str, object]:
+    """Benchmark queries over a freshly generated walk."""
+    span = Span(0, positions - 1)
+    stock = generate_stock(StockSpec("s", span, DENSITY, seed=5))
+    return {
+        "scan-select-project": (
+            base(stock, "s")
+            .select(col("volume") > lit(3000))
+            .project("close", "volume")
+            .query()
+        ),
+        "window-agg": base(stock, "s").window("avg", "close", 16, "ma16").query(),
+    }
+
+
+def _best_of_interleaved(
+    fns: list[Callable[[], object]], repetitions: int
+) -> list[float]:
+    """Minimum wall-clock seconds per function, repetitions interleaved.
+
+    Round-robin ordering (a, b, c, a, b, c, ...) instead of timing each
+    configuration's repetitions back to back: a multi-second system
+    slowdown then lands on *every* configuration's sample set, so the
+    per-configuration minima stay comparable and the overhead ratios
+    don't get poisoned by one unlucky stretch.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(repetitions):
+        for i, fn in enumerate(fns):
+            started = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - started)
+    return best
+
+
+def measure_overhead(positions: int, repetitions: int = 5) -> dict:
+    """Time every shape/mode bare, recorded, and recorded + traced.
+
+    The recorder persists across repetitions (its ring wraps), exactly
+    like a long-lived service recorder; a fresh tracer per run matches
+    how the engine allocates one for a promoted query.
+    """
+    rows = []
+    for name, query in _shapes(positions).items():
+        for mode in ("batch", "row"):
+            recorder = FlightRecorder(64)
+
+            def run(recorder=None, tracer=None, mode=mode):
+                return run_query_detailed(
+                    query, mode=mode, recorder=recorder, tracer=tracer
+                ).output
+
+            # Identical answers in all three configurations, asserted
+            # before timing anything.
+            reference = run().to_pairs()
+            assert run(recorder=recorder).to_pairs() == reference, name
+            assert run(recorder=recorder, tracer=Tracer()).to_pairs() == reference, name
+            bare_s, recorded_s, traced_s = _best_of_interleaved(
+                [
+                    lambda: run(),
+                    lambda: run(recorder=recorder),
+                    lambda: run(recorder=recorder, tracer=Tracer()),
+                ],
+                repetitions,
+            )
+            assert recorder.recorded > 0 and recorder.hists
+            rows.append(
+                {
+                    "shape": name,
+                    "mode": mode,
+                    "bare_seconds": round(bare_s, 6),
+                    "recorded_seconds": round(recorded_s, 6),
+                    "traced_seconds": round(traced_s, 6),
+                    "recorder_overhead": round(recorded_s / bare_s - 1.0, 4),
+                    "traced_overhead": round(traced_s / bare_s - 1.0, 4),
+                }
+            )
+    recorder_mean = sum(r["recorder_overhead"] for r in rows) / len(rows)
+    traced_mean = sum(r["traced_overhead"] for r in rows) / len(rows)
+    return {
+        "benchmark": "bench_profile_overhead",
+        "config": {
+            "positions": positions,
+            "density": DENSITY,
+            "repetitions": repetitions,
+            "recorder_budget": RECORDER_BUDGET,
+            "traced_budget": TRACED_BUDGET,
+        },
+        "shapes": rows,
+        "recorder_mean_overhead": round(recorder_mean, 4),
+        "traced_mean_overhead": round(traced_mean, 4),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Script entry point: print the table, optionally write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run ({SMOKE_POSITIONS} positions instead of "
+        f"{FULL_POSITIONS})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the measurements as JSON (e.g. BENCH_profile.json)",
+    )
+    args = parser.parse_args(argv)
+    positions = SMOKE_POSITIONS if args.smoke else FULL_POSITIONS
+    budgets = BUDGETS["smoke" if args.smoke else "full"]
+    payload = measure_overhead(positions)
+    print_table(
+        ["shape", "mode", "bare s", "recorded s", "traced s",
+         "recorder", "traced"],
+        [
+            [r["shape"], r["mode"], r["bare_seconds"], r["recorded_seconds"],
+             r["traced_seconds"],
+             f'{r["recorder_overhead"] * 100:+.1f}%',
+             f'{r["traced_overhead"] * 100:+.1f}%']
+            for r in payload["shapes"]
+        ],
+        title=f"Flight-recorder overhead, {positions} positions "
+        "(identical answers asserted in all configurations)",
+    )
+    recorder_mean = payload["recorder_mean_overhead"]
+    traced_mean = payload["traced_mean_overhead"]
+    print(
+        f"mean overhead: recorder {recorder_mean * 100:+.2f}% "
+        f"(budget {budgets['recorder'] * 100:.0f}%), "
+        f"recorder+tracing {traced_mean * 100:+.2f}% "
+        f"(budget {budgets['traced'] * 100:.0f}%)"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    status = 0
+    if recorder_mean > budgets["recorder"]:
+        print(
+            f"FAIL: mean recorder overhead {recorder_mean * 100:.2f}% over budget"
+        )
+        status = 1
+    if traced_mean > budgets["traced"]:
+        print(
+            f"FAIL: mean recorder+tracing overhead "
+            f"{traced_mean * 100:.2f}% over budget"
+        )
+        status = 1
+    return status
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shaped():
+    """The benchmark queries at smoke size."""
+    return _shapes(SMOKE_POSITIONS)
+
+
+@pytest.mark.parametrize("shape", ["scan-select-project", "window-agg"])
+@pytest.mark.parametrize(
+    "variant", ["bare", "recorded", "traced"], ids=["bare", "recorded", "traced"]
+)
+def test_profile_overhead(benchmark, shaped, shape, variant):
+    query = shaped[shape]
+    recorder = FlightRecorder(64) if variant != "bare" else None
+    tracer_of = {"bare": lambda: None, "recorded": lambda: None, "traced": Tracer}[
+        variant
+    ]
+    result = benchmark(
+        lambda: run_query_detailed(
+            query, mode="batch", recorder=recorder, tracer=tracer_of()
+        )
+    )
+    benchmark.extra_info["records"] = len(result.output)
+
+
+def test_profile_overhead_report(benchmark):
+    payload = measure_overhead(SMOKE_POSITIONS, repetitions=3)
+    assert payload["recorder_mean_overhead"] <= BUDGETS["smoke"]["recorder"]
+    assert payload["traced_mean_overhead"] <= BUDGETS["smoke"]["traced"]
+    benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

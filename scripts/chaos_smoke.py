@@ -6,6 +6,11 @@ checks the chaos contract from DESIGN §9: each run either returns the
 exact fault-free answer or fails with a typed storage error.  A wrong
 answer — or an untyped exception — fails the job.
 
+Every engine run goes through a shared :class:`FlightRecorder`, and the
+job closes by checking the observability side of the contract
+(DESIGN §15): each successful run left exactly one clean profile, and
+every failure profile names a *typed* error class.
+
 The default run includes one parallel scenario (the batch executor
 under the parallel partitioned supervisor); ``--workers`` widens the
 whole matrix to that worker count, which is how CI exercises the
@@ -25,12 +30,14 @@ from repro.errors import (
     CorruptPageError,
     PermanentStorageError,
     QueryGuardError,
+    ResourceBudgetExceededError,
     TransientStorageError,
 )
 from repro.algebra import base
 from repro.catalog import Catalog
-from repro.execution import run_query
+from repro.execution import QueryGuard, run_query
 from repro.model import Span
+from repro.obs import FlightRecorder
 from repro.storage import FaultPlan, StoredSequence
 from repro.workloads import StockSpec, generate_stock
 
@@ -105,6 +112,8 @@ def main(argv=None) -> int:
     query, catalog, _ = make_query()
     reference = run_query(query, catalog=catalog).to_pairs()
     violations = 0
+    engine_successes = 0
+    recorder = FlightRecorder(1024)
     matrix = scenarios(args.workers)
     print(f"{'fault class':<12} {'scenario':<16} {'exact':>6} {'typed-fail':>10}")
     for name, rates in FAULT_CLASSES.items():
@@ -116,7 +125,10 @@ def main(argv=None) -> int:
                     # Registration scans the stored sequence for stats,
                     # so the faulty disk is live from this point on.
                     query, catalog, stored = make_query(plan)
-                    answer = run_query(query, catalog=catalog, **kwargs)
+                    answer = run_query(
+                        query, catalog=catalog, recorder=recorder, **kwargs
+                    )
+                    engine_successes += 1
                 except TYPED_FAILURES:
                     failed += 1
                     continue
@@ -152,6 +164,67 @@ def main(argv=None) -> int:
                     "produce the exact answer"
                 )
                 violations += 1
+    # The fault matrix usually kills a run during catalog registration
+    # (the stats scan reads the whole faulty disk first), which never
+    # reaches the engine — so force one *in-engine* typed failure to
+    # prove the recorder captures the error path too: a guarded run
+    # whose record budget the workload must blow.
+    query, catalog, _ = make_query()
+    try:
+        run_query(
+            query,
+            catalog=catalog,
+            guard=QueryGuard(max_records=10),
+            recorder=recorder,
+        )
+        print(
+            "CONTRACT VIOLATION: a 10-record budget did not stop the "
+            f"{SPAN} workload"
+        )
+        violations += 1
+    except ResourceBudgetExceededError:
+        pass
+    guarded = [
+        p for p in recorder.errors()
+        if p.error == "ResourceBudgetExceededError"
+    ]
+    if not guarded or guarded[-1].guard_verdict != "ResourceBudgetExceededError":
+        print(
+            "CONTRACT VIOLATION: the guarded failure left no typed error "
+            "profile in the flight recorder"
+        )
+        violations += 1
+
+    # Observability contract: the flight recorder must have profiled
+    # every run that reached the engine — one clean profile per success,
+    # and a typed error class on every failure profile.  (Failures that
+    # fire during catalog registration never reach the engine, so error
+    # profiles are a subset of the typed-failure count.)
+    typed_names = {cls.__name__ for cls in TYPED_FAILURES} | {
+        ResourceBudgetExceededError.__name__
+    }
+    clean_profiles = sum(1 for p in recorder.profiles() if p.ok)
+    untyped_profiles = [
+        p.error
+        for p in recorder.errors()
+        if p.error not in typed_names
+    ]
+    if clean_profiles != engine_successes:
+        print(
+            f"CONTRACT VIOLATION: {engine_successes} successful run(s) but "
+            f"{clean_profiles} clean flight-recorder profile(s)"
+        )
+        violations += 1
+    if untyped_profiles:
+        print(
+            "CONTRACT VIOLATION: flight recorder captured untyped error "
+            f"profile(s): {sorted(set(untyped_profiles))}"
+        )
+        violations += 1
+    print(
+        f"flight recorder: {recorder.recorded} profile(s), "
+        f"{clean_profiles} clean, {len(recorder.errors())} typed-error"
+    )
     if violations:
         print(f"{violations} chaos contract violation(s)")
         return 1

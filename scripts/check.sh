@@ -38,7 +38,15 @@
 #      shapes; supervisor overhead <=5% at workers=1)
 #  13. the trace round-trip check: traced runs exported as JSON Lines
 #      and Chrome trace_event must re-parse and validate against the
-#      pinned schemas in src/repro/obs/schema.py
+#      pinned schemas in src/repro/obs/schema.py — with and without an
+#      embedded metrics block
+#  14. a smoke-sized run of the profile-overhead benchmark (the
+#      always-on flight recorder must stay within its overhead budget;
+#      the full-size contract is <=2% recorder, <=10% with tracing)
+#  15. the perf-regression gate: every committed BENCH_*.json baseline
+#      must still satisfy its pinned ratio contract, and smoke replays
+#      of the exec/parallel/profile workloads must land inside the
+#      tolerance bands around the committed ratios
 #
 # Missing optional tools are skipped with a notice, not an error, so
 # the script works in minimal containers.
@@ -117,6 +125,12 @@ run_step "parallel speedup smoke" env PYTHONPATH=src \
 
 run_step "trace round-trip" env PYTHONPATH=src \
     python scripts/trace_roundtrip.py
+
+run_step "profile overhead smoke" env PYTHONPATH=src \
+    python benchmarks/bench_profile_overhead.py --smoke
+
+run_step "perf gate" env PYTHONPATH=src \
+    python scripts/check_perf.py
 
 if [ "${failures}" -ne 0 ]; then
     echo "${failures} check(s) failed"

@@ -1,0 +1,291 @@
+"""Perf-regression gate: replay workloads against the committed baselines.
+
+Every performance claim this repo ships is a committed ``BENCH_*.json``
+baseline produced by a benchmark's ``--out`` run.  This gate keeps
+those claims honest in two passes per baseline:
+
+* **baseline contract** — the committed file itself must still satisfy
+  the pinned ratio contract of its benchmark (batch speedup floors,
+  parallel modeled-speedup floor and supervisor-overhead budget,
+  recorder/tracing overhead budgets).  A regressed baseline cannot be
+  committed quietly;
+* **replay with tolerance bands** — the workload is re-measured at
+  smoke size and its *ratio* metrics (speedups, overheads — never
+  absolute seconds, which depend on the host) are compared against the
+  committed values.  The bands are wide, floored by each benchmark's
+  own smoke-size gates: CI hardware differs from the baseline host,
+  so the gate trips on "the ratio collapsed", not "the machine is
+  slower".
+
+Gated baselines: ``BENCH_exec.json`` (batch-over-row speedups, skipped
+when the active backend differs from the baseline's),
+``BENCH_parallel.json`` (modeled parallel speedup, workers=1
+overhead), ``BENCH_profile.json`` (flight-recorder and
+recorder+tracing overheads), ``BENCH_obs.json`` (tracer overheads,
+baseline contract only — its replay is check.sh's tracer-overhead
+smoke step).
+
+Exit code 0 when every gate holds, 1 with a ``FAIL:`` line per
+violated gate, 2 for a missing/corrupt baseline file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf.py
+    PYTHONPATH=src python scripts/check_perf.py --baseline-only   # no replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import bench_batch_speedup as exec_bench  # noqa: E402
+import bench_parallel_speedup as parallel_bench  # noqa: E402
+import bench_profile_overhead as profile_bench  # noqa: E402
+import bench_obs_overhead as obs_bench  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Replayed speedups may fall this far (relative) below the committed
+#: baseline before failing — smoke size plus foreign hardware shrink
+#: ratios legitimately; each benchmark's own smoke floor is the
+#: backstop that keeps the band from degenerating.
+SPEEDUP_TOLERANCE = 0.85
+
+#: Replayed overheads may exceed the committed baseline by this many
+#: absolute points (an overhead is already a ratio - 1.0).
+OVERHEAD_BAND = 0.10
+
+
+class GateFailure(Exception):
+    """One violated perf gate (collected, not fatal per se)."""
+
+
+def load_baseline(name: str) -> dict:
+    """Read and structurally validate one committed baseline."""
+    path = REPO_ROOT / name
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: missing committed baseline {name}")
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: unreadable baseline {name}: {error}")
+    for key in ("benchmark", "config"):
+        if key not in payload:
+            raise SystemExit(f"error: baseline {name} has no '{key}' field")
+    return payload
+
+
+def speedup_floor(baseline_value: float, smoke_floor: float) -> float:
+    """The replay band for a higher-is-better ratio metric."""
+    return max(smoke_floor, baseline_value * (1.0 - SPEEDUP_TOLERANCE))
+
+
+def overhead_ceiling(baseline_value: float, smoke_budget: float) -> float:
+    """The replay band for a lower-is-better ratio metric."""
+    return max(smoke_budget, baseline_value + OVERHEAD_BAND)
+
+
+def check_exec(replay: bool) -> list[str]:
+    """BENCH_exec.json: batch-over-row speedup per plan shape."""
+    failures = []
+    baseline = load_baseline("BENCH_exec.json")
+    backend = baseline["config"].get("backend", "vector")
+    by_shape = {s["shape"]: s["speedup"] for s in baseline["shapes"]}
+    full_floors = exec_bench.FLOORS[backend]["full"]
+    for shape, floor in full_floors.items():
+        committed = by_shape.get(shape)
+        if committed is None:
+            failures.append(f"BENCH_exec.json: shape {shape!r} missing")
+        elif committed < floor:
+            failures.append(
+                f"BENCH_exec.json: committed {shape} speedup {committed}x "
+                f"under the {floor}x contract"
+            )
+    if not replay:
+        return failures
+    active_backend = exec_bench._backend_name()
+    if active_backend != backend:
+        print(
+            f"  exec replay: active backend {active_backend!r} != baseline "
+            f"{backend!r}; gating against smoke floors only"
+        )
+    measured = exec_bench.compare_modes(
+        exec_bench.SMOKE_POSITIONS, repetitions=2
+    )
+    smoke_floors = exec_bench.FLOORS[active_backend]["smoke"]
+    for row in measured["shapes"]:
+        shape = row["shape"]
+        bound = smoke_floors[shape]
+        if active_backend == backend:
+            bound = speedup_floor(by_shape.get(shape, 0.0), bound)
+        print(
+            f"  exec replay: {shape} speedup {row['speedup']}x "
+            f"(band >= {round(bound, 2)}x)"
+        )
+        if row["speedup"] < bound:
+            failures.append(
+                f"replay: {shape} speedup {row['speedup']}x fell below "
+                f"the {round(bound, 2)}x band"
+            )
+    return failures
+
+
+def check_parallel(replay: bool) -> list[str]:
+    """BENCH_parallel.json: modeled speedup + supervisor overhead."""
+    failures = []
+    baseline = load_baseline("BENCH_parallel.json")
+    committed_speedup = baseline.get("min_gated_modeled_speedup_w4")
+    committed_overhead = baseline.get("max_gated_workers1_overhead")
+    if committed_speedup is None or committed_overhead is None:
+        failures.append("BENCH_parallel.json: gated ratio metrics missing")
+        return failures
+    if committed_speedup < parallel_bench.SPEEDUP_FLOOR:
+        failures.append(
+            f"BENCH_parallel.json: committed modeled speedup "
+            f"{committed_speedup}x under the "
+            f"{parallel_bench.SPEEDUP_FLOOR}x contract"
+        )
+    if committed_overhead > parallel_bench.OVERHEAD_BUDGET:
+        failures.append(
+            f"BENCH_parallel.json: committed workers=1 overhead "
+            f"{committed_overhead:+.2%} over the "
+            f"{parallel_bench.OVERHEAD_BUDGET:.0%} contract"
+        )
+    if not replay:
+        return failures
+    measured = parallel_bench.compare_modes(parallel_bench.SMOKE_POSITIONS)
+    speedup = measured["min_gated_modeled_speedup_w4"]
+    overhead = measured["max_gated_workers1_overhead"]
+    overhead_bound = overhead_ceiling(
+        committed_overhead, parallel_bench.OVERHEAD_BUDGET
+    )
+    print(
+        f"  parallel replay: modeled speedup {speedup}x "
+        f"(band >= {parallel_bench.SPEEDUP_FLOOR}x), workers=1 overhead "
+        f"{overhead:+.2%} (band <= {overhead_bound:.2%})"
+    )
+    if speedup < parallel_bench.SPEEDUP_FLOOR:
+        failures.append(
+            f"replay: modeled parallel speedup {speedup}x fell below "
+            f"the {parallel_bench.SPEEDUP_FLOOR}x band"
+        )
+    if overhead > overhead_bound:
+        failures.append(
+            f"replay: workers=1 supervisor overhead {overhead:+.2%} "
+            f"exceeded the {overhead_bound:.2%} band"
+        )
+    return failures
+
+
+def check_profile(replay: bool) -> list[str]:
+    """BENCH_profile.json: recorder + recorder-with-tracing overheads."""
+    failures = []
+    baseline = load_baseline("BENCH_profile.json")
+    committed_recorder = baseline.get("recorder_mean_overhead")
+    committed_traced = baseline.get("traced_mean_overhead")
+    if committed_recorder is None or committed_traced is None:
+        failures.append("BENCH_profile.json: mean overhead metrics missing")
+        return failures
+    if committed_recorder > profile_bench.RECORDER_BUDGET:
+        failures.append(
+            f"BENCH_profile.json: committed recorder overhead "
+            f"{committed_recorder:+.2%} over the "
+            f"{profile_bench.RECORDER_BUDGET:.0%} contract"
+        )
+    if committed_traced > profile_bench.TRACED_BUDGET:
+        failures.append(
+            f"BENCH_profile.json: committed recorder+tracing overhead "
+            f"{committed_traced:+.2%} over the "
+            f"{profile_bench.TRACED_BUDGET:.0%} contract"
+        )
+    if not replay:
+        return failures
+    measured = profile_bench.measure_overhead(
+        profile_bench.SMOKE_POSITIONS, repetitions=3
+    )
+    smoke_budgets = profile_bench.BUDGETS["smoke"]
+    recorder_bound = overhead_ceiling(
+        committed_recorder, smoke_budgets["recorder"]
+    )
+    traced_bound = overhead_ceiling(committed_traced, smoke_budgets["traced"])
+    recorder_mean = measured["recorder_mean_overhead"]
+    traced_mean = measured["traced_mean_overhead"]
+    print(
+        f"  profile replay: recorder {recorder_mean:+.2%} "
+        f"(band <= {recorder_bound:.2%}), recorder+tracing "
+        f"{traced_mean:+.2%} (band <= {traced_bound:.2%})"
+    )
+    if recorder_mean > recorder_bound:
+        failures.append(
+            f"replay: recorder overhead {recorder_mean:+.2%} exceeded "
+            f"the {recorder_bound:.2%} band"
+        )
+    if traced_mean > traced_bound:
+        failures.append(
+            f"replay: recorder+tracing overhead {traced_mean:+.2%} "
+            f"exceeded the {traced_bound:.2%} band"
+        )
+    return failures
+
+
+def check_obs(replay: bool) -> list[str]:
+    """BENCH_obs.json: baseline contract only (check.sh replays it)."""
+    del replay
+    failures = []
+    baseline = load_baseline("BENCH_obs.json")
+    disabled = baseline.get("disabled_mean_overhead")
+    tracing = baseline.get("tracing_mean_overhead")
+    if disabled is None or tracing is None:
+        failures.append("BENCH_obs.json: mean overhead metrics missing")
+        return failures
+    if disabled > obs_bench.DISABLED_BUDGET:
+        failures.append(
+            f"BENCH_obs.json: committed disabled-tracer overhead "
+            f"{disabled:+.2%} over the {obs_bench.DISABLED_BUDGET:.0%} contract"
+        )
+    if tracing > obs_bench.TRACING_BUDGET:
+        failures.append(
+            f"BENCH_obs.json: committed tracing overhead {tracing:+.2%} "
+            f"over the {obs_bench.TRACING_BUDGET:.0%} contract"
+        )
+    return failures
+
+
+GATES = (
+    ("exec", check_exec),
+    ("parallel", check_parallel),
+    ("profile", check_profile),
+    ("obs", check_obs),
+)
+
+
+def main(argv=None) -> int:
+    """Run every gate; exit 1 on any violation."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-only",
+        action="store_true",
+        help="validate the committed baselines without re-measuring",
+    )
+    args = parser.parse_args(argv)
+    failures: list[str] = []
+    print("perf gate:")
+    for name, gate in GATES:
+        print(f"  checking {name} ...")
+        failures.extend(gate(replay=not args.baseline_only))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        print(f"{len(failures)} perf gate violation(s)")
+        return 1
+    print("perf gate: all committed baselines hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,10 @@ Runs a small traced query in both execution modes, then for each mode:
   serialized JSON text (what Perfetto would actually load), and
   validates it against the pinned schema;
 * asserts every operator in the chosen plan shows up as an operator
-  span in both exports.
+  span in both exports;
+* repeats both exports with an attached metrics block (the run's
+  execution counters) and checks the block survives the round trip:
+  one ``metrics`` record in jsonl, ``otherData.metrics`` in chrome.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 
@@ -26,6 +29,7 @@ from repro.algebra import base, col, lit
 from repro.model import Span
 from repro.obs import (
     CATEGORY_OPERATOR,
+    MetricsRegistry,
     Tracer,
     parse_jsonl,
     to_chrome,
@@ -36,8 +40,8 @@ from repro.execution import run_query_detailed
 from repro.workloads import StockSpec, generate_stock
 
 
-def _traced_run(mode: str) -> Tracer:
-    """Run a two-operator query traced, returning the finished tracer."""
+def _traced_run(mode: str) -> tuple[Tracer, dict]:
+    """Run a two-operator query traced; return the tracer and metrics."""
     stock = generate_stock(StockSpec("s", Span(0, 499), 0.9, seed=11))
     query = (
         base(stock, "s")
@@ -46,13 +50,15 @@ def _traced_run(mode: str) -> Tracer:
         .query()
     )
     tracer = Tracer()
-    run_query_detailed(query, mode=mode, tracer=tracer)
-    return tracer
+    result = run_query_detailed(query, mode=mode, tracer=tracer)
+    registry = MetricsRegistry()
+    registry.attach("execution", result.counters)
+    return tracer, registry.collect()
 
 
 def check_mode(mode: str) -> None:
     """Round-trip both export formats for one execution mode."""
-    tracer = _traced_run(mode)
+    tracer, metrics = _traced_run(mode)
     spans = len(tracer.spans)
     operators = [s for s in tracer.spans if s.category == CATEGORY_OPERATOR]
     if not operators:
@@ -88,9 +94,26 @@ def check_mode(mode: str) -> None:
     missing = op_names - chrome_names
     if missing:
         raise AssertionError(f"{mode}: operators missing from chrome: {missing}")
+
+    # Metrics block: emit with counters attached -> parse -> compare.
+    with_metrics = parse_jsonl(to_jsonl(tracer, metrics=metrics))
+    metric_records = [r for r in with_metrics if r["type"] == "metrics"]
+    if len(metric_records) != 1:
+        raise AssertionError(
+            f"{mode}: expected one jsonl metrics record, "
+            f"got {len(metric_records)}"
+        )
+    if metric_records[0]["values"] != dict(metrics):
+        raise AssertionError(f"{mode}: jsonl metrics block changed in transit")
+    chrome_doc = json.loads(json.dumps(to_chrome(tracer, metrics=metrics)))
+    validate_chrome_trace(chrome_doc)
+    embedded = chrome_doc.get("otherData", {}).get("metrics")
+    if embedded != dict(metrics):
+        raise AssertionError(f"{mode}: chrome metrics block changed in transit")
     print(
         f"  {mode}: {spans} spans ({len(operators)} operators) "
-        "round-tripped through jsonl and chrome"
+        f"round-tripped through jsonl and chrome "
+        f"(+{len(metrics)} metrics)"
     )
 
 

@@ -19,7 +19,20 @@ Tracing subcommand::
 
 writes a Chrome ``trace_event`` file loadable in Perfetto
 (https://ui.perfetto.dev) or ``about://tracing``; ``--format jsonl``
-writes the JSON Lines span format instead.
+writes the JSON Lines span format instead; ``--with-metrics`` embeds
+the run's execution counters in the exported trace.
+
+Profiling subcommands::
+
+    python -m repro profile --load prices=prices.csv --repeat 20 \\
+        --slow-threshold-ms 5 "window(prices, avg, close, 6)"
+    python -m repro stats --load prices=prices.csv --repeat 20 \\
+        "window(prices, avg, close, 6)"
+
+``profile`` runs the query under the flight recorder and reports the
+captured per-run profiles (``--json`` for the machine-readable form,
+``--out`` for a JSON Lines artifact); ``stats`` renders the metrics
+block with histogram percentiles (p50/p90/p99) folded in.
 
 Static-analysis subcommands::
 
@@ -65,7 +78,17 @@ from repro.analysis.partition import PartitionCounters, analyze_partition
 from repro.io import read_csv
 from repro.lang import compile_query
 from repro.model import Span
-from repro.obs import TRACE_FORMATS, MetricsRegistry, Tracer, write_trace
+from repro.obs import (
+    PROFILE_FORMAT_VERSION,
+    TRACE_FORMATS,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    profiles_to_jsonl,
+    validate_profile_record,
+    write_trace,
+)
+from repro.obs.profile import DEFAULT_CAPACITY as PROFILE_CAPACITY
 from repro.optimizer import optimize
 from repro.storage import FAULT_KINDS, FaultPlan, StoredSequence
 
@@ -633,6 +656,12 @@ def build_trace_parser() -> argparse.ArgumentParser:
         default="chrome",
         help="trace serialization (default chrome)",
     )
+    parser.add_argument(
+        "--with-metrics",
+        action="store_true",
+        help="embed the run's execution counters in the exported trace "
+        "(a 'metrics' record in jsonl, otherData.metrics in chrome)",
+    )
     return parser
 
 
@@ -656,14 +685,21 @@ def _trace_main(argv: PySequence[str], out) -> int:
             batch_size=args.batch_size,
             tracer=tracer,
         )
-        write_trace(tracer, args.out, fmt=args.format)
+        metrics = None
+        if args.with_metrics:
+            registry = MetricsRegistry()
+            registry.attach("execution", result.counters)
+            metrics = registry.collect()
+        write_trace(tracer, args.out, fmt=args.format, metrics=metrics)
     except ReproError as error:
         print(f"error: {error}", file=out)
         return 1
     operators = len(tracer.operator_spans())
+    with_metrics = " +metrics" if args.with_metrics else ""
     print(
         f"traced {len(result.output)} records: {len(tracer.spans)} spans "
-        f"({operators} operator spans) -> {args.out} [{args.format}]",
+        f"({operators} operator spans) -> {args.out} "
+        f"[{args.format}{with_metrics}]",
         file=out,
     )
     if args.format == "chrome":
@@ -671,6 +707,319 @@ def _trace_main(argv: PySequence[str], out) -> int:
             "load it in Perfetto (https://ui.perfetto.dev) or about://tracing",
             file=out,
         )
+    return 0
+
+
+def _add_profile_run_options(parser: argparse.ArgumentParser) -> None:
+    """Run-shape knobs shared by ``repro profile`` and ``repro stats``."""
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:POSCOL]",
+        help="register a CSV file as a base sequence (repeatable)",
+    )
+    parser.add_argument(
+        "--span",
+        metavar="START:END",
+        help="evaluation span (default: the query's own)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default="batch",
+        help="execution mode (default batch)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        metavar="N",
+        help="positions per column batch in batch mode",
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=[m for m in PARALLEL_MODES if m != "off"],
+        help="run partition-certified plans on the parallel supervisor",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help=f"parallel worker lanes (default {DEFAULT_WORKERS}: one per CPU)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=POOL_KINDS,
+        default="thread",
+        help="parallel worker pool kind (default thread)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=8,
+        metavar="N",
+        help="run the query this many times (default 8)",
+    )
+    parser.add_argument(
+        "--op-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trace every Nth run for per-operator self-times "
+        "(default 0: never)",
+    )
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro profile``."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Run a query repeatedly under the flight recorder and report "
+            "the captured per-run profiles: duration percentiles from the "
+            "log-scale histograms, rows/pages/retry/fallback counters, "
+            "and — for traced runs — top operator self-times."
+        ),
+        epilog=(
+            "exit status: 0 = at least one run completed; 1 = every run "
+            "failed (failures are still profiled); 2 = usage errors."
+        ),
+    )
+    parser.add_argument("query", help="query text to profile")
+    _add_profile_run_options(parser)
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=PROFILE_CAPACITY,
+        metavar="N",
+        help=f"flight-recorder ring capacity (default {PROFILE_CAPACITY})",
+    )
+    parser.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        metavar="MS",
+        help="mark runs over this duration slow and promote the query's "
+        "next run to full span capture",
+    )
+    parser.add_argument(
+        "--slow",
+        type=int,
+        default=3,
+        metavar="N",
+        help="list the N slowest profiled runs (default 3; 0 = none)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit summary, profiles, and histograms as one JSON object",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the retained profiles to FILE as JSON Lines",
+    )
+    return parser
+
+
+def _format_profile_row(profile) -> str:
+    """One table row for the ``repro profile`` slowest listing."""
+    flags = "".join(
+        label
+        for label, on in (
+            ("[slow]", profile.slow),
+            ("[traced]", profile.traced),
+        )
+        if on
+    )
+    line = (
+        f"{profile.fingerprint}  {profile.duration_us / 1000.0:>10.3f}ms  "
+        f"{profile.records_emitted:>8} rows  {profile.pages_read:>6} pages"
+    )
+    if flags:
+        line += f"  {flags}"
+    if profile.error is not None:
+        line += f"  error={profile.error}"
+    return line
+
+
+def _profile_main(argv: PySequence[str], out) -> int:
+    """Run ``repro profile``: repeated runs through the flight recorder."""
+    args = build_profile_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+        span = _parse_span(args.span)
+        if args.repeat < 1:
+            raise _UsageError(f"--repeat must be >= 1, got {args.repeat}")
+        try:
+            recorder = FlightRecorder(
+                args.capacity,
+                slow_threshold_us=(
+                    args.slow_threshold_ms * 1000.0
+                    if args.slow_threshold_ms is not None
+                    else None
+                ),
+                op_sample=args.op_sample,
+            )
+        except ReproError as error:
+            raise _UsageError(str(error)) from error
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+    failures = 0
+    last_error: Optional[ReproError] = None
+    for _ in range(args.repeat):
+        try:
+            run_query_detailed(
+                query,
+                span=span,
+                catalog=catalog,
+                mode=args.mode,
+                batch_size=args.batch_size,
+                parallel=args.parallel or "off",
+                workers=args.workers,
+                pool=args.pool,
+                recorder=recorder,
+            )
+        except ReproError as error:
+            # Typed failures are profiled by the engine before the raise;
+            # keep going so the error rate shows up in the summary.
+            failures += 1
+            last_error = error
+
+    profiles = recorder.profiles()
+    records = [profile.to_dict() for profile in profiles]
+    for record in records:
+        validate_profile_record(record)
+
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(profiles_to_jsonl(profiles))
+        except OSError as error:
+            print(f"error: --out {args.out}: {error}", file=out)
+            return 2
+
+    if args.json:
+        payload = {
+            "version": PROFILE_FORMAT_VERSION,
+            "summary": recorder.summary(),
+            "profiles": records,
+            "histograms": recorder.hists.as_dict(),
+        }
+        print(json.dumps(payload, indent=2), file=out)
+        return 1 if failures == args.repeat else 0
+
+    summary = recorder.summary()
+    print(
+        f"profiled {summary['recorded']} run(s): "
+        f"{summary['errors']} error(s), {summary['slow']} slow, "
+        f"{summary['traced']} traced, {summary['evicted']} evicted",
+        file=out,
+    )
+    duration = summary["duration_us"]
+    if duration["count"]:
+        print(
+            "duration: "
+            + "  ".join(
+                f"{key} {duration[key] / 1000.0:.3f}ms"
+                for key in ("p50", "p90", "p99", "max")
+            ),
+            file=out,
+        )
+    if args.slow and profiles:
+        print(f"slowest {min(args.slow, len(profiles))}:", file=out)
+        for profile in recorder.slowest(args.slow):
+            print(f"  {_format_profile_row(profile)}", file=out)
+    if args.out:
+        print(f"wrote {len(profiles)} profile(s) -> {args.out}", file=out)
+    if failures == args.repeat:
+        assert last_error is not None
+        print(f"error: every run failed: {last_error}", file=out)
+        return 1
+    return 0
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro stats``."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Run a query repeatedly and render the full metrics block: "
+            "execution counters plus the flight recorder's log-scale "
+            "histograms (count/mean/min/max and p50/p90/p99) for query "
+            "durations, rows, pages, and per-partition lane times."
+        ),
+        epilog=(
+            "exit status: 0 = at least one run completed; 1 = every run "
+            "failed; 2 = usage errors."
+        ),
+    )
+    parser.add_argument("query", help="query text to measure")
+    _add_profile_run_options(parser)
+    return parser
+
+
+def _stats_main(argv: PySequence[str], out) -> int:
+    """Run ``repro stats``: histogram-backed percentile rendering."""
+    args = build_stats_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args.load)
+        span = _parse_span(args.span)
+        if args.repeat < 1:
+            raise _UsageError(f"--repeat must be >= 1, got {args.repeat}")
+        try:
+            recorder = FlightRecorder(op_sample=args.op_sample)
+        except ReproError as error:
+            raise _UsageError(str(error)) from error
+    except _UsageError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    try:
+        query = compile_query(args.query, catalog)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+    failures = 0
+    last_error: Optional[ReproError] = None
+    result = None
+    for _ in range(args.repeat):
+        try:
+            result = run_query_detailed(
+                query,
+                span=span,
+                catalog=catalog,
+                mode=args.mode,
+                batch_size=args.batch_size,
+                parallel=args.parallel or "off",
+                workers=args.workers,
+                pool=args.pool,
+                recorder=recorder,
+            )
+        except ReproError as error:
+            failures += 1
+            last_error = error
+    if result is None:
+        assert last_error is not None
+        print(f"error: every run failed: {last_error}", file=out)
+        return 1
+
+    registry = MetricsRegistry()
+    registry.attach("execution", result.counters)
+    registry.attach_histograms("flight", recorder.hists)
+    print(
+        f"stats over {args.repeat} run(s) "
+        f"({len(result.output)} records per run):",
+        file=out,
+    )
+    print(registry.render(indent="  "), file=out)
     return 0
 
 
@@ -748,6 +1097,10 @@ def main(argv: Optional[PySequence[str]] = None, out=None) -> int:
         return _verify_main(arguments[0], arguments[1:], out)
     if arguments and arguments[0] == "trace":
         return _trace_main(arguments[1:], out)
+    if arguments and arguments[0] == "profile":
+        return _profile_main(arguments[1:], out)
+    if arguments and arguments[0] == "stats":
+        return _stats_main(arguments[1:], out)
     if arguments and arguments[0] == "partition-check":
         return _partition_check_main(arguments[1:], out)
     if arguments and arguments[0] == "effects-check":

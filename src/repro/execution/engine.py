@@ -17,10 +17,16 @@ row-path oracle, counted in ``ExecutionCounters.fallbacks_taken``.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ExecutionError, QueryGuardError, StorageError
+from repro.errors import (
+    ExecutionError,
+    QueryGuardError,
+    ReproError,
+    StorageError,
+)
 from repro.model.base import BaseSequence, ColumnarAnswer
 from repro.model.span import Span
 from repro.algebra.graph import Query
@@ -35,8 +41,10 @@ from repro.model.batch import column_to_list, vector_backend
 from repro.execution.counters import ExecutionCounters
 from repro.execution.guard import QueryGuard
 from repro.execution.streams import build_stream
+from repro.obs.hist import HistogramSet
 from repro.obs.metrics import counters_restore, counters_snapshot
-from repro.obs.tracer import CATEGORY_ENGINE, Tracer, active
+from repro.obs.profile import FlightRecorder, QueryProfile, fingerprint_query
+from repro.obs.tracer import CATEGORY_ENGINE, Tracer, active, trace_summary
 from repro.storage.counters import StorageCounters
 
 #: Execution modes understood by :func:`execute_plan`.
@@ -121,6 +129,29 @@ def _watch_plan_storage(plan: PhysicalPlan, guard: QueryGuard) -> None:
             guard.watch_storage(counters)
     for child in plan.children:
         _watch_plan_storage(child, guard)
+
+
+def _plan_storage_counters(
+    plan: PhysicalPlan, found: Optional[list[StorageCounters]] = None
+) -> list[StorageCounters]:
+    """Every distinct stored-leaf :class:`StorageCounters` in the plan.
+
+    The flight recorder's pages-read accounting: snapshot each disk's
+    ``page_reads`` before execution, delta afterwards (the same leaves
+    :func:`_watch_plan_storage` registers with the guard).
+    """
+    if found is None:
+        found = []
+    leaf = plan.node
+    if isinstance(leaf, SequenceLeaf):
+        counters = getattr(leaf.sequence, "counters", None)
+        if isinstance(counters, StorageCounters) and all(
+            existing is not counters for existing in found
+        ):
+            found.append(counters)
+    for child in plan.children:
+        _plan_storage_counters(child, found)
+    return found
 
 
 def _run_batch(
@@ -217,6 +248,7 @@ def _parallel_ladder(
     workers: Optional[int],
     pool: str,
     straggler_timeout: Optional[float],
+    hists: Optional[HistogramSet] = None,
 ) -> Optional[BaseSequence]:
     """The parallel degradation ladder (DESIGN §14).
 
@@ -286,6 +318,7 @@ def _parallel_ladder(
             tracer=tracer,
             straggler_timeout=straggler_timeout,
             verify=False,
+            hists=hists,
         )
     except QueryGuardError:
         raise
@@ -336,6 +369,7 @@ def execute_plan(
     workers: Optional[int] = None,
     pool: str = "thread",
     straggler_timeout: Optional[float] = None,
+    hists: Optional[HistogramSet] = None,
 ) -> BaseSequence:
     """Run a stream-mode plan and materialize its output.
 
@@ -371,6 +405,11 @@ def execute_plan(
         pool: ``"thread"`` (default) or ``"process"`` worker pool.
         straggler_timeout: soft per-partition seconds before the
             supervisor speculatively re-dispatches a straggler.
+        hists: optional :class:`~repro.obs.hist.HistogramSet` the
+            parallel supervisor folds per-partition lane observations
+            into.  Histograms are observational — they record work
+            actually performed and are *not* rewound when the
+            degradation ladder forgets a failed rung's counters.
     """
     validate_execution_args(
         mode, batch_size, guard, parallel, workers, pool, straggler_timeout
@@ -419,6 +458,7 @@ def execute_plan(
                 workers=workers,
                 pool=pool,
                 straggler_timeout=straggler_timeout,
+                hists=hists,
             )
         if answer is not None:
             pass
@@ -501,6 +541,55 @@ class RunResult:
         return render_analyze(self.optimization.plan, self.tracer)
 
 
+def _build_profile(
+    *,
+    fingerprint: str,
+    query: Query,
+    mode: str,
+    parallel: str,
+    workers: Optional[int],
+    batch_size: int,
+    duration_us: float,
+    counters: ExecutionCounters,
+    pages_read: int,
+    guard: Optional[QueryGuard],
+    tracer: Optional[Tracer],
+    error: Optional[BaseException],
+) -> QueryProfile:
+    """Assemble the flight-recorder record for one finished run."""
+    verdict = guard.verdict if guard is not None else None
+    if verdict is None and isinstance(error, QueryGuardError):
+        # A guard-class verdict the shared guard did not stamp itself
+        # (e.g. the parallel supervisor's straggler timeout).
+        verdict = type(error).__name__
+    traced = active(tracer)
+    top_operators: list = []
+    if traced:
+        assert tracer is not None
+        top_operators = trace_summary(tracer)["top_operators"]
+    return QueryProfile(
+        fingerprint=fingerprint,
+        query=repr(query)[:200],
+        mode=mode,
+        parallel=parallel,
+        workers=workers,
+        batch_size=batch_size,
+        duration_us=duration_us,
+        records_emitted=counters.records_emitted,
+        pages_read=pages_read,
+        cache_ops=counters.cache_ops,
+        partition_retries=counters.partition_retries,
+        stragglers_redispatched=counters.stragglers_redispatched,
+        fallbacks_taken=counters.fallbacks_taken,
+        parallel_fallbacks=counters.parallel_fallbacks,
+        kernels_fallback=counters.kernels_fallback,
+        guard_verdict=verdict,
+        error=type(error).__name__ if error is not None else None,
+        top_operators=top_operators,
+        traced=traced,
+    )
+
+
 def run_query_detailed(
     query: Query,
     span: Optional[Span] = None,
@@ -519,6 +608,7 @@ def run_query_detailed(
     workers: Optional[int] = None,
     pool: str = "thread",
     straggler_timeout: Optional[float] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     """Optimize and execute ``query``, returning answer + diagnostics.
 
@@ -527,39 +617,112 @@ def run_query_detailed(
     supports :meth:`RunResult.render_analyze`.  The ``parallel`` /
     ``workers`` / ``pool`` / ``straggler_timeout`` knobs select the
     parallel partitioned runtime (see :func:`execute_plan`).
+
+    ``recorder`` attaches the flight recorder: the run is timed,
+    fingerprinted, and recorded as a compact
+    :class:`~repro.obs.profile.QueryProfile` — on success *and* on any
+    typed :class:`~repro.errors.ReproError` (which is re-raised
+    unchanged).  The recorder also decides tracing for this run: a
+    query promoted by a previous slow run, or the every-Nth
+    operator-sampling hit, executes with full span capture even when
+    the caller passed no tracer.
     """
     # Fail on bad knobs before the optimizer runs: no plan, no counters,
     # no storage access happen for a query that could never execute.
     validate_execution_args(
         mode, batch_size, guard, parallel, workers, pool, straggler_timeout
     )
+    fingerprint = None
+    if recorder is not None:
+        fingerprint = fingerprint_query(query)
+        if tracer is None and not analyze:
+            if recorder.wants_trace(fingerprint) or recorder.sample_operators():
+                tracer = Tracer()
     if analyze and tracer is None:
         tracer = Tracer()
-    optimization = optimize(
-        query,
-        catalog=catalog,
-        span=span,
-        params=params,
-        rewrite=rewrite,
-        consider_materialize=consider_materialize,
-        restrict_spans=restrict_spans,
-        tracer=tracer,
-    )
+    clock = recorder.clock if recorder is not None else time.perf_counter
+    started = clock()
     counters = ExecutionCounters()
-    output = execute_plan(
-        optimization.plan.plan,
-        optimization.plan.output_span,
-        counters,
-        mode=mode,
-        batch_size=batch_size,
-        guard=guard,
-        fallback=fallback,
-        tracer=tracer,
-        parallel=parallel,
-        workers=workers,
-        pool=pool,
-        straggler_timeout=straggler_timeout,
-    )
+    query_hists = HistogramSet() if recorder is not None else None
+    storage_watch: list[tuple[StorageCounters, int]] = []
+
+    def pages_read() -> int:
+        return sum(
+            max(disk.page_reads - baseline, 0)
+            for disk, baseline in storage_watch
+        )
+
+    try:
+        optimization = optimize(
+            query,
+            catalog=catalog,
+            span=span,
+            params=params,
+            rewrite=rewrite,
+            consider_materialize=consider_materialize,
+            restrict_spans=restrict_spans,
+            tracer=tracer,
+        )
+        if recorder is not None:
+            storage_watch = [
+                (disk, disk.page_reads)
+                for disk in _plan_storage_counters(optimization.plan.plan)
+            ]
+        output = execute_plan(
+            optimization.plan.plan,
+            optimization.plan.output_span,
+            counters,
+            mode=mode,
+            batch_size=batch_size,
+            guard=guard,
+            fallback=fallback,
+            tracer=tracer,
+            parallel=parallel,
+            workers=workers,
+            pool=pool,
+            straggler_timeout=straggler_timeout,
+            hists=query_hists,
+        )
+    except ReproError as error:
+        if recorder is not None:
+            assert fingerprint is not None
+            recorder.record(
+                _build_profile(
+                    fingerprint=fingerprint,
+                    query=query,
+                    mode=mode,
+                    parallel=parallel,
+                    workers=workers,
+                    batch_size=batch_size,
+                    duration_us=max((clock() - started) * 1e6, 0.0),
+                    counters=counters,
+                    pages_read=pages_read(),
+                    guard=guard,
+                    tracer=tracer,
+                    error=error,
+                ),
+                hists=query_hists,
+            )
+        raise
+    if recorder is not None:
+        assert fingerprint is not None
+        recorder.record(
+            _build_profile(
+                fingerprint=fingerprint,
+                query=query,
+                mode=mode,
+                parallel=parallel,
+                workers=workers,
+                batch_size=batch_size,
+                duration_us=max((clock() - started) * 1e6, 0.0),
+                counters=counters,
+                pages_read=pages_read(),
+                guard=guard,
+                tracer=tracer,
+                error=None,
+            ),
+            hists=query_hists,
+        )
     return RunResult(
         output=output,
         optimization=optimization,
@@ -586,6 +749,7 @@ def run_query(
     workers: Optional[int] = None,
     pool: str = "thread",
     straggler_timeout: Optional[float] = None,
+    recorder: Optional[FlightRecorder] = None,
 ):
     """Optimize and execute ``query``, returning just the answer.
 
@@ -612,6 +776,7 @@ def run_query(
         workers=workers,
         pool=pool,
         straggler_timeout=straggler_timeout,
+        recorder=recorder,
     )
     if analyze:
         return result

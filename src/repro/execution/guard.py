@@ -151,6 +151,12 @@ class QueryGuard:
         self._records = 0
         self._watched_storage: list[tuple[StorageCounters, int]] = []
         self._watched_execution: Optional[ExecutionCounters] = None
+        #: The typed verdict this guard issued, if any — the error class
+        #: name, stamped just before the raise so the flight recorder
+        #: can attribute "why did this query stop" without re-deriving
+        #: it from the exception that may have crossed thread or rung
+        #: boundaries on its way out.
+        self.verdict: Optional[str] = None
         # Serializes record accounting and the watch registries when
         # the guard is shared across parallel partition workers.
         self._lock = threading.Lock()
@@ -242,6 +248,12 @@ class QueryGuard:
 
     # -- checkpoints ---------------------------------------------------------
 
+    def _issue(self, error: Exception) -> Exception:
+        """Stamp the verdict (first verdict wins) and return the error."""
+        if self.verdict is None:
+            self.verdict = type(error).__name__
+        return error
+
     def checkpoint(self) -> None:
         """Full check: cancellation, deadline, pages and cache budgets.
 
@@ -251,32 +263,38 @@ class QueryGuard:
             ResourceBudgetExceededError: a watched budget is exceeded.
         """
         if self.cancellation is not None and self.cancellation.cancelled:
-            raise QueryCancelledError(
-                f"query cancelled after {self._records} records",
-                records_emitted=self._records,
+            raise self._issue(
+                QueryCancelledError(
+                    f"query cancelled after {self._records} records",
+                    records_emitted=self._records,
+                )
             )
         if self._deadline is not None:
             now = self._clock()
             if now > self._deadline:
                 assert self.timeout is not None and self._started_at is not None
-                raise QueryTimeoutError(
-                    f"query exceeded its {self.timeout:g}s timeout "
-                    f"({now - self._started_at:.3f}s elapsed, "
-                    f"{self._records} records emitted)",
-                    timeout_seconds=self.timeout,
-                    elapsed_seconds=now - self._started_at,
-                    records_emitted=self._records,
+                raise self._issue(
+                    QueryTimeoutError(
+                        f"query exceeded its {self.timeout:g}s timeout "
+                        f"({now - self._started_at:.3f}s elapsed, "
+                        f"{self._records} records emitted)",
+                        timeout_seconds=self.timeout,
+                        elapsed_seconds=now - self._started_at,
+                        records_emitted=self._records,
+                    )
                 )
         if self.max_pages is not None and self._watched_storage:
             used = self.pages_read()
             if used > self.max_pages:
-                raise ResourceBudgetExceededError(
-                    f"query read {used} pages, over its budget of "
-                    f"{self.max_pages} ({self._records} records emitted)",
-                    budget="pages_read",
-                    limit=self.max_pages,
-                    used=used,
-                    records_emitted=self._records,
+                raise self._issue(
+                    ResourceBudgetExceededError(
+                        f"query read {used} pages, over its budget of "
+                        f"{self.max_pages} ({self._records} records emitted)",
+                        budget="pages_read",
+                        limit=self.max_pages,
+                        used=used,
+                        records_emitted=self._records,
+                    )
                 )
         if self.max_cache_entries is not None and self._watched_execution is not None:
             occupancy = self._watched_execution.max_cache_occupancy
@@ -302,13 +320,15 @@ class QueryGuard:
             self._records += count
             total = self._records
         if self.max_records is not None and total > self.max_records:
-            raise ResourceBudgetExceededError(
-                f"query emitted {total} records, over its budget "
-                f"of {self.max_records}",
-                budget="records_emitted",
-                limit=self.max_records,
-                used=total,
-                records_emitted=total,
+            raise self._issue(
+                ResourceBudgetExceededError(
+                    f"query emitted {total} records, over its budget "
+                    f"of {self.max_records}",
+                    budget="records_emitted",
+                    limit=self.max_records,
+                    used=total,
+                    records_emitted=total,
+                )
             )
 
     def note_cache(self, occupancy: int) -> None:
@@ -321,13 +341,15 @@ class QueryGuard:
             self._cache_budget_error(occupancy)
 
     def _cache_budget_error(self, occupancy: int) -> None:
-        raise ResourceBudgetExceededError(
-            f"an operator cache held {occupancy} entries, over the budget "
-            f"of {self.max_cache_entries} ({self._records} records emitted)",
-            budget="cache_entries",
-            limit=self.max_cache_entries or 0,
-            used=occupancy,
-            records_emitted=self._records,
+        raise self._issue(
+            ResourceBudgetExceededError(
+                f"an operator cache held {occupancy} entries, over the budget "
+                f"of {self.max_cache_entries} ({self._records} records emitted)",
+                budget="cache_entries",
+                limit=self.max_cache_entries or 0,
+                used=occupancy,
+                records_emitted=self._records,
+            )
         )
 
     def __repr__(self) -> str:

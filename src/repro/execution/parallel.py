@@ -101,6 +101,7 @@ from repro.execution.guard import CancellationToken, QueryGuard
 from repro.execution.partition import merge_partitions, partition_plan
 from repro.model.base import BaseSequence
 from repro.model.span import Span
+from repro.obs.hist import HistogramSet
 from repro.obs.tracer import CATEGORY_ENGINE, Tracer, TraceSpan, active
 from repro.optimizer.plans import OptimizedPlan, PhysicalPlan
 from repro.storage.faults import RetryPolicy
@@ -213,6 +214,7 @@ class _Supervisor:
         retry: RetryPolicy,
         straggler_timeout: Optional[float],
         clock: Callable[[], float],
+        hists: Optional[HistogramSet] = None,
     ):
         self.root = root
         self.certificate = certificate
@@ -226,6 +228,7 @@ class _Supervisor:
         self.retry = retry
         self.straggler_timeout = straggler_timeout
         self.clock = clock
+        self.hists = hists
         self.paths = plan_paths(root)
         self.partitions = certificate.partitions
         self.subplans: dict[int, PhysicalPlan] = {}
@@ -265,6 +268,32 @@ class _Supervisor:
             self.tracer.adopt(fork, under=span)
         span.attrs.update(attrs)
         self.tracer.end(span)
+
+    # -- histogram accounting ------------------------------------------------
+
+    def _observe_lane(
+        self, worker_counters: ExecutionCounters, dispatched_at: float
+    ) -> None:
+        """Fold one winning attempt's lane histograms into the query's.
+
+        Mirrors the counter merge exactly: a private per-attempt
+        :class:`HistogramSet` is observed and then merged — never
+        written concurrently — so histogram accounting follows the
+        same single-owner discipline as ``counters.merge_from``.
+        Called only at the two success sites (inline and pooled
+        absorb), so discarded speculative losers and failed attempts
+        contribute nothing, just like their counters.
+        """
+        if self.hists is None:
+            return
+        lane = HistogramSet()
+        lane.observe(
+            "partition.duration_us",
+            max((self.clock() - dispatched_at) * 1e6, 0.0),
+        )
+        lane.observe("partition.records", worker_counters.records_emitted)
+        lane.observe("partition.batches", worker_counters.batches_built)
+        self.hists.merge_from(lane)
 
     # -- the serial, deterministic preparation phase -------------------------
 
@@ -334,6 +363,7 @@ class _Supervisor:
                     subplan = self.prepare(index)
                 span = self._begin_partition_span(self.partitions[index], attempt)
                 fork = self.tracer.fork() if self.tracer is not None else None
+                dispatched_at = self.clock()
                 try:
                     output, worker_counters = _execute_partition(
                         subplan,
@@ -352,6 +382,7 @@ class _Supervisor:
                     raise
                 self.counters.merge_from(worker_counters)
                 self.counters.partitions_executed += 1
+                self._observe_lane(worker_counters, dispatched_at)
                 self._close_span(
                     span, fork, records=worker_counters.records_emitted
                 )
@@ -512,6 +543,7 @@ class _Supervisor:
             results[index] = (output, worker_counters)
             self.counters.merge_from(worker_counters)
             self.counters.partitions_executed += 1
+            self._observe_lane(worker_counters, attempt.dispatched_at)
             if self.guard is not None and self.pool == "process":
                 # Process workers cannot share the guard object; charge
                 # their emissions at the partition boundary instead.
@@ -619,6 +651,7 @@ def execute_parallel(
     straggler_timeout: Optional[float] = None,
     clock: Callable[[], float] = time.monotonic,
     verify: bool = True,
+    hists: Optional[HistogramSet] = None,
 ) -> BaseSequence:
     """Execute a certified plan across a worker pool, merging in order.
 
@@ -664,6 +697,12 @@ def execute_parallel(
         clock: injectable time source for the straggler watch.
         verify: re-verify the certificate first (default).  Disable
             only when the caller just checked this exact pair.
+        hists: optional :class:`~repro.obs.hist.HistogramSet` the
+            supervisor folds per-partition lane observations into
+            (``partition.duration_us`` / ``partition.records`` /
+            ``partition.batches``), mirroring the counter merge: one
+            private set per winning attempt, merged on the supervising
+            thread only.
 
     Raises:
         ExecutionError: for invalid knobs (unknown pool, non-positive
@@ -708,6 +747,7 @@ def execute_parallel(
         retry=retry if retry is not None else DEFAULT_PARTITION_RETRY,
         straggler_timeout=straggler_timeout,
         clock=clock,
+        hists=hists,
     )
     parallel_span = None
     if tracer is not None:

@@ -18,7 +18,7 @@ re-validates them on every check run.
 from __future__ import annotations
 
 import json
-from typing import IO, Union
+from typing import IO, Mapping, Optional, Union
 
 from repro.errors import TraceFormatError
 from repro.obs.schema import (
@@ -74,8 +74,14 @@ def _span_records(tracer: Tracer) -> list[dict]:
     return records
 
 
-def to_jsonl(tracer: Tracer) -> str:
-    """Serialize a trace as JSON Lines (header + spans + events)."""
+def to_jsonl(tracer: Tracer, metrics: Optional[Mapping] = None) -> str:
+    """Serialize a trace as JSON Lines (header + spans + events).
+
+    ``metrics`` (e.g. a
+    :meth:`~repro.obs.metrics.MetricsRegistry.collect` mapping) is
+    appended as one trailing ``metrics`` record, so a single artifact
+    carries the span tree *and* the run's counter block.
+    """
     header = {
         "type": "trace",
         "version": TRACE_FORMAT_VERSION,
@@ -83,6 +89,9 @@ def to_jsonl(tracer: Tracer) -> str:
     }
     lines = [json.dumps(header, sort_keys=True)]
     for record in _span_records(tracer):
+        lines.append(json.dumps(record, sort_keys=True))
+    if metrics is not None:
+        record = {"type": "metrics", "values": _jsonable(dict(metrics))}
         lines.append(json.dumps(record, sort_keys=True))
     return "\n".join(lines) + "\n"
 
@@ -116,8 +125,12 @@ def parse_jsonl(text: str) -> list[dict]:
     return records
 
 
-def to_chrome(tracer: Tracer) -> dict:
-    """Serialize a trace as a Chrome ``trace_event`` document."""
+def to_chrome(tracer: Tracer, metrics: Optional[Mapping] = None) -> dict:
+    """Serialize a trace as a Chrome ``trace_event`` document.
+
+    ``metrics`` lands under ``otherData.metrics``, where Perfetto's
+    metadata view surfaces it.
+    """
     events: list[dict] = []
     for span in tracer.spans:
         end_us = span.end_us if span.end_us is not None else span.start_us
@@ -151,32 +164,42 @@ def to_chrome(tracer: Tracer) -> dict:
                     "args": {"span_id": span.span_id, **_jsonable(event.attrs)},  # type: ignore[dict-item]
                 }
             )
+    other_data: dict = {
+        "format": "repro-trace",
+        "version": TRACE_FORMAT_VERSION,
+    }
+    if metrics is not None:
+        other_data["metrics"] = _jsonable(dict(metrics))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"format": "repro-trace", "version": TRACE_FORMAT_VERSION},
+        "otherData": other_data,
     }
 
 
 def write_trace(
-    tracer: Tracer, destination: Union[str, IO[str]], fmt: str = "chrome"
+    tracer: Tracer,
+    destination: Union[str, IO[str]],
+    fmt: str = "chrome",
+    metrics: Optional[Mapping] = None,
 ) -> None:
     """Write a trace to a path or file object in the given format.
 
     Both outputs are validated against the pinned schema before any
     byte is written, so a malformed export fails loudly instead of
-    producing a file Perfetto rejects.
+    producing a file Perfetto rejects.  ``metrics`` rides along as the
+    formats' metrics block (see :func:`to_jsonl` / :func:`to_chrome`).
 
     Raises:
         TraceFormatError: for an unknown format or an export that does
             not validate.
     """
     if fmt == "chrome":
-        document = to_chrome(tracer)
+        document = to_chrome(tracer, metrics=metrics)
         validate_chrome_trace(document)
         payload = json.dumps(document, indent=1, sort_keys=True) + "\n"
     elif fmt == "jsonl":
-        payload = to_jsonl(tracer)
+        payload = to_jsonl(tracer, metrics=metrics)
         parse_jsonl(payload)
     else:
         raise TraceFormatError(

@@ -25,6 +25,7 @@ import dataclasses
 from typing import Callable, Mapping, Optional
 
 from repro.errors import ReproError
+from repro.obs.hist import HistogramSet, LogHistogram
 
 Number = float  # metrics are ints or floats; ints pass through unchanged
 
@@ -160,8 +161,15 @@ class MetricsRegistry:
       :func:`counters_snapshot` accepts), read live at collect time;
     * :meth:`attach_gauges` — a callable returning ``name -> number``
       (e.g. the guard's progress numbers);
-    * :meth:`counter` / :meth:`histogram` — registry-owned named
-      instruments for code without a dataclass home.
+    * :meth:`attach_histograms` — a
+      :class:`~repro.obs.hist.HistogramSet` (e.g. the flight
+      recorder's lifetime distributions), each histogram's summary
+      read live under ``prefix.<name>.<quantile>``;
+    * :meth:`counter` / :meth:`histogram` / :meth:`log_histogram` —
+      registry-owned named instruments for code without a dataclass
+      home (``log_histogram`` is the quantile-capable
+      :class:`~repro.obs.hist.LogHistogram`; plain ``histogram``
+      remains the cheaper count/total/min/max summary).
 
     ``collect()`` is sorted by metric name, so rendered output is
     stable across runs and diffable by golden tests.
@@ -172,6 +180,8 @@ class MetricsRegistry:
         self._gauges: list[tuple[str, Callable[[], Mapping[str, Number]]]] = []
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._log_histograms: dict[str, LogHistogram] = {}
+        self._histogram_sets: list[tuple[str, HistogramSet]] = []
 
     # -- attachment ----------------------------------------------------------
 
@@ -200,6 +210,20 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name)
         return histogram
 
+    def log_histogram(self, name: str) -> LogHistogram:
+        """Get or create a registry-owned log-scale histogram.
+
+        Collects as ``<name>.count/sum/mean/min/max/p50/p90/p99``.
+        """
+        histogram = self._log_histograms.get(name)
+        if histogram is None:
+            histogram = self._log_histograms[name] = LogHistogram(name)
+        return histogram
+
+    def attach_histograms(self, prefix: str, hists: HistogramSet) -> None:
+        """Mirror a histogram set's summaries under ``prefix.<name>.<key>``."""
+        self._histogram_sets.append((prefix, hists))
+
     # -- reading -------------------------------------------------------------
 
     def collect(self) -> dict[str, Number]:
@@ -216,6 +240,13 @@ class MetricsRegistry:
         for name, histogram in self._histograms.items():
             for key, value in histogram.summary().items():
                 values[f"{name}.{key}"] = value
+        for name, log_histogram in self._log_histograms.items():
+            for key, value in log_histogram.summary().items():
+                values[f"{name}.{key}"] = value
+        for prefix, hists in self._histogram_sets:
+            for histogram in hists:
+                for key, value in histogram.summary().items():
+                    values[f"{prefix}.{histogram.name}.{key}"] = value
         return dict(sorted(values.items()))
 
     def snapshot(self) -> MetricsSnapshot:

@@ -1,15 +1,20 @@
-"""The pinned JSON schema of the trace formats.
+"""The pinned JSON schema of the trace and profile formats.
 
 Downstream tools (dashboards, diffing scripts, the CI round-trip gate)
 need a format contract, not "whatever the exporter happened to write".
 This module pins that contract as data — JSON-Schema-shaped documents
-for the JSON Lines span format (:data:`JSONL_SCHEMA`) and the Chrome
-``trace_event`` export (:data:`CHROME_SCHEMA`) — and implements the
-small validator subset the schemas use, so validation needs no
-third-party dependency.
+for the JSON Lines span format (:data:`JSONL_SCHEMA`), the Chrome
+``trace_event`` export (:data:`CHROME_SCHEMA`), and the flight
+recorder's query-profile artifact (:data:`PROFILE_SCHEMA`) — and
+implements the small validator subset the schemas use, so validation
+needs no third-party dependency.
 
-Version history of the format lives in :data:`TRACE_FORMAT_VERSION`;
-any backwards-incompatible change to the exporters must bump it.
+Version history of the formats lives in :data:`TRACE_FORMAT_VERSION`
+and :data:`PROFILE_FORMAT_VERSION`; any backwards-incompatible change
+to the exporters must bump the matching constant.  (Adding the
+*optional* ``metrics`` record/field to the trace formats was a
+backwards-compatible extension: every version-1 artifact written
+before it still validates.)
 """
 
 from __future__ import annotations
@@ -69,6 +74,84 @@ JSONL_SCHEMA: dict = {
                 "attrs": {"type": "object"},
             },
         },
+        {
+            "type": "object",
+            "required": ["type", "values"],
+            "properties": {
+                "type": {"enum": ["metrics"]},
+                "values": {"type": "object"},
+            },
+        },
+    ],
+}
+
+#: Version stamped into every profiles artifact; bump on breaking change.
+PROFILE_FORMAT_VERSION = 1
+
+#: Schema of one profiles-JSONL record (the header or a query profile).
+PROFILE_SCHEMA: dict = {
+    "$id": "repro:profile-jsonl:v1",
+    "oneOf": [
+        {
+            "type": "object",
+            "required": ["type", "version", "count"],
+            "properties": {
+                "type": {"enum": ["profiles"]},
+                "version": {"type": "integer", "minimum": 1},
+                "count": {"type": "integer", "minimum": 0},
+            },
+        },
+        {
+            "type": "object",
+            "required": [
+                "type",
+                "fingerprint",
+                "query",
+                "mode",
+                "parallel",
+                "batch_size",
+                "duration_us",
+                "records_emitted",
+                "pages_read",
+                "traced",
+                "slow",
+            ],
+            "properties": {
+                "type": {"enum": ["profile"]},
+                "fingerprint": {"type": "string"},
+                "query": {"type": "string"},
+                "mode": {"enum": ["batch", "row"]},
+                "parallel": {"enum": ["off", "auto", "force"]},
+                "workers": {"type": ["integer", "null"], "minimum": 1},
+                "batch_size": {"type": "integer", "minimum": 1},
+                "duration_us": {"type": "number", "minimum": 0},
+                "records_emitted": {"type": "integer", "minimum": 0},
+                "pages_read": {"type": "integer", "minimum": 0},
+                "cache_ops": {"type": "integer", "minimum": 0},
+                "partition_retries": {"type": "integer", "minimum": 0},
+                "stragglers_redispatched": {"type": "integer", "minimum": 0},
+                "fallbacks_taken": {"type": "integer", "minimum": 0},
+                "parallel_fallbacks": {"type": "integer", "minimum": 0},
+                "kernels_fallback": {"type": "integer", "minimum": 0},
+                "guard_verdict": {"type": ["string", "null"]},
+                "error": {"type": ["string", "null"]},
+                "top_operators": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name", "busy_us"],
+                        "properties": {
+                            "name": {"type": "string"},
+                            "busy_us": {"type": "number", "minimum": 0},
+                            "rows": {"type": "integer", "minimum": 0},
+                            "spans": {"type": "integer", "minimum": 1},
+                        },
+                    },
+                },
+                "traced": {"type": "boolean"},
+                "slow": {"type": "boolean"},
+            },
+        },
     ],
 }
 
@@ -103,6 +186,7 @@ CHROME_SCHEMA: dict = {
             "properties": {
                 "format": {"enum": ["repro-trace"]},
                 "version": {"type": "integer", "minimum": 1},
+                "metrics": {"type": "object"},
             },
         },
     },
@@ -220,3 +304,13 @@ def validate_chrome_trace(document: object) -> None:
         TraceFormatError: if it violates :data:`CHROME_SCHEMA`.
     """
     check(document, CHROME_SCHEMA)
+
+
+def validate_profile_record(record: object, line: Optional[int] = None) -> None:
+    """Validate one parsed profiles-JSONL record.
+
+    Raises:
+        TraceFormatError: if the record violates :data:`PROFILE_SCHEMA`.
+    """
+    where = "$" if line is None else f"line {line}"
+    check(record, PROFILE_SCHEMA, where)

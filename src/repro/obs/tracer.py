@@ -299,16 +299,38 @@ def maybe_span(
 def trace_summary(tracer: Tracer) -> dict:
     """A compact, JSON-friendly digest of a trace.
 
-    Used by the benchmark harness to attach tracing context to
-    measurements without dragging the whole span tree along.
+    Used by the benchmark harness and the flight recorder to attach
+    tracing context to measurements without dragging the whole span
+    tree along.
+
+    ``top_operators`` aggregates spans *by operator name* before
+    ranking.  That matters for parallel runs: the supervisor adopts
+    one operator span per partition attempt
+    (:meth:`Tracer.fork`/:meth:`Tracer.adopt`), so ranking individual
+    spans would fragment an operator's time across its partitions and
+    under-report it — a scan split over 8 partitions must compete for
+    the top-5 with its *summed* time, not an eighth of it.
     """
     busy_by_category: dict[str, float] = {}
     for span in tracer.spans:
         busy_by_category[span.category] = (
             busy_by_category.get(span.category, 0.0) + span.busy_us
         )
+    rollup: dict[str, dict] = {}
+    for span in tracer.operator_spans():
+        entry = rollup.get(span.name)
+        if entry is None:
+            entry = rollup[span.name] = {
+                "name": span.name,
+                "busy_us": 0.0,
+                "rows": 0,
+                "spans": 0,
+            }
+        entry["busy_us"] += span.busy_us
+        entry["rows"] += span.attrs.get("rows_emitted", 0)
+        entry["spans"] += 1
     operators = sorted(
-        tracer.operator_spans(), key=lambda s: s.busy_us, reverse=True
+        rollup.values(), key=lambda e: e["busy_us"], reverse=True
     )
     return {
         "spans": len(tracer.spans),
@@ -317,11 +339,7 @@ def trace_summary(tracer: Tracer) -> dict:
             k: round(v, 3) for k, v in sorted(busy_by_category.items())
         },
         "top_operators": [
-            {
-                "name": s.name,
-                "busy_us": round(s.busy_us, 3),
-                "rows": s.attrs.get("rows_emitted", 0),
-            }
-            for s in operators[:5]
+            {**entry, "busy_us": round(entry["busy_us"], 3)}
+            for entry in operators[:5]
         ],
     }
